@@ -1,0 +1,58 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4 for the index).  Besides the
+pytest-benchmark timing, each harness writes a human-readable
+paper-vs-measured report into ``benchmarks/results/<experiment>.txt`` so
+the numbers survive pytest's output capturing; EXPERIMENTS.md is
+assembled from those files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Collects and persists one experiment's paper-vs-measured rows."""
+
+    def __init__(self, experiment: str, title: str):
+        self.experiment = experiment
+        self.title = title
+        self.lines: list[str] = [f"== {experiment}: {title} ==", ""]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def row(self, label: str, paper, measured, unit: str = "") -> None:
+        self.lines.append(
+            f"  {label:<38s} paper: {paper!s:>10s}   measured: {measured!s:>10s} {unit}"
+        )
+
+    def save(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+        return path
+
+
+@pytest.fixture()
+def report(request):
+    """Per-test experiment report; saved automatically on success."""
+    marker = request.node.get_closest_marker("experiment")
+    name = marker.args[0] if marker else request.node.name
+    title = marker.args[1] if marker and len(marker.args) > 1 else ""
+    rep = ExperimentReport(name, title)
+    yield rep
+    rep.save()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id, title): tags a reproduction benchmark"
+    )

@@ -1,0 +1,111 @@
+"""ABL-ADMIT — admission control under overload (extension to Figure 10).
+
+Motivated by the ABL-FEEDBACK finding: Figure 10 has no notion of
+refusing work, so beyond capacity its step-6 fallback queues every
+query and lateness cascades across all classes.  This ablation adds
+bounded-lateness admission (reject when even the best estimated
+response overshoots the deadline by more than ``lateness_factor x
+T_C``) and measures the overloaded system (280 q/s offered against
+~210 q/s capacity, accurate estimates).
+
+Expected shape: vanilla Figure 10 completes ~capacity q/s with a
+collapsed deadline-hit rate; admission control sheds the ~12 % excess
+and serves the admitted queries almost entirely within deadline — the
+textbook overload-control trade.
+"""
+
+import functools
+
+import pytest
+
+from repro.core.admission import AdmissionControlScheduler
+from repro.paper import TABLE3_TEXT_PROB, paper_system_config, paper_workload
+from repro.query.workload import ArrivalProcess
+from repro.sim import HybridSystem
+
+N_QUERIES = 2000
+OFFERED = 280.0  # well above the ~210 q/s hybrid capacity
+
+
+@functools.lru_cache(maxsize=None)
+def run(lateness_factor: float | None):
+    kwargs = {}
+    if lateness_factor is not None:
+        kwargs["scheduler_factory"] = functools.partial(
+            AdmissionControlScheduler, lateness_factor=lateness_factor
+        )
+    config = paper_system_config(threads=8, include_32gb=True, **kwargs)
+    workload = paper_workload(include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=42)
+    stream = workload.generate(N_QUERIES, ArrivalProcess("uniform", rate=OFFERED))
+    report = HybridSystem(config).run(stream)
+    return (
+        report.completed,
+        report.rejected,
+        report.queries_per_second,
+        report.deadline_hit_rate,
+    )
+
+
+@pytest.mark.experiment("ABL-ADMIT", "admission control under overload")
+def test_admission_control_restores_deadlines(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {
+            "figure10 (no admission)": run(None),
+            "admission, lateness 0.0": run(0.0),
+            "admission, lateness 1.0": run(1.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report.line(f"offered {OFFERED:.0f} q/s vs ~210 q/s capacity (Table-3 mix):")
+    for name, (completed, rejected, qps, hits) in results.items():
+        report.line(
+            f"  {name:<26s} admitted {completed:>4d} rejected {rejected:>4d}   "
+            f"{qps:6.1f} q/s   hits {100 * hits:5.1f} %"
+        )
+    vanilla = results["figure10 (no admission)"]
+    strict = results["admission, lateness 0.0"]
+    # vanilla Figure 10: no rejections, deadline hits collapse
+    assert vanilla[1] == 0
+    assert vanilla[3] < 0.4
+    # strict admission: sheds ~10-15%, admitted queries meet deadlines
+    assert 0.05 * N_QUERIES < strict[1] < 0.25 * N_QUERIES
+    assert strict[3] > 0.9
+    # and completed throughput does not drop (it improves: no wasted
+    # work on hopeless queries)
+    assert strict[2] >= vanilla[2]
+
+
+@pytest.mark.experiment("ABL-ADMIT-bias", "admission cannot fix biased estimates")
+def test_admission_does_not_fix_biased_models(benchmark, report):
+    """Admission judges by the same estimates the scheduler uses: when
+    the models are 40 % optimistic, queries look admittable and still
+    blow their deadlines.  Shedding helps against overload, calibration
+    (or feedback on the estimates themselves) against bias."""
+    from dataclasses import replace
+
+    def run_biased(with_admission: bool):
+        kwargs = {}
+        if with_admission:
+            kwargs["scheduler_factory"] = functools.partial(
+                AdmissionControlScheduler, lateness_factor=0.0
+            )
+        config = replace(
+            paper_system_config(threads=8, include_32gb=True, **kwargs),
+            noise_bias=1.4,
+            noise_sigma=0.25,
+        )
+        workload = paper_workload(
+            include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=42
+        )
+        stream = workload.generate(1200, ArrivalProcess("uniform", rate=170.0))
+        rep = HybridSystem(config).run(stream)
+        return rep.deadline_hit_rate, rep.rejected
+
+    with_adm = benchmark.pedantic(run_biased, args=(True,), rounds=1, iterations=1)
+    without = run_biased(False)
+    report.row("hits, biased, no admission", "-", f"{100 * without[0]:.1f} %")
+    report.row("hits, biased, admission", "-", f"{100 * with_adm[0]:.1f} %")
+    # admission barely moves the needle under bias: both stay low
+    assert abs(with_adm[0] - without[0]) < 0.25
+    assert with_adm[0] < 0.6

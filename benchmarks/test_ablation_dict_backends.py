@@ -1,0 +1,100 @@
+"""ABL-DICT — ablation: dictionary search backends.
+
+The paper's translation cost is linear in dictionary length (eq. 17 —
+a scan) and the conclusion promises *"a more sophisticated translation
+algorithm in our future implementation"*.  This ablation implements that
+future work: it measures real lookup costs for the linear-scan, sorted-
+array (binary search), hash and trie backends across dictionary sizes,
+plus a per-column-vs-global-dictionary comparison (the paper argues per-
+column dictionaries give tighter time estimates).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.relational.generator import make_vocabulary
+from repro.text.dictionary import BACKENDS, ColumnDictionary
+
+SIZES = (1_000, 4_000, 16_000)
+PROBES = 200
+
+
+def measure_backend(backend: str, sizes=SIZES, seed: int = 11) -> dict[int, float]:
+    rng = np.random.default_rng(seed)
+    out = {}
+    for size in sizes:
+        vocab = make_vocabulary(size, rng)
+        d = ColumnDictionary("bench", vocab, backend=backend)
+        targets = [vocab[int(i)] for i in rng.integers(0, size, PROBES)]
+        start = time.perf_counter()
+        for t in targets:
+            d.encode(t)
+        out[size] = (time.perf_counter() - start) / PROBES
+    return out
+
+
+@pytest.mark.experiment("ABL-DICT", "dictionary backend ablation")
+def test_backend_scaling(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {b: measure_backend(b) for b in sorted(BACKENDS)},
+        rounds=1,
+        iterations=1,
+    )
+    report.line("mean lookup time [us] by dictionary length:")
+    header = "  " + " ".join(f"{s:>10d}" for s in SIZES)
+    report.line(f"  {'backend':<8s}{header}")
+    for backend, series in results.items():
+        row = " ".join(f"{series[s] * 1e6:10.2f}" for s in SIZES)
+        report.line(f"  {backend:<8s}  {row}")
+
+    linear = results["linear"]
+    # the scan's cost grows strongly with D_L ...
+    assert linear[SIZES[-1]] / linear[SIZES[0]] > 4.0
+    # ... while hash and trie stay flat-ish
+    for backend in ("hash", "trie"):
+        series = results[backend]
+        assert series[SIZES[-1]] / series[SIZES[0]] < 4.0
+    # at the largest size every smarter backend beats the scan soundly
+    for backend in ("hash", "sorted", "trie"):
+        assert results[backend][SIZES[-1]] < 0.25 * linear[SIZES[-1]]
+
+
+@pytest.mark.experiment("ABL-DICT-percolumn", "per-column vs one global dictionary")
+def test_per_column_vs_global(benchmark, report):
+    """Section III-F's design argument: smaller per-column dictionaries
+    give smaller and more predictable search times than one big
+    dictionary over all text columns."""
+
+    def measure():
+        rng = np.random.default_rng(12)
+        col_sizes = (500, 2_000, 8_000)
+        vocabs = [make_vocabulary(s, rng, prefix=f"c{i}") for i, s in enumerate(col_sizes)]
+        per_column = [
+            ColumnDictionary(f"col{i}", v, backend="linear")
+            for i, v in enumerate(vocabs)
+        ]
+        global_vocab = [t for v in vocabs for t in v]
+        rng.shuffle(global_vocab)  # real global dictionaries interleave columns
+        global_dict = ColumnDictionary("global", global_vocab, backend="linear")
+
+        def probe(d, vocab):
+            targets = [vocab[int(i)] for i in rng.integers(0, len(vocab), 100)]
+            start = time.perf_counter()
+            for t in targets:
+                d.encode(t)
+            return (time.perf_counter() - start) / 100
+
+        per_col_times = [probe(d, v) for d, v in zip(per_column, vocabs)]
+        global_times = [probe(global_dict, v) for v in vocabs]
+        return per_col_times, global_times
+
+    per_col, global_ = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report.line("mean lookup time [us]: per-column vs global dictionary")
+    for i, (p, g) in enumerate(zip(per_col, global_)):
+        report.line(f"  column {i}: per-column {p * 1e6:8.1f}   global {g * 1e6:8.1f}")
+    # every column is at least as fast against its own dictionary, and
+    # the small columns dramatically so (the estimation-precision claim)
+    assert per_col[0] < 0.5 * global_[0]
+    assert sum(per_col) < sum(global_)

@@ -1,0 +1,70 @@
+"""ABL-PART — ablation: GPU partitioning schemes.
+
+The paper fixes six partitions (2x1 + 2x2 + 2x4 SM) and claims the
+split was *"optimized for the Tesla C2070"*.  This ablation compares it
+against a monolithic 14-SM device (one query at a time, eq. 15) and a
+uniform 7x2 split under the Table-3 GPU-bound load.
+
+Expected shape: with per-query dispatch overhead dominating, more
+partitions mean more concurrency — the monolithic device serialises and
+loses; the paper's mixed split and the uniform split land close, with
+the mixed split better on deadline hits for heterogeneous queries.
+"""
+
+import functools
+
+import pytest
+
+from repro.gpu.partitioning import PartitionScheme, monolithic_scheme, paper_partition_scheme
+from repro.paper import gpu_only_config, paper_workload
+from repro.query.workload import ArrivalProcess
+from repro.sim import HybridSystem
+
+N_QUERIES = 1500
+
+SCHEMES = {
+    "paper 1/1/2/2/4/4": paper_partition_scheme(),
+    "monolithic 14": monolithic_scheme(14),
+    "uniform 7x2": PartitionScheme([2] * 7),
+    "uniform 2x7": PartitionScheme([7, 7]),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def run_scheme(name: str) -> tuple[float, float]:
+    base = gpu_only_config()
+    from dataclasses import replace
+
+    config = replace(base, scheme=SCHEMES[name])
+    workload = paper_workload(include_32gb=True, text_prob=0.0, seed=42)
+    report = HybridSystem(config).run(workload.generate(N_QUERIES))
+    return report.queries_per_second, report.deadline_hit_rate
+
+
+@pytest.mark.experiment("ABL-PART", "GPU partition scheme ablation (GPU-only load)")
+def test_partition_scheme_ablation(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {name: run_scheme(name) for name in SCHEMES},
+        rounds=1,
+        iterations=1,
+    )
+    for name, (qps, hits) in sorted(results.items(), key=lambda kv: -kv[1][0]):
+        report.line(f"  {name:<18s} {qps:7.1f} q/s   deadline hits {100 * hits:5.1f} %")
+
+    paper_qps = results["paper 1/1/2/2/4/4"][0]
+    mono_qps = results["monolithic 14"][0]
+    best_name, (best, _) = max(results.items(), key=lambda kv: kv[1][0])
+    report.line()
+    report.line(
+        f"  finding: {best_name} wins on raw throughput — with per-query "
+        "dispatch overhead dominating, partition count matters more than "
+        "partition size; the paper's mixed split trades a little throughput "
+        "for size diversity (fast partitions for expensive queries)."
+    )
+    # concurrency beats serialisation when dispatch overhead dominates:
+    # the partitioned device sustains a multiple of the monolithic rate
+    assert paper_qps > 2.0 * mono_qps
+    # 6 partitions also clearly beat 2 large ones
+    assert paper_qps > results["uniform 2x7"][0]
+    # the paper's split stays in the same league as the best uniform split
+    assert paper_qps > 0.75 * best

@@ -1,0 +1,74 @@
+"""ABL-TRANS — ablation: parallelising the translation partition.
+
+The paper's conclusion: *"The translation slows down the GPU processing
+by 7% ... In our future work we minimize this effect by using advanced
+translation mechanism."*  This ablation implements and quantifies that
+future work along both axes:
+
+1. **more translation workers** — parallel service units on the
+   preprocessing partition (fluid model);
+2. **a better dictionary structure** — eq. 17's linear-scan cost
+   replaced by a hash-dictionary cost model (measured per-lookup cost
+   independent of D_L).
+
+Expected shape: one worker with the scan dictionary is translation-bound
+(the paper's 64 q/s); either fix alone recovers the no-translation rate.
+"""
+
+import functools
+from dataclasses import replace
+
+import pytest
+
+from repro.core.perfmodel import DictPerfModel
+from repro.paper import gpu_only_config, paper_workload
+from repro.sim import HybridSystem
+
+N_QUERIES = 1500
+
+#: a hash dictionary costs ~1 us per lookup regardless of D_L; expressed
+#: against the 1.13M-entry dictionary as an equivalent per-entry cost
+HASH_DICT_MODEL = DictPerfModel(cost_per_entry=1e-6 / 1_130_000)
+
+
+@functools.lru_cache(maxsize=None)
+def run_variant(workers: int, fast_dict: bool, translation: bool) -> float:
+    config = gpu_only_config()
+    config = replace(config, translation_workers=workers)
+    if fast_dict:
+        config = replace(config, dict_model=HASH_DICT_MODEL)
+    workload = paper_workload(
+        include_32gb=True, text_prob=1.0, text_as_codes=not translation, seed=42
+    )
+    report = HybridSystem(config).run(workload.generate(N_QUERIES))
+    return report.queries_per_second
+
+
+@pytest.mark.experiment("ABL-TRANS", "removing the 7% translation overhead")
+def test_translation_overhead_fixes(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {
+            "paper (1 worker, scan dict)": run_variant(1, False, True),
+            "2 workers, scan dict": run_variant(2, False, True),
+            "4 workers, scan dict": run_variant(4, False, True),
+            "1 worker, hash dict": run_variant(1, True, True),
+            "no translation (ceiling)": run_variant(1, False, False),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    ceiling = results["no translation (ceiling)"]
+    for name, qps in results.items():
+        gap = 100 * (1 - qps / ceiling)
+        report.line(f"  {name:<28s} {qps:6.1f} q/s   gap to ceiling {gap:5.1f} %")
+
+    paper_rate = results["paper (1 worker, scan dict)"]
+    # the paper's configuration pays the documented single-digit percent
+    assert 0.02 < 1 - paper_rate / ceiling < 0.15
+    # either fix recovers the ceiling to within 2%
+    assert results["2 workers, scan dict"] == pytest.approx(ceiling, rel=0.02)
+    assert results["1 worker, hash dict"] == pytest.approx(ceiling, rel=0.02)
+    # extra workers beyond 2 buy nothing (the GPU is then the bottleneck)
+    assert results["4 workers, scan dict"] == pytest.approx(
+        results["2 workers, scan dict"], rel=0.02
+    )

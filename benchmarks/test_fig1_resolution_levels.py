@@ -1,0 +1,58 @@
+"""FIG1 — Figure 1 (conceptual): cube size vs resolution; levels M and G.
+
+The figure motivates the whole hybrid design: cube size grows
+geometrically with resolution until it no longer fits in main memory
+(level M); somewhere below that, the GPU answers raw-table queries as
+fast as the CPU processes the cube (level G).  Reproduction: compute the
+pyramid size law for the Section-IV configuration and locate both
+levels with the published models.
+"""
+
+import pytest
+
+from repro.core.perfmodel import XEON_X5667_8T
+from repro.gpu.timing import TESLA_C2070_TIMING
+from repro.paper import paper_pyramid
+from repro.units import GB, bytes_to_mb, fmt_bytes
+
+
+@pytest.mark.experiment("FIG1", "cube resolution vs size; levels M and G")
+def test_fig1_levels(benchmark, report):
+    pyramid = benchmark.pedantic(paper_pyramid, rounds=1, iterations=1)
+
+    report.line("pyramid size law (3 dims, cardinality x5 per level step):")
+    for level in pyramid.levels:
+        report.line(
+            f"  resolution {max(level.resolutions)}: "
+            f"{fmt_bytes(pyramid.level_nbytes(level))}"
+        )
+
+    # geometric growth: each refinement step multiplies the volume by
+    # fanout^3 (fan-outs 5/10/4 -> ratios 125x / 1000x / 64x)
+    sizes = [pyramid.level_nbytes(l) for l in pyramid.levels]
+    for a, b in zip(sizes, sizes[1:]):
+        assert b / a >= 50.0
+
+    # level M for the paper's 94 GB host: the 32 GB cube still fits
+    m94 = pyramid.level_m(94 * GB)
+    report.row("level M (94 GB host)", "~32 GB cube", fmt_bytes(pyramid.level_nbytes(m94)))
+    assert max(m94.resolutions) == 3
+
+    # level M for an 8 GB host: only up to the ~500 MB cube
+    m8 = pyramid.level_m(8 * GB)
+    report.row("level M (8 GB host)", "~500 MB cube", fmt_bytes(pyramid.level_nbytes(m8)))
+    assert max(m8.resolutions) == 2
+
+    # level G: where CPU full-cube processing time crosses the GPU's
+    # typical query time (eq. 15, 14-SM, ~20% of columns)
+    gpu_time = TESLA_C2070_TIMING.query_time(0.2, 14)
+    g = pyramid.level_g(lambda mb: XEON_X5667_8T.time(mb), gpu_time)
+    report.row(
+        "level G (8T CPU vs 14-SM GPU)",
+        "between 500 KB and 500 MB",
+        fmt_bytes(pyramid.level_nbytes(g)) if g else "none",
+    )
+    assert g is not None
+    # the equilibrium falls strictly below the memory limit: the gap
+    # between G and M is exactly the region the GPU accelerates
+    assert pyramid.level_nbytes(g) < pyramid.level_nbytes(m94)

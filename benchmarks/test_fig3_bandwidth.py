@@ -1,0 +1,78 @@
+"""FIG3 — Figure 3: memory bandwidth of multithreaded cube processing.
+
+Paper (dual Xeon X5667): ~1 GB/s for the legacy single-threaded code,
+~5 GB/s for the improved single-threaded code, 15-20 GB/s for the
+OpenMP version at 128 MB+ cubes.  Absolute numbers are machine-bound;
+the reproduced *shape* is (a) bandwidth per thread count becomes flat
+(streaming regime) as cube size grows, and (b) the published model's
+bandwidth curve matches the published rates.
+
+Two data series are produced: a real measured sweep on this machine
+(repro.olap.bandwidth), and the paper-model curve evaluated from
+eq. 7/10 — both recorded in the results file.
+"""
+
+import pytest
+
+from repro.core.perfmodel import XEON_X5667_4T, XEON_X5667_8T, XEON_X5667_1T_LEGACY
+from repro.olap.bandwidth import run_bandwidth_sweep
+
+PAPER_SIZES_MB = (1, 8, 64, 128, 512, 2048, 8192, 32768)
+
+
+@pytest.mark.experiment("FIG3-model", "bandwidth curves from the published models")
+def test_fig3_model_curves(benchmark, report):
+    def curves():
+        out = {}
+        for label, model in [
+            ("1T legacy", XEON_X5667_1T_LEGACY),
+            ("4T OpenMP", XEON_X5667_4T),
+            ("8T OpenMP", XEON_X5667_8T),
+        ]:
+            out[label] = [(mb, model.bandwidth_gbps(mb)) for mb in PAPER_SIZES_MB]
+        return out
+
+    data = benchmark.pedantic(curves, rounds=1, iterations=1)
+    report.line("bandwidth [GB/s] by sub-cube size [MB]:")
+    for label, series in data.items():
+        row = "  ".join(f"{mb}MB:{bw:5.1f}" for mb, bw in series)
+        report.line(f"  {label:<10s} {row}")
+    from repro.report import ascii_plot
+
+    report.line()
+    report.line(
+        ascii_plot(data, logx=True, xlabel="SC_size [MB]", ylabel="GB/s")
+    )
+
+    # paper claims: legacy ~1 GB/s flat
+    for _, bw in data["1T legacy"]:
+        assert bw == pytest.approx(1.0, rel=1e-6)
+    # 15-20 GB/s for the parallel version at 128 MB and beyond
+    big_8t = [bw for mb, bw in data["8T OpenMP"] if mb >= 128]
+    assert all(14.0 < bw < 27.0 for bw in big_8t)
+    big_4t = [bw for mb, bw in data["4T OpenMP"] if mb >= 128]
+    assert all(12.0 < bw < 22.0 for bw in big_4t)
+    # 8T >= 4T >> 1T in the streaming regime
+    assert data["8T OpenMP"][-1][1] > data["4T OpenMP"][-1][1] > 1.0
+
+
+@pytest.mark.experiment("FIG3-measured", "bandwidth sweep measured on this machine")
+def test_fig3_measured_sweep(benchmark, report):
+    sweep = benchmark.pedantic(
+        run_bandwidth_sweep,
+        kwargs=dict(sizes_mb=(1, 2, 4, 8, 16, 32, 64, 128), thread_counts=(1, 2, 4), repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    report.line("measured on this machine (absolute numbers differ from the paper):")
+    for t in sweep.thread_counts:
+        row = "  ".join(
+            f"{p.size_mb:.0f}MB:{p.gbps:5.1f}" for p in sweep.for_threads(t)
+        )
+        report.line(f"  {t}T  {row}")
+    # shape: times grow monotonically-ish with size for each thread count
+    for t in sweep.thread_counts:
+        times = sweep.times(t)
+        assert times[-1] > times[0]
+    # all bandwidths positive and finite
+    assert all(p.gbps > 0 for p in sweep.points)

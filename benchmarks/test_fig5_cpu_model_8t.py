@@ -1,0 +1,52 @@
+"""FIG5 — Figure 5: processing time vs sub-cube size, 8 OpenMP threads.
+
+Same pipeline as FIG4 for eq. 10:
+
+    f_A|8T = 6e-5 * SC^0.984         (SC < 512 MB)
+    f_B|8T = 4e-5 * SC + 0.0146      (SC > 512 MB)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import fit_piecewise_cpu
+from repro.core.perfmodel import XEON_X5667_4T, XEON_X5667_8T
+
+SIZES_MB = np.array(
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768],
+    dtype=float,
+)
+
+
+def sweep_and_fit(noise_sigma: float = 0.02, seed: int = 8):
+    rng = np.random.default_rng(seed)
+    times = np.array([XEON_X5667_8T.time(mb) for mb in SIZES_MB])
+    noisy = times * rng.lognormal(0.0, noise_sigma, size=len(times))
+    return fit_piecewise_cpu(SIZES_MB, noisy, threads=8, min_r2=0.98)
+
+
+@pytest.mark.experiment("FIG5", "CPU model fit, 8 threads (eq. 10)")
+def test_fig5_fit_recovers_eq10(benchmark, report):
+    model = benchmark.pedantic(sweep_and_fit, rounds=1, iterations=1)
+    fa = model.model.below
+    fb = model.model.above
+    report.row("f_A coefficient a", "6.0e-5", f"{fa.a:.2e}")
+    report.row("f_A exponent p", "0.984", f"{fa.p:.4f}")
+    report.row("f_B slope", "4.0e-5", f"{fb.a:.2e}")
+    report.row("f_B intercept", "0.0146", f"{fb.b:.4f}")
+    assert fa.p == pytest.approx(0.984, abs=0.05)
+    assert fb.a == pytest.approx(4e-5, rel=0.10)
+    for mb in SIZES_MB:
+        if mb == 512:
+            continue
+        assert model.time(mb) == pytest.approx(XEON_X5667_8T.time(mb), rel=0.15)
+
+
+@pytest.mark.experiment("FIG5-vs-FIG4", "8T beats 4T in the streaming regime")
+def test_fig5_dominates_fig4_at_scale(benchmark, report):
+    model8 = benchmark.pedantic(sweep_and_fit, rounds=1, iterations=1)
+    for mb in (1024, 8192, 32768):
+        t4 = XEON_X5667_4T.time(mb)
+        t8 = model8.time(mb)
+        report.row(f"T({mb} MB): 8T vs 4T", f"{t4 * 1e3:.0f} ms (4T)", f"{t8 * 1e3:.0f} ms")
+        assert t8 < t4

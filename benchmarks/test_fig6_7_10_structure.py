@@ -1,0 +1,126 @@
+"""FIG6 / FIG7 / FIG10 — structural figures verified against the code.
+
+These figures are diagrams, not measurements; their reproduction is the
+*code structure itself*.  Each test verifies the implemented structure
+matches the figure and records the realised layout in the results file:
+
+- Figure 6 — GPU memory organisation: one 1-D buffer, columns packed
+  one after another, per-level dimension columns then data columns;
+- Figure 7 — the partition block diagram: six GPU partitions, one CPU
+  processing partition, one translation partition;
+- Figure 10 — the scheduling algorithm: a traced run showing each step
+  (deadline, estimates, P_BD, placement) behaving per the pseudocode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import QueueKind
+from repro.gpu.partitioning import paper_partition_scheme
+from repro.relational import generate_dataset, tpcds_like_schema
+
+
+@pytest.mark.experiment("FIG6", "1-D packed column layout of the GPU table")
+def test_fig6_packed_layout(benchmark, report):
+    schema = tpcds_like_schema(scale=0.3)
+    table = generate_dataset(schema, num_rows=5_000, seed=6).table
+
+    packed, offsets = benchmark.pedantic(
+        lambda: (table.packed(), table.column_offsets()), rounds=1, iterations=1
+    )
+    # a single contiguous 1-D buffer of exactly the table payload
+    assert packed.ndim == 1
+    assert packed.nbytes == table.nbytes
+    # columns laid out one after another, in schema order
+    names = [c.name for c in schema.columns]
+    report.line("column offsets in the 1-D buffer (Figure 6 layout):")
+    prev_end = 0
+    for name in names:
+        start = offsets[name]
+        assert start == prev_end  # no gaps, no reordering
+        prev_end = start + table.column_nbytes(name)
+        report.line(f"  {name:<18s} @ {start:>10,d}")
+    assert prev_end == packed.nbytes
+    # every column is recoverable from the flat buffer
+    col = table.column("quantity")
+    start = offsets["quantity"]
+    recovered = packed[start : start + col.nbytes].view(col.dtype)
+    assert np.array_equal(recovered, col)
+
+
+@pytest.mark.experiment("FIG7", "partition block diagram")
+def test_fig7_partition_diagram(benchmark, report):
+    scheme = benchmark.pedantic(paper_partition_scheme, rounds=1, iterations=1)
+    report.line("GPU partitions (Figure 7): " + ", ".join(str(p) for p in scheme))
+    report.line("CPU partitions: processing (Q_CPU) + translation (Q_TRANS)")
+    assert [p.n_sm for p in scheme] == [1, 1, 2, 2, 4, 4]
+    assert scheme.total_sms == 14
+    # the system instantiates exactly the figure's queue set
+    from repro.paper import paper_system_config, paper_workload
+    from repro.sim import HybridSystem
+
+    config = paper_system_config(threads=8)
+    system = HybridSystem(config)
+    run_report = system.run(paper_workload(include_32gb=True, seed=1).generate(50))
+    queues = set(run_report.utilisations)
+    assert queues == {
+        "Q_CPU", "Q_TRANS", "Q_G1", "Q_G2", "Q_G3", "Q_G4", "Q_G5", "Q_G6",
+    }
+
+
+@pytest.mark.experiment("FIG10", "scheduling algorithm trace")
+def test_fig10_traced_run(benchmark, report):
+    """Trace five scheduling decisions and verify each against the
+    pseudocode's steps."""
+    from repro.core.partitions import PartitionQueue
+    from repro.core.scheduler import HybridScheduler, QueryEstimates
+    from repro.query.model import Query
+
+    class ScriptedEstimator:
+        def __init__(self):
+            self.script = [
+                # (t_cpu, gpu times, t_trans): crafted to hit each branch
+                (0.001, {1: 0.030, 2: 0.015, 4: 0.008}, 0.0),  # step 5 CPU
+                (0.050, {1: 0.030, 2: 0.015, 4: 0.008}, 0.0),  # step 5 GPU slowest
+                (None, {1: 0.030, 2: 0.015, 4: 0.008}, 0.01),  # no cube -> GPU + trans
+                (9.000, {1: 8.0, 2: 7.0, 4: 6.0}, 0.0),        # step 6 fallback
+                (0.001, {1: 0.030, 2: 0.015, 4: 0.008}, 0.02), # CPU; no translation
+            ]
+            self.i = 0
+
+        def estimate(self, query):
+            t_cpu, t_gpu, t_trans = self.script[self.i % len(self.script)]
+            self.i += 1
+            return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
+
+    def run_trace():
+        cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+        gpu_qs = [
+            PartitionQueue(f"Q_G{i + 1}", QueueKind.GPU, n_sm=n)
+            for i, n in enumerate([1, 1, 2, 2, 4, 4])
+        ]
+        scheduler = HybridScheduler(cpu_q, gpu_qs, trans_q, ScriptedEstimator(), 0.5)
+        decisions = [
+            scheduler.schedule(Query(conditions=(), measures=("v",)), now=0.0)
+            for _ in range(5)
+        ]
+        return decisions
+
+    decisions = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    expectations = [
+        ("Q_CPU", False, True, "step 5: CPU in P_BD and T_CPU < T_GPU3"),
+        ("Q_G1", False, True, "step 5: slowest GPU partition in P_BD"),
+        ("Q_G1", True, True, "no cube: GPU mandatory, translation queued"),
+        ("Q_G5", False, False, "step 6: min |T_D - T_R| (6 s on 4-SM class)"),
+        ("Q_CPU", False, True, "CPU path: no translation needed (III-F)"),
+    ]
+    for d, (target, translated, meets, note) in zip(decisions, expectations):
+        report.line(
+            f"  Q#{d.query.query_id}: -> {d.target.name:<6s} "
+            f"trans={'y' if d.translation else 'n'} "
+            f"deadline={'met' if d.meets_deadline else 'MISS'}   ({note})"
+        )
+        assert d.target.name == target, note
+        assert (d.translation is not None) == translated, note
+        assert d.meets_deadline == meets, note

@@ -1,0 +1,111 @@
+"""FIG8 — Figure 8: Tesla C2070 query time by partition size and columns.
+
+Paper: query time grows linearly with the number of searched columns,
+for 1-, 2- and 4-SM partitions over a 4 GB resident table, giving the
+eq.-14 fits.  Reproduction: execute real (scaled) column-scan kernels on
+the simulated device across the column sweep, time them through the
+device's physical bandwidth model, fit per-SM lines with the
+calibration pipeline, and compare the *structure* with eq. 14 (linear
+in columns; time ~ inversely proportional to SM count).  The published
+coefficients themselves are also verified directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import fit_gpu_timing
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.timing import BandwidthTiming, TESLA_C2070_TIMING
+from repro.query.model import Condition, Query, decompose
+from repro.relational import generate_dataset, tpcds_like_schema
+from repro.units import GB
+
+SM_COUNTS = (1, 2, 4)
+
+
+def column_sweep_times():
+    """Measured (simulated-time) query times across a column sweep."""
+    schema = tpcds_like_schema(scale=0.5)
+    dataset = generate_dataset(schema, num_rows=50_000, seed=8)
+    device = SimulatedGPU(
+        global_memory_bytes=GB,
+        timing=BandwidthTiming(table_nbytes=4 * GB, launch_overhead=2e-3),
+    )
+    device.load_table(dataset.table)
+
+    dims = schema.dimensions
+    sweeps: dict[int, tuple[list[float], list[float]]] = {}
+    # queries touching 1..6 columns: add conditions/measures stepwise
+    queries = []
+    conds = []
+    for k, (dim, res) in enumerate(
+        [(dims[0], 1), (dims[1], 1), (dims[2], 1), (dims[0], 2)][:3]
+    ):
+        conds.append(Condition(dim.name, res, lo=0, hi=2))
+        for n_meas in (1, 2):
+            queries.append(
+                Query(
+                    conditions=tuple(conds),
+                    measures=tuple(schema.measures[:n_meas]),
+                )
+            )
+    for n_sm in SM_COUNTS:
+        fracs, times = [], []
+        for q in queries:
+            d = decompose(q, schema.hierarchies)
+            execution = device.execute(d, n_sm)
+            fracs.append(execution.column_fraction)
+            times.append(execution.simulated_time)
+        sweeps[n_sm] = (fracs, times)
+    return sweeps
+
+
+@pytest.mark.experiment("FIG8", "GPU partition timing fits (eq. 14)")
+def test_fig8_published_fits(benchmark, report):
+    fracs = np.linspace(0.1, 1.0, 10)
+
+    def published_sweep():
+        return {
+            n_sm: (list(fracs), [TESLA_C2070_TIMING.query_time(f, n_sm) for f in fracs])
+            for n_sm in SM_COUNTS
+        }
+
+    data = benchmark.pedantic(published_sweep, rounds=1, iterations=1)
+    fitted = fit_gpu_timing(data, min_r2=0.999)
+    from repro.report import ascii_plot
+
+    report.line(
+        ascii_plot(
+            {
+                f"{n}SM": list(zip(data[n][0], data[n][1]))
+                for n in SM_COUNTS
+            },
+            xlabel="C/C_tot",
+            ylabel="T_GPU [s]",
+        )
+    )
+    report.line()
+    expected = {1: (0.0030, 0.0258), 2: (0.0015, 0.0130), 4: (0.0008, 0.0065)}
+    for n_sm, (slope, intercept) in expected.items():
+        got_slope, got_int = fitted.coefficients[n_sm]
+        report.row(f"{n_sm}SM slope", f"{slope:.4f}", f"{got_slope:.4f}")
+        report.row(f"{n_sm}SM intercept", f"{intercept:.4f}", f"{got_int:.4f}")
+        assert got_slope == pytest.approx(slope, rel=1e-6)
+        assert got_int == pytest.approx(intercept, rel=1e-6)
+
+
+@pytest.mark.experiment("FIG8-device", "simulated device reproduces the shape")
+def test_fig8_simulated_device_shape(benchmark, report):
+    sweeps = benchmark.pedantic(column_sweep_times, rounds=1, iterations=1)
+    fitted = fit_gpu_timing(sweeps, min_r2=0.95)
+    report.line("linear fits from the simulated device (4 GB table):")
+    for n_sm in SM_COUNTS:
+        slope, intercept = fitted.coefficients[n_sm]
+        report.row(f"{n_sm}SM", "linear in C/C_tot", f"{slope:.4f}*x + {intercept:.4f}")
+    # time decreases with SM count at fixed column fraction
+    t = {n: fitted.query_time(0.5, n) for n in SM_COUNTS}
+    assert t[1] > t[2] > t[4]
+    # near-inverse-SM scaling of the slope (bandwidth-bound scan)
+    s1 = fitted.coefficients[1][0]
+    s4 = fitted.coefficients[4][0]
+    assert s1 / s4 == pytest.approx(4.0, rel=0.25)

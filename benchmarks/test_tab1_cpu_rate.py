@@ -1,0 +1,50 @@
+"""TAB1 — Table 1: CPU-only processing rate, cubes {~500 MB, ~500 KB, ~4 KB}.
+
+Paper: 12 / 87 / 110 queries per second for the sequential, 4-thread and
+8-thread implementations.  Reproduced with the Section-IV system model
+on the published performance functions (eq. 7/10 + legacy 1 GB/s) and
+the reverse-engineered workload mix (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.paper import cpu_only_config, paper_workload
+from repro.sim import HybridSystem
+
+PAPER_RATES = {1: 12.0, 4: 87.0, 8: 110.0}
+N_QUERIES = 2000
+
+
+def run_table1(threads: int) -> float:
+    config = cpu_only_config(threads=threads, include_32gb=False)
+    workload = paper_workload(include_500mb=True, include_32gb=False, seed=42)
+    report = HybridSystem(config).run(workload.generate(N_QUERIES))
+    return report.queries_per_second
+
+
+@pytest.mark.experiment("TAB1", "CPU-only rate, cubes 500MB/500KB/4KB")
+@pytest.mark.parametrize("threads", [1, 4, 8])
+def test_table1_cpu_rate(benchmark, report, threads):
+    rate = benchmark.pedantic(run_table1, args=(threads,), rounds=1, iterations=1)
+    report.row(f"{threads} thread(s)", f"{PAPER_RATES[threads]:.0f} q/s", f"{rate:.1f} q/s")
+    benchmark.extra_info["paper_qps"] = PAPER_RATES[threads]
+    benchmark.extra_info["measured_qps"] = rate
+    # shape: within 20% of the published rate
+    assert rate == pytest.approx(PAPER_RATES[threads], rel=0.20)
+
+
+@pytest.mark.experiment("TAB1-shape", "Table 1 ordering and speedups")
+def test_table1_shape(benchmark, report):
+    rates = benchmark.pedantic(
+        lambda: {t: run_table1(t) for t in (1, 4, 8)}, rounds=1, iterations=1
+    )
+    report.row("sequential", "12 q/s", f"{rates[1]:.1f} q/s")
+    report.row("OpenMP 4T", "87 q/s", f"{rates[4]:.1f} q/s")
+    report.row("OpenMP 8T", "110 q/s", f"{rates[8]:.1f} q/s")
+    report.row("4T/1T speedup", f"{87 / 12:.1f}x", f"{rates[4] / rates[1]:.1f}x")
+    report.row("8T/1T speedup", f"{110 / 12:.1f}x", f"{rates[8] / rates[1]:.1f}x")
+    # the paper's ordering must hold
+    assert rates[1] < rates[4] < rates[8]
+    # parallelisation wins by a large factor (paper: 7.3x / 9.2x)
+    assert rates[4] / rates[1] > 5.0
+    assert rates[8] / rates[1] > 7.0

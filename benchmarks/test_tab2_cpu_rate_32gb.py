@@ -1,0 +1,44 @@
+"""TAB2 — Table 2: CPU-only rate with the ~32 GB cube in the pyramid.
+
+Paper: 9 / 11 queries per second for 4 / 8 OpenMP threads.  The
+headline capability claim: *"the CPU partition is now able to process
+OLAP cubes of size 32 GB at rate of 11 queries per second"*.
+"""
+
+import pytest
+
+from repro.paper import cpu_only_config, paper_workload
+from repro.sim import HybridSystem
+
+PAPER_RATES = {4: 9.0, 8: 11.0}
+N_QUERIES = 1500
+
+
+def run_table2(threads: int) -> float:
+    config = cpu_only_config(threads=threads, include_32gb=True)
+    workload = paper_workload(include_32gb=True, seed=42)
+    report = HybridSystem(config).run(workload.generate(N_QUERIES))
+    return report.queries_per_second
+
+
+@pytest.mark.experiment("TAB2", "CPU-only rate incl. ~32 GB cube")
+@pytest.mark.parametrize("threads", [4, 8])
+def test_table2_cpu_rate(benchmark, report, threads):
+    rate = benchmark.pedantic(run_table2, args=(threads,), rounds=1, iterations=1)
+    report.row(f"OpenMP {threads}T", f"{PAPER_RATES[threads]:.0f} q/s", f"{rate:.1f} q/s")
+    benchmark.extra_info["paper_qps"] = PAPER_RATES[threads]
+    benchmark.extra_info["measured_qps"] = rate
+    assert rate == pytest.approx(PAPER_RATES[threads], rel=0.20)
+
+
+@pytest.mark.experiment("TAB2-shape", "Table 2 ordering")
+def test_table2_shape(benchmark, report):
+    rates = benchmark.pedantic(
+        lambda: {t: run_table2(t) for t in (4, 8)}, rounds=1, iterations=1
+    )
+    report.row("4T", "9 q/s", f"{rates[4]:.1f} q/s")
+    report.row("8T", "11 q/s", f"{rates[8]:.1f} q/s")
+    assert rates[4] < rates[8]
+    # adding the 32 GB cube slows the CPU partition by roughly 10x
+    # relative to Table 1 (87 -> 9, 110 -> 11)
+    assert rates[8] < 20.0

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Calibration workflow: from benchmarks to scheduler-ready models.
+
+The paper's scheduler runs entirely on *measured* estimation functions
+(Section III-G).  This example reproduces the full calibration pipeline
+on this machine:
+
+1. sweep cube-processing times (the Figures 4/5 benchmark) and fit the
+   eq.-4 piecewise CPU model;
+2. sweep the simulated GPU across column fractions and SM counts (the
+   Figure-8 benchmark) and fit the eq.-14 lines;
+3. time dictionary lookups across sizes (the Figure-9 benchmark) and
+   fit the eq.-17 cost;
+4. plug all three into a SystemConfig and run a workload — the same
+   code path the paper-preset benchmarks use, but on locally measured
+   numbers.
+
+Run:  python examples/calibration_workflow.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    CubePyramid,
+    HybridSystem,
+    QueryClass,
+    SimulatedGPU,
+    SystemConfig,
+    TranslationService,
+    WorkloadSpec,
+    build_dictionaries,
+    generate_dataset,
+    paper_partition_scheme,
+    tpcds_like_schema,
+)
+from repro.core.calibration import fit_dict_cost, fit_gpu_timing, fit_piecewise_cpu
+from repro.gpu.timing import BandwidthTiming
+from repro.olap.bandwidth import run_bandwidth_sweep
+from repro.query.model import Condition, Query, decompose
+from repro.units import GB
+
+
+def calibrate_cpu():
+    print("== 1. CPU model (Figures 4/5 pipeline) ==")
+    sweep = run_bandwidth_sweep(
+        sizes_mb=(1, 2, 4, 8, 16, 32, 64, 128), thread_counts=(1,), repeats=3
+    )
+    model = fit_piecewise_cpu(
+        sweep.sizes_mb(1), sweep.times(1), breakpoint_mb=16.0, threads=1
+    )
+    print(f"  f_A: {model.model.below}")
+    print(f"  f_B: {model.model.above}")
+    print(f"  T_CPU(64 MB) = {model.time(64.0) * 1e3:.2f} ms (measured fit)")
+    return model
+
+
+def calibrate_gpu(table, schema):
+    print("\n== 2. GPU model (Figure 8 pipeline) ==")
+    device = SimulatedGPU(
+        global_memory_bytes=GB,
+        timing=BandwidthTiming(table_nbytes=table.nbytes, launch_overhead=1e-3),
+    )
+    device.load_table(table)
+    dims = schema.dimensions
+    measurements = {}
+    for n_sm in (1, 2, 4):
+        fracs, times = [], []
+        conds = []
+        for dim in dims:
+            conds.append(Condition(dim.name, 1, lo=0, hi=2))
+            for n_meas in (1, 2, 3):
+                q = Query(
+                    conditions=tuple(conds), measures=tuple(schema.measures[:n_meas])
+                )
+                d = decompose(q, schema.hierarchies)
+                ex = device.execute(d, n_sm)
+                fracs.append(ex.column_fraction)
+                times.append(ex.simulated_time)
+        measurements[n_sm] = (fracs, times)
+    timing = fit_gpu_timing(measurements)
+    for n_sm in (1, 2, 4):
+        a, b = timing.coefficients[n_sm]
+        print(f"  P_GPU|{n_sm}SM = {a:.5f} * (C/C_tot) + {b:.5f}")
+    return device, timing
+
+
+def calibrate_dictionaries(dataset):
+    print("\n== 3. dictionary model (Figure 9 pipeline) ==")
+    from repro.text.dictionary import ColumnDictionary
+    from repro.relational.generator import make_vocabulary
+
+    rng = np.random.default_rng(3)
+    lengths, times = [], []
+    for size in (1_000, 2_000, 4_000, 8_000):
+        vocab = make_vocabulary(size, rng)
+        d = ColumnDictionary("cal", vocab, backend="linear")
+        targets = [vocab[int(i)] for i in rng.integers(0, size, 50)]
+        start = time.perf_counter()
+        for t in targets:
+            d.encode(t)
+        lengths.append(size)
+        times.append((time.perf_counter() - start) / 50)
+    model = fit_dict_cost(lengths, times)
+    print(f"  P_DICT = {model.cost_per_entry * 1e6:.4f} us * D_L "
+          f"(paper: 0.0138 us on a 2010 Xeon)")
+    return model
+
+
+def main() -> None:
+    schema = tpcds_like_schema(scale=0.5)
+    dataset = generate_dataset(schema, num_rows=50_000, seed=13)
+    table = dataset.table
+
+    cpu_model = calibrate_cpu()
+    device, gpu_timing = calibrate_gpu(table, schema)
+    dict_model = calibrate_dictionaries(dataset)
+
+    print("\n== 4. run the system on the locally calibrated models ==")
+    pyramid = CubePyramid.from_fact_table(table, "sales_price", [0, 1, 2])
+    translator = TranslationService(
+        build_dictionaries(dataset.vocabularies), schema.hierarchies
+    )
+    config = SystemConfig(
+        cpu_model=cpu_model,
+        pyramid=pyramid,
+        device=device,
+        scheme=paper_partition_scheme(),
+        dict_model=dict_model,
+        translation_service=translator,
+        time_constraint=0.25,
+    )
+    workload = WorkloadSpec(
+        schema.dimensions,
+        [
+            QueryClass("small", 0.7, resolution=1, coverage=(0.1, 0.4)),
+            QueryClass("fine", 0.3, resolution=3, coverage=(0.3, 0.9),
+                       dims_constrained=(1, 2), text_prob=0.3),
+        ],
+        measures=("sales_price",),
+        text_levels=list(schema.text_levels),
+        vocabularies=dataset.vocabularies,
+        seed=17,
+    )
+    report = HybridSystem(config).run(workload.generate(400))
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the life-cycle of a hybrid OLAP deployment:
+
+- ``generate``  — synthesise a TPC-DS-flavoured database directory
+  (fact table + vocabularies);
+- ``build``     — pre-calculate a cube pyramid for a measure and store
+  it next to the table (the database-build step of Section III-F);
+- ``query``     — answer one textual query from a database directory,
+  on the CPU cube path, the simulated GPU path, or both (cross-checked);
+- ``simulate``  — run a Section-IV experiment (table1/table2/table3/
+  gpu-only) at paper scale and print the report.
+
+Each command is a plain function over parsed arguments, so the test
+suite drives them in-process (no subprocess fixtures needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+# -- commands ------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io import save_dataset
+    from repro.relational import generate_dataset, tpcds_like_schema
+
+    schema = tpcds_like_schema(scale=args.scale)
+    dataset = generate_dataset(schema, num_rows=args.rows, seed=args.seed)
+    directory = save_dataset(dataset, args.directory)
+    print(f"wrote {dataset.table.num_rows} rows, "
+          f"{schema.total_columns} columns to {directory}")
+    for spec in schema.text_columns:
+        print(f"  text column {spec.name}: "
+              f"{len(dataset.vocabularies[spec.name])} dictionary entries")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.io import load_table, save_pyramid
+    from repro.olap import CubePyramid
+    from repro.units import fmt_bytes
+
+    table = load_table(args.directory)
+    if args.measure not in table.schema.measures:
+        raise ReproError(
+            f"unknown measure {args.measure!r}; table has {table.schema.measures}"
+        )
+    resolutions = [int(r) for r in args.resolutions.split(",")]
+    pyramid = CubePyramid.from_fact_table(table, args.measure, resolutions)
+    save_pyramid(pyramid, args.directory)
+    print(f"built pyramid for {args.measure!r}: {len(pyramid.levels)} levels, "
+          f"{fmt_bytes(pyramid.total_nbytes)}")
+    for level in pyramid.levels:
+        print(f"  resolutions {level.resolutions}: "
+              f"{fmt_bytes(pyramid.level_nbytes(level))}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.gpu import SimulatedGPU
+    from repro.io import load_dataset, load_pyramid
+    from repro.query.parser import parse_query
+    from repro.text import TranslationService, build_dictionaries
+    from repro.units import GB
+
+    dataset = load_dataset(args.directory)
+    table = dataset.table
+    hierarchies = table.schema.hierarchies
+    query = parse_query(args.query, hierarchies)
+
+    if query.needs_translation:
+        translator = TranslationService(
+            build_dictionaries(dataset.vocabularies), hierarchies
+        )
+        result = translator.translate(query)
+        query = result.query
+        print(f"translated {result.parameters_translated} text parameter(s)")
+
+    if query.group_by:
+        return _grouped_query(args, dataset, query)
+
+    answers = {}
+    if args.path in ("cpu", "both"):
+        pyramid = load_pyramid(args.directory, args.measure)
+        answers["cpu-cube"] = pyramid.answer(query)
+    if args.path in ("gpu", "both"):
+        device = SimulatedGPU(global_memory_bytes=8 * GB)
+        device.load_table(table)
+        execution = device.execute_query(query, n_sm=args.sms)
+        answers["gpu"] = execution.value
+        print(f"gpu: scanned {execution.column_fraction:.0%} of columns in "
+              f"{execution.simulated_time * 1e3:.2f} ms (simulated, {args.sms} SMs)")
+    reference = table.execute(query).value()
+    answers["reference-scan"] = reference
+
+    for path, value in answers.items():
+        print(f"  {path:<15s}: {value:,.4f}")
+    for value in answers.values():
+        if not np.isclose(value, reference, equal_nan=True):
+            print("ANSWER MISMATCH across paths", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _grouped_query(args: argparse.Namespace, dataset, query) -> int:
+    """Grouped-query branch of ``repro query``: print one row per group."""
+    import numpy as np
+
+    from repro.gpu import SimulatedGPU
+    from repro.groupby import groupby_from_table
+    from repro.units import GB
+
+    table = dataset.table
+    reference = groupby_from_table(table, query)
+    results = {"reference-scan": reference}
+    if args.path in ("gpu", "both"):
+        device = SimulatedGPU(global_memory_bytes=8 * GB)
+        device.load_table(table)
+        gpu_result, elapsed = device.execute_groupby(query, n_sm=args.sms)
+        results["gpu"] = gpu_result
+        print(f"gpu: {elapsed * 1e3:.2f} ms (simulated, {args.sms} SMs)")
+    if args.path in ("cpu", "both"):
+        from repro.io import load_pyramid
+
+        pyramid = load_pyramid(args.directory, args.measure)
+        results["cpu-cube"] = pyramid.answer_grouped(query)
+
+    labels = ", ".join(f"{dim}@{res}" for dim, res in query.group_by)
+    print(f"groups by ({labels}):")
+    for coords, value in sorted(reference.cells.items())[: args.limit]:
+        print(f"  {coords}: {value:,.4f}")
+    if reference.num_groups > args.limit:
+        print(f"  ... {reference.num_groups - args.limit} more groups")
+    for name, result in results.items():
+        if result.cells.keys() != reference.cells.keys() or any(
+            not np.isclose(result.cells[k], v, equal_nan=True)
+            for k, v in reference.cells.items()
+        ):
+            print(f"ANSWER MISMATCH on path {name}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.paper import (
+        TABLE3_TEXT_PROB,
+        cpu_only_config,
+        gpu_only_config,
+        paper_system_config,
+        paper_workload,
+    )
+    from repro.sim import HybridSystem
+    from repro.sim.capacity import max_sustainable_rate
+
+    if args.experiment == "table1":
+        config = cpu_only_config(threads=args.threads, include_32gb=False)
+        workload = paper_workload(include_32gb=False, seed=args.seed)
+    elif args.experiment == "table2":
+        config = cpu_only_config(threads=args.threads, include_32gb=True)
+        workload = paper_workload(include_32gb=True, seed=args.seed)
+    elif args.experiment == "gpu-only":
+        config = gpu_only_config()
+        workload = paper_workload(include_32gb=True, text_prob=1.0, seed=args.seed)
+    else:  # table3
+        config = paper_system_config(threads=args.threads, include_32gb=True)
+        workload = paper_workload(
+            include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=args.seed
+        )
+
+    if args.experiment == "table3":
+        result = max_sustainable_rate(
+            config, workload, n_queries=args.queries, hit_target=0.9
+        )
+        report = result.report
+        print(f"max sustainable rate: {result.rate:.1f} q/s offered")
+    else:
+        report = HybridSystem(config).run(workload.generate(args.queries))
+    print(report.summary())
+    return 0
+
+
+# -- parser ------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid GPU-accelerated OLAP system (Malik et al. 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a database directory")
+    p.add_argument("directory", type=Path)
+    p.add_argument("--rows", type=int, default=100_000)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("build", help="pre-calculate a cube pyramid")
+    p.add_argument("directory", type=Path)
+    p.add_argument("--measure", default="sales_price")
+    p.add_argument("--resolutions", default="0,1,2",
+                   help="comma-separated uniform resolutions")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="answer one textual query")
+    p.add_argument("directory", type=Path)
+    p.add_argument("query", help="e.g. \"SELECT sum(sales_price) WHERE date.year = 1\"")
+    p.add_argument("--path", choices=("cpu", "gpu", "both"), default="both")
+    p.add_argument("--measure", default="sales_price")
+    p.add_argument("--sms", type=int, default=4)
+    p.add_argument("--limit", type=int, default=20,
+                   help="max groups printed for grouped queries")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("simulate", help="run a Section-IV experiment")
+    p.add_argument(
+        "experiment", choices=("table1", "table2", "table3", "gpu-only")
+    )
+    p.add_argument("--threads", type=int, default=8, choices=(1, 4, 8))
+    p.add_argument("--queries", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,55 @@
+"""Admission control — load shedding on top of Figure 10.
+
+Motivated by the ABL-FEEDBACK overload finding (EXPERIMENTS.md): beyond
+capacity, Figure 10's step-6 fallback queues every query anyway, so
+lateness cascades across *all* classes.  A deadline-oriented system
+should instead refuse work it provably cannot serve in time.
+
+:class:`AdmissionControlScheduler` extends the paper's scheduler with
+one rule: when no partition makes the deadline (step 6 territory) *and*
+even the best response overshoots the deadline by more than
+``lateness_factor x T_C``, the query is rejected
+(:class:`~repro.errors.AdmissionRejected`) instead of queued.  Queries
+within the tolerance still take the paper's minimise-lateness path, so
+with ``lateness_factor = inf`` the scheduler is exactly Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.scheduler import HybridScheduler
+from repro.errors import AdmissionRejected, SchedulingError
+from repro.query.model import Query
+
+__all__ = ["AdmissionControlScheduler"]
+
+
+class AdmissionControlScheduler(HybridScheduler):
+    """Figure 10 with bounded-lateness admission.
+
+    Parameters
+    ----------
+    lateness_factor:
+        Maximum tolerated overshoot of the *estimated* best response
+        beyond the deadline, as a multiple of the time constraint
+        :math:`T_C`.  0.0 sheds everything that would miss; ``inf``
+        disables shedding (pure Figure 10).
+    """
+
+    def __init__(self, *args, lateness_factor: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if lateness_factor < 0:
+            raise SchedulingError(
+                f"lateness_factor must be >= 0, got {lateness_factor}"
+            )
+        self.lateness_factor = lateness_factor
+        self.rejected_count = 0
+
+    def choose(self, query: Query, est, response, deadline, now):
+        if not math.isinf(self.lateness_factor):
+            best_response = min(t_r for _, t_r in response)
+            if best_response - deadline > self.lateness_factor * self.time_constraint:
+                self.rejected_count += 1
+                raise AdmissionRejected(query.query_id, best_response, deadline)
+        return super().choose(query, est, response, deadline, now)

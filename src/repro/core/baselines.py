@@ -1,0 +1,136 @@
+"""Baseline and ablation schedulers.
+
+The paper positions its algorithm against the fast heuristic
+co-schedulers of the heterogeneous-computing literature (Section II-D):
+*minimal execution time* (MET, Siegel & Ali [15]) and *minimal
+completion time* (MCT, Braun et al. [2]).  This module implements both,
+plus the structural ablations the benchmarks compare:
+
+* :class:`METScheduler` — pick the partition with the smallest
+  *processing* time, ignoring queue backlog entirely (works well only
+  under light load, as the paper notes);
+* :class:`MCTScheduler` — pick the smallest *completion* (response)
+  time, i.e. backlog + processing, with no deadline logic;
+* :class:`RoundRobinScheduler` — cycle through partitions, skipping
+  ones that cannot process the query;
+* :class:`CPUOnlyScheduler` / :class:`GPUOnlyScheduler` — single-
+  resource modes used for Tables 1-2 and the GPU-only translation-
+  overhead measurement (Section IV);
+* :class:`FastestFirstScheduler` — the Figure-10 algorithm with step
+  5's queue ordering reversed (fastest GPU partition first), isolating
+  the value of the paper's slowest-first rule.
+
+All share :class:`~repro.core.scheduler.BaseScheduler`'s queue
+bookkeeping and translation handling, so throughput differences come
+purely from placement policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.scheduler import BaseScheduler, HybridScheduler, QueryEstimates
+from repro.errors import SchedulingError
+from repro.query.model import Query
+
+__all__ = [
+    "METScheduler",
+    "MCTScheduler",
+    "RoundRobinScheduler",
+    "CPUOnlyScheduler",
+    "GPUOnlyScheduler",
+    "FastestFirstScheduler",
+]
+
+
+class METScheduler(BaseScheduler):
+    """Minimal execution time: ignore load, minimise processing time."""
+
+    def choose(self, query, est, response, deadline, now):
+        best_queue: PartitionQueue | None = None
+        best_exec = float("inf")
+        by_queue = dict(response)
+        for queue, _ in response:
+            if queue.kind is QueueKind.CPU:
+                exec_time = est.t_cpu if est.t_cpu is not None else float("inf")
+            else:
+                assert queue.n_sm is not None
+                exec_time = est.gpu_time(queue.n_sm)
+            if exec_time < best_exec:
+                best_exec = exec_time
+                best_queue = queue
+        assert best_queue is not None
+        return best_queue, by_queue[best_queue]
+
+
+class MCTScheduler(BaseScheduler):
+    """Minimal completion time: minimise response time (backlog aware)."""
+
+    def choose(self, query, est, response, deadline, now):
+        return min(response, key=lambda item: item[1])
+
+
+class RoundRobinScheduler(BaseScheduler):
+    """Cycle through CPU + GPU partitions regardless of cost."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cursor = 0
+
+    def choose(self, query, est, response, deadline, now):
+        n = len(response)
+        queue, t_r = response[self._cursor % n]
+        self._cursor += 1
+        return queue, t_r
+
+
+class CPUOnlyScheduler(BaseScheduler):
+    """Everything to the CPU OLAP partition (Tables 1-2 configuration).
+
+    Queries the pyramid cannot answer are a scheduling error in this
+    mode — the Table-1/2 workloads are constructed to stay answerable.
+    """
+
+    def choose(self, query, est, response, deadline, now):
+        if est.t_cpu is None:
+            raise SchedulingError(
+                f"CPU-only mode cannot process query {query.query_id}: no "
+                "pre-calculated cube reaches its resolution"
+            )
+        for queue, t_r in response:
+            if queue.kind is QueueKind.CPU:
+                return queue, t_r
+        raise SchedulingError("CPU queue missing from response set")  # pragma: no cover
+
+
+class GPUOnlyScheduler(BaseScheduler):
+    """Everything to GPU partitions (the ~64 q/s measurement's mode).
+
+    Uses the deadline-aware slowest-first placement of Figure 10 but
+    with the CPU processing partition disabled.
+    """
+
+    def choose(self, query, est, response, deadline, now):
+        gpu = [(q, t) for q, t in response if q.kind is QueueKind.GPU]
+        in_bd = [(q, t) for q, t in gpu if deadline - t > 0.0]
+        if in_bd:
+            return in_bd[0]  # slowest first
+        return min(gpu, key=lambda item: abs(deadline - item[1]))
+
+
+class FastestFirstScheduler(HybridScheduler):
+    """Figure 10 with the step-5 GPU search order reversed (ablation)."""
+
+    def choose(self, query, est, response, deadline, now):
+        p_bd = [(q, t_r) for q, t_r in response if deadline - t_r > 0.0]
+        if p_bd:
+            by_queue = dict(response)
+            bd_names = {q.name for q, _ in p_bd}
+            gpu_in_bd = [(q, t) for q, t in p_bd if q.kind is QueueKind.GPU]
+            if self.cpu_queue.name in bd_names and est.t_cpu is not None and (
+                est.t_cpu < est.fastest_gpu_time or not gpu_in_bd
+            ):
+                return self.cpu_queue, by_queue[self.cpu_queue]
+            if gpu_in_bd:
+                return gpu_in_bd[-1]  # fastest (most SMs) first
+            return p_bd[0]  # pragma: no cover
+        return min(response, key=lambda item: abs(deadline - item[1]))

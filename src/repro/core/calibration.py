@@ -1,0 +1,184 @@
+"""Fitting estimation functions from measurements.
+
+The paper derives every model it publishes by benchmarking and
+curve-fitting (*"The estimation functions f_A and f_B are chosen based
+on best fit for a particular range"*, Section III-D; Figures 4, 5, 8, 9
+show the fits).  This module reproduces that pipeline:
+
+* :func:`fit_power_law` — log-log least squares for the :math:`f_A`
+  (small sub-cube) regime;
+* :func:`fit_linear` — ordinary least squares for the :math:`f_B`
+  (streaming) regime and the GPU column-fraction lines;
+* :func:`fit_piecewise_cpu` — the full eq.-4 model with the paper's
+  512 MB breakpoint (or an automatically chosen one);
+* :func:`fit_gpu_timing` — per-SM-count linear fits producing a
+  :class:`~repro.gpu.timing.LinearColumnTiming` (Figure 8);
+* :func:`fit_dict_cost` — the through-origin line of eq. 17 (Figure 9).
+
+Every fit reports its coefficient of determination; degenerate inputs
+raise :class:`~repro.errors.CalibrationError` rather than returning
+garbage models that would silently corrupt scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.core.perfmodel import (
+    CPUPerfModel,
+    DictPerfModel,
+    LinearModel,
+    PiecewiseModel,
+    PowerLawModel,
+    PAPER_RANGE_BREAK_MB,
+)
+from repro.gpu.timing import LinearColumnTiming
+
+__all__ = [
+    "FitResult",
+    "fit_power_law",
+    "fit_linear",
+    "fit_piecewise_cpu",
+    "fit_gpu_timing",
+    "fit_dict_cost",
+    "r_squared",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted model with its goodness-of-fit."""
+
+    model: object
+    r2: float
+    n_points: int
+
+
+def _validate(x: Sequence[float], y: Sequence[float], min_points: int) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise CalibrationError(f"x and y must be equal-length 1-D, got {xa.shape} / {ya.shape}")
+    if len(xa) < min_points:
+        raise CalibrationError(f"need at least {min_points} measurements, got {len(xa)}")
+    if not np.all(np.isfinite(xa)) or not np.all(np.isfinite(ya)):
+        raise CalibrationError("measurements contain non-finite values")
+    return xa, ya
+
+
+def r_squared(y: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit."""
+    ss_res = float(np.sum((y - y_pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Least-squares :math:`y = a x^p` in log-log space (the f_A fit)."""
+    xa, ya = _validate(x, y, min_points=3)
+    if np.any(xa <= 0) or np.any(ya <= 0):
+        raise CalibrationError("power-law fit requires strictly positive data")
+    p, log_a = np.polyfit(np.log(xa), np.log(ya), 1)
+    model = PowerLawModel(a=float(np.exp(log_a)), p=float(p))
+    pred = np.array([model.time(v) for v in xa])
+    return FitResult(model=model, r2=r_squared(ya, pred), n_points=len(xa))
+
+
+def fit_linear(
+    x: Sequence[float], y: Sequence[float], through_origin: bool = False
+) -> FitResult:
+    """Ordinary least squares :math:`y = a x + b` (the f_B / GPU fit)."""
+    xa, ya = _validate(x, y, min_points=2)
+    if through_origin:
+        denom = float(np.dot(xa, xa))
+        if denom == 0.0:
+            raise CalibrationError("degenerate x for through-origin fit")
+        a = float(np.dot(xa, ya) / denom)
+        model = LinearModel(a=a, b=0.0)
+    else:
+        if np.ptp(xa) == 0.0:
+            raise CalibrationError("x values are all identical; cannot fit a line")
+        a, b = np.polyfit(xa, ya, 1)
+        model = LinearModel(a=float(a), b=float(b))
+    pred = np.array([model.time(v) for v in xa])
+    return FitResult(model=model, r2=r_squared(ya, pred), n_points=len(xa))
+
+
+def fit_piecewise_cpu(
+    sizes_mb: Sequence[float],
+    times: Sequence[float],
+    breakpoint_mb: float = PAPER_RANGE_BREAK_MB,
+    threads: int = 1,
+    min_r2: float = 0.0,
+) -> CPUPerfModel:
+    """Fit the full eq.-4 CPU model from a processing-time sweep.
+
+    Range A (< ``breakpoint_mb``) gets a power law, Range B a line —
+    exactly the construction behind Figures 4 and 5.  ``min_r2`` lets a
+    caller reject sloppy fits (the paper's published fits have visually
+    tight residuals).
+    """
+    xa, ya = _validate(sizes_mb, times, min_points=5)
+    below = xa < breakpoint_mb
+    above = ~below
+    if below.sum() < 3 or above.sum() < 2:
+        raise CalibrationError(
+            f"need >= 3 points below and >= 2 at/above the {breakpoint_mb} MB "
+            f"breakpoint; got {int(below.sum())}/{int(above.sum())}"
+        )
+    fa = fit_power_law(xa[below], ya[below])
+    fb = fit_linear(xa[above], ya[above])
+    for name, fit in (("f_A", fa), ("f_B", fb)):
+        if fit.r2 < min_r2:
+            raise CalibrationError(
+                f"{name} fit quality R^2={fit.r2:.4f} below required {min_r2}"
+            )
+    model = PiecewiseModel(
+        breakpoint=breakpoint_mb,
+        below=fa.model,  # type: ignore[arg-type]
+        above=fb.model,  # type: ignore[arg-type]
+    )
+    return CPUPerfModel(model=model, threads=threads)
+
+
+def fit_gpu_timing(
+    measurements: Mapping[int, tuple[Sequence[float], Sequence[float]]],
+    min_r2: float = 0.0,
+) -> LinearColumnTiming:
+    """Fit :math:`P_{GPU}` lines per SM count (the Figure-8 derivation).
+
+    ``measurements`` maps an SM count to ``(column_fractions, times)``.
+    """
+    if not measurements:
+        raise CalibrationError("need measurements for at least one SM count")
+    coefficients: dict[int, tuple[float, float]] = {}
+    for n_sm, (fracs, times) in measurements.items():
+        fit = fit_linear(fracs, times)
+        if fit.r2 < min_r2:
+            raise CalibrationError(
+                f"GPU fit for {n_sm} SM has R^2={fit.r2:.4f} < {min_r2}"
+            )
+        lm = fit.model
+        assert isinstance(lm, LinearModel)
+        coefficients[int(n_sm)] = (max(lm.a, 0.0), max(lm.b, 0.0))
+    return LinearColumnTiming(coefficients=coefficients)
+
+
+def fit_dict_cost(
+    lengths: Sequence[float], times: Sequence[float], min_r2: float = 0.0
+) -> DictPerfModel:
+    """Fit eq. 17's through-origin line from lookup timings (Figure 9)."""
+    fit = fit_linear(lengths, times, through_origin=True)
+    if fit.r2 < min_r2:
+        raise CalibrationError(f"dictionary fit R^2={fit.r2:.4f} < {min_r2}")
+    lm = fit.model
+    assert isinstance(lm, LinearModel)
+    if lm.a < 0:
+        raise CalibrationError(f"negative per-entry cost {lm.a}; timing data is broken")
+    return DictPerfModel(cost_per_entry=lm.a)

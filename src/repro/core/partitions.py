@@ -1,0 +1,178 @@
+"""Partition queues with the :math:`T_Q` bookkeeping of Section III-G.
+
+Each system partition — the CPU OLAP partition, the CPU translation
+partition, and every GPU partition — owns a FIFO queue.  *"Each queue is
+aware of how many jobs are outstanding and when all its jobs will be
+finished"*: that finish estimate is the queue's :math:`T_Q`
+(:math:`T_{Q|C}`, :math:`T_{Q|TRANS}`, :math:`T_{Q|G1..G6}`), which the
+scheduler reads when computing response times (step 3) and bumps by the
+estimated processing time on every submission (steps 5-6).
+
+:class:`PartitionQueue` is pure bookkeeping — it does not execute
+anything.  The discrete-event layer (:mod:`repro.sim`) runs the actual
+service processes and feeds measured runtimes back through
+:meth:`apply_feedback`, implementing the paper's estimate-error
+correction (*"the difference of these two times [is] used to update the
+value T_Q of the queue"*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import PartitionError
+
+__all__ = ["QueueKind", "PartitionQueue", "Submission"]
+
+
+class QueueKind(str, Enum):
+    """Which resource a partition queue feeds."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    TRANSLATION = "translation"
+
+
+@dataclass(frozen=True)
+class Submission:
+    """Record of one query submission to a queue."""
+
+    query_id: int
+    submit_time: float
+    estimated_start: float
+    estimated_time: float
+
+    @property
+    def estimated_finish(self) -> float:
+        return self.estimated_start + self.estimated_time
+
+
+class PartitionQueue:
+    """One partition's queue and its :math:`T_Q` estimate.
+
+    Parameters
+    ----------
+    name:
+        Queue label (``"Q_CPU"``, ``"Q_G1"``, ``"Q_TRANS"``, ...).
+    kind:
+        The resource class this queue feeds.
+    n_sm:
+        SM count for GPU queues (drives which :math:`T_{GPUj}` estimate
+        applies); ``None`` otherwise.
+    """
+
+    def __init__(self, name: str, kind: QueueKind | str, n_sm: int | None = None):
+        if not name:
+            raise PartitionError("queue name must be non-empty")
+        kind = QueueKind(kind)
+        if kind is QueueKind.GPU:
+            if n_sm is None or n_sm < 1:
+                raise PartitionError(f"GPU queue {name!r} needs a positive n_sm")
+        elif n_sm is not None:
+            raise PartitionError(f"non-GPU queue {name!r} must not set n_sm")
+        self.name = name
+        self.kind = kind
+        self.n_sm = n_sm
+        self._t_q = 0.0  # absolute time when all submitted work finishes
+        self._outstanding = 0
+        self._submissions: list[Submission] = []
+        self.total_estimated = 0.0
+        self.total_feedback = 0.0
+
+    # -- T_Q bookkeeping (Section III-G) -----------------------------------
+
+    @property
+    def t_q(self) -> float:
+        """Raw :math:`T_Q`: estimated finish time of all submitted work."""
+        return self._t_q
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet reported complete."""
+        return self._outstanding
+
+    @property
+    def jobs_submitted(self) -> int:
+        return len(self._submissions)
+
+    def ready_time(self, now: float) -> float:
+        """When the partition could start a job submitted at ``now``.
+
+        :math:`\\max(T_Q, now)` — a drained queue cannot start work in
+        the past, so :math:`T_Q` values older than ``now`` clamp.
+        """
+        return max(self._t_q, now)
+
+    def backlog(self, now: float) -> float:
+        """Seconds of estimated work ahead of a submission at ``now``."""
+        return self.ready_time(now) - now
+
+    def submit(self, query_id: int, now: float, estimated_time: float) -> Submission:
+        """Steps 5-6's queue update: :math:`T_Q \\leftarrow T_Q + T_{est}`.
+
+        Returns the submission record (estimated start/finish), which
+        the simulator uses to sanity-check the realised schedule.
+        """
+        if estimated_time < 0:
+            raise PartitionError(
+                f"estimated time must be >= 0, got {estimated_time} for query {query_id}"
+            )
+        start = self.ready_time(now)
+        self._t_q = start + estimated_time
+        self._outstanding += 1
+        self.total_estimated += estimated_time
+        sub = Submission(
+            query_id=query_id,
+            submit_time=now,
+            estimated_start=start,
+            estimated_time=estimated_time,
+        )
+        self._submissions.append(sub)
+        return sub
+
+    def apply_feedback(self, measured_time: float, estimated_time: float) -> float:
+        """Correct :math:`T_Q` with a completed job's measurement.
+
+        The paper: the difference between real and estimated processing
+        time *"is used to update the value T_Q of the queue that was
+        processing the query. This way the errors in the estimation do
+        not significantly affect the scheduling algorithm."*
+
+        Returns the applied delta.  :math:`T_Q` never moves into the
+        past relative to the work still outstanding — the simulator
+        guarantees monotone completion times, and a negative total here
+        simply means the queue drains earlier than estimated.
+        """
+        if measured_time < 0 or estimated_time < 0:
+            raise PartitionError("times must be >= 0")
+        if self._outstanding <= 0:
+            raise PartitionError(
+                f"feedback for queue {self.name!r} with no outstanding jobs"
+            )
+        delta = measured_time - estimated_time
+        self._t_q += delta
+        self._outstanding -= 1
+        self.total_feedback += delta
+        return delta
+
+    def complete_without_feedback(self) -> None:
+        """Mark a job done without correcting :math:`T_Q` (ablation mode)."""
+        if self._outstanding <= 0:
+            raise PartitionError(
+                f"completion for queue {self.name!r} with no outstanding jobs"
+            )
+        self._outstanding -= 1
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def submissions(self) -> tuple[Submission, ...]:
+        return tuple(self._submissions)
+
+    def __repr__(self) -> str:
+        sm = f", {self.n_sm}SM" if self.n_sm else ""
+        return (
+            f"PartitionQueue({self.name!r}, {self.kind.value}{sm}, "
+            f"T_Q={self._t_q:.4f}, outstanding={self._outstanding})"
+        )

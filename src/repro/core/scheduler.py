@@ -1,0 +1,309 @@
+"""The Figure-10 scheduling algorithm.
+
+The scheduler dispatches each incoming query to one of the system
+partitions — the CPU OLAP-cube partition, or one of the GPU partitions —
+inserting a translation stage on the CPU preprocessing partition for GPU
+queries that carry text parameters.  Its structure follows Figure 10 of
+the paper step by step:
+
+1. a query ``Q`` submitted at :math:`T_Q` gets the deadline
+   :math:`T_D = T_Q + T_C`;
+2. processing times are estimated for every partition class from the
+   performance models (:math:`T_{CPU}`, :math:`T_{GPU1..3}`,
+   :math:`T_{TRANS}`);
+3. response times per partition include queue backlogs, and for GPU
+   partitions the translation pipeline:
+   :math:`T_{R|GPUi} = \\max(T_{Q|Gi},\\ T_{Q|TRANS} + T_{TRANS}) + T_{GPUj}`;
+4. the set :math:`P_{BD}` collects partitions that finish before the
+   deadline;
+5. if :math:`P_{BD}` is non-empty: the CPU partition wins when it is in
+   the set and its processing time beats the fastest GPU partition;
+   otherwise the query goes to the *slowest* GPU partition in the set
+   (keeping fast partitions free for expensive queries);
+6. if :math:`P_{BD}` is empty: the partition with the response time
+   closest to the deadline gets the query, so a late answer is at least
+   as early as possible.
+
+Deviation from the paper's pseudocode (documented in DESIGN.md): when
+:math:`P_{BD}` contains *only* the CPU partition but the CPU is not
+faster than the fastest GPU partition, the published FOR loop would fall
+through without submitting anywhere; we submit to the CPU (the only
+partition that makes the deadline), which is unambiguously the intended
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.core.partitions import PartitionQueue, QueueKind, Submission
+from repro.errors import SchedulingError
+from repro.query.model import Query
+
+__all__ = [
+    "QueryEstimates",
+    "PerformanceEstimator",
+    "ScheduleDecision",
+    "BaseScheduler",
+    "HybridScheduler",
+]
+
+
+@dataclass(frozen=True)
+class QueryEstimates:
+    """Step-2 output: model estimates for one query.
+
+    Attributes
+    ----------
+    t_cpu:
+        :math:`T_{CPU}` — ``None`` when no pre-calculated cube reaches
+        the query's resolution (Section III-C: the query *must* go to
+        the GPU).
+    t_gpu:
+        :math:`T_{GPUj}` per SM count (the paper's three estimates for
+        1/2/4-SM partition classes).
+    t_trans:
+        :math:`T_{TRANS}` — 0.0 when the query needs no translation.
+    """
+
+    t_cpu: float | None
+    t_gpu: Mapping[int, float]
+    t_trans: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_cpu is not None and self.t_cpu < 0:
+            raise SchedulingError(f"negative CPU estimate {self.t_cpu}")
+        if self.t_trans < 0:
+            raise SchedulingError(f"negative translation estimate {self.t_trans}")
+        for n_sm, t in self.t_gpu.items():
+            if n_sm < 1 or t < 0:
+                raise SchedulingError(f"bad GPU estimate {n_sm} SM -> {t}")
+
+    @property
+    def needs_translation(self) -> bool:
+        return self.t_trans > 0.0
+
+    def gpu_time(self, n_sm: int) -> float:
+        try:
+            return self.t_gpu[n_sm]
+        except KeyError:
+            raise SchedulingError(
+                f"no GPU estimate for {n_sm} SM partitions (have "
+                f"{sorted(self.t_gpu)})"
+            ) from None
+
+    @property
+    def fastest_gpu_time(self) -> float:
+        """:math:`T_{GPU3}` — the estimate of the largest partition class."""
+        if not self.t_gpu:
+            raise SchedulingError("query has no GPU estimates")
+        return self.t_gpu[max(self.t_gpu)]
+
+
+@runtime_checkable
+class PerformanceEstimator(Protocol):
+    """Produces :class:`QueryEstimates` from the performance models."""
+
+    def estimate(self, query: Query) -> QueryEstimates:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """Outcome of scheduling one query.
+
+    ``target`` is the processing queue; ``translation`` is the
+    translation-queue submission when the query needed one.  The
+    simulator replays this decision with realised service times and
+    feeds measurements back to the queues.
+    """
+
+    query: Query
+    target: PartitionQueue
+    processing: Submission
+    estimates: QueryEstimates
+    deadline: float
+    estimated_response: float
+    translation: Submission | None = None
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Whether the *estimate* makes the deadline (step 4's test)."""
+        return self.deadline - self.estimated_response > 0.0
+
+    @property
+    def estimated_processing_time(self) -> float:
+        return self.processing.estimated_time
+
+
+class BaseScheduler:
+    """Shared plumbing: queue sets, response-time math, submission.
+
+    Subclasses implement :meth:`choose`, returning the target queue.
+    ``gpu_queues`` must be ordered slowest-first (fewest SMs first), the
+    order :class:`~repro.gpu.partitioning.PartitionScheme` guarantees.
+    """
+
+    def __init__(
+        self,
+        cpu_queue: PartitionQueue,
+        gpu_queues: Sequence[PartitionQueue],
+        trans_queue: PartitionQueue,
+        estimator: PerformanceEstimator,
+        time_constraint: float,
+    ):
+        if cpu_queue.kind is not QueueKind.CPU:
+            raise SchedulingError(f"cpu_queue has kind {cpu_queue.kind}")
+        if trans_queue.kind is not QueueKind.TRANSLATION:
+            raise SchedulingError(f"trans_queue has kind {trans_queue.kind}")
+        if not gpu_queues:
+            raise SchedulingError("need at least one GPU queue")
+        for q in gpu_queues:
+            if q.kind is not QueueKind.GPU:
+                raise SchedulingError(f"GPU queue {q.name!r} has kind {q.kind}")
+        sms = [q.n_sm or 0 for q in gpu_queues]
+        if sms != sorted(sms):
+            raise SchedulingError(
+                f"GPU queues must be ordered slowest-first, got SM counts {sms}"
+            )
+        if time_constraint <= 0:
+            raise SchedulingError(f"time constraint must be > 0, got {time_constraint}")
+        self.cpu_queue = cpu_queue
+        self.gpu_queues = tuple(gpu_queues)
+        self.trans_queue = trans_queue
+        self.estimator = estimator
+        self.time_constraint = time_constraint
+
+    # -- response-time estimation (step 3) ---------------------------------
+
+    def response_time_cpu(self, est: QueryEstimates, now: float) -> float | None:
+        """:math:`T_{R|CPU} = T_{Q|C} + T_{CPU}` (clamped to ``now``)."""
+        if est.t_cpu is None:
+            return None
+        return self.cpu_queue.ready_time(now) + est.t_cpu
+
+    def response_time_gpu(
+        self, queue: PartitionQueue, est: QueryEstimates, now: float
+    ) -> float:
+        """Step 3's GPU line, including the translation pipeline."""
+        assert queue.n_sm is not None
+        t_gpu = est.gpu_time(queue.n_sm)
+        if est.needs_translation:
+            translated_at = self.trans_queue.ready_time(now) + est.t_trans
+            start = max(queue.ready_time(now), translated_at)
+            return start + t_gpu
+        return queue.ready_time(now) + t_gpu
+
+    def response_times(
+        self, est: QueryEstimates, now: float
+    ) -> list[tuple[PartitionQueue, float]]:
+        """(queue, T_R) for every partition able to process the query."""
+        out: list[tuple[PartitionQueue, float]] = []
+        t_r_cpu = self.response_time_cpu(est, now)
+        if t_r_cpu is not None:
+            out.append((self.cpu_queue, t_r_cpu))
+        for q in self.gpu_queues:
+            out.append((q, self.response_time_gpu(q, est, now)))
+        return out
+
+    # -- submission ------------------------------------------------------------
+
+    def _submit(
+        self,
+        query: Query,
+        target: PartitionQueue,
+        est: QueryEstimates,
+        now: float,
+        deadline: float,
+        estimated_response: float,
+    ) -> ScheduleDecision:
+        translation: Submission | None = None
+        if target.kind is QueueKind.GPU:
+            if est.needs_translation:
+                translation = self.trans_queue.submit(query.query_id, now, est.t_trans)
+            assert target.n_sm is not None
+            processing = target.submit(query.query_id, now, est.gpu_time(target.n_sm))
+        elif target.kind is QueueKind.CPU:
+            if est.t_cpu is None:
+                raise SchedulingError(
+                    f"query {query.query_id} routed to CPU without a cube able to "
+                    "answer it"
+                )
+            processing = target.submit(query.query_id, now, est.t_cpu)
+        else:  # pragma: no cover - schedulers never target Q_TRANS directly
+            raise SchedulingError(f"cannot target queue kind {target.kind}")
+        return ScheduleDecision(
+            query=query,
+            target=target,
+            processing=processing,
+            estimates=est,
+            deadline=deadline,
+            estimated_response=estimated_response,
+            translation=translation,
+        )
+
+    # -- the per-query entry point ----------------------------------------
+
+    def choose(
+        self,
+        query: Query,
+        est: QueryEstimates,
+        response: list[tuple[PartitionQueue, float]],
+        deadline: float,
+        now: float,
+    ) -> tuple[PartitionQueue, float]:
+        """Return (target queue, its estimated response time)."""
+        raise NotImplementedError
+
+    def schedule(self, query: Query, now: float) -> ScheduleDecision:
+        """Run steps 1-6 for one query and submit it."""
+        deadline = now + self.time_constraint  # step 1
+        est = self.estimator.estimate(query)  # step 2
+        response = self.response_times(est, now)  # step 3
+        if not response:
+            raise SchedulingError(
+                f"no partition can process query {query.query_id} "
+                "(no cube and no GPU queue)"
+            )
+        target, t_r = self.choose(query, est, response, deadline, now)  # steps 4-6
+        return self._submit(query, target, est, now, deadline, t_r)
+
+
+class HybridScheduler(BaseScheduler):
+    """The paper's deadline-aware co-scheduler (Figure 10, steps 4-6)."""
+
+    def choose(
+        self,
+        query: Query,
+        est: QueryEstimates,
+        response: list[tuple[PartitionQueue, float]],
+        deadline: float,
+        now: float,
+    ) -> tuple[PartitionQueue, float]:
+        by_queue = dict(response)
+        # Step 4: P_BD = partitions delivering before the deadline.
+        p_bd = [(q, t_r) for q, t_r in response if deadline - t_r > 0.0]
+
+        if p_bd:  # step 5
+            bd_queues = {q.name for q, _ in p_bd}
+            cpu_in_bd = self.cpu_queue.name in bd_queues
+            gpu_in_bd = [
+                (q, t_r) for q, t_r in p_bd if q.kind is QueueKind.GPU
+            ]
+            if cpu_in_bd and est.t_cpu is not None and (
+                est.t_cpu < est.fastest_gpu_time or not gpu_in_bd
+            ):
+                return self.cpu_queue, by_queue[self.cpu_queue]
+            if gpu_in_bd:
+                # slowest GPU partition that still makes the deadline:
+                # gpu_queues is ordered slowest-first, and p_bd preserves
+                # that order.
+                return gpu_in_bd[0]
+            # P_BD non-empty but CPU infeasible for this query and no GPU
+            # makes it: impossible (p_bd would be empty) — defensive only.
+            return p_bd[0]  # pragma: no cover
+
+        # Step 6: nobody makes the deadline; minimise |T_D - T_R|.
+        target, t_r = min(response, key=lambda item: abs(deadline - item[1]))
+        return target, t_r

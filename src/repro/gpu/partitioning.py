@@ -1,0 +1,127 @@
+"""SM partition schemes (Figure 7 of the paper).
+
+Fermi's concurrent-kernel execution lets the system treat one GPU as
+several independent partitions, each a fixed number of SMs with its own
+queue.  The paper's scheduler uses six partitions on the 14-SM C2070:
+two of 1 SM, two of 2 SMs and two of 4 SMs (*"This functional
+partitioning has been optimized for the Tesla C2070"*), ordered
+slowest-first so cheap queries land on small partitions and the big
+partitions stay free for expensive queries.
+
+:class:`PartitionScheme` validates a partition list against a device and
+exposes the orderings the scheduling algorithm iterates over.  The
+ABL-PART ablation benchmark compares the paper's scheme against a
+monolithic device and uniform splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import PartitionError
+from repro.gpu.device import SimulatedGPU
+
+__all__ = [
+    "GPUPartition",
+    "PartitionScheme",
+    "paper_partition_scheme",
+    "monolithic_scheme",
+    "uniform_scheme",
+]
+
+
+@dataclass(frozen=True)
+class GPUPartition:
+    """One GPU partition: an index, a label and its SM count."""
+
+    index: int
+    n_sm: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise PartitionError(f"partition index must be >= 0, got {self.index}")
+        if self.n_sm < 1:
+            raise PartitionError(f"partition needs >= 1 SM, got {self.n_sm}")
+
+    @property
+    def name(self) -> str:
+        return f"G{self.index + 1}"
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.n_sm}SM)"
+
+
+class PartitionScheme:
+    """An ordered set of GPU partitions over one device.
+
+    Partitions are kept in the given order, which the scheduler treats
+    as slowest-first (Figure 10, step 5 iterates from :math:`Q_{G1}`
+    towards :math:`Q_{G6}`).  The constructor sorts ascending by SM
+    count to enforce that invariant.
+    """
+
+    def __init__(self, sm_counts: Sequence[int]):
+        if not sm_counts:
+            raise PartitionError("a scheme needs at least one partition")
+        ordered = sorted(sm_counts)
+        self.partitions: tuple[GPUPartition, ...] = tuple(
+            GPUPartition(index=i, n_sm=n) for i, n in enumerate(ordered)
+        )
+
+    @property
+    def sm_counts(self) -> tuple[int, ...]:
+        return tuple(p.n_sm for p in self.partitions)
+
+    @property
+    def total_sms(self) -> int:
+        return sum(self.sm_counts)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[GPUPartition]:
+        return iter(self.partitions)
+
+    def __getitem__(self, i: int) -> GPUPartition:
+        return self.partitions[i]
+
+    def validate_for(self, device: SimulatedGPU) -> None:
+        """Check the scheme fits the device's SM inventory."""
+        if self.total_sms > device.num_sms:
+            raise PartitionError(
+                f"scheme uses {self.total_sms} SMs but device has {device.num_sms}"
+            )
+
+    def slowest_first(self) -> tuple[GPUPartition, ...]:
+        """Partitions from fewest to most SMs (the step-5 search order)."""
+        return self.partitions
+
+    def fastest(self) -> GPUPartition:
+        """The partition with the most SMs (:math:`T_{GPU3}`'s partition)."""
+        return self.partitions[-1]
+
+    @property
+    def distinct_sm_counts(self) -> tuple[int, ...]:
+        """SM counts needing a processing-time estimate (step 2)."""
+        return tuple(sorted(set(self.sm_counts)))
+
+    def __repr__(self) -> str:
+        return "PartitionScheme[" + ", ".join(str(p) for p in self.partitions) + "]"
+
+
+def paper_partition_scheme() -> PartitionScheme:
+    """The paper's C2070 split: 2x1 SM + 2x2 SM + 2x4 SM (12 of 14 SMs)."""
+    return PartitionScheme([1, 1, 2, 2, 4, 4])
+
+
+def monolithic_scheme(num_sms: int = 14) -> PartitionScheme:
+    """A single partition owning the whole device (eq. 15's 14-SM mode)."""
+    return PartitionScheme([num_sms])
+
+
+def uniform_scheme(num_partitions: int, sm_per_partition: int) -> PartitionScheme:
+    """``num_partitions`` equal partitions (ablation alternative)."""
+    if num_partitions < 1:
+        raise PartitionError("need at least one partition")
+    return PartitionScheme([sm_per_partition] * num_partitions)

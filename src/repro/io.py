@@ -1,0 +1,201 @@
+"""Persistence: save/load fact tables, cubes, pyramids and dictionaries.
+
+A hybrid OLAP deployment pre-calculates its cube pyramid and builds its
+dictionaries *once*, at database-build time (Section III-F), then
+serves queries against them.  This module provides that durable layer
+using NumPy's ``.npz`` container plus a JSON metadata header, so a
+database directory is portable and human-inspectable:
+
+    db/
+      schema.json          dimension hierarchies, text levels, measures
+      table.npz            fact-table columns
+      vocabularies.json    raw strings per text column
+      pyramid_<measure>.npz  cube components per pyramid level
+
+Round-trips are exact (same dtypes, same values) — property-tested in
+``tests/test_io.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.olap.cube import OLAPCube
+from repro.olap.hierarchy import DimensionHierarchy, Level
+from repro.olap.pyramid import CubePyramid, PyramidLevel
+from repro.relational.generator import SyntheticDataset
+from repro.relational.schema import TableSchema
+from repro.relational.table import FactTable
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "save_table",
+    "load_table",
+    "save_dataset",
+    "load_dataset",
+    "save_pyramid",
+    "load_pyramid",
+]
+
+
+# -- schema ------------------------------------------------------------
+
+
+def schema_to_dict(schema: TableSchema) -> dict:
+    """JSON-serialisable description of a schema."""
+    return {
+        "dimensions": [
+            {
+                "name": d.name,
+                "levels": [
+                    {"name": l.name, "cardinality": l.cardinality} for l in d.levels
+                ],
+            }
+            for d in schema.dimensions
+        ],
+        "measures": list(schema.measures),
+        "text_levels": sorted(list(t) for t in schema.text_levels),
+        "dim_dtype": np.dtype(schema.dimension_columns[0].dtype).str,
+    }
+
+
+def schema_from_dict(data: Mapping) -> TableSchema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        dimensions = [
+            DimensionHierarchy(
+                d["name"],
+                [Level(l["name"], int(l["cardinality"])) for l in d["levels"]],
+            )
+            for d in data["dimensions"]
+        ]
+        return TableSchema(
+            dimensions=dimensions,
+            measures=tuple(data["measures"]),
+            text_levels=[tuple(t) for t in data["text_levels"]],
+            dim_dtype=np.dtype(data["dim_dtype"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(f"malformed schema document: {exc}") from exc
+
+
+# -- fact tables -----------------------------------------------------------
+
+
+def save_table(table: FactTable, directory: str | Path) -> Path:
+    """Persist a fact table (schema.json + table.npz); returns the dir."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "schema.json").write_text(
+        json.dumps(schema_to_dict(table.schema), indent=2)
+    )
+    np.savez_compressed(
+        directory / "table.npz",
+        **{spec.name: table.column(spec.name) for spec in table.schema.columns},
+    )
+    return directory
+
+
+def load_table(directory: str | Path) -> FactTable:
+    directory = Path(directory)
+    schema = schema_from_dict(json.loads((directory / "schema.json").read_text()))
+    with np.load(directory / "table.npz") as data:
+        columns = {name: data[name] for name in data.files}
+    return FactTable(schema, columns)
+
+
+# -- datasets (table + vocabularies) ----------------------------------------
+
+
+def save_dataset(dataset: SyntheticDataset, directory: str | Path) -> Path:
+    directory = save_table(dataset.table, directory)
+    (directory / "vocabularies.json").write_text(
+        json.dumps({k: list(v) for k, v in dataset.vocabularies.items()})
+    )
+    return directory
+
+
+def load_dataset(directory: str | Path) -> SyntheticDataset:
+    directory = Path(directory)
+    table = load_table(directory)
+    vocab_path = directory / "vocabularies.json"
+    vocabularies = json.loads(vocab_path.read_text()) if vocab_path.exists() else {}
+    return SyntheticDataset(table=table, vocabularies=vocabularies)
+
+
+# -- pyramids ------------------------------------------------------------
+
+
+def save_pyramid(pyramid: CubePyramid, directory: str | Path) -> Path:
+    """Persist a materialised pyramid (one npz holding every level).
+
+    Analytic levels cannot be saved — there is nothing durable about a
+    shape; persist the configuration that generated them instead.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    meta = {
+        "measure": pyramid.measure,
+        "dimensions": schema_to_dict(
+            # reuse the schema serialiser for the hierarchy list
+            TableSchema(pyramid.dimensions, measures=("_",))
+        )["dimensions"],
+        "levels": [],
+    }
+    for i, level in enumerate(pyramid.levels):
+        if level.cube is None:
+            raise SchemaError(
+                f"level {level.resolutions} is analytic and cannot be persisted"
+            )
+        meta["levels"].append(
+            {
+                "resolutions": list(level.resolutions),
+                "cell_nbytes": level.cell_nbytes,
+                "components": list(level.cube.components),
+            }
+        )
+        for comp in level.cube.components:
+            arrays[f"level{i}__{comp}"] = level.cube.component(comp)
+    path = directory / f"pyramid_{pyramid.measure}.npz"
+    np.savez_compressed(path, **arrays)
+    (directory / f"pyramid_{pyramid.measure}.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_pyramid(directory: str | Path, measure: str) -> CubePyramid:
+    directory = Path(directory)
+    meta = json.loads((directory / f"pyramid_{measure}.json").read_text())
+    dimensions = [
+        DimensionHierarchy(
+            d["name"],
+            [Level(l["name"], int(l["cardinality"])) for l in d["levels"]],
+        )
+        for d in meta["dimensions"]
+    ]
+    levels = []
+    with np.load(directory / f"pyramid_{measure}.npz") as data:
+        for i, level_meta in enumerate(meta["levels"]):
+            components = {
+                comp: data[f"level{i}__{comp}"] for comp in level_meta["components"]
+            }
+            cube = OLAPCube(
+                dimensions,
+                level_meta["resolutions"],
+                components,
+                measure=meta["measure"],
+            )
+            levels.append(
+                PyramidLevel(
+                    resolutions=tuple(level_meta["resolutions"]),
+                    cell_nbytes=int(level_meta["cell_nbytes"]),
+                    cube=cube,
+                )
+            )
+    return CubePyramid(dimensions, levels, measure=meta["measure"])

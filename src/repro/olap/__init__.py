@@ -1,0 +1,38 @@
+"""MOLAP substrate: dense multi-resolution OLAP cubes and their processing.
+
+This package implements the multidimensional side of the hybrid OLAP
+system: dimension hierarchies (:mod:`repro.olap.hierarchy`), dense cubes
+(:mod:`repro.olap.cube`), sub-cube extraction and the eq.-3 size law
+(:mod:`repro.olap.subcube`), the multi-resolution cube pyramid of
+Figure 1 (:mod:`repro.olap.pyramid`), chunked/compressed storage
+(:mod:`repro.olap.chunks`), the group-by lattice
+(:mod:`repro.olap.lattice`), cube-construction algorithms
+(:mod:`repro.olap.buildalgs`), the multi-process aggregation engine that
+stands in for the paper's OpenMP implementation
+(:mod:`repro.olap.parallel`) and the bandwidth benchmark behind Figure 3
+(:mod:`repro.olap.bandwidth`).
+"""
+
+from repro.olap.hierarchy import DimensionHierarchy, Level
+from repro.olap.cube import OLAPCube, AggregateOp
+from repro.olap.subcube import subcube_size_mb, subcube_size_bytes, SubcubeSpec
+from repro.olap.pyramid import CubePyramid, PyramidLevel, PyramidGroup
+from repro.olap.chunks import ChunkedCube
+from repro.olap.lattice import CubeLattice
+from repro.olap.parallel import ParallelAggregator
+
+__all__ = [
+    "DimensionHierarchy",
+    "Level",
+    "OLAPCube",
+    "AggregateOp",
+    "SubcubeSpec",
+    "subcube_size_mb",
+    "subcube_size_bytes",
+    "CubePyramid",
+    "PyramidLevel",
+    "PyramidGroup",
+    "ChunkedCube",
+    "CubeLattice",
+    "ParallelAggregator",
+]

@@ -1,0 +1,129 @@
+"""The aggregation-bandwidth benchmark behind Figures 3-5.
+
+The paper derived its CPU performance model by benchmarking cube
+processing over sub-cube sizes from 1 MB to 32 GB and fitting the
+eq.-4 piecewise family to the measurements (Section III-D).  This
+module is that benchmark: it times thread-parallel reductions over
+dense arrays of swept sizes and emits ``(size_mb, seconds, GB/s)``
+rows, which :func:`repro.core.calibration.fit_piecewise_cpu` turns into
+a :class:`~repro.core.perfmodel.CPUPerfModel` — the exact pipeline that
+produced eq. 7 and eq. 10.
+
+On this machine the absolute numbers differ from the 2010 dual-Xeon
+testbed (EXPERIMENTS.md records both); the *shape* — bandwidth rising
+with threads and flattening once cube size exceeds cache (Figure 3), a
+power-law small-size regime crossing into a linear streaming regime
+(Figures 4-5) — is what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.olap.parallel import ParallelAggregator
+from repro.units import MB, bandwidth_gbps
+
+__all__ = ["BandwidthPoint", "BandwidthSweep", "run_bandwidth_sweep", "DEFAULT_SIZES_MB"]
+
+#: A laptop-friendly slice of the paper's 1 MB - 32 GB sweep.
+DEFAULT_SIZES_MB: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One measurement: processing an ``size_mb`` sub-cube."""
+
+    size_mb: float
+    num_threads: int
+    seconds: float
+    checksum: float
+
+    @property
+    def gbps(self) -> float:
+        """Achieved processing bandwidth (the Figure-3 ordinate)."""
+        return bandwidth_gbps(self.size_mb * MB, self.seconds)
+
+
+@dataclass(frozen=True)
+class BandwidthSweep:
+    """All points of one sweep, ready for model fitting."""
+
+    points: tuple[BandwidthPoint, ...]
+
+    def for_threads(self, num_threads: int) -> tuple[BandwidthPoint, ...]:
+        return tuple(p for p in self.points if p.num_threads == num_threads)
+
+    def sizes_mb(self, num_threads: int) -> list[float]:
+        return [p.size_mb for p in self.for_threads(num_threads)]
+
+    def times(self, num_threads: int) -> list[float]:
+        return [p.seconds for p in self.for_threads(num_threads)]
+
+    def bandwidths(self, num_threads: int) -> list[float]:
+        return [p.gbps for p in self.for_threads(num_threads)]
+
+    @property
+    def thread_counts(self) -> tuple[int, ...]:
+        return tuple(sorted({p.num_threads for p in self.points}))
+
+
+def _measure_once(array: np.ndarray, aggregator: ParallelAggregator) -> tuple[float, float]:
+    start = time.perf_counter()
+    value = aggregator.reduce_array(array, "add")
+    elapsed = time.perf_counter() - start
+    return elapsed, value
+
+
+def run_bandwidth_sweep(
+    sizes_mb: Sequence[float] = DEFAULT_SIZES_MB,
+    thread_counts: Sequence[int] = (1, 4, 8),
+    repeats: int = 3,
+    seed: int = 2012,
+) -> BandwidthSweep:
+    """Measure cube-processing time across sizes and thread counts.
+
+    Each size allocates one float64 array of exactly ``size_mb`` MB
+    (the sub-cube payload), warms it, and takes the best of ``repeats``
+    timed parallel reductions (minimum over repeats is the standard
+    bandwidth-benchmark estimator — it rejects scheduler noise, which
+    only ever adds time).  The checksum keeps the reduction honest: the
+    compiler/runtime cannot elide work whose result is compared.
+    """
+    if repeats < 1:
+        raise CalibrationError(f"repeats must be >= 1, got {repeats}")
+    if not sizes_mb:
+        raise CalibrationError("need at least one size")
+    rng = np.random.default_rng(seed)
+    points: list[BandwidthPoint] = []
+    for size_mb in sizes_mb:
+        n = max(1, int(size_mb * MB) // 8)
+        array = rng.random(n)
+        expected = float(array.sum())
+        for num_threads in thread_counts:
+            aggregator = ParallelAggregator(num_threads=num_threads)
+            best = float("inf")
+            checksum = 0.0
+            for _ in range(repeats):
+                elapsed, value = _measure_once(array, aggregator)
+                if not np.isclose(value, expected, rtol=1e-9):
+                    raise CalibrationError(
+                        f"parallel reduction produced {value}, expected {expected}"
+                    )
+                if elapsed < best:
+                    best = elapsed
+                    checksum = value
+            points.append(
+                BandwidthPoint(
+                    size_mb=float(size_mb),
+                    num_threads=num_threads,
+                    seconds=best,
+                    checksum=checksum,
+                )
+            )
+        del array
+    return BandwidthSweep(points=tuple(points))

@@ -1,0 +1,249 @@
+"""Dimension hierarchies: named resolution levels along one cube dimension.
+
+Section III-C of the paper motivates resolutions with the time dimension:
+*"the resolutions in this dimension can be: years (low resolution),
+months, days, hours (high resolution)"*.  A :class:`DimensionHierarchy`
+is an ordered list of :class:`Level` objects, coarsest first.  Resolution
+indices ``r`` are integers, ``r = 0`` being the coarsest level; eq. 2
+(``R = max(r_1 .. r_N)``) then works directly on these indices.
+
+Levels form a strict refinement chain: every level's cardinality must be
+an integer multiple of its parent's (the *fan-out*), so that coordinates
+can be converted between resolutions exactly.  This mirrors how MOLAP
+systems roll dense cube axes up and down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import DimensionError, ResolutionError
+
+__all__ = ["Level", "DimensionHierarchy"]
+
+
+@dataclass(frozen=True)
+class Level:
+    """One resolution level of a dimension.
+
+    Attributes
+    ----------
+    name:
+        Human-readable level name (``"year"``, ``"month"``, ...).
+    cardinality:
+        Number of distinct coordinate values at this resolution.  This is
+        the extent of the cube axis for any cube materialised at this
+        level.
+    """
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DimensionError("level name must be non-empty")
+        if self.cardinality < 1:
+            raise DimensionError(
+                f"level {self.name!r} must have cardinality >= 1, got {self.cardinality}"
+            )
+
+
+class DimensionHierarchy:
+    """An ordered chain of :class:`Level` objects, coarsest first.
+
+    Parameters
+    ----------
+    name:
+        Dimension name (``"time"``, ``"store"``, ``"item"``...).
+    levels:
+        Levels ordered from coarsest (resolution 0) to finest.  Each
+        level's cardinality must be a strict integer multiple of the
+        previous one's.
+
+    Examples
+    --------
+    >>> time = DimensionHierarchy("time", [
+    ...     Level("year", 8), Level("month", 96), Level("day", 2880)])
+    >>> time.num_levels
+    3
+    >>> time.fanout(1)   # months per year
+    12
+    >>> time.coarsen_coord(35, from_res=1, to_res=0)  # month 35 -> year 2
+    2
+    """
+
+    def __init__(self, name: str, levels: Sequence[Level]):
+        if not name:
+            raise DimensionError("dimension name must be non-empty")
+        if not levels:
+            raise DimensionError(f"dimension {name!r} needs at least one level")
+        levels = list(levels)
+        for coarse, fine in zip(levels, levels[1:]):
+            if fine.cardinality % coarse.cardinality != 0:
+                raise DimensionError(
+                    f"dimension {name!r}: level {fine.name!r} (cardinality "
+                    f"{fine.cardinality}) does not refine level {coarse.name!r} "
+                    f"(cardinality {coarse.cardinality}) by an integer fan-out"
+                )
+            if fine.cardinality <= coarse.cardinality:
+                raise DimensionError(
+                    f"dimension {name!r}: levels must strictly increase in "
+                    f"cardinality ({coarse.name!r} -> {fine.name!r})"
+                )
+        seen: set[str] = set()
+        for lvl in levels:
+            if lvl.name in seen:
+                raise DimensionError(f"dimension {name!r}: duplicate level {lvl.name!r}")
+            seen.add(lvl.name)
+        self.name = name
+        self._levels: tuple[Level, ...] = tuple(levels)
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def levels(self) -> tuple[Level, ...]:
+        """All levels, coarsest first."""
+        return self._levels
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    @property
+    def finest_resolution(self) -> int:
+        """Resolution index of the finest level."""
+        return len(self._levels) - 1
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[Level]:
+        return iter(self._levels)
+
+    def __repr__(self) -> str:
+        chain = " > ".join(f"{l.name}({l.cardinality})" for l in self._levels)
+        return f"DimensionHierarchy({self.name!r}: {chain})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DimensionHierarchy):
+            return NotImplemented
+        return self.name == other.name and self._levels == other._levels
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._levels))
+
+    # -- level lookups ------------------------------------------------
+
+    def check_resolution(self, resolution: int) -> int:
+        """Validate a resolution index and return it."""
+        if not 0 <= resolution < len(self._levels):
+            raise ResolutionError(
+                f"dimension {self.name!r} has resolutions 0..{len(self._levels) - 1}, "
+                f"got {resolution}"
+            )
+        return resolution
+
+    def level(self, resolution: int) -> Level:
+        """The :class:`Level` at a resolution index."""
+        return self._levels[self.check_resolution(resolution)]
+
+    def resolution_of(self, level_name: str) -> int:
+        """Resolution index of a named level."""
+        for r, lvl in enumerate(self._levels):
+            if lvl.name == level_name:
+                return r
+        raise ResolutionError(f"dimension {self.name!r} has no level {level_name!r}")
+
+    def cardinality(self, resolution: int) -> int:
+        """Axis extent of a cube materialised at ``resolution``."""
+        return self.level(resolution).cardinality
+
+    def fanout(self, resolution: int) -> int:
+        """Children per parent cell between ``resolution-1`` and ``resolution``.
+
+        ``fanout(0)`` is defined as the cardinality of the coarsest level
+        (fan-out from a virtual "all" root).
+        """
+        self.check_resolution(resolution)
+        if resolution == 0:
+            return self._levels[0].cardinality
+        return self._levels[resolution].cardinality // self._levels[resolution - 1].cardinality
+
+    # -- coordinate conversion ----------------------------------------
+
+    def coarsen_coord(self, coord: int, from_res: int, to_res: int) -> int:
+        """Map a coordinate from a fine resolution to a coarser one."""
+        self.check_resolution(from_res)
+        self.check_resolution(to_res)
+        if to_res > from_res:
+            raise ResolutionError(
+                f"coarsen_coord: target resolution {to_res} is finer than source {from_res}"
+            )
+        if not 0 <= coord < self.cardinality(from_res):
+            raise ResolutionError(
+                f"coordinate {coord} out of range for {self.name!r} at resolution {from_res}"
+            )
+        factor = self.cardinality(from_res) // self.cardinality(to_res)
+        return coord // factor
+
+    def refine_range(self, lo: int, hi: int, from_res: int, to_res: int) -> tuple[int, int]:
+        """Map a half-open coordinate range ``[lo, hi)`` to a finer resolution.
+
+        A range stated at a coarse resolution covers the full block of
+        children at the finer one, so the refined range is exact (no
+        over- or under-coverage).
+        """
+        self.check_resolution(from_res)
+        self.check_resolution(to_res)
+        if to_res < from_res:
+            raise ResolutionError(
+                f"refine_range: target resolution {to_res} is coarser than source {from_res}"
+            )
+        if not (0 <= lo <= hi <= self.cardinality(from_res)):
+            raise ResolutionError(
+                f"range [{lo}, {hi}) invalid for {self.name!r} at resolution {from_res}"
+            )
+        factor = self.cardinality(to_res) // self.cardinality(from_res)
+        return lo * factor, hi * factor
+
+    # -- convenience constructors --------------------------------------
+
+    @classmethod
+    def from_fanouts(cls, name: str, level_names: Iterable[str], fanouts: Iterable[int]) -> "DimensionHierarchy":
+        """Build a hierarchy from per-level fan-outs.
+
+        ``fanouts[0]`` is the cardinality of the coarsest level; each
+        subsequent entry multiplies the cardinality.
+
+        >>> d = DimensionHierarchy.from_fanouts("time", ["y", "m", "d"], [8, 12, 30])
+        >>> [l.cardinality for l in d]
+        [8, 96, 2880]
+        """
+        names = list(level_names)
+        fans = list(fanouts)
+        if len(names) != len(fans):
+            raise DimensionError("level_names and fanouts must have equal length")
+        card = 1
+        levels = []
+        for lvl_name, fan in zip(names, fans):
+            if fan < 2 and card > 0 and levels:
+                raise DimensionError(f"fan-out must be >= 2 between levels, got {fan}")
+            if fan < 1:
+                raise DimensionError(f"fan-out must be >= 1, got {fan}")
+            card *= fan
+            levels.append(Level(lvl_name, card))
+        return cls(name, levels)
+
+    @classmethod
+    def uniform(cls, name: str, num_levels: int, fanout: int, base: int | None = None) -> "DimensionHierarchy":
+        """A hierarchy with ``num_levels`` levels and a constant fan-out.
+
+        ``base`` overrides the coarsest level's cardinality (defaults to
+        ``fanout``).  Level names are ``"L0".."L{n-1}"``.
+        """
+        if num_levels < 1:
+            raise DimensionError("num_levels must be >= 1")
+        fans = [base if base is not None else fanout] + [fanout] * (num_levels - 1)
+        names = [f"L{i}" for i in range(num_levels)]
+        return cls.from_fanouts(name, names, fans)

@@ -1,0 +1,141 @@
+"""Multi-threaded OLAP cube aggregation — the OpenMP substitute.
+
+The paper's first contribution is a parallel OpenMP implementation of
+CPU cube processing that raised aggregation bandwidth from ~1 GB/s
+(single-threaded legacy) to 15-20 GB/s on 8 cores (Figure 3).  Python
+cannot host OpenMP pragmas, but the same shared-memory fork/join
+structure maps onto a thread pool over NumPy slices: NumPy reductions
+release the GIL, so threads genuinely stream memory in parallel, which
+is the only thing that matters for a bandwidth-bound kernel (Section
+III-B: *"The processing of an OLAP cube is always constrained by memory
+bandwidth and not by the performance of the CPU"*).
+
+:class:`ParallelAggregator` partitions the selected sub-cube along its
+longest axis into per-thread blocks (OpenMP's static schedule), reduces
+each block independently, and combines the partials — bit-identical to
+the sequential result for sum/count and exact for min/max, which the
+property tests assert.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CubeError, QueryError
+from repro.olap.cube import AggregateOp, OLAPCube
+from repro.olap.subcube import SubcubeSpec, spec_for_query
+from repro.query.model import Query
+
+__all__ = ["ParallelAggregator", "AggregationResult"]
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Outcome of one parallel aggregation.
+
+    ``bytes_streamed`` is the sub-cube payload actually reduced — the
+    numerator of the Figure-3 bandwidth metric.
+    """
+
+    value: float
+    num_threads: int
+    num_blocks: int
+    bytes_streamed: int
+
+
+def _block_slices(extent: int, n_blocks: int) -> list[slice]:
+    """Contiguous near-equal blocks along one axis (static schedule)."""
+    edges = np.linspace(0, extent, n_blocks + 1).astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+class ParallelAggregator:
+    """Thread-parallel sub-cube reduction over a dense cube.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker count (the paper's 1/4/8 OpenMP threads).  1 runs the
+        sequential reference path with no executor involved.
+    """
+
+    def __init__(self, num_threads: int = 1):
+        if num_threads < 1:
+            raise CubeError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+
+    # -- low-level: reduce one ndarray --------------------------------------
+
+    def reduce_array(self, array: np.ndarray, how: str = "add") -> float:
+        """Parallel reduction of an ndarray (sum / min / max).
+
+        Splits along axis 0; each worker reduces its block, partials are
+        combined on the caller thread (the OpenMP ``reduction`` clause).
+        """
+        if how not in ("add", "min", "max"):
+            raise QueryError(f"unknown reduction {how!r}")
+        if array.size == 0:
+            if how == "add":
+                return 0.0
+            raise QueryError("min/max reduction of an empty selection")
+        reducer = {"add": np.sum, "min": np.min, "max": np.max}[how]
+        combine = {"add": sum, "min": min, "max": max}[how]
+        if self.num_threads == 1 or array.ndim == 0 or array.shape[0] < self.num_threads:
+            return float(reducer(array))
+        blocks = _block_slices(array.shape[0], self.num_threads)
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            partials = list(pool.map(lambda s: float(reducer(array[s])), blocks))
+        return float(combine(partials))
+
+    # -- sub-cube aggregation ------------------------------------------------
+
+    def _select(self, arr: np.ndarray, spec: SubcubeSpec) -> np.ndarray:
+        for axis, sel in enumerate(spec.selectors):
+            if isinstance(sel, slice):
+                if sel != slice(None):
+                    arr = arr[(slice(None),) * axis + (sel,)]
+            else:
+                arr = np.take(arr, sel, axis=axis)
+        return arr
+
+    def aggregate(self, cube: OLAPCube, query: Query) -> AggregationResult:
+        """Answer a query from a cube with thread-parallel reduction.
+
+        Matches :meth:`OLAPCube.aggregate` exactly; the parallel path
+        only changes *how* the bytes are streamed.
+        """
+        spec = spec_for_query(cube, query)
+        op = AggregateOp(query.agg)
+        blocks = min(self.num_threads, max(1, spec.widths[0] if spec.widths else 1))
+
+        if op in (AggregateOp.SUM, AggregateOp.COUNT):
+            name = "sum" if op is AggregateOp.SUM else "count"
+            sub = self._select(cube.component(name), spec)
+            value = self.reduce_array(sub, "add")
+        elif op is AggregateOp.AVG:
+            total = self.reduce_array(self._select(cube.component("sum"), spec), "add")
+            count = self.reduce_array(self._select(cube.component("count"), spec), "add")
+            value = total / count if count else float("nan")
+        else:
+            name = "min" if op is AggregateOp.MIN else "max"
+            sub = self._select(cube.component(name), spec)
+            counts = self._select(cube.component("count"), spec)
+            masked = sub[counts > 0]
+            if masked.size == 0:
+                value = float("nan")
+            else:
+                value = self.reduce_array(masked, "min" if op is AggregateOp.MIN else "max")
+
+        return AggregationResult(
+            value=value,
+            num_threads=self.num_threads,
+            num_blocks=blocks,
+            bytes_streamed=spec.nbytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"ParallelAggregator(num_threads={self.num_threads})"

@@ -1,0 +1,436 @@
+"""Multi-resolution cube pyramids (Figure 1 of the paper).
+
+A hybrid OLAP system keeps several pre-calculated cubes of the same
+measure at different resolutions: coarse cubes are tiny and answer
+low-resolution queries fast; fine cubes grow geometrically until they no
+longer fit in memory (level *M* in Figure 1).  Queries needing still
+finer resolution are answered by the GPU from the raw fact table; the
+resolution where CPU cube processing and GPU raw processing break even
+is level *G*.
+
+:class:`CubePyramid` manages the level set, implements the paper's cube
+selection rule (*"it is always desirable to respond to the query using a
+cube with lowest possible resolution"*, Section III-C), the analytic
+sub-cube size estimate the scheduler feeds to the CPU performance model,
+and the level-M / level-G computations.
+
+Levels may be *materialised* (backed by a real
+:class:`~repro.olap.cube.OLAPCube`) or *analytic* (shape and cell size
+only).  The evaluation's paper-scale pyramid (~32 GB / ~500 MB / ~500 KB
+/ ~4 KB cubes) is analytic; laptop-scale test pyramids are materialised
+and answer real queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import CubeError, CubeNotAvailableError, QueryError
+from repro.olap.cube import OLAPCube
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.olap.subcube import answer_with_cube, spec_for_query
+from repro.query.model import Query
+from repro.units import bytes_to_mb, fmt_bytes
+
+if TYPE_CHECKING:  # avoid a hard olap -> relational dependency
+    from repro.relational.table import FactTable
+
+__all__ = ["PyramidLevel", "CubePyramid", "PyramidGroup"]
+
+
+@dataclass(frozen=True)
+class PyramidLevel:
+    """One pre-calculated cube of the pyramid.
+
+    Attributes
+    ----------
+    resolutions:
+        Resolution index per dimension (axis order of the pyramid).
+    cell_nbytes:
+        :math:`E_{size}`: bytes per cell.
+    cube:
+        The materialised cube, or ``None`` for an analytic level.
+    """
+
+    resolutions: tuple[int, ...]
+    cell_nbytes: int
+    cube: OLAPCube | None = None
+
+    @property
+    def materialised(self) -> bool:
+        return self.cube is not None
+
+
+class CubePyramid:
+    """An ordered set of pre-calculated cubes for one measure.
+
+    Parameters
+    ----------
+    dimensions:
+        Dimension hierarchies shared by every level (axis order).
+    levels:
+        The pyramid levels; stored sorted by total size ascending.
+    measure:
+        The measure the cubes aggregate.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[DimensionHierarchy],
+        levels: Iterable[PyramidLevel],
+        measure: str = "value",
+    ):
+        self.dimensions = tuple(dimensions)
+        self.measure = measure
+        lvls = list(levels)
+        if not lvls:
+            raise CubeError("a pyramid needs at least one level")
+        for lvl in lvls:
+            if len(lvl.resolutions) != len(self.dimensions):
+                raise CubeError(
+                    f"level resolutions {lvl.resolutions} do not match "
+                    f"{len(self.dimensions)} dimensions"
+                )
+            for d, r in zip(self.dimensions, lvl.resolutions):
+                d.check_resolution(r)
+            if lvl.cube is not None and lvl.cube.resolutions != lvl.resolutions:
+                raise CubeError(
+                    f"materialised cube resolutions {lvl.cube.resolutions} disagree "
+                    f"with level {lvl.resolutions}"
+                )
+        self._levels = tuple(sorted(lvls, key=lambda l: self.level_nbytes(l)))
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def analytic(
+        cls,
+        dimensions: Sequence[DimensionHierarchy],
+        uniform_resolutions: Iterable[int],
+        cell_nbytes: int = 16,
+        measure: str = "value",
+    ) -> "CubePyramid":
+        """Pyramid of analytic levels at uniform resolutions.
+
+        ``cell_nbytes`` defaults to 16 (sum + count as float64), the cell
+        layout of our materialised cubes.
+        """
+        levels = [
+            PyramidLevel(
+                resolutions=tuple(min(r, d.finest_resolution) for d in dimensions),
+                cell_nbytes=cell_nbytes,
+            )
+            for r in uniform_resolutions
+        ]
+        return cls(dimensions, levels, measure=measure)
+
+    @classmethod
+    def from_fact_table(
+        cls,
+        table: "FactTable",
+        measure: str,
+        uniform_resolutions: Iterable[int],
+        with_minmax: bool = False,
+    ) -> "CubePyramid":
+        """Materialise a pyramid by building the finest cube then rolling up.
+
+        Each coarser level is an exact roll-up of the finest requested
+        level (decomposable aggregates), so the fact table is scanned
+        once regardless of the number of levels — the core efficiency
+        argument of the array-based algorithm [20].
+        """
+        dims = table.schema.dimensions
+        res_list = sorted(set(uniform_resolutions))
+        if not res_list:
+            raise CubeError("need at least one resolution")
+        finest = res_list[-1]
+        base_res = tuple(min(finest, d.finest_resolution) for d in dims)
+        base = OLAPCube.from_fact_table(
+            table, measure, resolutions=base_res, with_minmax=with_minmax
+        )
+        levels = []
+        for r in res_list:
+            target = tuple(min(r, d.finest_resolution) for d in dims)
+            cube = base if target == base_res else base.rollup(target)
+            levels.append(
+                PyramidLevel(resolutions=target, cell_nbytes=cube.cell_nbytes, cube=cube)
+            )
+        return cls(dims, levels, measure=measure)
+
+    # -- geometry ----------------------------------------------------------
+
+    def level_shape(self, level: PyramidLevel) -> tuple[int, ...]:
+        return tuple(
+            d.cardinality(r) for d, r in zip(self.dimensions, level.resolutions)
+        )
+
+    def level_nbytes(self, level: PyramidLevel) -> int:
+        n = level.cell_nbytes
+        for extent in self.level_shape(level):
+            n *= extent
+        return n
+
+    @property
+    def levels(self) -> tuple[PyramidLevel, ...]:
+        """Levels sorted by size, smallest (coarsest) first."""
+        return self._levels
+
+    @property
+    def total_nbytes(self) -> int:
+        """Memory footprint of the whole pyramid."""
+        return sum(self.level_nbytes(l) for l in self._levels)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(fmt_bytes(self.level_nbytes(l)) for l in self._levels)
+        return f"CubePyramid({self.measure!r}, {len(self._levels)} levels: {sizes})"
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def ingest(self, table: "FactTable") -> int:
+        """Fold a batch of new fact rows into every materialised level.
+
+        All levels stay mutually consistent (each is updated from the
+        same batch with mergeable aggregates), so queries keep selecting
+        any level freely.  Raises on analytic pyramids — there is
+        nothing to maintain.  Returns the rows ingested.
+        """
+        analytic = [l.resolutions for l in self._levels if l.cube is None]
+        if analytic:
+            raise CubeError(
+                f"pyramid has analytic levels {analytic}; only materialised "
+                "pyramids support incremental ingest"
+            )
+        rows = 0
+        for level in self._levels:
+            assert level.cube is not None
+            rows = level.cube.ingest(table, self.measure)
+        return rows
+
+    # -- cube selection (Section III-C) ---------------------------------------
+
+    def _can_answer(self, level: PyramidLevel, query: Query) -> bool:
+        res_of = {d.name: r for d, r in zip(self.dimensions, level.resolutions)}
+        for cond in query.conditions:
+            if cond.dimension not in res_of:
+                return False
+            if res_of[cond.dimension] < cond.resolution:
+                return False
+        for dim, res in query.group_by:
+            if dim not in res_of or res_of[dim] < res:
+                return False
+        return True
+
+    def select_level(self, query: Query) -> PyramidLevel:
+        """The smallest pre-calculated cube able to answer ``query``.
+
+        Implements eq. 2 + the lowest-possible-resolution rule.  Raises
+        :class:`CubeNotAvailableError` when every level is too coarse —
+        the paper's signal that *"the query must be answered by GPU"*.
+        """
+        for level in self._levels:  # smallest first
+            if self._can_answer(level, query):
+                return level
+        raise CubeNotAvailableError(
+            f"no pre-calculated cube reaches resolution {query.required_resolution} "
+            f"needed by {query}"
+        )
+
+    def subcube_size_mb(self, query: Query) -> float:
+        """:math:`SC_{size}` (eq. 3) for the level that would answer ``query``.
+
+        This is the quantity the scheduler feeds to the CPU performance
+        model :math:`P_{CPU}(SC_{size})`.  Works for analytic levels —
+        only shapes and the condition widths are needed.
+        """
+        level = self.select_level(query)
+        widths = []
+        for d, r in zip(self.dimensions, level.resolutions):
+            cond = query.condition_on(d.name)
+            if cond is None:
+                widths.append(d.cardinality(r))
+            elif cond.is_range:
+                refined = cond.at_resolution(r, d)
+                assert refined.lo is not None and refined.hi is not None
+                widths.append(refined.hi - refined.lo)
+            elif cond.is_codes:
+                factor = d.cardinality(r) // d.cardinality(cond.resolution)
+                widths.append(len(set(cond.codes)) * factor)
+            else:
+                # text condition: the CPU resolves each literal to one
+                # member coordinate natively (no GPU-style translation
+                # needed, Section III-F), so the width is the literal
+                # count refined to the cube's resolution.
+                factor = d.cardinality(r) // d.cardinality(cond.resolution)
+                widths.append(len(set(cond.text_values)) * factor)
+        n = level.cell_nbytes
+        for w in widths:
+            n *= w
+        return bytes_to_mb(n)
+
+    def answer(self, query: Query) -> float:
+        """Answer a query from the selected (materialised) level."""
+        level = self.select_level(query)
+        if level.cube is None:
+            raise CubeError(
+                f"selected level {level.resolutions} is analytic; cannot answer "
+                "real queries (materialise the pyramid first)"
+            )
+        return answer_with_cube(level.cube, query)
+
+    def answer_grouped(self, query: Query):
+        """Answer a grouped query from the selected (materialised) level.
+
+        ``select_level`` already honours the group-by resolutions
+        (``Query.required_resolution`` includes them), so the chosen
+        cube is always fine enough to coarsen onto the group grid.
+        """
+        from repro.groupby import groupby_with_cube
+
+        level = self.select_level(query)
+        if level.cube is None:
+            raise CubeError(
+                f"selected level {level.resolutions} is analytic; cannot answer "
+                "real queries (materialise the pyramid first)"
+            )
+        return groupby_with_cube(level.cube, query)
+
+    def scanned_bytes(self, query: Query) -> int:
+        """Exact bytes the aggregation streams for ``query`` (for tests)."""
+        level = self.select_level(query)
+        if level.cube is None:
+            return int(self.subcube_size_mb(query) * 2**20)
+        return spec_for_query(level.cube, query).nbytes
+
+    # -- levels M and G (Figure 1) ----------------------------------------
+
+    def level_m(self, memory_budget_bytes: float) -> PyramidLevel | None:
+        """Level *M*: the finest level that still fits in ``memory_budget``.
+
+        Returns ``None`` when even the coarsest cube exceeds the budget.
+        The paper pre-calculates only levels up to *M*.
+        """
+        fitting = [l for l in self._levels if self.level_nbytes(l) <= memory_budget_bytes]
+        return fitting[-1] if fitting else None
+
+    def level_g(
+        self,
+        cpu_time_of_mb: Callable[[float], float],
+        gpu_query_time: float,
+    ) -> PyramidLevel | None:
+        """Level *G*: finest level where CPU full-cube processing still
+        beats the GPU's raw-table answer time.
+
+        ``cpu_time_of_mb`` is :math:`P_{CPU}(SC_{size})` and
+        ``gpu_query_time`` the GPU estimate for the query class of
+        interest.  Beyond this level the GPU answers as fast as the CPU
+        (Figure 1's equilibrium), so materialising finer cubes buys
+        nothing.  Returns ``None`` if the GPU wins even at the coarsest
+        level.
+        """
+        best: PyramidLevel | None = None
+        for level in self._levels:
+            size_mb = bytes_to_mb(self.level_nbytes(level))
+            if cpu_time_of_mb(size_mb) <= gpu_query_time:
+                best = level
+            else:
+                break
+        return best
+
+
+class PyramidGroup:
+    """One pyramid per measure, dispatched by the query's measure.
+
+    A production MOLAP store pre-calculates every frequently-aggregated
+    measure; a query then selects the pyramid matching its measure (a
+    ``count`` query can use any of them, since all share the count
+    component).  The group exposes the same estimation/answer interface
+    as a single :class:`CubePyramid`, so the scheduler and the system
+    model work with either transparently.
+    """
+
+    def __init__(self, pyramids: Mapping[str, CubePyramid] | Sequence[CubePyramid]):
+        if not isinstance(pyramids, Mapping):
+            pyramids = {p.measure: p for p in pyramids}
+        if not pyramids:
+            raise CubeError("a pyramid group needs at least one pyramid")
+        for measure, pyramid in pyramids.items():
+            if pyramid.measure != measure:
+                raise CubeError(
+                    f"pyramid for measure {pyramid.measure!r} registered "
+                    f"under {measure!r}"
+                )
+        self._pyramids = dict(pyramids)
+
+    @classmethod
+    def from_fact_table(
+        cls,
+        table: "FactTable",
+        measures: Sequence[str],
+        uniform_resolutions: Iterable[int],
+        with_minmax: bool = False,
+    ) -> "PyramidGroup":
+        resolutions = list(uniform_resolutions)
+        return cls(
+            {
+                m: CubePyramid.from_fact_table(
+                    table, m, resolutions, with_minmax=with_minmax
+                )
+                for m in measures
+            }
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    @property
+    def measures(self) -> tuple[str, ...]:
+        return tuple(sorted(self._pyramids))
+
+    def pyramid_for(self, query: Query) -> CubePyramid:
+        """The pyramid answering ``query``'s measure.
+
+        ``count`` queries (no measure) use an arbitrary member — counts
+        are identical across measures of the same fact table.
+        """
+        if query.agg == "count" or not query.measures:
+            return next(iter(self._pyramids.values()))
+        measure = query.measures[0]
+        try:
+            return self._pyramids[measure]
+        except KeyError:
+            raise CubeNotAvailableError(
+                f"no pre-calculated pyramid for measure {measure!r}; "
+                f"available: {self.measures}"
+            ) from None
+
+    # -- the CubePyramid interface the system consumes ---------------------
+
+    def select_level(self, query: Query) -> PyramidLevel:
+        return self.pyramid_for(query).select_level(query)
+
+    def subcube_size_mb(self, query: Query) -> float:
+        return self.pyramid_for(query).subcube_size_mb(query)
+
+    def answer(self, query: Query) -> float:
+        return self.pyramid_for(query).answer(query)
+
+    def answer_grouped(self, query: Query):
+        return self.pyramid_for(query).answer_grouped(query)
+
+    def ingest(self, table: "FactTable") -> int:
+        rows = 0
+        for pyramid in self._pyramids.values():
+            rows = pyramid.ingest(table)
+        return rows
+
+    @property
+    def levels(self) -> tuple[PyramidLevel, ...]:
+        """Union of all member levels (for materialisation checks)."""
+        return tuple(l for p in self._pyramids.values() for l in p.levels)
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(p.total_nbytes for p in self._pyramids.values())
+
+    def __repr__(self) -> str:
+        return f"PyramidGroup({', '.join(self.measures)})"

@@ -1,0 +1,359 @@
+"""The paper's Section-IV evaluation configuration, as importable presets.
+
+The model evaluated in the paper has (Section IV):
+
+* a GPU fact table of ~4 GB with **3 dimensions, 4 levels each**;
+* CPU cube pyramid of **~32 GB, ~500 MB, ~500 KB and ~4 KB**;
+* the published performance functions (eq. 7/10/14/15/17);
+* a Tesla C2070 split into 6 partitions (2x1 + 2x2 + 2x4 SM).
+
+This module reconstructs that configuration exactly at the analytic
+level.  With 8-byte cells and uniform per-dimension cardinalities
+8 / 40 / 400 / 1600, the pyramid levels weigh::
+
+    8^3    * 8 B =   4.0 KB   (~4 KB)
+    40^3   * 8 B = 500.0 KB   (~500 KB)
+    400^3  * 8 B = 488.3 MB   (~500 MB)
+    1600^3 * 8 B =  30.5 GB   (~32 GB)
+
+Two quantities the paper *measured* but did not publish are
+reverse-engineered here so the published rates of Tables 1-3 are
+reproduced (full derivation in EXPERIMENTS.md):
+
+* per-query **CPU dispatch overhead** per implementation (query parsing,
+  member resolution, OpenMP region setup) — the published f_A
+  extrapolates to microseconds for KB-sized cubes, while Table 1's rates
+  imply a per-query floor of several ms;
+* per-query **GPU dispatch overhead** (query upload, kernel launch
+  across the partition, result download, host post-processing) — the
+  published partition fits alone imply >500 q/s from the device, while
+  the paper's GPU-only system rate is ~64-69 q/s.
+
+The workload mix (also unpublished) is parameterised by the same
+reverse-engineering: ~74 % small-cube queries, ~20 % queries sweeping
+most of the ~500 MB cube, ~6-7 % sweeping the ~32 GB cube, with text
+parameters on the GPU-bound classes sized so the translation partition
+saturates just below the GPU's no-translation rate (the measured ~7 %
+translation overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.baselines import CPUOnlyScheduler, GPUOnlyScheduler
+from repro.core.perfmodel import (
+    CPUPerfModel,
+    PAPER_DICT_MODEL,
+    XEON_X5667_1T_LEGACY,
+    XEON_X5667_4T,
+    XEON_X5667_8T,
+)
+from repro.errors import WorkloadError
+from repro.gpu.device import SimulatedGPU, TableDescriptor
+from repro.gpu.partitioning import PartitionScheme, paper_partition_scheme
+from repro.gpu.timing import OverheadTiming, TESLA_C2070_TIMING
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.olap.pyramid import CubePyramid
+from repro.query.model import dimension_column
+from repro.query.workload import QueryClass, WorkloadSpec
+from repro.relational.schema import TableSchema
+from repro.sim.system import SystemConfig
+from repro.units import GB
+
+__all__ = [
+    "paper_dimensions",
+    "customer_dimension",
+    "paper_schema",
+    "paper_pyramid",
+    "paper_device",
+    "paper_dict_lengths",
+    "paper_workload",
+    "paper_system_config",
+    "cpu_only_config",
+    "gpu_only_config",
+    "CPU_DISPATCH_OVERHEAD",
+    "GPU_DISPATCH_OVERHEAD",
+    "TABLE3_TEXT_PROB",
+    "PAPER_DICT_LENGTH",
+    "PAPER_CELL_NBYTES",
+    "CPU_MODELS",
+]
+
+# -- reverse-engineered constants (see module docstring / EXPERIMENTS.md) --
+
+#: Per-query CPU dispatch overhead by OpenMP thread count.  The legacy
+#: single-threaded implementation pays heavy per-query bookkeeping; the
+#: parallel version amortises better but adds fork/join cost per region.
+CPU_DISPATCH_OVERHEAD: dict[int, float] = {1: 0.023, 4: 0.0070, 8: 0.0055}
+
+#: Per-query GPU dispatch overhead (host preprocessing + PCIe + launch).
+GPU_DISPATCH_OVERHEAD: float = 0.072
+
+#: Fraction of hybrid-workload queries carrying a customer-name text
+#: predicate (Table 3); sized so the GPU-bound query share matches the
+#: paper's GPU/total rate split (~69 of ~228 q/s).
+TABLE3_TEXT_PROB: float = 0.10
+
+#: Dictionary length per text column, sized so one translated parameter
+#: costs ~15.6 ms (eq. 17) and the single translation partition
+#: saturates at ~64 q/s — the paper's measured GPU-with-translation rate.
+PAPER_DICT_LENGTH: int = 1_130_000
+
+#: The three CPU implementations of Tables 1-3, with their overheads.
+CPU_MODELS: dict[int, CPUPerfModel] = {
+    1: XEON_X5667_1T_LEGACY.with_overhead(CPU_DISPATCH_OVERHEAD[1]),
+    4: XEON_X5667_4T.with_overhead(CPU_DISPATCH_OVERHEAD[4]),
+    8: XEON_X5667_8T.with_overhead(CPU_DISPATCH_OVERHEAD[8]),
+}
+
+#: Pyramid cell size: the paper's cubes store one 8-byte aggregate/cell.
+PAPER_CELL_NBYTES: int = 8
+
+
+def paper_dimensions() -> list[DimensionHierarchy]:
+    """The three cube dimensions: 4 levels, cardinalities 8/40/400/1600."""
+    return [
+        DimensionHierarchy.from_fanouts(f"d{i}", ["L0", "L1", "L2", "L3"], [8, 5, 10, 4])
+        for i in (1, 2, 3)
+    ]
+
+
+def customer_dimension(name_cardinality: int = PAPER_DICT_LENGTH) -> DimensionHierarchy:
+    """The text attribute the cube does *not* materialise.
+
+    TPC-DS fact tables carry string attributes (customer/person names,
+    street names...) far beyond the three cube dimensions; queries that
+    filter on them can only be answered from the GPU's raw table and
+    must pass through the translation partition.  The finest level's
+    cardinality *is* the dictionary length :math:`D_L` of eq. 17, so
+    the translation cost is physically tied to the data.
+    """
+    segments = 1130
+    return DimensionHierarchy.from_fanouts(
+        "cust", ["segment", "name"], [segments, max(2, name_cardinality // segments)]
+    )
+
+
+def paper_schema(dict_length: int = PAPER_DICT_LENGTH) -> TableSchema:
+    """The ~4 GB GPU fact table's schema.
+
+    3 cube dimensions x 4 levels (12 int32 columns) + the 2-level
+    customer text dimension + 4 float64 measures: 88-byte rows, so the
+    ~4 GB table holds ~48.8 M rows.  Text levels: the customer name
+    (dictionary of ~1.13 M entries) and d3's finest level (a small
+    1600-entry dictionary) — Section III-F's multiple per-column
+    dictionaries.
+    """
+    return TableSchema(
+        dimensions=[*paper_dimensions(), customer_dimension(dict_length)],
+        measures=("m1", "m2", "m3", "m4"),
+        text_levels=[("cust", "name"), ("d3", "L3")],
+    )
+
+
+def paper_pyramid(include_32gb: bool = True) -> CubePyramid:
+    """The analytic CPU cube set: ~4 KB / ~500 KB / ~500 MB [/ ~32 GB]."""
+    resolutions = [0, 1, 2, 3] if include_32gb else [0, 1, 2]
+    return CubePyramid.analytic(
+        paper_dimensions(), resolutions, cell_nbytes=PAPER_CELL_NBYTES, measure="m1"
+    )
+
+
+def paper_device(
+    gpu_overhead: float = GPU_DISPATCH_OVERHEAD,
+    table_gb: float = 4.0,
+) -> SimulatedGPU:
+    """A C2070 with the ~4 GB fact table resident (analytic descriptor).
+
+    Timing = published eq. 14-15 fits + the reverse-engineered dispatch
+    overhead.
+    """
+    schema = paper_schema()
+    rows = schema.rows_for_bytes(table_gb * GB)
+    device = SimulatedGPU(
+        num_sms=14,
+        global_memory_bytes=6 * GB,
+        timing=OverheadTiming(base=TESLA_C2070_TIMING, overhead=gpu_overhead),
+        name="TeslaC2070-paper",
+    )
+    device.load_table(TableDescriptor(schema=schema, num_rows=rows))
+    return device
+
+
+def paper_dict_lengths(dict_length: int = PAPER_DICT_LENGTH) -> dict[str, int]:
+    """:math:`D_L` per text column = the level's member cardinality."""
+    schema = paper_schema(dict_length)
+    return {
+        spec.name: schema.dimension(spec.dimension).cardinality(spec.resolution)
+        for spec in schema.text_columns
+    }
+
+
+# -- workloads ------------------------------------------------------------
+
+
+def _analytic_vocabularies(schema: TableSchema) -> dict[str, list[str]]:
+    """Placeholder literals for analytic text conditions.
+
+    The analytic plane times translation from dictionary *lengths*
+    (``dict_lengths``), never performing lookups, so a handful of
+    literals per text column is enough to generate query text
+    parameters.
+    """
+    return {spec.name: [f"{spec.name}#{i}" for i in range(8)] for spec in schema.text_columns}
+
+
+def paper_workload(
+    include_500mb: bool = True,
+    include_32gb: bool = False,
+    text_prob: float = 0.0,
+    text_as_codes: bool = False,
+    seed: int = 2012,
+) -> WorkloadSpec:
+    """The reverse-engineered Section-IV query mix.
+
+    * ``small``  — resolution-1 queries answered from the KB-sized cubes
+      (cost = dispatch overhead);
+    * ``mid``    — resolution-2 queries sweeping most of the ~500 MB
+      cube (mean sub-cube ~300 MB);
+    * ``fine``   — wide resolution-3 queries over the ~32 GB cube
+      (Table 2 / Table 3 only); expensive enough on the CPU
+      (hundreds of ms to seconds) that the hybrid scheduler routes them
+      to the GPU, whose per-query cost is column-count-bound;
+    * ``text_prob`` adds a customer-name predicate to that fraction of
+      queries; such queries cannot be answered from the cube pyramid
+      (the customer dimension is not materialised) and therefore run on
+      the GPU after translation.  ``text_as_codes`` keeps the identical
+      geometry but ships pre-translated codes — the "without
+      translation" arm of the ~7 % overhead measurement.
+    """
+    if include_32gb:
+        # Table-2/3 mix: weights and coverage solved from the published
+        # 9 / 11 q/s CPU-only rates (EXPERIMENTS.md).
+        classes = [
+            QueryClass(
+                "small",
+                weight=0.70,
+                resolution=1,
+                dims_constrained=(1, 3),
+                coverage=(0.1, 0.9),
+                text_prob=text_prob,
+                text_as_codes=text_as_codes,
+            ),
+            QueryClass(
+                "mid",
+                weight=0.06,
+                resolution=2,
+                dims_constrained=(3, 3),
+                coverage=(0.70, 1.0),
+                text_prob=text_prob,
+                text_as_codes=text_as_codes,
+            ),
+            QueryClass(
+                "fine",
+                weight=0.24,
+                resolution=3,
+                dims_constrained=(3, 3),
+                coverage=(0.40, 0.90),
+                text_prob=text_prob,
+                text_as_codes=text_as_codes,
+            ),
+        ]
+    else:
+        # Table-1 mix: weights and coverage solved from the published
+        # 12 / 87 / 110 q/s CPU-only rates.
+        classes = [
+            QueryClass(
+                "small",
+                weight=0.80,
+                resolution=1,
+                dims_constrained=(1, 3),
+                coverage=(0.1, 0.9),
+                text_prob=text_prob,
+                text_as_codes=text_as_codes,
+            )
+        ]
+        if include_500mb:
+            classes.append(
+                QueryClass(
+                    "mid",
+                    weight=0.20,
+                    resolution=2,
+                    dims_constrained=(3, 3),
+                    coverage=(0.70, 1.0),
+                    text_prob=text_prob,
+                    text_as_codes=text_as_codes,
+                )
+            )
+    schema = paper_schema()
+    return WorkloadSpec(
+        dimensions=schema.dimensions,
+        classes=classes,
+        measures=("m1",),
+        # text predicates target the big customer-name dictionary; the
+        # small d3 dictionary exists for the backend ablation but does
+        # not shape the Section-IV rates
+        text_levels=[("cust", "name")],
+        vocabularies=_analytic_vocabularies(schema),
+        range_dimensions=[d.name for d in paper_dimensions()],
+        seed=seed,
+    )
+
+
+def paper_system_config(
+    threads: int = 8,
+    include_32gb: bool = True,
+    scheduler_factory=None,
+    time_constraint: float = 0.5,
+    gpu_overhead: float = GPU_DISPATCH_OVERHEAD,
+    dict_length: int = PAPER_DICT_LENGTH,
+    feedback_gain: float = 1.0,
+    noise_sigma: float = 0.0,
+    seed: int = 2012,
+) -> SystemConfig:
+    """The full Section-IV system at paper scale (analytic plane).
+
+    ``threads`` selects the CPU implementation column of Tables 1-3
+    (1 = sequential legacy, 4/8 = OpenMP).
+    """
+    if threads not in CPU_MODELS:
+        raise WorkloadError(
+            f"no CPU model for {threads} threads; available: {sorted(CPU_MODELS)}"
+        )
+    kwargs = {}
+    if scheduler_factory is not None:
+        kwargs["scheduler_factory"] = scheduler_factory
+    return SystemConfig(
+        cpu_model=CPU_MODELS[threads],
+        pyramid=paper_pyramid(include_32gb=include_32gb),
+        device=paper_device(gpu_overhead=gpu_overhead),
+        scheme=paper_partition_scheme(),
+        dict_model=PAPER_DICT_MODEL,
+        dict_lengths=paper_dict_lengths(dict_length),
+        time_constraint=time_constraint,
+        feedback_gain=feedback_gain,
+        noise_sigma=noise_sigma,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def cpu_only_config(threads: int, include_32gb: bool = False, **kwargs) -> SystemConfig:
+    """Tables 1-2 configuration: CPU partition only."""
+    return paper_system_config(
+        threads=threads,
+        include_32gb=include_32gb,
+        scheduler_factory=CPUOnlyScheduler,
+        **kwargs,
+    )
+
+
+def gpu_only_config(threads: int = 8, **kwargs) -> SystemConfig:
+    """GPU-only configuration (the 64 vs 69 q/s measurement)."""
+    return paper_system_config(
+        threads=threads,
+        include_32gb=True,
+        scheduler_factory=GPUOnlyScheduler,
+        **kwargs,
+    )

@@ -1,0 +1,33 @@
+"""Query model, textual query language and workload generation.
+
+- :mod:`repro.query.model` — the algebraic query objects of the paper:
+  per-dimension conditions :math:`C_L(f, t, r)` (eq. 1), the resolution
+  law :math:`R = \\max(r_i)` (eq. 2), and the GPU decomposition
+  :math:`Q_D` (eq. 11) with its column count (eq. 12) and text-condition
+  count (eq. 16).
+- :mod:`repro.query.parser` — a small SQL-ish text syntax for queries.
+- :mod:`repro.query.workload` — synthetic query-stream generators used by
+  the evaluation benchmarks.
+"""
+
+from repro.query.model import (
+    Condition,
+    Query,
+    QueryDecomposition,
+    ColumnPredicate,
+    required_resolution,
+)
+from repro.query.parser import parse_query
+from repro.query.workload import WorkloadSpec, QueryStream, ArrivalProcess
+
+__all__ = [
+    "Condition",
+    "Query",
+    "QueryDecomposition",
+    "ColumnPredicate",
+    "required_resolution",
+    "parse_query",
+    "WorkloadSpec",
+    "QueryStream",
+    "ArrivalProcess",
+]

@@ -1,0 +1,235 @@
+"""A small textual query language for the hybrid OLAP system.
+
+The paper's queries are structural objects (eq. 1); real deployments
+receive them as text.  This parser accepts a compact SQL-flavoured
+syntax and produces :class:`~repro.query.model.Query` objects::
+
+    SELECT sum(sales_price)
+    WHERE date.month IN [2, 10)
+      AND store.city = 'Rome'
+      AND item.brand IN ('BrandA', 'BrandB')
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT agg [ BY column (',' column)* ] [ WHERE conjunct ]
+    agg        := NAME '(' measures ')'            -- sum/count/avg/min/max
+    measures   := '*' | NAME (',' NAME)*
+    conjunct   := condition ( AND condition )*
+    condition  := column comparator
+    column     := DIM '.' LEVEL
+    comparator := '=' value
+                | IN '[' INT ',' INT ')'           -- half-open numeric range
+                | BETWEEN INT AND INT              -- inclusive numeric range
+                | IN '(' value (',' value)* ')'    -- value set
+    value      := INT | STRING
+
+String literals become untranslated text conditions (the GPU path will
+dictionary-translate them); integer literals are coordinates at the
+named level.  Level names are resolved to resolution indices against the
+dimension hierarchies supplied by the caller, so the parser rejects
+unknown dimensions/levels at parse time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, NamedTuple
+
+from repro.errors import ParseError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import Condition, Query
+
+__all__ = ["parse_query", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*')
+  | (?P<INT>\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP>[()\[\],.=*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "where", "and", "in", "between", "by"}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lexer; raises :class:`ParseError` on any unrecognised character."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = m.lastgroup
+        assert kind is not None
+        value = m.group()
+        if kind != "WS":
+            if kind == "NAME" and value.lower() in _KEYWORDS:
+                kind = value.lower().upper()  # keyword token kinds: SELECT, WHERE...
+            tokens.append(Token(kind, value, pos))
+        pos = m.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token], hierarchies: Mapping[str, DimensionHierarchy]):
+        self._tokens = tokens
+        self._i = 0
+        self._hier = hierarchies
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        self._i += 1
+        return tok
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self._cur
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = f"{kind} {value!r}" if value else kind
+            raise ParseError(
+                f"expected {want} at position {tok.pos}, got {tok.kind} {tok.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self._cur
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("SELECT")
+        agg, measures = self._agg()
+        group_by: list[tuple[str, int]] = []
+        if self._accept("BY"):
+            group_by.append(self._column())
+            while self._accept("OP", ","):
+                group_by.append(self._column())
+        conditions: list[Condition] = []
+        if self._accept("WHERE"):
+            conditions.append(self._condition())
+            while self._accept("AND"):
+                conditions.append(self._condition())
+        self._expect("EOF")
+        return Query(
+            conditions=tuple(conditions),
+            measures=measures,
+            agg=agg,
+            group_by=tuple(group_by),
+        )
+
+    def _agg(self) -> tuple[str, tuple[str, ...]]:
+        name = self._expect("NAME").value.lower()
+        self._expect("OP", "(")
+        measures: list[str] = []
+        if self._accept("OP", "*"):
+            if name != "count":
+                raise ParseError(f"'*' is only valid for count(), not {name}()")
+        else:
+            measures.append(self._expect("NAME").value)
+            while self._accept("OP", ","):
+                measures.append(self._expect("NAME").value)
+        self._expect("OP", ")")
+        if name == "count":
+            measures = []
+        return name, tuple(measures)
+
+    def _column(self) -> tuple[str, int]:
+        dim_tok = self._expect("NAME")
+        self._expect("OP", ".")
+        level_tok = self._expect("NAME")
+        dim = dim_tok.value
+        if dim not in self._hier:
+            raise ParseError(
+                f"unknown dimension {dim!r} at position {dim_tok.pos}; "
+                f"known: {sorted(self._hier)}"
+            )
+        hierarchy = self._hier[dim]
+        try:
+            resolution = hierarchy.resolution_of(level_tok.value)
+        except Exception:
+            raise ParseError(
+                f"dimension {dim!r} has no level {level_tok.value!r}; levels: "
+                f"{[l.name for l in hierarchy.levels]}"
+            ) from None
+        return dim, resolution
+
+    def _value(self) -> int | str:
+        tok = self._cur
+        if tok.kind == "INT":
+            self._advance()
+            return int(tok.value)
+        if tok.kind == "STRING":
+            self._advance()
+            return tok.value[1:-1].replace("\\'", "'")
+        raise ParseError(f"expected a value at position {tok.pos}, got {tok.value!r}")
+
+    def _condition(self) -> Condition:
+        dim, resolution = self._column()
+        if self._accept("OP", "="):
+            value = self._value()
+            if isinstance(value, str):
+                return Condition(dim, resolution, text_values=(value,))
+            return Condition(dim, resolution, lo=value, hi=value + 1)
+        if self._accept("BETWEEN"):
+            lo = self._expect("INT")
+            self._expect("AND")
+            hi = self._expect("INT")
+            return Condition(dim, resolution, lo=int(lo.value), hi=int(hi.value) + 1)
+        if self._accept("IN"):
+            if self._accept("OP", "["):
+                lo = self._expect("INT")
+                self._expect("OP", ",")
+                hi = self._expect("INT")
+                self._expect("OP", ")")
+                return Condition(dim, resolution, lo=int(lo.value), hi=int(hi.value))
+            self._expect("OP", "(")
+            values = [self._value()]
+            while self._accept("OP", ","):
+                values.append(self._value())
+            self._expect("OP", ")")
+            kinds = {type(v) for v in values}
+            if kinds == {str}:
+                return Condition(dim, resolution, text_values=tuple(values))  # type: ignore[arg-type]
+            if kinds == {int}:
+                return Condition(dim, resolution, codes=tuple(values))  # type: ignore[arg-type]
+            raise ParseError(
+                f"value set for {dim!r} mixes strings and integers: {values}"
+            )
+        tok = self._cur
+        raise ParseError(
+            f"expected '=', 'IN' or 'BETWEEN' at position {tok.pos}, got {tok.value!r}"
+        )
+
+
+def parse_query(text: str, hierarchies: Mapping[str, DimensionHierarchy]) -> Query:
+    """Parse the textual query language into a :class:`Query`.
+
+    >>> from repro.olap.hierarchy import DimensionHierarchy
+    >>> time = DimensionHierarchy.from_fanouts("date", ["year", "month"], [4, 12])
+    >>> q = parse_query("SELECT sum(value) WHERE date.month IN [3, 9)", {"date": time})
+    >>> str(q.conditions[0])
+    'C_date(r=1, [3, 9))'
+    """
+    return _Parser(tokenize(text), hierarchies).parse()

@@ -1,0 +1,28 @@
+"""Relational substrate: columnar fact tables and synthetic data.
+
+The GPU side of the hybrid system answers queries against a relational
+fact table held in GPU global memory as one flat 1-D array of columns
+(Figure 6 of the paper).  This package provides:
+
+- :mod:`repro.relational.schema` — table schemas binding dimension
+  hierarchies, per-level columns, text columns and measures;
+- :mod:`repro.relational.table` — the columnar :class:`FactTable` with
+  the paper's 1-D packed layout and a reference scan engine;
+- :mod:`repro.relational.generator` — a TPC-DS-flavoured synthetic data
+  generator (the paper evaluates translation on TPC-DS fact tables,
+  which are not redistributable; see DESIGN.md §2).
+"""
+
+from repro.relational.schema import TableSchema, ColumnSpec
+from repro.relational.table import FactTable, ScanResult
+from repro.relational.generator import SyntheticDataset, generate_dataset, tpcds_like_schema
+
+__all__ = [
+    "TableSchema",
+    "ColumnSpec",
+    "FactTable",
+    "ScanResult",
+    "SyntheticDataset",
+    "generate_dataset",
+    "tpcds_like_schema",
+]

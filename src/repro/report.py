@@ -1,0 +1,109 @@
+"""ASCII chart rendering for benchmark reports.
+
+The reproduction benchmarks regenerate the *data* behind the paper's
+figures; this module renders that data as terminal-friendly charts so
+``benchmarks/results/*.txt`` shows the curves themselves (bandwidth vs
+size, time vs columns, time vs dictionary length), not just coefficient
+tables.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "o+x*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ReproError(f"log-scale axis cannot show non-positive value {value}")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter chart.
+
+    Each series gets a marker from ``o + x * ...``; overlapping points
+    show the later series' marker.  Axis ranges cover all series; log
+    axes are supported (the figures' natural scales).
+
+    >>> print(ascii_plot({"f": [(1, 1), (2, 4), (3, 9)]}, width=20, height=5))
+    ... # doctest: +SKIP
+    """
+    if not series:
+        raise ReproError("ascii_plot needs at least one series")
+    if width < 8 or height < 4:
+        raise ReproError("chart must be at least 8x4 characters")
+    points_by_label = {
+        label: [( _transform(x, logx), _transform(y, logy)) for x, y in pts]
+        for label, pts in series.items()
+        if pts
+    }
+    if not points_by_label:
+        raise ReproError("every series is empty")
+
+    xs = [x for pts in points_by_label.values() for x, _ in pts]
+    ys = [y for pts in points_by_label.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (label, pts) in enumerate(points_by_label.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        raw = 10**v if log else v
+        if raw != 0 and (abs(raw) >= 1e4 or abs(raw) < 1e-2):
+            return f"{raw:.1e}"
+        return f"{raw:.3g}"
+
+    lines = []
+    y_top = fmt(y_hi, logy)
+    y_bot = fmt(y_lo, logy)
+    margin = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(margin)
+        elif r == height - 1:
+            label = y_bot.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_left = fmt(x_lo, logx)
+    x_right = fmt(x_hi, logx)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (margin + 2) + x_left + " " * max(1, pad) + x_right
+    )
+    scale = []
+    if logx:
+        scale.append("log x")
+    if logy:
+        scale.append("log y")
+    scale_s = f"  [{', '.join(scale)}]" if scale else ""
+    lines.append(" " * (margin + 2) + f"{xlabel} vs {ylabel}{scale_s}   " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Per-query records and system-level reports.
+
+The paper's evaluation metric is queries processed per second, split by
+whether the time constraint was met (*"The total number of processed
+queries that meet the time constraints is recorded as well as number of
+queries that did not"*).  :class:`SystemReport` computes those plus the
+per-partition and per-class breakdowns the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import SimulationError
+from repro.units import Rate, fmt_seconds
+
+__all__ = ["QueryRecord", "SystemReport"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Complete life-cycle record of one query through the system."""
+
+    query_id: int
+    query_class: str
+    target: str  # processing queue name
+    submit_time: float
+    finish_time: float
+    deadline: float
+    estimated_time: float
+    measured_time: float
+    translated: bool
+    answer: float | None = None
+
+    @property
+    def response_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.finish_time <= self.deadline
+
+    @property
+    def estimation_error(self) -> float:
+        return self.measured_time - self.estimated_time
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Aggregated outcome of one simulated run.
+
+    ``timelines`` carries per-partition ``(query_id, start, finish)``
+    service records for Gantt rendering (:mod:`repro.sim.trace`).
+    """
+
+    records: tuple[QueryRecord, ...]
+    makespan: float
+    horizon: float
+    utilisations: Mapping[str, float]
+    timelines: Mapping[str, tuple[tuple[int, float, float], ...]] = field(
+        default_factory=dict
+    )
+    rejected: int = 0
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[QueryRecord],
+        utilisations: Mapping[str, float] | None = None,
+        horizon: float | None = None,
+        timelines: Mapping[str, tuple[tuple[int, float, float], ...]] | None = None,
+        rejected: int = 0,
+    ) -> "SystemReport":
+        recs = tuple(sorted(records, key=lambda r: r.finish_time))
+        if not recs:
+            return cls(
+                records=(),
+                makespan=0.0,
+                horizon=horizon or 0.0,
+                utilisations=utilisations or {},
+                timelines=dict(timelines or {}),
+                rejected=rejected,
+            )
+        start = min(r.submit_time for r in recs)
+        end = max(r.finish_time for r in recs)
+        makespan = end - start
+        return cls(
+            records=recs,
+            makespan=makespan,
+            horizon=horizon if horizon is not None else makespan,
+            utilisations=dict(utilisations or {}),
+            timelines=dict(timelines or {}),
+            rejected=rejected,
+        )
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart of the run (see :mod:`repro.sim.trace`)."""
+        from repro.sim.trace import render_gantt
+
+        return render_gantt(self.timelines, horizon=self.horizon, width=width)
+
+    # -- headline metrics ---------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput(self) -> Rate:
+        """Queries per second over the makespan (the Tables 1-3 metric)."""
+        return Rate(self.completed, self.makespan)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.throughput.per_second
+
+    @property
+    def met_deadline(self) -> int:
+        return sum(1 for r in self.records if r.met_deadline)
+
+    @property
+    def missed_deadline(self) -> int:
+        return self.completed - self.met_deadline
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        return self.met_deadline / self.completed if self.completed else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.response_time for r in self.records) / self.completed
+
+    # -- breakdowns ------------------------------------------------------------
+
+    def by_target(self) -> dict[str, int]:
+        """Completed-query counts per processing partition."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.target] = counts.get(r.target, 0) + 1
+        return counts
+
+    def by_class(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.query_class] = counts.get(r.query_class, 0) + 1
+        return counts
+
+    def target_rate(self, prefix: str) -> float:
+        """q/s of targets whose name starts with ``prefix`` (e.g. "Q_G")."""
+        if self.makespan <= 0:
+            return 0.0
+        n = sum(c for t, c in self.by_target().items() if t.startswith(prefix))
+        return n / self.makespan
+
+    @property
+    def translated_count(self) -> int:
+        return sum(1 for r in self.records if r.translated)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report for examples and benches."""
+        lines = [
+            f"completed            : {self.completed}"
+            + (f" (+{self.rejected} rejected)" if self.rejected else ""),
+            f"makespan             : {fmt_seconds(self.makespan)}",
+            f"throughput           : {self.queries_per_second:.1f} queries/s",
+            f"met deadline         : {self.met_deadline} "
+            f"({100.0 * self.deadline_hit_rate:.1f}%)",
+            f"missed deadline      : {self.missed_deadline}",
+            f"mean response time   : {fmt_seconds(self.mean_response_time)}",
+            f"translated queries   : {self.translated_count}",
+        ]
+        for target, count in sorted(self.by_target().items()):
+            util = self.utilisations.get(target)
+            util_s = f", util {100 * util:.0f}%" if util is not None else ""
+            lines.append(f"  {target:<10s}: {count} queries{util_s}")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""FIFO servers: the realised service processes behind partition queues.
+
+A :class:`Server` is the physical counterpart of a
+:class:`~repro.core.partitions.PartitionQueue`: the queue holds the
+scheduler's *estimates* (:math:`T_Q` bookkeeping); the server executes
+jobs with *realised* service times in simulated time, one at a time, in
+submission order.  The gap between the two is exactly what the paper's
+feedback mechanism corrects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+__all__ = ["Job", "Server"]
+
+
+@dataclass
+class Job:
+    """One unit of work for a server.
+
+    ``on_complete(finish_time, job)`` fires when service ends.  The
+    realised ``service_time`` is fixed at submission (drawn by the
+    system model, possibly noisy around the estimate).
+    """
+
+    query_id: int
+    service_time: float
+    on_complete: Callable[[float, "Job"], None]
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def waiting_time(self) -> float:
+        if self.started_at is None:
+            raise SimulationError(f"job {self.query_id} has not started")
+        return self.started_at - self.submitted_at
+
+
+class Server:
+    """A FIFO station with ``capacity`` parallel service units.
+
+    ``capacity=1`` is the paper's single-partition behaviour; higher
+    capacities model a parallelised partition (e.g. the multi-threaded
+    translation service the paper's conclusion proposes as future
+    work).  Jobs still start in submission order; up to ``capacity`` of
+    them are in service concurrently.
+    """
+
+    def __init__(self, engine: SimulationEngine, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"server capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque[Job] = deque()
+        self._in_service: int = 0
+        self.completed: int = 0
+        self.busy_time: float = 0.0
+        self.total_wait: float = 0.0
+        self._jobs_seen = 0
+        #: (query_id, start, finish) per served job, in completion order —
+        #: the raw material for Gantt rendering (repro.sim.trace)
+        self.history: list[tuple[int, float, float]] = []
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True when at least one service unit is occupied."""
+        return self._in_service > 0
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilisation(self, horizon: float) -> float:
+        """Mean fraction of service units busy over ``horizon``.
+
+        For capacity 1 this is the classic utilisation; for larger
+        capacities it is normalised by the unit count so 1.0 still
+        means "fully saturated".
+        """
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)
+
+    # -- operation ------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        if job.service_time < 0:
+            raise SimulationError(
+                f"negative service time {job.service_time} for query {job.query_id}"
+            )
+        job.submitted_at = self.engine.now
+        self._jobs_seen += 1
+        self._queue.append(job)
+        self._start_next()
+
+    def _start_next(self) -> None:
+        while self._queue and self._in_service < self.capacity:
+            job = self._queue.popleft()
+            job.started_at = self.engine.now
+            self._in_service += 1
+            self.engine.schedule_after(job.service_time, lambda j=job: self._finish(j))
+
+    def _finish(self, job: Job) -> None:
+        job.finished_at = self.engine.now
+        self.completed += 1
+        self.busy_time += job.service_time
+        self.total_wait += job.waiting_time
+        assert job.started_at is not None
+        self.history.append((job.query_id, job.started_at, job.finished_at))
+        self._in_service -= 1
+        # start successors before the completion callback so a callback
+        # that submits new work observes a consistent server state
+        self._start_next()
+        job.on_complete(job.finished_at, job)
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.name!r}, {self._in_service}/{self.capacity} busy, "
+            f"queued={len(self._queue)}, completed={self.completed})"
+        )

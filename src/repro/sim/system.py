@@ -1,0 +1,360 @@
+"""The hybrid OLAP system model: scheduler + partitions + translation.
+
+:class:`HybridSystem` wires every subsystem into the evaluation loop of
+Section IV:
+
+* the :class:`~repro.core.scheduler.HybridScheduler` (or a baseline)
+  decides placement using the calibrated performance models;
+* :class:`~repro.core.partitions.PartitionQueue` objects carry the
+  scheduler's :math:`T_Q` beliefs;
+* :class:`~repro.sim.resources.Server` objects realise service in
+  simulated time — CPU cube processing, GPU partition scans, and the
+  translation partition's dictionary searches;
+* :class:`~repro.core.feedback.FeedbackController` closes the
+  measured-vs-estimated loop.
+
+Two execution modes share all of the above:
+
+* **analytic** (paper scale): the pyramid is analytic, the device holds
+  a :class:`~repro.gpu.device.TableDescriptor`; only timing flows.
+* **materialised** (laptop scale): real cubes and a real fact table;
+  every completed query also carries its answer, and the integration
+  tests assert CPU-path and GPU-path answers agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.feedback import FeedbackController
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.perfmodel import CPUPerfModel, DictPerfModel, PAPER_DICT_MODEL
+from repro.core.scheduler import (
+    BaseScheduler,
+    HybridScheduler,
+    QueryEstimates,
+    ScheduleDecision,
+)
+from repro.errors import CubeNotAvailableError, SimulationError, TranslationError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.partitioning import PartitionScheme
+from repro.olap.pyramid import CubePyramid, PyramidGroup
+from repro.query.model import Query, decompose
+from repro.query.workload import QueryStream
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import QueryRecord, SystemReport
+from repro.sim.resources import Job, Server
+from repro.text.translator import TranslationService
+
+__all__ = ["SystemConfig", "HybridSystem", "SystemEstimator"]
+
+SchedulerFactory = Callable[..., BaseScheduler]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to instantiate one system variant.
+
+    Attributes
+    ----------
+    cpu_model:
+        :math:`P_{CPU}` for the CPU OLAP partition (eq. 7/10 preset or a
+        calibrated fit).
+    pyramid:
+        The pre-calculated cube set (analytic or materialised).
+    device:
+        The simulated GPU with its fact table loaded.
+    scheme:
+        SM partitioning of the device (the paper's 2x1+2x2+2x4 default).
+    dict_model:
+        :math:`P_{DICT}` (eq. 17) used for :math:`T_{TRANS}` estimates
+        and realised translation service times.
+    translation_service:
+        Real per-column dictionaries (materialised mode); supplies both
+        dictionary lengths and actual literal-to-code translation.
+    dict_lengths:
+        Column -> :math:`D_L` map for analytic mode (no real
+        dictionaries needed to *time* translation).
+    time_constraint:
+        :math:`T_C`, the relative deadline every query receives.
+    scheduler_factory:
+        Constructor called as ``factory(cpu_q, gpu_qs, trans_q,
+        estimator, T_C)``; defaults to the paper's
+        :class:`HybridScheduler`.
+    feedback_gain:
+        1.0 = paper's full :math:`T_Q` correction; 0.0 = feedback off.
+    noise_sigma:
+        Lognormal sigma of realised/estimated service-time ratio
+        (0 = deterministic, estimates exact).
+    noise_bias:
+        Multiplicative *systematic* estimation error: realised service
+        times are ``bias x estimate x lognormal-noise``.  1.0 = unbiased
+        models; 1.5 means every model under-estimates by 50 % — the
+        regime the paper's feedback mechanism exists for (*"errors in
+        the estimation do not significantly affect the scheduling
+        algorithm"*), quantified in the ABL-FEEDBACK benchmark.
+    translation_workers:
+        Parallel service units on the translation partition.  1 is the
+        paper's configuration (a single preprocessing partition, whose
+        saturation causes the ~7 % GPU slowdown); higher values model
+        the parallel translation the conclusion defers to future work.
+        The scheduler's :math:`T_{TRANS}` queue estimate scales by the
+        worker count accordingly.
+    seed:
+        RNG seed for service-time noise.
+    """
+
+    cpu_model: CPUPerfModel
+    pyramid: CubePyramid | PyramidGroup
+    device: SimulatedGPU
+    scheme: PartitionScheme
+    dict_model: DictPerfModel = PAPER_DICT_MODEL
+    translation_service: TranslationService | None = None
+    dict_lengths: Mapping[str, int] | None = None
+    time_constraint: float = 0.5
+    scheduler_factory: SchedulerFactory = HybridScheduler
+    feedback_gain: float = 1.0
+    noise_sigma: float = 0.0
+    noise_bias: float = 1.0
+    translation_workers: int = 1
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.time_constraint <= 0:
+            raise SimulationError("time_constraint must be > 0")
+        if self.noise_sigma < 0:
+            raise SimulationError("noise_sigma must be >= 0")
+        if self.noise_bias <= 0:
+            raise SimulationError("noise_bias must be > 0")
+        if self.translation_workers < 1:
+            raise SimulationError("translation_workers must be >= 1")
+        self.scheme.validate_for(self.device)
+
+
+class SystemEstimator:
+    """Step-2 estimates from the configured performance models."""
+
+    def __init__(self, config: SystemConfig):
+        self._config = config
+        self._hierarchies = config.device.descriptor.schema.hierarchies
+        self._total_columns = config.device.descriptor.total_columns
+
+    def dictionary_length(self, column: str) -> int:
+        cfg = self._config
+        if cfg.translation_service is not None:
+            return cfg.translation_service.dictionary_length(column)
+        if cfg.dict_lengths is not None and column in cfg.dict_lengths:
+            return int(cfg.dict_lengths[column])
+        raise TranslationError(
+            f"no dictionary length known for column {column!r}; configure "
+            "translation_service or dict_lengths"
+        )
+
+    def estimate(self, query: Query) -> QueryEstimates:
+        cfg = self._config
+        # CPU (Section III-B/C): sub-cube size through the pyramid.
+        try:
+            sc_mb = cfg.pyramid.subcube_size_mb(query)
+            t_cpu: float | None = cfg.cpu_model.time(sc_mb)
+        except CubeNotAvailableError:
+            t_cpu = None
+
+        # GPU (Section III-E): column fraction per SM class.
+        decomposition = decompose(query, self._hierarchies)
+        t_gpu = {
+            n_sm: cfg.device.estimate_time(decomposition, n_sm)
+            for n_sm in cfg.scheme.distinct_sm_counts
+        }
+
+        # Translation (Section III-F): eq. 18 upper bound.  Parallel
+        # translation workers are modelled as a proportionally faster
+        # partition (fluid approximation — exact for throughput, the
+        # quantity the future-work ablation measures).
+        t_trans = 0.0
+        for pred in decomposition.text_predicates:
+            d_l = self.dictionary_length(pred.column)
+            t_trans += len(pred.condition.text_values) * cfg.dict_model.time(d_l)
+        t_trans /= cfg.translation_workers
+        return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
+
+
+class HybridSystem:
+    """Runs query streams through the full hybrid system in simulated time."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.estimator = SystemEstimator(config)
+        self._materialised = (
+            config.device.table is not None
+            and all(l.materialised for l in config.pyramid.levels)
+        )
+        if self._materialised and config.translation_service is None:
+            # materialised mode with text queries needs real dictionaries;
+            # text-free workloads run fine without them.
+            pass
+
+    @property
+    def materialised(self) -> bool:
+        """True when the run produces real answers, not just timing."""
+        return self._materialised
+
+    # -- service-time realisation -----------------------------------------
+
+    def _noise(self, rng: np.random.Generator) -> float:
+        sigma = self.config.noise_sigma
+        bias = self.config.noise_bias
+        if sigma == 0.0:
+            return bias
+        # mean-`bias` lognormal: sigma adds jitter, bias adds systematic
+        # estimation error
+        return bias * float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+
+    # -- answers (materialised mode) -----------------------------------------
+
+    def _answer_cpu(self, query: Query) -> float | None:
+        if not self._materialised:
+            return None
+        resolved = self._resolve_text(query)
+        return self.config.pyramid.answer(resolved)
+
+    def _answer_gpu(self, query: Query, n_sm: int) -> float | None:
+        if not self._materialised:
+            return None
+        resolved = self._resolve_text(query)
+        execution = self.config.device.execute_query(resolved, n_sm)
+        return execution.value
+
+    def _resolve_text(self, query: Query) -> Query:
+        if not query.needs_translation:
+            return query
+        service = self.config.translation_service
+        if service is None:
+            raise TranslationError(
+                "materialised run received text queries but no "
+                "translation_service is configured"
+            )
+        return service.translate(query).query
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, stream: QueryStream, max_events: int | None = None) -> SystemReport:
+        """Simulate one query stream; returns the aggregated report."""
+        cfg = self.config
+        engine = SimulationEngine()
+        rng = np.random.default_rng(cfg.seed)
+
+        cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+        gpu_qs = [
+            PartitionQueue(f"Q_{p.name}", QueueKind.GPU, n_sm=p.n_sm)
+            for p in cfg.scheme
+        ]
+        scheduler = cfg.scheduler_factory(
+            cpu_q, gpu_qs, trans_q, self.estimator, cfg.time_constraint
+        )
+        feedback = FeedbackController(gain=cfg.feedback_gain)
+
+        servers: dict[str, Server] = {
+            q.name: Server(engine, q.name) for q in [cpu_q, trans_q, *gpu_qs]
+        }
+        queues: dict[str, PartitionQueue] = {
+            q.name: q for q in [cpu_q, trans_q, *gpu_qs]
+        }
+
+        records: list[QueryRecord] = []
+
+        def complete_processing(
+            decision: ScheduleDecision, query_class: str, realised: float
+        ) -> Callable[[float, Job], None]:
+            def _on_complete(finish: float, job: Job) -> None:
+                queue = queues[decision.target.name]
+                feedback.on_completion(
+                    queue, realised, decision.processing.estimated_time
+                )
+                answer: float | None = None
+                if self._materialised:
+                    if decision.target.kind is QueueKind.CPU:
+                        answer = self._answer_cpu(decision.query)
+                    else:
+                        assert decision.target.n_sm is not None
+                        answer = self._answer_gpu(decision.query, decision.target.n_sm)
+                records.append(
+                    QueryRecord(
+                        query_id=decision.query.query_id,
+                        query_class=query_class,
+                        target=decision.target.name,
+                        submit_time=decision.processing.submit_time,
+                        finish_time=finish,
+                        deadline=decision.deadline,
+                        estimated_time=decision.processing.estimated_time,
+                        measured_time=realised,
+                        translated=decision.translation is not None,
+                        answer=answer,
+                    )
+                )
+
+            return _on_complete
+
+        def submit_processing(
+            decision: ScheduleDecision, query_class: str
+        ) -> None:
+            realised = decision.processing.estimated_time * self._noise(rng)
+            servers[decision.target.name].submit(
+                Job(
+                    query_id=decision.query.query_id,
+                    service_time=realised,
+                    on_complete=complete_processing(decision, query_class, realised),
+                )
+            )
+
+        rejected = [0]
+
+        def on_arrival(query: Query, query_class: str) -> Callable[[], None]:
+            def _arrive() -> None:
+                from repro.errors import AdmissionRejected
+
+                try:
+                    decision = scheduler.schedule(query, engine.now)
+                except AdmissionRejected:
+                    rejected[0] += 1
+                    return
+                if decision.translation is not None:
+                    est_trans = decision.translation.estimated_time
+                    realised_trans = est_trans * self._noise(rng)
+
+                    def _translated(finish: float, job: Job) -> None:
+                        feedback.on_completion(trans_q, realised_trans, est_trans)
+                        submit_processing(decision, query_class)
+
+                    servers[trans_q.name].submit(
+                        Job(
+                            query_id=query.query_id,
+                            service_time=realised_trans,
+                            on_complete=_translated,
+                        )
+                    )
+                else:
+                    submit_processing(decision, query_class)
+
+            return _arrive
+
+        for timed in stream:
+            engine.schedule_at(timed.time, on_arrival(timed.query, timed.query_class))
+
+        engine.run(max_events=max_events)
+
+        horizon = engine.now
+        utilisations = {
+            name: server.utilisation(horizon) for name, server in servers.items()
+        }
+        timelines = {name: tuple(server.history) for name, server in servers.items()}
+        return SystemReport.from_records(
+            records,
+            utilisations=utilisations,
+            horizon=horizon,
+            timelines=timelines,
+            rejected=rejected[0],
+        )

@@ -1,0 +1,44 @@
+"""Text-to-integer translation substrate (Section III-F).
+
+The GPU never stores strings: every text column of the fact table is
+dictionary-encoded to integers at database build time, and every string
+literal in an incoming query must be translated before GPU submission.
+
+- :mod:`repro.text.dictionary` — per-column dictionaries with multiple
+  search backends.  The paper's measured search cost is *linear* in the
+  dictionary length (Figure 9, eq. 17), so the paper-faithful backend is
+  a linear scan; hash, sorted-array and trie backends implement the
+  "more sophisticated translation algorithm" the paper defers to future
+  work, and are compared in the ABL-DICT ablation.
+- :mod:`repro.text.ahocorasick` — an Aho–Corasick automaton (the
+  multi-pattern matcher the paper's related-work section builds on) for
+  scanning free text for dictionary terms.
+- :mod:`repro.text.translator` — the query translation service run on
+  the CPU preprocessing partition, including the :math:`T_{TRANS}`
+  upper-bound estimate (eq. 18).
+"""
+
+from repro.text.dictionary import (
+    ColumnDictionary,
+    HashBackend,
+    SortedArrayBackend,
+    TrieBackend,
+    LinearScanBackend,
+    build_dictionaries,
+    BACKENDS,
+)
+from repro.text.ahocorasick import AhoCorasick
+from repro.text.translator import TranslationService, TranslationResult
+
+__all__ = [
+    "ColumnDictionary",
+    "HashBackend",
+    "SortedArrayBackend",
+    "TrieBackend",
+    "LinearScanBackend",
+    "build_dictionaries",
+    "BACKENDS",
+    "AhoCorasick",
+    "TranslationService",
+    "TranslationResult",
+]

@@ -1,0 +1,155 @@
+"""Aho–Corasick multi-pattern string matching.
+
+The paper's related-work section (II-E) grounds its dictionary design in
+Aho & Corasick's finite-state pattern-matching machine [22] and its
+Cell/B.E. optimisation by Scarpazza et al. [23].  This module provides a
+from-scratch implementation of the classic automaton:
+
+1. a *goto* function (trie over the keyword set),
+2. a *failure* function computed by BFS (longest proper suffix that is a
+   prefix of some keyword),
+3. an *output* function collecting, per state, every keyword ending
+   there.
+
+The automaton processes a text in a single pass, signalling every
+occurrence of every keyword — which is how a query front-end can locate
+dictionary terms inside free-form query text before per-column
+translation.  :class:`repro.text.translator.TranslationService` exposes
+this via ``scan_text``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import DictionaryError
+
+__all__ = ["AhoCorasick", "Match"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One keyword occurrence: ``text[start:end] == keyword``."""
+
+    start: int
+    end: int
+    keyword: str
+    pattern_index: int
+
+
+class AhoCorasick:
+    """An immutable Aho–Corasick automaton over a set of keywords.
+
+    Parameters
+    ----------
+    keywords:
+        Patterns to match.  Duplicates are rejected (each keyword must
+        map to one pattern index, mirroring dictionary codes).
+
+    Examples
+    --------
+    >>> ac = AhoCorasick(["he", "she", "his", "hers"])
+    >>> [(m.start, m.keyword) for m in ac.search("ushers")]
+    [(1, 'she'), (2, 'he'), (2, 'hers')]
+    """
+
+    def __init__(self, keywords: Iterable[str]):
+        kws = list(keywords)
+        if not kws:
+            raise DictionaryError("Aho-Corasick needs at least one keyword")
+        if any(not k for k in kws):
+            raise DictionaryError("empty keywords are not allowed")
+        if len(set(kws)) != len(kws):
+            raise DictionaryError("duplicate keywords are not allowed")
+        self._keywords = kws
+
+        # State 0 is the root.  goto is a list of {char: state}.
+        self._goto: list[dict[str, int]] = [{}]
+        self._output: list[list[int]] = [[]]
+        for idx, kw in enumerate(kws):
+            state = 0
+            for ch in kw:
+                nxt = self._goto[state].get(ch)
+                if nxt is None:
+                    self._goto.append({})
+                    self._output.append([])
+                    nxt = len(self._goto) - 1
+                    self._goto[state][ch] = nxt
+                state = nxt
+            self._output[state].append(idx)
+
+        # Failure links by BFS (Aho & Corasick, Algorithm 3).
+        self._fail: list[int] = [0] * len(self._goto)
+        queue: deque[int] = deque()
+        for state in self._goto[0].values():
+            self._fail[state] = 0
+            queue.append(state)
+        while queue:
+            r = queue.popleft()
+            for ch, s in self._goto[r].items():
+                queue.append(s)
+                f = self._fail[r]
+                while f and ch not in self._goto[f]:
+                    f = self._fail[f]
+                self._fail[s] = self._goto[f].get(ch, 0)
+                if self._fail[s] == s:  # root self-loop guard
+                    self._fail[s] = 0
+                self._output[s] = self._output[s] + self._output[self._fail[s]]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self._goto)
+
+    @property
+    def keywords(self) -> list[str]:
+        return list(self._keywords)
+
+    def __len__(self) -> int:
+        return len(self._keywords)
+
+    # -- matching --------------------------------------------------------
+
+    def _step(self, state: int, ch: str) -> int:
+        while state and ch not in self._goto[state]:
+            state = self._fail[state]
+        return self._goto[state].get(ch, 0)
+
+    def iter_matches(self, text: str) -> Iterator[Match]:
+        """Yield every keyword occurrence in ``text`` in a single pass."""
+        state = 0
+        for pos, ch in enumerate(text):
+            state = self._step(state, ch)
+            for idx in self._output[state]:
+                kw = self._keywords[idx]
+                yield Match(start=pos - len(kw) + 1, end=pos + 1, keyword=kw, pattern_index=idx)
+
+    def search(self, text: str) -> list[Match]:
+        """All matches, ordered by end position (see :meth:`iter_matches`)."""
+        return list(self.iter_matches(text))
+
+    def contains_any(self, text: str) -> bool:
+        """True as soon as any keyword occurs in ``text`` (early exit)."""
+        for _ in self.iter_matches(text):
+            return True
+        return False
+
+    def longest_matches(self, text: str) -> list[Match]:
+        """Non-overlapping, leftmost-longest matches.
+
+        Useful for tokenising query text against a dictionary: prefers
+        ``"New York City"`` over its substring ``"York"``.
+        """
+        all_matches = sorted(
+            self.search(text), key=lambda m: (m.start, -(m.end - m.start))
+        )
+        chosen: list[Match] = []
+        cursor = 0
+        for m in all_matches:
+            if m.start >= cursor:
+                chosen.append(m)
+                cursor = m.end
+        return chosen

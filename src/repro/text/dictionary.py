@@ -1,0 +1,281 @@
+"""Per-column string dictionaries.
+
+Section III-F: *"The implementation uses a smaller dictionary for each
+text column in the table rather than having one large dictionary for all
+text columns.  This approach allows more precise time estimation of the
+dictionary search for every incoming query, as smaller dictionaries have
+smaller time variation of search as well."*
+
+A :class:`ColumnDictionary` is a bijection between raw strings and
+integer codes for one fact-table column.  Codes are **positional**: code
+``i`` is the coordinate of the value along its dimension axis, so the
+cube path and the GPU path agree on coordinates (see
+:mod:`repro.relational.generator`).
+
+Search is pluggable.  The paper's measured search cost grows linearly
+with dictionary length (Figure 9 / eq. 17,
+:math:`P_{DICT}(D_L) = 0.0138\\,\\mu s \\cdot D_L`), i.e. their
+implementation is a linear scan; :class:`LinearScanBackend` reproduces
+that behaviour.  :class:`HashBackend`, :class:`SortedArrayBackend` and
+:class:`TrieBackend` are the "more sophisticated translation algorithm"
+the paper leaves to future work; the ABL-DICT ablation benchmark
+compares all of them.
+
+Every backend counts the comparisons/probes it performs
+(:attr:`ColumnDictionary.probes`), which the calibration pipeline uses
+as a machine-independent cost signal alongside wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import DictionaryError, UnknownTokenError
+
+__all__ = [
+    "DictionaryBackend",
+    "HashBackend",
+    "SortedArrayBackend",
+    "TrieBackend",
+    "LinearScanBackend",
+    "ColumnDictionary",
+    "build_dictionaries",
+    "BACKENDS",
+]
+
+
+class DictionaryBackend(ABC):
+    """Search structure mapping a token to its dictionary code.
+
+    Subclasses are built once from the full vocabulary and are immutable
+    afterwards (the database dictionary is fixed at build time).
+    ``probes`` counts elementary comparisons since construction, for
+    cost-model calibration.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, vocabulary: Sequence[str]):
+        if len(set(vocabulary)) != len(vocabulary):
+            raise DictionaryError("vocabulary contains duplicate tokens")
+        self._size = len(vocabulary)
+        self.probes = 0
+        self._build(vocabulary)
+
+    @abstractmethod
+    def _build(self, vocabulary: Sequence[str]) -> None:
+        """Construct the search structure; ``vocabulary[code] == token``."""
+
+    @abstractmethod
+    def find(self, token: str) -> int | None:
+        """Code of ``token``, or ``None`` when absent."""
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class HashBackend(DictionaryBackend):
+    """O(1) expected lookup via a hash map."""
+
+    name = "hash"
+
+    def _build(self, vocabulary: Sequence[str]) -> None:
+        self._map = {token: code for code, token in enumerate(vocabulary)}
+
+    def find(self, token: str) -> int | None:
+        self.probes += 1
+        return self._map.get(token)
+
+
+class SortedArrayBackend(DictionaryBackend):
+    """O(log n) lookup via binary search over the sorted token list.
+
+    The sorted order is over tokens; each entry carries its positional
+    code, so lookups return hierarchy coordinates, not sort ranks.
+    """
+
+    name = "sorted"
+
+    def _build(self, vocabulary: Sequence[str]) -> None:
+        pairs = sorted((token, code) for code, token in enumerate(vocabulary))
+        self._tokens = [t for t, _ in pairs]
+        self._codes = [c for _, c in pairs]
+
+    def find(self, token: str) -> int | None:
+        idx = bisect.bisect_left(self._tokens, token)
+        # bisect performs ~log2(n) comparisons; count them explicitly so
+        # the probe counter reflects real search effort.
+        self.probes += max(1, self._size.bit_length())
+        if idx < len(self._tokens) and self._tokens[idx] == token:
+            return self._codes[idx]
+        return None
+
+
+class TrieBackend(DictionaryBackend):
+    """O(len(token)) lookup via a character trie.
+
+    Memory-heavier than the sorted array but lookup cost is independent
+    of dictionary length — the asymptotically best answer to the paper's
+    translation-overhead problem.
+    """
+
+    name = "trie"
+
+    def _build(self, vocabulary: Sequence[str]) -> None:
+        # node = {char: node}, terminal code stored under the key None
+        self._root: dict = {}
+        for code, token in enumerate(vocabulary):
+            node = self._root
+            for ch in token:
+                node = node.setdefault(ch, {})
+            node[None] = code
+
+    def find(self, token: str) -> int | None:
+        node = self._root
+        for ch in token:
+            self.probes += 1
+            nxt = node.get(ch)
+            if nxt is None:
+                return None
+            node = nxt
+        self.probes += 1
+        return node.get(None)
+
+
+class LinearScanBackend(DictionaryBackend):
+    """O(n) lookup by scanning the vocabulary — the paper's behaviour.
+
+    The cost measured in Figure 9 is linear in the dictionary length
+    (eq. 17), which only a scan produces.  Kept as the paper-faithful
+    backend for calibration and as the baseline of the ABL-DICT ablation.
+    """
+
+    name = "linear"
+
+    def _build(self, vocabulary: Sequence[str]) -> None:
+        self._tokens = list(vocabulary)
+
+    def find(self, token: str) -> int | None:
+        for code, candidate in enumerate(self._tokens):
+            self.probes += 1
+            if candidate == token:
+                return code
+        return None
+
+
+BACKENDS: Mapping[str, type[DictionaryBackend]] = {
+    cls.name: cls
+    for cls in (HashBackend, SortedArrayBackend, TrieBackend, LinearScanBackend)
+}
+
+
+class ColumnDictionary:
+    """The dictionary of one text column: strings <-> positional codes.
+
+    Parameters
+    ----------
+    column:
+        Fact-table column name this dictionary encodes.
+    vocabulary:
+        ``vocabulary[code]`` is the raw string for ``code``.
+    backend:
+        Backend name from :data:`BACKENDS` or a backend instance/class.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        vocabulary: Sequence[str],
+        backend: str | type[DictionaryBackend] | DictionaryBackend = "hash",
+    ):
+        if not column:
+            raise DictionaryError("column name must be non-empty")
+        if not vocabulary:
+            raise DictionaryError(f"dictionary for {column!r} must be non-empty")
+        self.column = column
+        self._vocabulary = tuple(vocabulary)
+        if isinstance(backend, str):
+            try:
+                backend_cls = BACKENDS[backend]
+            except KeyError:
+                raise DictionaryError(
+                    f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+                ) from None
+            self._backend = backend_cls(self._vocabulary)
+        elif isinstance(backend, DictionaryBackend):
+            if len(backend) != len(self._vocabulary):
+                raise DictionaryError("backend size does not match vocabulary")
+            self._backend = backend
+        else:
+            self._backend = backend(self._vocabulary)
+
+    # -- properties --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """The dictionary length :math:`D_L` of eq. 17."""
+        return len(self._vocabulary)
+
+    @property
+    def length(self) -> int:
+        """Alias for :math:`D_{L|i}` to match the paper's notation."""
+        return len(self._vocabulary)
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def probes(self) -> int:
+        """Elementary comparisons performed by all lookups so far."""
+        return self._backend.probes
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        return self._vocabulary
+
+    # -- lookups -----------------------------------------------------------
+
+    def encode(self, token: str) -> int:
+        """Code of ``token``; raises :class:`UnknownTokenError` if absent."""
+        code = self._backend.find(token)
+        if code is None:
+            raise UnknownTokenError(self.column, token)
+        return code
+
+    def encode_many(self, tokens: Iterable[str]) -> list[int]:
+        return [self.encode(t) for t in tokens]
+
+    def decode(self, code: int) -> str:
+        """Raw string for ``code``."""
+        if not 0 <= code < len(self._vocabulary):
+            raise DictionaryError(
+                f"code {code} out of range for dictionary {self.column!r} "
+                f"(length {len(self._vocabulary)})"
+            )
+        return self._vocabulary[code]
+
+    def __contains__(self, token: str) -> bool:
+        return self._backend.find(token) is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnDictionary({self.column!r}, D_L={len(self)}, "
+            f"backend={self.backend_name!r})"
+        )
+
+
+def build_dictionaries(
+    vocabularies: Mapping[str, Sequence[str]],
+    backend: str | type[DictionaryBackend] = "hash",
+) -> dict[str, ColumnDictionary]:
+    """Build one :class:`ColumnDictionary` per text column.
+
+    ``vocabularies`` is typically
+    :attr:`repro.relational.generator.SyntheticDataset.vocabularies`.
+    """
+    return {
+        column: ColumnDictionary(column, vocab, backend=backend)
+        for column, vocab in vocabularies.items()
+    }

@@ -1,0 +1,208 @@
+"""Query translation service — the CPU preprocessing partition's job.
+
+Section III-F/III-G: every query scheduled to the GPU that carries text
+parameters must first be translated on the CPU's *preprocessing
+partition*.  :class:`TranslationService` owns the per-column
+dictionaries, performs the actual literal-to-code translation, and
+estimates the translation-time upper bound :math:`\\lceil T_{TRANS}
+\\rceil` of eq. 18::
+
+    ceil(T_TRANS) = sum_{i in CDT_QD} P_DICT(D_L|i)
+
+where the sum runs over every text parameter of the decomposed query and
+:math:`D_{L|i}` is the length of the dictionary of the column that
+parameter filters (eq. 16-17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import TranslationError, UnknownTokenError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import Condition, Query, QueryDecomposition, decompose
+from repro.text.ahocorasick import AhoCorasick, Match
+from repro.text.dictionary import ColumnDictionary
+
+__all__ = ["TranslationService", "TranslationResult"]
+
+# P_DICT(D_L): seconds per lookup given dictionary length (eq. 17 shape).
+DictCostFn = Callable[[int], float]
+
+
+def _paper_p_dict(d_l: int) -> float:
+    """The paper's measured single-threaded cost: 0.0138 us per entry."""
+    return 0.0138e-6 * d_l
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """A translated query plus the bookkeeping the scheduler needs.
+
+    Attributes
+    ----------
+    query:
+        The query with every text condition replaced by integer codes.
+    parameters_translated:
+        Number of string literals resolved (the realised workload of the
+        translation partition).
+    estimated_time:
+        The eq.-18 upper bound computed *before* translating.
+    lookups:
+        ``(column, token, code)`` per literal, in translation order.
+    """
+
+    query: Query
+    parameters_translated: int
+    estimated_time: float
+    lookups: tuple[tuple[str, str, int], ...]
+
+
+class TranslationService:
+    """Translates query text parameters to integer codes via dictionaries.
+
+    Parameters
+    ----------
+    dictionaries:
+        Per-column dictionaries, keyed by fact-table column name
+        (``"store__city"``...).
+    hierarchies:
+        Dimension hierarchies of the fact table, used to resolve each
+        condition's ``(dimension, resolution)`` pair to its column.
+    cost_model:
+        :math:`P_{DICT}(D_L)` in seconds; defaults to the paper's
+        measured eq. 17.  The scheduler can inject a calibrated model.
+    """
+
+    def __init__(
+        self,
+        dictionaries: Mapping[str, ColumnDictionary],
+        hierarchies: Mapping[str, DimensionHierarchy],
+        cost_model: DictCostFn | None = None,
+    ):
+        for column, dictionary in dictionaries.items():
+            if dictionary.column != column:
+                raise TranslationError(
+                    f"dictionary registered under {column!r} claims column "
+                    f"{dictionary.column!r}"
+                )
+        self._dictionaries = dict(dictionaries)
+        self._hierarchies = dict(hierarchies)
+        self._cost_model: DictCostFn = cost_model or _paper_p_dict
+        self._scanner: AhoCorasick | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dictionaries(self) -> Mapping[str, ColumnDictionary]:
+        return dict(self._dictionaries)
+
+    def dictionary_for(self, column: str) -> ColumnDictionary:
+        try:
+            return self._dictionaries[column]
+        except KeyError:
+            raise TranslationError(
+                f"no dictionary for column {column!r}; known: "
+                f"{sorted(self._dictionaries)}"
+            ) from None
+
+    def dictionary_length(self, column: str) -> int:
+        """:math:`D_{L|i}` for a column (eq. 17)."""
+        return len(self.dictionary_for(column))
+
+    # -- estimation -------------------------------------------------------
+
+    def estimate_time(self, query: Query) -> float:
+        """Eq. 18: upper bound of the translation time for ``query``.
+
+        Zero when the query has no text parameters, in which case the
+        scheduler bypasses the translation queue entirely.
+        """
+        decomposition = decompose(query, self._hierarchies)
+        return self.estimate_time_decomposed(decomposition)
+
+    def estimate_time_decomposed(self, decomposition: QueryDecomposition) -> float:
+        total = 0.0
+        for pred in decomposition.text_predicates:
+            d_l = self.dictionary_length(pred.column)
+            # one dictionary search per text parameter of the condition
+            total += len(pred.condition.text_values) * self._cost_model(d_l)
+        return total
+
+    def cost_per_lookup(self, column: str) -> float:
+        """:math:`P_{DICT}(D_{L})` of one column's dictionary."""
+        return self._cost_model(self.dictionary_length(column))
+
+    # -- translation -------------------------------------------------------
+
+    def translate_condition(self, condition: Condition, column: str) -> Condition:
+        """Translate one text condition's literals against ``column``."""
+        if not condition.is_text:
+            return condition
+        dictionary = self.dictionary_for(column)
+        codes = [dictionary.encode(tok) for tok in condition.text_values]
+        return condition.translated(codes)
+
+    def translate(self, query: Query) -> TranslationResult:
+        """Translate every text condition of ``query``.
+
+        Raises :class:`UnknownTokenError` when a literal is absent from
+        its column dictionary — the query cannot match any row, and the
+        paper's system would reject it at preprocessing time rather than
+        waste a GPU partition on it.
+        """
+        decomposition = decompose(query, self._hierarchies)
+        estimated = self.estimate_time_decomposed(decomposition)
+        if not decomposition.needs_translation:
+            return TranslationResult(
+                query=query, parameters_translated=0, estimated_time=0.0, lookups=()
+            )
+
+        column_of = {id(p.condition): p.column for p in decomposition.predicates}
+        lookups: list[tuple[str, str, int]] = []
+        new_conditions: list[Condition] = []
+        for cond in query.conditions:
+            if not cond.is_text:
+                new_conditions.append(cond)
+                continue
+            column = column_of[id(cond)]
+            dictionary = self.dictionary_for(column)
+            codes = []
+            for token in cond.text_values:
+                code = dictionary.encode(token)  # may raise UnknownTokenError
+                codes.append(code)
+                lookups.append((column, token, code))
+            new_conditions.append(cond.translated(codes))
+        translated = query.with_conditions(new_conditions)
+        return TranslationResult(
+            query=translated,
+            parameters_translated=len(lookups),
+            estimated_time=estimated,
+            lookups=tuple(lookups),
+        )
+
+    # -- free-text scanning (Aho-Corasick front-end) -----------------------
+
+    def scan_text(self, text: str) -> list[tuple[str, Match]]:
+        """Locate dictionary terms inside free-form query text.
+
+        Builds (lazily, once) a single Aho–Corasick automaton over the
+        union of all column vocabularies and returns leftmost-longest
+        matches tagged with the column each term belongs to.  Terms
+        appearing in several dictionaries are reported once per column.
+        """
+        if self._scanner is None:
+            union: dict[str, None] = {}
+            for dictionary in self._dictionaries.values():
+                for token in dictionary.vocabulary:
+                    union[token] = None
+            if not union:
+                return []
+            self._scanner = AhoCorasick(list(union))
+        results: list[tuple[str, Match]] = []
+        for match in self._scanner.longest_matches(text):
+            for column, dictionary in self._dictionaries.items():
+                if match.keyword in dictionary:
+                    results.append((column, match))
+        return results

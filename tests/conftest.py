@@ -1,0 +1,60 @@
+"""Shared fixtures: one small materialised world reused across the suite.
+
+Everything here is deterministic (fixed seeds) and laptop-sized; the
+expensive fixtures are session-scoped since they are read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.olap import CubePyramid, DimensionHierarchy, Level
+from repro.relational import generate_dataset, tpcds_like_schema
+from repro.text import TranslationService, build_dictionaries
+
+
+@pytest.fixture(scope="session")
+def small_schema():
+    """The TPC-DS-flavoured schema at 0.5 scale (3 dims x 4 levels)."""
+    return tpcds_like_schema(scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def dataset(small_schema):
+    """10k rows of deterministic synthetic retail data."""
+    return generate_dataset(small_schema, num_rows=10_000, seed=2012)
+
+
+@pytest.fixture(scope="session")
+def fact_table(dataset):
+    return dataset.table
+
+
+@pytest.fixture(scope="session")
+def pyramid(fact_table):
+    """Materialised 3-level pyramid over sales_price (resolutions 0-2)."""
+    return CubePyramid.from_fact_table(fact_table, "sales_price", [0, 1, 2])
+
+
+@pytest.fixture(scope="session")
+def dictionaries(dataset):
+    return build_dictionaries(dataset.vocabularies, backend="hash")
+
+
+@pytest.fixture(scope="session")
+def translator(dictionaries, small_schema):
+    return TranslationService(dictionaries, small_schema.hierarchies)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture()
+def time_dim():
+    """A classic time hierarchy: 4 years -> 48 months -> 1440 days."""
+    return DimensionHierarchy(
+        "time", [Level("year", 4), Level("month", 48), Level("day", 1440)]
+    )

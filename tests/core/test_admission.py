@@ -1,0 +1,119 @@
+"""Unit tests for the admission-control scheduler extension."""
+
+import pytest
+
+from repro.core.admission import AdmissionControlScheduler
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.scheduler import QueryEstimates
+from repro.errors import AdmissionRejected, SchedulingError
+from repro.query.model import Query
+
+
+class FixedEstimator:
+    def __init__(self, t_cpu, t_gpu=None, t_trans=0.0):
+        self._est = QueryEstimates(
+            t_cpu=t_cpu,
+            t_gpu=t_gpu or {1: 0.030, 2: 0.015, 4: 0.008},
+            t_trans=t_trans,
+        )
+
+    def estimate(self, query):
+        return self._est
+
+
+def make(estimator, lateness_factor, t_c=0.5):
+    cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+    trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+    gpu_qs = [
+        PartitionQueue(f"Q_G{i + 1}", QueueKind.GPU, n_sm=n)
+        for i, n in enumerate([1, 1, 2, 2, 4, 4])
+    ]
+    return AdmissionControlScheduler(
+        cpu_q, gpu_qs, trans_q, estimator, t_c, lateness_factor=lateness_factor
+    )
+
+
+def q():
+    return Query(conditions=(), measures=("v",))
+
+
+class TestAdmission:
+    def test_feasible_queries_admitted(self):
+        sched = make(FixedEstimator(t_cpu=0.001), lateness_factor=0.0)
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+        assert sched.rejected_count == 0
+
+    def test_hopeless_query_rejected(self):
+        sched = make(
+            FixedEstimator(t_cpu=9.0, t_gpu={1: 9.0, 2: 8.0, 4: 7.0}),
+            lateness_factor=1.0,
+            t_c=0.5,
+        )
+        with pytest.raises(AdmissionRejected) as exc:
+            sched.schedule(q(), now=0.0)
+        assert exc.value.best_response == pytest.approx(7.0)
+        assert sched.rejected_count == 1
+
+    def test_within_tolerance_uses_step6(self):
+        # best response 0.8 s, deadline 0.5 s, tolerance 1.0 x T_C = 0.5
+        sched = make(
+            FixedEstimator(t_cpu=None, t_gpu={1: 1.2, 2: 1.0, 4: 0.8}),
+            lateness_factor=1.0,
+            t_c=0.5,
+        )
+        decision = sched.schedule(q(), now=0.0)
+        assert not decision.meets_deadline
+        assert decision.target.n_sm == 4
+
+    def test_zero_tolerance_rejects_any_miss(self):
+        sched = make(
+            FixedEstimator(t_cpu=None, t_gpu={1: 1.2, 2: 1.0, 4: 0.6}),
+            lateness_factor=0.0,
+            t_c=0.5,
+        )
+        with pytest.raises(AdmissionRejected):
+            sched.schedule(q(), now=0.0)
+
+    def test_infinite_tolerance_is_pure_figure10(self):
+        sched = make(
+            FixedEstimator(t_cpu=9.0, t_gpu={1: 9.0, 2: 8.0, 4: 7.0}),
+            lateness_factor=float("inf"),
+        )
+        decision = sched.schedule(q(), now=0.0)  # never raises
+        assert not decision.meets_deadline
+
+    def test_rejected_query_leaves_no_bookkeeping(self):
+        sched = make(
+            FixedEstimator(t_cpu=9.0, t_gpu={1: 9.0, 2: 8.0, 4: 7.0}),
+            lateness_factor=0.0,
+        )
+        with pytest.raises(AdmissionRejected):
+            sched.schedule(q(), now=0.0)
+        assert sched.cpu_queue.jobs_submitted == 0
+        assert all(g.jobs_submitted == 0 for g in sched.gpu_queues)
+        assert sched.trans_queue.jobs_submitted == 0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            make(FixedEstimator(t_cpu=0.1), lateness_factor=-0.5)
+
+
+class TestSystemIntegration:
+    def test_rejections_reported(self):
+        import functools
+
+        from repro.paper import paper_system_config, paper_workload
+        from repro.query.workload import ArrivalProcess
+        from repro.sim import HybridSystem
+
+        factory = functools.partial(AdmissionControlScheduler, lateness_factor=0.0)
+        config = paper_system_config(
+            threads=8, include_32gb=True, scheduler_factory=factory
+        )
+        workload = paper_workload(include_32gb=True, seed=9)
+        stream = workload.generate(500, ArrivalProcess("uniform", rate=400.0))
+        report = HybridSystem(config).run(stream)
+        assert report.rejected > 0
+        assert report.completed + report.rejected == 500
+        assert "rejected" in report.summary()

@@ -1,0 +1,130 @@
+"""Unit tests for the baseline/ablation schedulers."""
+
+import pytest
+
+from repro.core.baselines import (
+    CPUOnlyScheduler,
+    FastestFirstScheduler,
+    GPUOnlyScheduler,
+    MCTScheduler,
+    METScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.scheduler import QueryEstimates
+from repro.errors import SchedulingError
+from repro.query.model import Query
+
+
+class FixedEstimator:
+    def __init__(self, t_cpu, t_gpu=None, t_trans=0.0):
+        self._est = QueryEstimates(
+            t_cpu=t_cpu,
+            t_gpu=t_gpu or {1: 0.030, 2: 0.015, 4: 0.008},
+            t_trans=t_trans,
+        )
+
+    def estimate(self, query):
+        return self._est
+
+
+def make(scheduler_cls, estimator, t_c=0.5):
+    cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+    trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+    gpu_qs = [
+        PartitionQueue(f"Q_G{i + 1}", QueueKind.GPU, n_sm=n)
+        for i, n in enumerate([1, 1, 2, 2, 4, 4])
+    ]
+    return scheduler_cls(cpu_q, gpu_qs, trans_q, estimator, t_c)
+
+
+def q():
+    return Query(conditions=(), measures=("v",))
+
+
+class TestMET:
+    def test_picks_smallest_execution_time(self):
+        sched = make(METScheduler, FixedEstimator(t_cpu=0.005))
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+
+    def test_ignores_backlog(self):
+        sched = make(METScheduler, FixedEstimator(t_cpu=0.005))
+        # pile 100 s of backlog on the CPU: MET still picks it
+        sched.cpu_queue.submit(99, now=0.0, estimated_time=100.0)
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+
+    def test_gpu_when_cpu_infeasible(self):
+        sched = make(METScheduler, FixedEstimator(t_cpu=None))
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.n_sm == 4  # fastest GPU class
+
+
+class TestMCT:
+    def test_accounts_for_backlog(self):
+        sched = make(MCTScheduler, FixedEstimator(t_cpu=0.005))
+        sched.cpu_queue.submit(99, now=0.0, estimated_time=100.0)
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.kind is QueueKind.GPU
+
+    def test_balances_across_partitions(self):
+        sched = make(MCTScheduler, FixedEstimator(t_cpu=None))
+        targets = [sched.schedule(q(), now=0.0).target.name for _ in range(30)]
+        assert len(set(targets)) >= 4  # spreads load
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        sched = make(RoundRobinScheduler, FixedEstimator(t_cpu=0.001))
+        targets = [sched.schedule(q(), now=0.0).target.name for _ in range(8)]
+        assert targets[0] == "Q_CPU"
+        assert targets[1] == "Q_G1"
+        assert targets[7] == "Q_CPU"  # cycle of 7 partitions wraps
+
+    def test_skips_cpu_when_infeasible(self):
+        sched = make(RoundRobinScheduler, FixedEstimator(t_cpu=None))
+        targets = {sched.schedule(q(), now=0.0).target.name for _ in range(12)}
+        assert "Q_CPU" not in targets
+
+
+class TestCPUOnly:
+    def test_always_cpu(self):
+        sched = make(CPUOnlyScheduler, FixedEstimator(t_cpu=0.5))
+        for _ in range(5):
+            assert sched.schedule(q(), now=0.0).target.name == "Q_CPU"
+
+    def test_raises_when_no_cube(self):
+        sched = make(CPUOnlyScheduler, FixedEstimator(t_cpu=None))
+        with pytest.raises(SchedulingError):
+            sched.schedule(q(), now=0.0)
+
+
+class TestGPUOnly:
+    def test_never_cpu(self):
+        sched = make(GPUOnlyScheduler, FixedEstimator(t_cpu=0.0001))
+        targets = {sched.schedule(q(), now=0.0).target.name for _ in range(20)}
+        assert "Q_CPU" not in targets
+
+    def test_slowest_first_within_deadline(self):
+        sched = make(GPUOnlyScheduler, FixedEstimator(t_cpu=None))
+        assert sched.schedule(q(), now=0.0).target.name == "Q_G1"
+
+    def test_overload_minimises_lateness(self):
+        sched = make(
+            GPUOnlyScheduler,
+            FixedEstimator(t_cpu=None, t_gpu={1: 9.0, 2: 8.0, 4: 7.0}),
+            t_c=0.1,
+        )
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.n_sm == 4
+
+
+class TestFastestFirst:
+    def test_reverses_step5_order(self):
+        sched = make(FastestFirstScheduler, FixedEstimator(t_cpu=None))
+        assert sched.schedule(q(), now=0.0).target.name == "Q_G6"
+
+    def test_cpu_branch_unchanged(self):
+        sched = make(FastestFirstScheduler, FixedEstimator(t_cpu=0.001))
+        assert sched.schedule(q(), now=0.0).target.name == "Q_CPU"

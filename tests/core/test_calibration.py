@@ -1,0 +1,164 @@
+"""Unit tests for model calibration (the Figures 4/5/8/9 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    fit_dict_cost,
+    fit_gpu_timing,
+    fit_linear,
+    fit_piecewise_cpu,
+    fit_power_law,
+    r_squared,
+)
+from repro.core.perfmodel import LinearModel, PowerLawModel
+from repro.errors import CalibrationError
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(r_squared(y, np.full(3, 2.0)), 0.0)
+
+    def test_constant_data(self):
+        y = np.ones(3)
+        assert r_squared(y, y) == 1.0
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_law(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        y = 2.5e-4 * x**0.93
+        fit = fit_power_law(x, y)
+        assert isinstance(fit.model, PowerLawModel)
+        assert np.isclose(fit.model.a, 2.5e-4)
+        assert np.isclose(fit.model.p, 0.93)
+        assert fit.r2 > 0.999
+
+    def test_noisy_fit_quality(self, rng):
+        x = np.logspace(0, 3, 30)
+        y = 1e-4 * x**0.95 * rng.lognormal(0, 0.02, size=30)
+        fit = fit_power_law(x, y)
+        assert 0.9 < fit.model.p < 1.0
+        assert fit.r2 > 0.95
+
+    def test_nonpositive_data_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_power_law([1.0, 2.0, 0.0], [1.0, 2.0, 3.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0])
+
+
+class TestLinearFit:
+    def test_recovers_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0])
+        fit = fit_linear(x, 5e-5 * x + 0.0096)
+        assert np.isclose(fit.model.a, 5e-5)
+        assert np.isclose(fit.model.b, 0.0096)
+
+    def test_through_origin(self):
+        x = np.array([1.0, 2.0, 4.0])
+        fit = fit_linear(x, 3.0 * x, through_origin=True)
+        assert np.isclose(fit.model.a, 3.0)
+        assert fit.model.b == 0.0
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([2.0, 2.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, float("nan")], [1.0, 2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, 2.0], [1.0])
+
+
+class TestPiecewiseCPUFit:
+    def _synthetic_sweep(self):
+        sizes = np.array([1, 4, 16, 64, 256, 512, 1024, 4096, 16384], dtype=float)
+        times = np.where(
+            sizes < 512.0,
+            1e-4 * sizes**0.9341,
+            5e-5 * sizes + 0.0096,
+        )
+        return sizes, times
+
+    def test_recovers_eq7_coefficients(self):
+        sizes, times = self._synthetic_sweep()
+        model = fit_piecewise_cpu(sizes, times, threads=4)
+        assert np.isclose(model.time(100.0), 1e-4 * 100**0.9341, rtol=1e-3)
+        assert np.isclose(model.time(8192.0), 5e-5 * 8192 + 0.0096, rtol=1e-3)
+
+    def test_breakpoint_honoured(self):
+        sizes, times = self._synthetic_sweep()
+        model = fit_piecewise_cpu(sizes, times, breakpoint_mb=512.0)
+        assert model.model.breakpoint == 512.0
+
+    def test_min_r2_enforced(self, rng):
+        sizes = np.array([1, 4, 16, 64, 256, 1024, 4096], dtype=float)
+        times = rng.random(len(sizes))  # garbage
+        with pytest.raises(CalibrationError, match="R\\^2"):
+            fit_piecewise_cpu(sizes, times, min_r2=0.99)
+
+    def test_insufficient_range_coverage(self):
+        with pytest.raises(CalibrationError, match="breakpoint"):
+            fit_piecewise_cpu([1, 2, 4, 8, 16], [1, 2, 3, 4, 5])
+
+
+class TestGPUFit:
+    def test_recovers_eq14(self):
+        fracs = np.linspace(0.1, 1.0, 10)
+        measurements = {
+            1: (fracs, 0.0030 * fracs + 0.0258),
+            2: (fracs, 0.0015 * fracs + 0.0130),
+            4: (fracs, 0.0008 * fracs + 0.0065),
+        }
+        timing = fit_gpu_timing(measurements)
+        assert np.isclose(timing.query_time(0.5, 1), 0.0030 * 0.5 + 0.0258)
+        assert timing.measured_sm_counts == (1, 2, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_gpu_timing({})
+
+    def test_min_r2(self, rng):
+        fracs = np.linspace(0.1, 1.0, 10)
+        with pytest.raises(CalibrationError):
+            fit_gpu_timing({1: (fracs, rng.random(10))}, min_r2=0.999)
+
+
+class TestDictFit:
+    def test_recovers_eq17(self):
+        lengths = np.array([1e3, 1e4, 1e5, 1e6])
+        model = fit_dict_cost(lengths, 0.0138e-6 * lengths)
+        assert np.isclose(model.cost_per_entry, 0.0138e-6)
+
+    def test_negative_slope_rejected(self):
+        lengths = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(CalibrationError):
+            fit_dict_cost(lengths, -1e-6 * lengths)
+
+
+class TestEndToEndCalibration:
+    def test_bandwidth_sweep_to_cpu_model(self):
+        """The full Figures-4/5 pipeline on real (tiny) measurements."""
+        from repro.olap.bandwidth import run_bandwidth_sweep
+
+        sweep = run_bandwidth_sweep(
+            sizes_mb=(1, 2, 4, 8, 16, 32, 64), thread_counts=(1,), repeats=2
+        )
+        # use a laptop-scale breakpoint: the shape (power-law then
+        # linear) is what calibration must capture
+        model = fit_piecewise_cpu(
+            sweep.sizes_mb(1), sweep.times(1), breakpoint_mb=16.0, threads=1
+        )
+        t = model.time(48.0)
+        assert 0 < t < 1.0  # sane magnitude for a 48 MB reduction

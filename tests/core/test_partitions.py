@@ -1,0 +1,110 @@
+"""Unit tests for partition queues and T_Q bookkeeping."""
+
+import pytest
+
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.errors import PartitionError
+
+
+class TestConstruction:
+    def test_gpu_queue_needs_sm(self):
+        with pytest.raises(PartitionError):
+            PartitionQueue("Q_G1", QueueKind.GPU)
+
+    def test_non_gpu_queue_rejects_sm(self):
+        with pytest.raises(PartitionError):
+            PartitionQueue("Q_CPU", QueueKind.CPU, n_sm=4)
+
+    def test_kind_from_string(self):
+        q = PartitionQueue("Q_TRANS", "translation")
+        assert q.kind is QueueKind.TRANSLATION
+
+    def test_empty_name(self):
+        with pytest.raises(PartitionError):
+            PartitionQueue("", QueueKind.CPU)
+
+
+class TestTQBookkeeping:
+    def test_initial_state(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        assert q.t_q == 0.0
+        assert q.outstanding == 0
+        assert q.ready_time(5.0) == 5.0
+
+    def test_submit_accumulates(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        s1 = q.submit(1, now=0.0, estimated_time=0.5)
+        s2 = q.submit(2, now=0.0, estimated_time=0.3)
+        assert s1.estimated_start == 0.0
+        assert s2.estimated_start == 0.5
+        assert q.t_q == 0.8
+        assert q.outstanding == 2
+
+    def test_ready_time_clamps_to_now(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=0.1)
+        # at t=5 the queue drained long ago
+        assert q.ready_time(5.0) == 5.0
+        s = q.submit(2, now=5.0, estimated_time=0.2)
+        assert s.estimated_start == 5.0
+        assert q.t_q == 5.2
+
+    def test_backlog(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=2.0)
+        assert q.backlog(0.5) == 1.5
+        assert q.backlog(3.0) == 0.0
+
+    def test_negative_estimate_rejected(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        with pytest.raises(PartitionError):
+            q.submit(1, now=0.0, estimated_time=-0.1)
+
+    def test_submission_records(self):
+        q = PartitionQueue("Q_G1", QueueKind.GPU, n_sm=2)
+        q.submit(7, now=1.0, estimated_time=0.25)
+        (sub,) = q.submissions
+        assert sub.query_id == 7
+        assert sub.estimated_finish == 1.25
+
+
+class TestFeedback:
+    def test_overrun_extends_t_q(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        delta = q.apply_feedback(measured_time=1.5, estimated_time=1.0)
+        assert delta == 0.5
+        assert q.t_q == 1.5
+        assert q.outstanding == 0
+
+    def test_underrun_shrinks_t_q(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        q.submit(2, now=0.0, estimated_time=1.0)
+        q.apply_feedback(measured_time=0.4, estimated_time=1.0)
+        assert q.t_q == pytest.approx(1.4)
+
+    def test_feedback_without_jobs_rejected(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        with pytest.raises(PartitionError):
+            q.apply_feedback(1.0, 1.0)
+
+    def test_complete_without_feedback(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        q.complete_without_feedback()
+        assert q.t_q == 1.0
+        assert q.outstanding == 0
+
+    def test_negative_times_rejected(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        with pytest.raises(PartitionError):
+            q.apply_feedback(-1.0, 1.0)
+
+    def test_totals_tracked(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        q.apply_feedback(1.2, 1.0)
+        assert q.total_estimated == 1.0
+        assert q.total_feedback == pytest.approx(0.2)

@@ -1,0 +1,142 @@
+"""Unit tests for the performance-model families (eq. 4-10, 17)."""
+
+import numpy as np
+import pytest
+
+from repro.core.perfmodel import (
+    CPUPerfModel,
+    DictPerfModel,
+    LinearModel,
+    PAPER_DICT_MODEL,
+    PAPER_RANGE_BREAK_MB,
+    PiecewiseModel,
+    PowerLawModel,
+    XEON_X5667_1T_LEGACY,
+    XEON_X5667_4T,
+    XEON_X5667_8T,
+)
+from repro.errors import CalibrationError
+
+
+class TestPowerLaw:
+    def test_evaluation(self):
+        m = PowerLawModel(a=2.0, p=0.5)
+        assert np.isclose(m.time(16.0), 8.0)
+
+    def test_nonpositive_input(self):
+        with pytest.raises(CalibrationError):
+            PowerLawModel(a=1.0, p=1.0).time(0.0)
+
+    def test_nonpositive_coefficient(self):
+        with pytest.raises(CalibrationError):
+            PowerLawModel(a=0.0, p=1.0)
+
+
+class TestLinear:
+    def test_evaluation(self):
+        assert LinearModel(a=2.0, b=1.0).time(3.0) == 7.0
+
+    def test_negative_input(self):
+        with pytest.raises(CalibrationError):
+            LinearModel(a=1.0).time(-1.0)
+
+
+class TestPiecewise:
+    def test_branch_selection(self):
+        m = PiecewiseModel(
+            breakpoint=10.0,
+            below=LinearModel(a=1.0),
+            above=LinearModel(a=100.0),
+        )
+        assert m.time(5.0) == 5.0
+        assert m.time(20.0) == 2000.0
+
+    def test_breakpoint_belongs_to_range_b(self):
+        m = PiecewiseModel(
+            breakpoint=10.0,
+            below=LinearModel(a=1.0),
+            above=LinearModel(a=2.0),
+        )
+        assert m.time(10.0) == 20.0
+
+    def test_continuity_gap(self):
+        m = PiecewiseModel(
+            breakpoint=10.0,
+            below=LinearModel(a=1.0),
+            above=LinearModel(a=1.0, b=0.5),
+        )
+        assert np.isclose(m.continuity_gap(), 0.5)
+
+    def test_invalid_breakpoint(self):
+        with pytest.raises(CalibrationError):
+            PiecewiseModel(breakpoint=0, below=LinearModel(a=1), above=LinearModel(a=1))
+
+
+class TestPublishedCPUModels:
+    def test_eq7_small_range(self):
+        # f_A|4T(100 MB) = 1e-4 * 100^0.9341
+        assert np.isclose(XEON_X5667_4T.time(100.0), 1e-4 * 100**0.9341)
+
+    def test_eq7_large_range(self):
+        # f_B|4T(1024 MB) = 5e-5 * 1024 + 0.0096
+        assert np.isclose(XEON_X5667_4T.time(1024.0), 5e-5 * 1024 + 0.0096)
+
+    def test_eq10(self):
+        assert np.isclose(XEON_X5667_8T.time(100.0), 6e-5 * 100**0.984)
+        assert np.isclose(XEON_X5667_8T.time(2048.0), 4e-5 * 2048 + 0.0146)
+
+    def test_breakpoint_is_512mb(self):
+        assert PAPER_RANGE_BREAK_MB == 512.0
+
+    def test_8t_faster_than_4t_at_scale(self):
+        for mb in (1024, 8192, 32768):
+            assert XEON_X5667_8T.time(mb) < XEON_X5667_4T.time(mb)
+
+    def test_legacy_is_1gbps(self):
+        assert np.isclose(XEON_X5667_1T_LEGACY.time(1024.0), 1.0)
+
+    def test_32gb_cube_times_match_paper_narrative(self):
+        # Table 2 implies ~1.3-1.7 s for a 32 GB scan
+        t4 = XEON_X5667_4T.time(32 * 1024)
+        t8 = XEON_X5667_8T.time(32 * 1024)
+        assert 1.5 < t4 < 1.8
+        assert 1.2 < t8 < 1.5
+
+    def test_dispatch_overhead(self):
+        m = XEON_X5667_8T.with_overhead(0.005)
+        assert np.isclose(m.time(100.0), XEON_X5667_8T.time(100.0) + 0.005)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(CalibrationError):
+            XEON_X5667_8T.with_overhead(-0.1)
+
+    def test_invalid_threads(self):
+        with pytest.raises(CalibrationError):
+            CPUPerfModel(model=LinearModel(a=1.0), threads=0)
+
+    def test_bandwidth_helper(self):
+        # 1024 MB in 1 s -> 1 GB/s
+        m = CPUPerfModel(model=LinearModel(a=1.0 / 1024.0), threads=1)
+        assert np.isclose(m.bandwidth_gbps(1024.0), 1.0)
+
+
+class TestDictModel:
+    def test_eq17(self):
+        assert np.isclose(PAPER_DICT_MODEL.time(1_000_000), 0.0138)
+
+    def test_eq18_sums(self):
+        assert np.isclose(
+            PAPER_DICT_MODEL.translation_time([1000, 2000]),
+            0.0138e-6 * 3000,
+        )
+
+    def test_empty_translation_is_zero(self):
+        assert PAPER_DICT_MODEL.translation_time([]) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CalibrationError):
+            PAPER_DICT_MODEL.time(-1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CalibrationError):
+            DictPerfModel(cost_per_entry=-1e-9)

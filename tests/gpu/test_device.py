@@ -1,0 +1,124 @@
+"""Unit tests for the simulated GPU device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, TranslationError
+from repro.gpu.device import SimulatedGPU, TableDescriptor
+from repro.gpu.timing import TESLA_C2070_TIMING
+from repro.query.model import Condition, Query, decompose
+from repro.units import GB, MB
+
+
+@pytest.fixture()
+def device(fact_table):
+    dev = SimulatedGPU(num_sms=14, global_memory_bytes=GB, timing=TESLA_C2070_TIMING)
+    dev.load_table(fact_table)
+    return dev
+
+
+@pytest.fixture()
+def analytic_device(small_schema):
+    dev = SimulatedGPU(num_sms=14, global_memory_bytes=6 * GB)
+    dev.load_table(TableDescriptor(schema=small_schema, num_rows=10_000_000))
+    return dev
+
+
+class TestResidency:
+    def test_table_too_large(self, small_schema):
+        dev = SimulatedGPU(global_memory_bytes=MB)
+        with pytest.raises(DeviceError, match="exceeds"):
+            dev.load_table(TableDescriptor(schema=small_schema, num_rows=10_000_000))
+
+    def test_descriptor_before_load(self):
+        dev = SimulatedGPU()
+        with pytest.raises(DeviceError):
+            dev.descriptor
+
+    def test_analytic_flag(self, device, analytic_device):
+        assert not device.is_analytic
+        assert analytic_device.is_analytic
+
+    def test_default_timing_sized_to_table(self, fact_table):
+        dev = SimulatedGPU()
+        dev.load_table(fact_table)
+        t_small = dev.timing.query_time(0.1, 14)
+        t_big = dev.timing.query_time(1.0, 14)
+        assert t_big > t_small
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(DeviceError):
+            SimulatedGPU(num_sms=0)
+        with pytest.raises(DeviceError):
+            SimulatedGPU(global_memory_bytes=0)
+
+    def test_descriptor_properties(self, small_schema):
+        desc = TableDescriptor(schema=small_schema, num_rows=1000)
+        assert desc.nbytes == small_schema.table_nbytes(1000)
+        assert desc.total_columns == small_schema.total_columns
+        with pytest.raises(DeviceError):
+            TableDescriptor(schema=small_schema, num_rows=-1)
+
+
+class TestEstimation:
+    def test_estimate_uses_column_fraction(self, device, small_schema):
+        q1 = Query(conditions=(Condition("date", 0, lo=0, hi=1),), measures=("quantity",))
+        q2 = Query(
+            conditions=(
+                Condition("date", 0, lo=0, hi=1),
+                Condition("store", 1, lo=0, hi=5),
+                Condition("item", 2, lo=0, hi=5),
+            ),
+            measures=("quantity", "sales_price"),
+        )
+        d1 = decompose(q1, small_schema.hierarchies)
+        d2 = decompose(q2, small_schema.hierarchies)
+        assert device.estimate_time(d2, 4) > device.estimate_time(d1, 4)
+
+    def test_estimate_matches_published_model(self, device, small_schema):
+        q = Query(conditions=(Condition("date", 1, lo=0, hi=3),), measures=("quantity",))
+        d = decompose(q, small_schema.hierarchies)
+        frac = d.column_fraction(small_schema.total_columns)
+        assert np.isclose(
+            device.estimate_time(d, 2), TESLA_C2070_TIMING.query_time(frac, 2)
+        )
+
+    def test_sm_bounds(self, device, small_schema):
+        q = Query(conditions=(), measures=("quantity",))
+        d = decompose(q, small_schema.hierarchies)
+        with pytest.raises(DeviceError):
+            device.estimate_time(d, 15)
+        with pytest.raises(DeviceError):
+            device.estimate_time(d, 0)
+
+
+class TestExecution:
+    def test_real_answer(self, device, fact_table, small_schema):
+        q = Query(
+            conditions=(Condition("store", 1, lo=2, hi=9),), measures=("quantity",)
+        )
+        execution = device.execute_query(q, 4)
+        assert execution.kernel is not None
+        assert np.isclose(execution.value, fact_table.execute(q).value("quantity"))
+        assert execution.simulated_time > 0
+
+    def test_analytic_has_no_answer(self, analytic_device, small_schema):
+        q = Query(conditions=(Condition("date", 0, lo=0, hi=2),), measures=("quantity",))
+        execution = analytic_device.execute_query(q, 2)
+        assert execution.kernel is None
+        assert execution.simulated_time > 0
+        with pytest.raises(DeviceError):
+            execution.value
+
+    def test_untranslated_text_rejected(self, device, small_schema):
+        q = Query(
+            conditions=(Condition("store", 2, text_values=("x",)),),
+            measures=("quantity",),
+        )
+        with pytest.raises(TranslationError):
+            device.execute_query(q, 2)
+
+    def test_column_fraction_recorded(self, device, small_schema):
+        q = Query(conditions=(Condition("date", 0, lo=0, hi=1),), measures=("quantity",))
+        execution = device.execute_query(q, 1)
+        assert np.isclose(execution.column_fraction, 2 / small_schema.total_columns)

@@ -1,0 +1,80 @@
+"""Unit tests for SM partition schemes."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.partitioning import (
+    GPUPartition,
+    PartitionScheme,
+    monolithic_scheme,
+    paper_partition_scheme,
+    uniform_scheme,
+)
+
+
+class TestGPUPartition:
+    def test_name(self):
+        assert GPUPartition(index=0, n_sm=1).name == "G1"
+        assert GPUPartition(index=5, n_sm=4).name == "G6"
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            GPUPartition(index=-1, n_sm=1)
+        with pytest.raises(PartitionError):
+            GPUPartition(index=0, n_sm=0)
+
+
+class TestPaperScheme:
+    def test_composition(self):
+        scheme = paper_partition_scheme()
+        assert scheme.sm_counts == (1, 1, 2, 2, 4, 4)
+        assert scheme.total_sms == 14
+        assert len(scheme) == 6
+
+    def test_fits_c2070(self):
+        scheme = paper_partition_scheme()
+        scheme.validate_for(SimulatedGPU(num_sms=14))
+
+    def test_slowest_first_order(self):
+        scheme = paper_partition_scheme()
+        counts = [p.n_sm for p in scheme.slowest_first()]
+        assert counts == sorted(counts)
+
+    def test_fastest(self):
+        assert paper_partition_scheme().fastest().n_sm == 4
+
+    def test_distinct_sm_counts(self):
+        assert paper_partition_scheme().distinct_sm_counts == (1, 2, 4)
+
+
+class TestOtherSchemes:
+    def test_monolithic(self):
+        scheme = monolithic_scheme(14)
+        assert scheme.sm_counts == (14,)
+
+    def test_uniform(self):
+        scheme = uniform_scheme(7, 2)
+        assert scheme.sm_counts == (2,) * 7
+
+    def test_uniform_validation(self):
+        with pytest.raises(PartitionError):
+            uniform_scheme(0, 2)
+
+    def test_unsorted_input_is_sorted(self):
+        scheme = PartitionScheme([4, 1, 2])
+        assert scheme.sm_counts == (1, 2, 4)
+
+    def test_oversubscription_rejected(self):
+        scheme = PartitionScheme([8, 8])
+        with pytest.raises(PartitionError, match="16 SMs"):
+            scheme.validate_for(SimulatedGPU(num_sms=14))
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionScheme([])
+
+    def test_indexing(self):
+        scheme = paper_partition_scheme()
+        assert scheme[0].n_sm == 1
+        assert scheme[5].n_sm == 4

@@ -1,0 +1,54 @@
+"""Unit tests for the bandwidth benchmark harness (Figure 3 source)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.olap.bandwidth import BandwidthPoint, run_bandwidth_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # tiny sizes keep the suite fast; shape checks only need relative data
+    return run_bandwidth_sweep(sizes_mb=(1, 2, 4), thread_counts=(1, 2), repeats=2)
+
+
+class TestSweep:
+    def test_point_count(self, sweep):
+        assert len(sweep.points) == 3 * 2
+
+    def test_thread_counts(self, sweep):
+        assert sweep.thread_counts == (1, 2)
+
+    def test_sizes_per_thread(self, sweep):
+        assert sweep.sizes_mb(1) == [1, 2, 4]
+
+    def test_times_positive(self, sweep):
+        assert all(t > 0 for t in sweep.times(1))
+        assert all(t > 0 for t in sweep.times(2))
+
+    def test_bandwidths_positive_and_finite(self, sweep):
+        for bw in sweep.bandwidths(1) + sweep.bandwidths(2):
+            assert np.isfinite(bw) and bw > 0
+
+    def test_times_grow_with_size(self, sweep):
+        # larger sub-cubes take longer for a fixed thread count
+        times = sweep.times(1)
+        assert times[-1] > times[0]
+
+    def test_checksum_recorded(self, sweep):
+        assert all(p.checksum != 0.0 for p in sweep.points)
+
+
+class TestValidation:
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(CalibrationError):
+            run_bandwidth_sweep(sizes_mb=(1,), repeats=0)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(CalibrationError):
+            run_bandwidth_sweep(sizes_mb=())
+
+    def test_point_gbps(self):
+        p = BandwidthPoint(size_mb=1024.0, num_threads=1, seconds=1.0, checksum=1.0)
+        assert np.isclose(p.gbps, 1.0)

@@ -1,0 +1,151 @@
+"""Unit tests for dimension hierarchies."""
+
+import pytest
+
+from repro.errors import DimensionError, ResolutionError
+from repro.olap.hierarchy import DimensionHierarchy, Level
+
+
+class TestLevel:
+    def test_valid_level(self):
+        lvl = Level("year", 10)
+        assert lvl.name == "year"
+        assert lvl.cardinality == 10
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DimensionError):
+            Level("", 10)
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(DimensionError):
+            Level("year", 0)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(DimensionError):
+            Level("year", -3)
+
+
+class TestConstruction:
+    def test_single_level(self):
+        d = DimensionHierarchy("x", [Level("only", 7)])
+        assert d.num_levels == 1
+        assert d.finest_resolution == 0
+
+    def test_refinement_chain(self, time_dim):
+        assert [l.cardinality for l in time_dim] == [4, 48, 1440]
+
+    def test_non_multiple_cardinality_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy("t", [Level("a", 4), Level("b", 10)])
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy("t", [Level("a", 4), Level("b", 4)])
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy("t", [Level("a", 4), Level("a", 8)])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy("t", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy("", [Level("a", 4)])
+
+    def test_equality_and_hash(self, time_dim):
+        clone = DimensionHierarchy(
+            "time", [Level("year", 4), Level("month", 48), Level("day", 1440)]
+        )
+        assert clone == time_dim
+        assert hash(clone) == hash(time_dim)
+
+    def test_inequality(self, time_dim):
+        other = DimensionHierarchy("time", [Level("year", 4)])
+        assert other != time_dim
+
+
+class TestLookups:
+    def test_level_by_resolution(self, time_dim):
+        assert time_dim.level(1).name == "month"
+
+    def test_resolution_of(self, time_dim):
+        assert time_dim.resolution_of("day") == 2
+
+    def test_resolution_of_unknown(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.resolution_of("hour")
+
+    def test_cardinality(self, time_dim):
+        assert time_dim.cardinality(2) == 1440
+
+    def test_check_resolution_bounds(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.check_resolution(3)
+        with pytest.raises(ResolutionError):
+            time_dim.check_resolution(-1)
+
+    def test_fanout(self, time_dim):
+        assert time_dim.fanout(0) == 4  # from the virtual root
+        assert time_dim.fanout(1) == 12  # months per year
+        assert time_dim.fanout(2) == 30  # days per month
+
+
+class TestCoordinateConversion:
+    def test_coarsen_month_to_year(self, time_dim):
+        assert time_dim.coarsen_coord(35, from_res=1, to_res=0) == 2
+
+    def test_coarsen_identity(self, time_dim):
+        assert time_dim.coarsen_coord(7, from_res=1, to_res=1) == 7
+
+    def test_coarsen_to_finer_rejected(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.coarsen_coord(0, from_res=0, to_res=1)
+
+    def test_coarsen_out_of_range(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.coarsen_coord(48, from_res=1, to_res=0)
+
+    def test_refine_range_exact_blocks(self, time_dim):
+        lo, hi = time_dim.refine_range(1, 3, from_res=0, to_res=1)
+        assert (lo, hi) == (12, 36)
+
+    def test_refine_range_identity(self, time_dim):
+        assert time_dim.refine_range(5, 9, 1, 1) == (5, 9)
+
+    def test_refine_to_coarser_rejected(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.refine_range(0, 1, from_res=1, to_res=0)
+
+    def test_refine_invalid_range(self, time_dim):
+        with pytest.raises(ResolutionError):
+            time_dim.refine_range(3, 2, 0, 1)
+        with pytest.raises(ResolutionError):
+            time_dim.refine_range(0, 5, 0, 1)  # hi beyond cardinality 4
+
+
+class TestConvenienceConstructors:
+    def test_from_fanouts(self):
+        d = DimensionHierarchy.from_fanouts("t", ["y", "m", "d"], [8, 12, 30])
+        assert [l.cardinality for l in d] == [8, 96, 2880]
+
+    def test_from_fanouts_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy.from_fanouts("t", ["y", "m"], [8])
+
+    def test_from_fanouts_fanout_one_rejected_between_levels(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy.from_fanouts("t", ["a", "b"], [4, 1])
+
+    def test_uniform(self):
+        d = DimensionHierarchy.uniform("u", num_levels=3, fanout=4)
+        assert [l.cardinality for l in d] == [4, 16, 64]
+
+    def test_uniform_with_base(self):
+        d = DimensionHierarchy.uniform("u", num_levels=2, fanout=5, base=10)
+        assert [l.cardinality for l in d] == [10, 50]
+
+    def test_uniform_zero_levels_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionHierarchy.uniform("u", num_levels=0, fanout=2)

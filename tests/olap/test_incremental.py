@@ -1,0 +1,148 @@
+"""Tests for incremental cube maintenance and chunked range aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CubeError
+from repro.olap.chunks import ChunkedCube
+from repro.olap.cube import OLAPCube
+from repro.olap.pyramid import CubePyramid
+from repro.relational import generate_dataset, tpcds_like_schema
+from repro.relational.table import FactTable
+
+
+@pytest.fixture(scope="module")
+def halves(small_schema):
+    full = generate_dataset(small_schema, num_rows=6000, seed=44)
+    mid = 3000
+    cols_a = {c.name: full.table.column(c.name)[:mid] for c in small_schema.columns}
+    cols_b = {c.name: full.table.column(c.name)[mid:] for c in small_schema.columns}
+    return (
+        full.table,
+        FactTable(small_schema, cols_a),
+        FactTable(small_schema, cols_b),
+    )
+
+
+class TestCubeIngest:
+    def test_ingest_equals_full_build(self, halves):
+        full, a, b = halves
+        cube = OLAPCube.from_fact_table(a, "quantity", resolutions=[1, 1, 1])
+        assert cube.ingest(b) == len(b)
+        fresh = OLAPCube.from_fact_table(full, "quantity", resolutions=[1, 1, 1])
+        assert np.allclose(cube.component("sum"), fresh.component("sum"))
+        assert np.array_equal(cube.component("count"), fresh.component("count"))
+
+    def test_ingest_with_minmax(self, halves):
+        full, a, b = halves
+        cube = OLAPCube.from_fact_table(
+            a, "sales_price", resolutions=[0, 1, 0], with_minmax=True
+        )
+        cube.ingest(b)
+        fresh = OLAPCube.from_fact_table(
+            full, "sales_price", resolutions=[0, 1, 0], with_minmax=True
+        )
+        assert np.allclose(cube.component("min"), fresh.component("min"))
+        assert np.allclose(cube.component("max"), fresh.component("max"))
+
+    def test_ingest_empty_batch(self, halves, small_schema):
+        _, a, _ = halves
+        cube = OLAPCube.from_fact_table(a, "quantity", resolutions=[0, 0, 0])
+        empty = FactTable(
+            small_schema,
+            {c.name: np.empty(0, dtype=c.dtype) for c in small_schema.columns},
+        )
+        before = cube.component("sum").copy()
+        assert cube.ingest(empty) == 0
+        assert np.array_equal(cube.component("sum"), before)
+
+    def test_ingest_schema_mismatch(self, halves):
+        _, a, _ = halves
+        cube = OLAPCube.from_fact_table(a, "quantity", resolutions=[0, 0, 0])
+        other_schema = tpcds_like_schema(scale=0.25)
+        other = generate_dataset(other_schema, num_rows=10, seed=1).table
+        with pytest.raises(CubeError, match="dimension"):
+            cube.ingest(other)
+
+    def test_ingest_repeatedly(self, halves):
+        full, a, b = halves
+        cube = OLAPCube.from_fact_table(a, "quantity", resolutions=[1, 0, 1])
+        cube.ingest(b)
+        cube.ingest(b)  # b twice: totals = a + 2b
+        expected = (
+            full.column("quantity").sum() + b.column("quantity").sum()
+        )
+        assert np.isclose(cube.component("sum").sum(), expected)
+
+
+class TestPyramidIngest:
+    def test_all_levels_updated(self, halves):
+        full, a, b = halves
+        pyr = CubePyramid.from_fact_table(a, "quantity", [0, 1, 2])
+        pyr.ingest(b)
+        fresh = CubePyramid.from_fact_table(full, "quantity", [0, 1, 2])
+        for l1, l2 in zip(pyr.levels, fresh.levels):
+            assert np.allclose(l1.cube.component("sum"), l2.cube.component("sum"))
+
+    def test_queries_after_ingest(self, halves, small_schema):
+        from repro.query.model import Condition, Query
+
+        full, a, b = halves
+        pyr = CubePyramid.from_fact_table(a, "quantity", [0, 1, 2])
+        pyr.ingest(b)
+        q = Query(conditions=(Condition("date", 1, lo=0, hi=8),), measures=("quantity",))
+        assert np.isclose(pyr.answer(q), full.execute(q).value())
+
+    def test_analytic_pyramid_rejected(self, small_schema, halves):
+        _, a, _ = halves
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1])
+        with pytest.raises(CubeError, match="analytic"):
+            pyr.ingest(a)
+
+
+class TestChunkedRangeSum:
+    @pytest.fixture()
+    def array(self, rng):
+        a = rng.random((23, 17, 9))
+        a[a < 0.6] = 0.0
+        return a
+
+    def test_matches_dense_slice(self, array):
+        cc = ChunkedCube.from_dense(array, (8, 8, 4))
+        ranges = [(3, 19), (0, 11), (2, 9)]
+        expected = array[3:19, 0:11, 2:9].sum()
+        assert np.isclose(cc.sum_range(ranges), expected)
+
+    def test_full_range_equals_sum(self, array):
+        cc = ChunkedCube.from_dense(array, (8, 8, 4))
+        full = [(0, s) for s in array.shape]
+        assert np.isclose(cc.sum_range(full), cc.sum())
+
+    def test_empty_range(self, array):
+        cc = ChunkedCube.from_dense(array, (8, 8, 4))
+        assert cc.sum_range([(5, 5), (0, 17), (0, 9)]) == 0.0
+
+    def test_single_cell(self, array):
+        cc = ChunkedCube.from_dense(array, (4, 4, 4))
+        assert np.isclose(
+            cc.sum_range([(10, 11), (4, 5), (7, 8)]), array[10, 4, 7]
+        )
+
+    def test_only_compressed_chunks(self, rng):
+        a = np.zeros((16, 16))
+        a[3, 3] = 5.0
+        a[12, 9] = 7.0
+        cc = ChunkedCube.from_dense(a, (8, 8))
+        assert cc.num_compressed == cc.num_chunks
+        assert np.isclose(cc.sum_range([(0, 8), (0, 8)]), 5.0)
+        assert np.isclose(cc.sum_range([(8, 16), (8, 16)]), 7.0)
+        assert np.isclose(cc.sum_range([(0, 16), (0, 16)]), 12.0)
+
+    def test_validation(self, array):
+        cc = ChunkedCube.from_dense(array, (8, 8, 4))
+        with pytest.raises(CubeError):
+            cc.sum_range([(0, 5)])  # wrong rank
+        with pytest.raises(CubeError):
+            cc.sum_range([(0, 99), (0, 17), (0, 9)])  # out of bounds
+        with pytest.raises(CubeError):
+            cc.sum_range([(5, 3), (0, 17), (0, 9)])  # inverted

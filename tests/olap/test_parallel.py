@@ -1,0 +1,94 @@
+"""Unit tests for the thread-parallel aggregation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CubeError, QueryError
+from repro.olap.cube import OLAPCube
+from repro.olap.parallel import ParallelAggregator
+from repro.query.model import Condition, Query
+
+
+@pytest.fixture(scope="module")
+def cube(fact_table):
+    return OLAPCube.from_fact_table(
+        fact_table, "sales_price", resolutions=[1, 1, 1], with_minmax=True
+    )
+
+
+class TestReduceArray:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_sum_matches_numpy(self, threads, rng):
+        a = rng.random((1000, 7))
+        agg = ParallelAggregator(num_threads=threads)
+        assert np.isclose(agg.reduce_array(a, "add"), a.sum())
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_min_max(self, threads, rng):
+        a = rng.normal(size=5000)
+        agg = ParallelAggregator(num_threads=threads)
+        assert agg.reduce_array(a, "min") == a.min()
+        assert agg.reduce_array(a, "max") == a.max()
+
+    def test_empty_sum_is_zero(self):
+        agg = ParallelAggregator(num_threads=2)
+        assert agg.reduce_array(np.empty(0), "add") == 0.0
+
+    def test_empty_min_rejected(self):
+        agg = ParallelAggregator(num_threads=2)
+        with pytest.raises(QueryError):
+            agg.reduce_array(np.empty(0), "min")
+
+    def test_unknown_reduction(self):
+        with pytest.raises(QueryError):
+            ParallelAggregator().reduce_array(np.ones(4), "mean")
+
+    def test_more_threads_than_rows(self, rng):
+        a = rng.random(3)
+        agg = ParallelAggregator(num_threads=16)
+        assert np.isclose(agg.reduce_array(a, "add"), a.sum())
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(CubeError):
+            ParallelAggregator(num_threads=0)
+
+
+class TestAggregate:
+    @pytest.mark.parametrize("threads", [1, 4])
+    @pytest.mark.parametrize("agg_name", ["sum", "count", "avg", "min", "max"])
+    def test_matches_sequential_cube(self, cube, threads, agg_name, small_schema):
+        d0 = small_schema.dimensions[0].name
+        measures = () if agg_name == "count" else ("sales_price",)
+        q = Query(
+            conditions=(Condition(d0, 1, lo=1, hi=9),),
+            measures=measures,
+            agg=agg_name,
+        )
+        from repro.olap.subcube import answer_with_cube
+
+        sequential = answer_with_cube(cube, q)
+        parallel = ParallelAggregator(num_threads=threads).aggregate(cube, q).value
+        assert np.isclose(parallel, sequential, equal_nan=True)
+
+    def test_bytes_streamed_matches_spec(self, cube, small_schema):
+        from repro.olap.subcube import spec_for_query
+
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 1, lo=0, hi=4),), measures=("sales_price",))
+        result = ParallelAggregator(num_threads=2).aggregate(cube, q)
+        assert result.bytes_streamed == spec_for_query(cube, q).nbytes
+
+    def test_codes_selection(self, cube, small_schema, fact_table):
+        d1 = small_schema.dimensions[1]
+        q = Query(
+            conditions=(Condition(d1.name, 1, codes=(0, 5, 9)),),
+            measures=("sales_price",),
+        )
+        result = ParallelAggregator(num_threads=4).aggregate(cube, q)
+        assert np.isclose(result.value, fact_table.execute(q).value("sales_price"))
+
+    def test_result_metadata(self, cube):
+        q = Query(conditions=(), measures=("sales_price",))
+        result = ParallelAggregator(num_threads=4).aggregate(cube, q)
+        assert result.num_threads == 4
+        assert result.num_blocks >= 1

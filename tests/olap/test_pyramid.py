@@ -1,0 +1,175 @@
+"""Unit tests for the multi-resolution cube pyramid (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CubeError, CubeNotAvailableError
+from repro.olap.pyramid import CubePyramid, PyramidLevel
+from repro.query.model import Condition, Query
+from repro.units import MB
+
+
+class TestConstruction:
+    def test_levels_sorted_by_size(self, pyramid):
+        sizes = [pyramid.level_nbytes(l) for l in pyramid.levels]
+        assert sizes == sorted(sizes)
+
+    def test_materialised(self, pyramid):
+        assert all(l.materialised for l in pyramid.levels)
+
+    def test_analytic_pyramid_shapes(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1, 2], cell_nbytes=8)
+        assert len(pyr.levels) == 3
+        assert not any(l.materialised for l in pyr.levels)
+        coarsest = pyr.levels[0]
+        expected = 8
+        for d, r in zip(pyr.dimensions, coarsest.resolutions):
+            expected *= d.cardinality(r)
+        assert pyr.level_nbytes(coarsest) == expected
+
+    def test_empty_levels_rejected(self, small_schema):
+        with pytest.raises(CubeError):
+            CubePyramid(small_schema.dimensions, [])
+
+    def test_resolution_mismatch_rejected(self, small_schema):
+        with pytest.raises(CubeError):
+            CubePyramid(
+                small_schema.dimensions,
+                [PyramidLevel(resolutions=(0, 0), cell_nbytes=8)],
+            )
+
+    def test_total_nbytes(self, pyramid):
+        assert pyramid.total_nbytes == sum(
+            pyramid.level_nbytes(l) for l in pyramid.levels
+        )
+
+    def test_rollup_levels_match_direct(self, fact_table):
+        pyr = CubePyramid.from_fact_table(fact_table, "quantity", [0, 2])
+        from repro.olap.cube import OLAPCube
+
+        direct = OLAPCube.from_fact_table(fact_table, "quantity", resolutions=[0, 0, 0])
+        assert np.allclose(
+            pyr.levels[0].cube.component("sum"), direct.component("sum")
+        )
+
+
+class TestSelection:
+    def test_selects_smallest_sufficient(self, pyramid, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 1, lo=0, hi=2),), measures=("sales_price",))
+        level = pyramid.select_level(q)
+        assert max(level.resolutions) == 1
+
+    def test_unconstrained_uses_coarsest(self, pyramid):
+        q = Query(conditions=(), measures=("sales_price",))
+        assert pyramid.select_level(q) is pyramid.levels[0]
+
+    def test_too_fine_raises(self, pyramid, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 3, lo=0, hi=5),), measures=("sales_price",))
+        with pytest.raises(CubeNotAvailableError):
+            pyramid.select_level(q)
+
+    def test_unknown_dimension_raises(self, pyramid):
+        q = Query(
+            conditions=(Condition("cust", 0, lo=0, hi=1),), measures=("sales_price",)
+        )
+        with pytest.raises(CubeNotAvailableError):
+            pyramid.select_level(q)
+
+    def test_eq2_max_over_conditions(self, pyramid, small_schema):
+        d = [d.name for d in small_schema.dimensions]
+        q = Query(
+            conditions=(
+                Condition(d[0], 0, lo=0, hi=1),
+                Condition(d[1], 2, lo=0, hi=5),
+            ),
+            measures=("sales_price",),
+        )
+        level = pyramid.select_level(q)
+        assert max(level.resolutions) == 2
+
+
+class TestSubcubeSize:
+    def test_full_scan_size(self, pyramid):
+        q = Query(conditions=(), measures=("sales_price",))
+        level = pyramid.levels[0]
+        assert np.isclose(
+            pyramid.subcube_size_mb(q), pyramid.level_nbytes(level) / MB
+        )
+
+    def test_range_width(self, pyramid, small_schema):
+        d0 = small_schema.dimensions[0]
+        q = Query(
+            conditions=(Condition(d0.name, 1, lo=0, hi=6),), measures=("sales_price",)
+        )
+        level = pyramid.select_level(q)
+        other = 1
+        for d, r in zip(pyramid.dimensions, level.resolutions):
+            if d.name != d0.name:
+                other *= d.cardinality(r)
+        expected = 6 * other * level.cell_nbytes / MB
+        assert np.isclose(pyramid.subcube_size_mb(q), expected)
+
+    def test_text_condition_width_is_literal_count(self, pyramid, small_schema):
+        # text literals resolve to one member each on the CPU path
+        d1 = small_schema.dimensions[1]
+        q = Query(
+            conditions=(Condition(d1.name, 2, text_values=("a", "b"),),),
+            measures=("sales_price",),
+        )
+        level = pyramid.select_level(q)
+        other = 1
+        for d, r in zip(pyramid.dimensions, level.resolutions):
+            if d.name != d1.name:
+                other *= d.cardinality(r)
+        expected = 2 * other * level.cell_nbytes / MB
+        assert np.isclose(pyramid.subcube_size_mb(q), expected)
+
+    def test_scanned_bytes_matches_spec(self, pyramid, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 1, lo=1, hi=4),), measures=("sales_price",))
+        assert pyramid.scanned_bytes(q) > 0
+
+
+class TestAnswer:
+    def test_answer_matches_table(self, pyramid, fact_table, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(
+            conditions=(Condition(d0, 1, lo=2, hi=8),),
+            measures=("sales_price",),
+            agg="sum",
+        )
+        assert np.isclose(
+            pyramid.answer(q), fact_table.execute(q).value("sales_price")
+        )
+
+    def test_analytic_level_cannot_answer(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0])
+        q = Query(conditions=(), measures=("value",))
+        with pytest.raises(CubeError, match="analytic"):
+            pyr.answer(q)
+
+
+class TestLevelsMAndG:
+    def test_level_m_budget(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1, 2], cell_nbytes=8)
+        sizes = [pyr.level_nbytes(l) for l in pyr.levels]
+        m = pyr.level_m(sizes[1])
+        assert pyr.level_nbytes(m) == sizes[1]
+
+    def test_level_m_none_when_budget_tiny(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1, 2], cell_nbytes=8)
+        assert pyr.level_m(1) is None
+
+    def test_level_g_equilibrium(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1, 2], cell_nbytes=8)
+        # CPU: 1 ms per MB; GPU flat 10 ms -> level G is the finest level
+        # under 10 MB
+        g = pyr.level_g(lambda mb: mb * 1e-3, 10e-3)
+        assert g is not None
+        assert pyr.level_nbytes(g) <= 10 * MB
+
+    def test_level_g_none_when_gpu_always_wins(self, small_schema):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1, 2], cell_nbytes=8)
+        assert pyr.level_g(lambda mb: 1.0 + mb, 1e-9) is None

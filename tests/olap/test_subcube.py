@@ -1,0 +1,138 @@
+"""Unit tests for sub-cube extraction and the eq.-3 size law."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, ResolutionError
+from repro.olap.cube import OLAPCube
+from repro.olap.subcube import (
+    answer_with_cube,
+    spec_for_query,
+    subcube_size_bytes,
+    subcube_size_mb,
+)
+from repro.query.model import Condition, Query
+
+
+@pytest.fixture(scope="module")
+def cube(fact_table):
+    return OLAPCube.from_fact_table(fact_table, "sales_price", resolutions=[1, 1, 1])
+
+
+class TestSizeLaw:
+    def test_eq3_bytes(self):
+        # 10 x 20 x 30 cells of 8 bytes
+        assert subcube_size_bytes([10, 20, 30], 8) == 48_000
+
+    def test_eq3_mb_uses_binary_megabytes(self):
+        assert subcube_size_mb([1024, 1024], 1) == 1.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(QueryError):
+            subcube_size_bytes([10, 0], 8)
+
+    def test_zero_cell_size_rejected(self):
+        with pytest.raises(QueryError):
+            subcube_size_bytes([10], 0)
+
+    def test_empty_widths_is_single_cell(self):
+        assert subcube_size_bytes([], 8) == 8
+
+
+class TestSpecForQuery:
+    def test_unconstrained_covers_full_axes(self, cube):
+        spec = spec_for_query(cube, Query(conditions=(), measures=("sales_price",)))
+        assert spec.widths == cube.shape
+        assert spec.nbytes == cube.num_cells * cube.cell_nbytes
+
+    def test_range_condition_width(self, cube, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 1, lo=2, hi=7),), measures=("sales_price",))
+        spec = spec_for_query(cube, q)
+        assert spec.widths[0] == 5
+
+    def test_coarse_condition_refined(self, cube, small_schema):
+        d0 = small_schema.dimensions[0]
+        fanout = d0.cardinality(1) // d0.cardinality(0)
+        q = Query(conditions=(Condition(d0.name, 0, lo=1, hi=2),), measures=("sales_price",))
+        spec = spec_for_query(cube, q)
+        assert spec.widths[0] == fanout
+
+    def test_codes_condition(self, cube, small_schema):
+        d1 = small_schema.dimensions[1].name
+        q = Query(
+            conditions=(Condition(d1, 1, codes=(0, 2, 4)),), measures=("sales_price",)
+        )
+        spec = spec_for_query(cube, q)
+        assert spec.widths[1] == 3
+
+    def test_coarse_codes_expand_to_children(self, cube, small_schema):
+        d1 = small_schema.dimensions[1]
+        fanout = d1.cardinality(1) // d1.cardinality(0)
+        q = Query(
+            conditions=(Condition(d1.name, 0, codes=(1,)),), measures=("sales_price",)
+        )
+        spec = spec_for_query(cube, q)
+        assert spec.widths[1] == fanout
+
+    def test_condition_finer_than_cube_rejected(self, cube, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 3, lo=0, hi=5),), measures=("sales_price",))
+        with pytest.raises(ResolutionError):
+            spec_for_query(cube, q)
+
+    def test_text_condition_rejected(self, cube, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(
+            conditions=(Condition(d0, 1, text_values=("x",)),),
+            measures=("sales_price",),
+        )
+        with pytest.raises(QueryError, match="untranslated"):
+            spec_for_query(cube, q)
+
+    def test_unknown_dimension_rejected(self, cube):
+        q = Query(
+            conditions=(Condition("nope", 0, lo=0, hi=1),), measures=("sales_price",)
+        )
+        with pytest.raises(QueryError):
+            spec_for_query(cube, q)
+
+    def test_size_mb_consistent_with_bytes(self, cube, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d0, 1, lo=0, hi=4),), measures=("sales_price",))
+        spec = spec_for_query(cube, q)
+        assert np.isclose(spec.size_mb, spec.nbytes / 2**20)
+
+
+class TestAnswerWithCube:
+    def test_matches_reference_scan(self, cube, fact_table, small_schema):
+        d0 = small_schema.dimensions[0].name
+        q = Query(
+            conditions=(Condition(d0, 1, lo=3, hi=9),),
+            measures=("sales_price",),
+            agg="sum",
+        )
+        assert np.isclose(
+            answer_with_cube(cube, q), fact_table.execute(q).value("sales_price")
+        )
+
+    def test_count_agg(self, cube, fact_table, small_schema):
+        d2 = small_schema.dimensions[2].name
+        q = Query(conditions=(Condition(d2, 1, lo=0, hi=10),), measures=(), agg="count")
+        assert answer_with_cube(cube, q) == fact_table.execute(q).value("count")
+
+    def test_wrong_measure_rejected(self, cube):
+        q = Query(conditions=(), measures=("quantity",), agg="sum")
+        with pytest.raises(QueryError, match="measure"):
+            answer_with_cube(cube, q)
+
+    def test_avg_matches_reference(self, cube, fact_table, small_schema):
+        d1 = small_schema.dimensions[1].name
+        q = Query(
+            conditions=(Condition(d1, 0, lo=0, hi=3),),
+            measures=("sales_price",),
+            agg="avg",
+        )
+        assert np.isclose(
+            answer_with_cube(cube, q), fact_table.execute(q).value("sales_price")
+        )

@@ -1,0 +1,101 @@
+"""Property-based tests: calibration recovers known models exactly."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import (
+    fit_dict_cost,
+    fit_gpu_timing,
+    fit_linear,
+    fit_piecewise_cpu,
+    fit_power_law,
+)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+class TestExactRecovery:
+    @given(
+        st.floats(1e-6, 1e-2, **finite),
+        st.floats(0.5, 1.5, **finite),
+    )
+    @settings(max_examples=100)
+    def test_power_law_recovery(self, a, p):
+        x = np.logspace(0, 3, 12)
+        y = a * x**p
+        fit = fit_power_law(x, y)
+        assert np.isclose(fit.model.a, a, rtol=1e-6)
+        assert np.isclose(fit.model.p, p, rtol=1e-6)
+        assert fit.r2 > 0.999
+
+    @given(
+        st.floats(1e-7, 1e-3, **finite),
+        st.floats(0.0, 0.1, **finite),
+    )
+    @settings(max_examples=100)
+    def test_linear_recovery(self, a, b):
+        x = np.linspace(1, 1000, 15)
+        fit = fit_linear(x, a * x + b)
+        assert np.isclose(fit.model.a, a, rtol=1e-6)
+        assert np.isclose(fit.model.b, b, atol=1e-9)
+
+    @given(st.floats(1e-9, 1e-5, **finite))
+    @settings(max_examples=100)
+    def test_dict_cost_recovery(self, cost):
+        lengths = np.array([1e3, 1e4, 1e5, 1e6])
+        model = fit_dict_cost(lengths, cost * lengths)
+        assert np.isclose(model.cost_per_entry, cost, rtol=1e-9)
+
+    @given(
+        st.floats(1e-5, 1e-3, **finite),
+        st.floats(0.8, 1.1, **finite),
+        st.floats(1e-6, 1e-4, **finite),
+        st.floats(1e-3, 5e-2, **finite),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_piecewise_recovery(self, a, p, slope, intercept):
+        sizes = np.array([1, 4, 16, 64, 256, 512, 2048, 8192, 32768], dtype=float)
+        times = np.where(sizes < 512.0, a * sizes**p, slope * sizes + intercept)
+        model = fit_piecewise_cpu(sizes, times)
+        for mb in sizes:
+            expected = a * mb**p if mb < 512.0 else slope * mb + intercept
+            assert np.isclose(model.time(mb), expected, rtol=1e-4)
+
+    @given(
+        st.dictionaries(
+            st.integers(1, 14),
+            st.tuples(st.floats(1e-5, 1e-2, **finite), st.floats(0.0, 0.1, **finite)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60)
+    def test_gpu_timing_recovery(self, coefficients):
+        fracs = np.linspace(0.05, 1.0, 10)
+        measurements = {
+            n_sm: (list(fracs), [a * f + b for f in fracs])
+            for n_sm, (a, b) in coefficients.items()
+        }
+        fitted = fit_gpu_timing(measurements)
+        for n_sm, (a, b) in coefficients.items():
+            ga, gb = fitted.coefficients[n_sm]
+            assert np.isclose(ga, a, rtol=1e-5, atol=1e-12)
+            assert np.isclose(gb, b, rtol=1e-5, atol=1e-9)
+
+
+class TestNoiseRobustness:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_piecewise_fit_under_noise(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = np.logspace(0, 4.5, 18)
+        from repro.core.perfmodel import XEON_X5667_8T
+
+        truth = np.array([XEON_X5667_8T.time(mb) for mb in sizes])
+        noisy = truth * rng.lognormal(0.0, 0.05, len(sizes))
+        model = fit_piecewise_cpu(sizes, noisy, threads=8)
+        # exponent recovered within a generous band under 5% noise
+        assert 0.85 < model.model.below.p < 1.1
+        # large-size predictions stay within 25%
+        assert np.isclose(model.time(32768.0), truth[-1], rtol=0.25)

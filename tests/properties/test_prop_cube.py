@@ -1,0 +1,116 @@
+"""Property-based tests on cube invariants.
+
+The load-bearing invariant of the MOLAP substrate: aggregation commutes
+with roll-up (decomposable aggregates), and cube answers always equal
+the reference scan.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.olap.cube import OLAPCube
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import Condition, Query
+from repro.olap.subcube import answer_with_cube
+from repro.relational.schema import TableSchema
+from repro.relational.table import FactTable
+
+
+DIMS = [
+    DimensionHierarchy.from_fanouts("x", ["x0", "x1"], [3, 4]),
+    DimensionHierarchy.from_fanouts("y", ["y0", "y1"], [2, 5]),
+]
+SCHEMA = TableSchema(DIMS, measures=("v",))
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(0, 60))
+    x = draw(st.lists(st.integers(0, 11), min_size=n, max_size=n))
+    y = draw(st.lists(st.integers(0, 9), min_size=n, max_size=n))
+    v = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    cols = {
+        "x__x1": np.array(x, dtype=np.int32),
+        "x__x0": np.array(x, dtype=np.int32) // 4,
+        "y__y1": np.array(y, dtype=np.int32),
+        "y__y0": np.array(y, dtype=np.int32) // 5,
+        "v": np.array(v),
+    }
+    return FactTable(SCHEMA, cols)
+
+
+@st.composite
+def range_conditions(draw):
+    conds = []
+    if draw(st.booleans()):
+        r = draw(st.integers(0, 1))
+        card = DIMS[0].cardinality(r)
+        lo = draw(st.integers(0, card - 1))
+        hi = draw(st.integers(lo + 1, card))
+        conds.append(Condition("x", r, lo=lo, hi=hi))
+    if draw(st.booleans()):
+        r = draw(st.integers(0, 1))
+        card = DIMS[1].cardinality(r)
+        lo = draw(st.integers(0, card - 1))
+        hi = draw(st.integers(lo + 1, card))
+        conds.append(Condition("y", r, lo=lo, hi=hi))
+    return tuple(conds)
+
+
+class TestCubeInvariants:
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_commutes_with_build(self, table):
+        fine = OLAPCube.from_fact_table(table, "v", resolutions=[1, 1])
+        coarse_direct = OLAPCube.from_fact_table(table, "v", resolutions=[0, 0])
+        coarse_rolled = fine.rollup([0, 0])
+        assert np.allclose(
+            coarse_rolled.component("sum"), coarse_direct.component("sum")
+        )
+        assert np.array_equal(
+            coarse_rolled.component("count"), coarse_direct.component("count")
+        )
+
+    @given(tables(), range_conditions(), st.sampled_from(["sum", "count", "avg"]))
+    @settings(max_examples=80, deadline=None)
+    def test_cube_answer_equals_reference_scan(self, table, conditions, agg):
+        measures = () if agg == "count" else ("v",)
+        q = Query(conditions=conditions, measures=measures, agg=agg)
+        cube = OLAPCube.from_fact_table(table, "v", resolutions=[1, 1])
+        cube_answer = answer_with_cube(cube, q)
+        reference = table.execute(q).value()
+        assert np.isclose(cube_answer, reference, equal_nan=True, atol=1e-9)
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_conserved(self, table):
+        cube = OLAPCube.from_fact_table(table, "v", resolutions=[1, 1])
+        assert np.isclose(cube.component("sum").sum(), table.column("v").sum())
+        assert cube.component("count").sum() == len(table)
+
+    @given(tables(), range_conditions())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_ranges_are_additive(self, table, conditions):
+        # splitting any x-range in two must preserve the sum
+        cube = OLAPCube.from_fact_table(table, "v", resolutions=[1, 1])
+        card = DIMS[0].cardinality(1)
+        mid = card // 2
+        left = Query(
+            conditions=(Condition("x", 1, lo=0, hi=mid),), measures=("v",)
+        )
+        right = Query(
+            conditions=(Condition("x", 1, lo=mid, hi=card),), measures=("v",)
+        )
+        total = Query(conditions=(), measures=("v",))
+        assert np.isclose(
+            answer_with_cube(cube, left) + answer_with_cube(cube, right),
+            answer_with_cube(cube, total),
+            atol=1e-9,
+        )

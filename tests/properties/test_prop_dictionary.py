@@ -1,0 +1,76 @@
+"""Property-based tests for dictionaries and the Aho-Corasick automaton."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.ahocorasick import AhoCorasick
+from repro.text.dictionary import BACKENDS, ColumnDictionary
+
+tokens = st.text(alphabet="abcdef", min_size=1, max_size=8)
+vocabularies = st.lists(tokens, min_size=1, max_size=40, unique=True)
+
+
+class TestDictionaryProperties:
+    @given(vocabularies, st.sampled_from(sorted(BACKENDS)))
+    @settings(max_examples=100)
+    def test_encode_decode_roundtrip(self, vocab, backend):
+        d = ColumnDictionary("c", vocab, backend=backend)
+        for code, token in enumerate(vocab):
+            assert d.encode(token) == code
+            assert d.decode(code) == token
+
+    @given(vocabularies, tokens, st.sampled_from(sorted(BACKENDS)))
+    @settings(max_examples=100)
+    def test_membership_consistent_with_vocab(self, vocab, probe, backend):
+        d = ColumnDictionary("c", vocab, backend=backend)
+        assert (probe in d) == (probe in vocab)
+
+    @given(vocabularies)
+    @settings(max_examples=50)
+    def test_all_backends_agree(self, vocab):
+        dicts = [ColumnDictionary("c", vocab, backend=b) for b in BACKENDS]
+        for token in vocab:
+            codes = {d.encode(token) for d in dicts}
+            assert len(codes) == 1
+
+
+class TestAhoCorasickProperties:
+    @given(
+        st.lists(tokens, min_size=1, max_size=10, unique=True),
+        st.text(alphabet="abcdef", max_size=60),
+    )
+    @settings(max_examples=150)
+    def test_matches_equal_naive_search(self, keywords, text):
+        ac = AhoCorasick(keywords)
+        expected = set()
+        for kw in keywords:
+            start = 0
+            while True:
+                pos = text.find(kw, start)
+                if pos == -1:
+                    break
+                expected.add((pos, kw))
+                start = pos + 1
+        got = {(m.start, m.keyword) for m in ac.search(text)}
+        assert got == expected
+
+    @given(
+        st.lists(tokens, min_size=1, max_size=10, unique=True),
+        st.text(alphabet="abcdef", max_size=60),
+    )
+    @settings(max_examples=100)
+    def test_match_substrings_are_exact(self, keywords, text):
+        ac = AhoCorasick(keywords)
+        for m in ac.search(text):
+            assert text[m.start : m.end] == m.keyword
+
+    @given(
+        st.lists(tokens, min_size=1, max_size=8, unique=True),
+        st.text(alphabet="abcdef", max_size=50),
+    )
+    @settings(max_examples=100)
+    def test_longest_matches_disjoint(self, keywords, text):
+        ac = AhoCorasick(keywords)
+        chosen = ac.longest_matches(text)
+        for a, b in zip(chosen, chosen[1:]):
+            assert a.end <= b.start

@@ -1,0 +1,89 @@
+"""Property-based tests for the simulation engine and servers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.resources import Job, Server
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_events_observed_in_sorted_order(self, times):
+        engine = SimulationEngine()
+        observed = []
+        for t in times:
+            engine.schedule_at(t, lambda: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(times)
+        assert engine.events_processed == len(times)
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30), st.floats(0.0, 10.0))
+    @settings(max_examples=100)
+    def test_run_until_never_passes_boundary(self, times, until):
+        engine = SimulationEngine()
+        for t in times:
+            engine.schedule_at(t, lambda: None)
+        engine.run(until=until)
+        assert engine.now <= max(until, max(times))
+        assert all(t > until for t, _, _ in engine._heap)
+
+
+class TestServerProperties:
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_fifo_completion_times(self, services):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        finishes = []
+        for i, s in enumerate(services):
+            server.submit(
+                Job(query_id=i, service_time=s, on_complete=lambda t, j: finishes.append(t))
+            )
+        engine.run()
+        # completion times are the prefix sums of service times
+        assert np.allclose(finishes, np.cumsum(services))
+        assert server.completed == len(services)
+        assert np.isclose(server.busy_time, sum(services))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 10.0), st.floats(0.0, 2.0)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=100)
+    def test_work_conservation_with_arrivals(self, arrivals):
+        """Server is never idle while work is queued."""
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        finishes = {}
+
+        def submit(qid, service):
+            def _do():
+                server.submit(
+                    Job(
+                        query_id=qid,
+                        service_time=service,
+                        on_complete=lambda t, j: finishes.__setitem__(qid, (j.started_at, t)),
+                    )
+                )
+
+            return _do
+
+        for qid, (arrival, service) in enumerate(arrivals):
+            engine.schedule_at(arrival, submit(qid, service))
+        engine.run()
+        assert len(finishes) == len(arrivals)
+        # total busy time equals total service; makespan >= busy time
+        total_service = sum(s for _, s in arrivals)
+        assert np.isclose(server.busy_time, total_service)
+        starts = sorted(start for start, _ in finishes.values())
+        ends = sorted(end for _, end in finishes.values())
+        # no two service intervals overlap (single server)
+        intervals = sorted(finishes.values())
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9

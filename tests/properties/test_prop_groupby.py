@@ -1,0 +1,107 @@
+"""Property-based tests: grouped execution agrees across all paths."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.groupby import groupby_from_table, groupby_with_cube, run_groupby_kernel
+from repro.olap.cube import OLAPCube
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import Condition, Query, decompose
+from repro.relational.schema import TableSchema
+from repro.relational.table import FactTable
+
+DIMS = [
+    DimensionHierarchy.from_fanouts("x", ["x0", "x1"], [3, 4]),
+    DimensionHierarchy.from_fanouts("y", ["y0", "y1"], [2, 5]),
+]
+SCHEMA = TableSchema(DIMS, measures=("v",))
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(1, 80))
+    x = draw(st.lists(st.integers(0, 11), min_size=n, max_size=n))
+    y = draw(st.lists(st.integers(0, 9), min_size=n, max_size=n))
+    v = draw(
+        st.lists(
+            st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return FactTable(
+        SCHEMA,
+        {
+            "x__x1": np.array(x, dtype=np.int32),
+            "x__x0": np.array(x, dtype=np.int32) // 4,
+            "y__y1": np.array(y, dtype=np.int32),
+            "y__y0": np.array(y, dtype=np.int32) // 5,
+            "v": np.array(v),
+        },
+    )
+
+
+@st.composite
+def grouped_queries(draw):
+    group_by = []
+    if draw(st.booleans()):
+        group_by.append(("x", draw(st.integers(0, 1))))
+    if draw(st.booleans()) or not group_by:
+        group_by.append(("y", draw(st.integers(0, 1))))
+    conditions = []
+    if draw(st.booleans()):
+        r = draw(st.integers(0, 1))
+        card = DIMS[0].cardinality(r)
+        lo = draw(st.integers(0, card - 1))
+        hi = draw(st.integers(lo + 1, card))
+        conditions.append(Condition("x", r, lo=lo, hi=hi))
+    agg = draw(st.sampled_from(["sum", "count", "avg", "min", "max"]))
+    measures = () if agg == "count" else ("v",)
+    return Query(
+        conditions=tuple(conditions),
+        measures=measures,
+        agg=agg,
+        group_by=tuple(group_by),
+    )
+
+
+class TestCrossPathAgreement:
+    @given(tables(), grouped_queries(), st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_table_cube_gpu_agree(self, table, query, n_sm):
+        ref = groupby_from_table(table, query)
+        cube = OLAPCube.from_fact_table(
+            table, "v", resolutions=[1, 1], with_minmax=True
+        )
+        cube_result = groupby_with_cube(cube, query)
+        gpu_result = run_groupby_kernel(
+            table, decompose(query, SCHEMA.hierarchies), n_sm
+        )
+        for other in (cube_result, gpu_result):
+            assert set(other.cells) == set(ref.cells)
+            for k, v in ref.cells.items():
+                assert np.isclose(other.cells[k], v, atol=1e-9), (query.agg, k)
+
+    @given(tables(), grouped_queries())
+    @settings(max_examples=80, deadline=None)
+    def test_sum_groups_partition_the_total(self, table, query):
+        if query.agg != "sum":
+            return
+        ref = groupby_from_table(table, query)
+        # the grouped sums partition the filtered total exactly
+        scalar = Query(
+            conditions=query.conditions, measures=("v",), agg="sum"
+        )
+        total = table.execute(scalar).value()
+        assert np.isclose(ref.total(), total, atol=1e-9)
+
+    @given(tables(), grouped_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_group_count_bounded_by_group_space(self, table, query):
+        ref = groupby_from_table(table, query)
+        space = 1
+        for dim, res in query.group_by:
+            d = next(x for x in DIMS if x.name == dim)
+            space *= d.cardinality(res)
+        assert ref.num_groups <= min(space, len(table))

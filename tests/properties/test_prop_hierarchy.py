@@ -1,0 +1,68 @@
+"""Property-based tests for dimension hierarchies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.olap.hierarchy import DimensionHierarchy
+
+
+@st.composite
+def hierarchies(draw):
+    n_levels = draw(st.integers(1, 4))
+    fanouts = [draw(st.integers(2, 12)) for _ in range(n_levels)]
+    names = [f"L{i}" for i in range(n_levels)]
+    return DimensionHierarchy.from_fanouts("dim", names, fanouts)
+
+
+class TestRefinementRoundTrip:
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_coarsen_inverts_refine_for_block_starts(self, dim, data):
+        from_res = data.draw(st.integers(0, dim.finest_resolution), label="from")
+        to_res = data.draw(st.integers(from_res, dim.finest_resolution), label="to")
+        card = dim.cardinality(from_res)
+        lo = data.draw(st.integers(0, card - 1), label="lo")
+        hi = data.draw(st.integers(lo + 1, card), label="hi")
+        f_lo, f_hi = dim.refine_range(lo, hi, from_res, to_res)
+        # refining preserves the covered fraction exactly
+        frac_coarse = (hi - lo) / card
+        frac_fine = (f_hi - f_lo) / dim.cardinality(to_res)
+        assert abs(frac_coarse - frac_fine) < 1e-12
+        # coarsening the endpoints returns the original block
+        assert dim.coarsen_coord(f_lo, to_res, from_res) == lo
+        assert dim.coarsen_coord(f_hi - 1, to_res, from_res) == hi - 1
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_coarsen_is_monotone(self, dim, data):
+        fine = dim.finest_resolution
+        coarse = data.draw(st.integers(0, fine))
+        card = dim.cardinality(fine)
+        a = data.draw(st.integers(0, card - 1))
+        b = data.draw(st.integers(0, card - 1))
+        ca = dim.coarsen_coord(a, fine, coarse)
+        cb = dim.coarsen_coord(b, fine, coarse)
+        if a <= b:
+            assert ca <= cb
+
+    @given(hierarchies())
+    def test_fanouts_multiply_to_cardinality(self, dim):
+        product = 1
+        for r in range(dim.num_levels):
+            product *= dim.fanout(r)
+            assert product == dim.cardinality(r)
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=50)
+    def test_every_fine_coord_has_exactly_one_parent(self, dim, data):
+        if dim.num_levels < 2:
+            return
+        r = data.draw(st.integers(1, dim.finest_resolution))
+        parents = [
+            dim.coarsen_coord(c, r, r - 1) for c in range(dim.cardinality(r))
+        ]
+        # each parent appears exactly fanout times, in order
+        fanout = dim.fanout(r)
+        for parent in range(dim.cardinality(r - 1)):
+            assert parents.count(parent) == fanout
+        assert parents == sorted(parents)

@@ -1,0 +1,106 @@
+"""Property-based tests for pyramid selection and the eq.-3 size law."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CubeNotAvailableError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.olap.pyramid import CubePyramid
+from repro.query.model import Condition, Query
+
+DIMS = [
+    DimensionHierarchy.from_fanouts("a", ["a0", "a1", "a2", "a3"], [4, 5, 4, 3]),
+    DimensionHierarchy.from_fanouts("b", ["b0", "b1", "b2", "b3"], [3, 4, 5, 2]),
+    DimensionHierarchy.from_fanouts("c", ["c0", "c1", "c2", "c3"], [2, 6, 3, 4]),
+]
+
+PYRAMID = CubePyramid.analytic(DIMS, [0, 1, 2, 3], cell_nbytes=8)
+
+
+@st.composite
+def queries(draw, max_resolution=3):
+    conditions = []
+    for d in DIMS:
+        if not draw(st.booleans()):
+            continue
+        r = draw(st.integers(0, max_resolution))
+        card = d.cardinality(r)
+        lo = draw(st.integers(0, card - 1))
+        hi = draw(st.integers(lo + 1, card))
+        conditions.append(Condition(d.name, r, lo=lo, hi=hi))
+    return Query(conditions=tuple(conditions), measures=("value",))
+
+
+class TestSelection:
+    @given(queries())
+    @settings(max_examples=150)
+    def test_selected_level_is_sufficient_and_minimal(self, query):
+        level = PYRAMID.select_level(query)
+        res_of = {d.name: r for d, r in zip(PYRAMID.dimensions, level.resolutions)}
+        # sufficient: every condition's resolution is reachable
+        for cond in query.conditions:
+            assert res_of[cond.dimension] >= cond.resolution
+        # minimal: no smaller level suffices
+        for smaller in PYRAMID.levels:
+            if PYRAMID.level_nbytes(smaller) >= PYRAMID.level_nbytes(level):
+                break
+            s_res = {
+                d.name: r for d, r in zip(PYRAMID.dimensions, smaller.resolutions)
+            }
+            assert any(
+                s_res[c.dimension] < c.resolution for c in query.conditions
+            )
+
+    @given(queries())
+    @settings(max_examples=100)
+    def test_subcube_never_exceeds_level(self, query):
+        level = PYRAMID.select_level(query)
+        assert PYRAMID.subcube_size_mb(query) <= (
+            PYRAMID.level_nbytes(level) / 2**20
+        ) * (1 + 1e-12)
+
+    @given(queries())
+    @settings(max_examples=100)
+    def test_narrowing_a_condition_never_grows_the_subcube(self, query):
+        if not query.conditions:
+            return
+        base = PYRAMID.subcube_size_mb(query)
+        cond = query.conditions[0]
+        assert cond.lo is not None and cond.hi is not None
+        if cond.hi - cond.lo < 2:
+            return
+        from dataclasses import replace as dc_replace
+
+        narrower = dc_replace(cond, hi=cond.hi - 1)
+        narrowed = query.with_conditions([narrower, *query.conditions[1:]])
+        assert PYRAMID.subcube_size_mb(narrowed) <= base + 1e-12
+
+    @given(queries(max_resolution=3))
+    @settings(max_examples=100)
+    def test_truncated_pyramid_raises_exactly_when_too_coarse(self, query):
+        truncated = CubePyramid.analytic(DIMS, [0, 1], cell_nbytes=8)
+        needs = query.required_resolution
+        if needs <= 1:
+            truncated.select_level(query)  # must not raise
+        else:
+            with np.testing.assert_raises(CubeNotAvailableError):
+                truncated.select_level(query)
+
+    @given(queries())
+    @settings(max_examples=60)
+    def test_eq3_factorises_over_dimensions(self, query):
+        """SC_size = E_size * prod(per-dim widths): adding an
+        unconstrained dimension multiplies by its full cardinality."""
+        level = PYRAMID.select_level(query)
+        size = PYRAMID.subcube_size_mb(query)
+        widths = []
+        for d, r in zip(PYRAMID.dimensions, level.resolutions):
+            cond = query.condition_on(d.name)
+            if cond is None:
+                widths.append(d.cardinality(r))
+            else:
+                refined = cond.at_resolution(r, d)
+                widths.append(refined.hi - refined.lo)
+        expected = 8 * np.prod([float(w) for w in widths]) / 2**20
+        assert np.isclose(size, expected)

@@ -1,0 +1,97 @@
+"""Property-based tests on scheduler invariants (Figure 10)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.scheduler import HybridScheduler, QueryEstimates
+from repro.query.model import Query
+
+
+class DrawnEstimator:
+    def __init__(self, estimates):
+        self._estimates = list(estimates)
+        self._i = 0
+
+    def estimate(self, query):
+        est = self._estimates[self._i % len(self._estimates)]
+        self._i += 1
+        return est
+
+
+@st.composite
+def estimates(draw):
+    has_cpu = draw(st.booleans())
+    t_cpu = draw(st.floats(1e-4, 2.0)) if has_cpu else None
+    base = draw(st.floats(1e-3, 0.5))
+    # GPU times decrease with SM count (physical monotonicity)
+    t_gpu = {1: base, 2: base * draw(st.floats(0.4, 0.9)), 4: base * draw(st.floats(0.1, 0.4))}
+    t_trans = draw(st.one_of(st.just(0.0), st.floats(1e-5, 0.05)))
+    return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
+
+
+def build_scheduler(estimator, t_c):
+    cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+    trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+    gpu_qs = [
+        PartitionQueue(f"Q_G{i + 1}", QueueKind.GPU, n_sm=n)
+        for i, n in enumerate([1, 1, 2, 2, 4, 4])
+    ]
+    return HybridScheduler(cpu_q, gpu_qs, trans_q, estimator, t_c)
+
+
+class TestSchedulerInvariants:
+    @given(st.lists(estimates(), min_size=1, max_size=30), st.floats(0.05, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_every_query_is_placed_and_books_are_consistent(self, ests, t_c):
+        sched = build_scheduler(DrawnEstimator(ests), t_c)
+        n = len(ests)
+        decisions = [
+            sched.schedule(Query(conditions=(), measures=("v",)), now=0.1 * i)
+            for i in range(n)
+        ]
+        # every query placed on exactly one processing queue
+        placed = sum(q.jobs_submitted for q in [sched.cpu_queue, *sched.gpu_queues])
+        assert placed == n
+        # T_Q of every queue equals the sum of its submissions' windows
+        for queue in [sched.cpu_queue, *sched.gpu_queues, sched.trans_queue]:
+            if queue.submissions:
+                last = queue.submissions[-1]
+                assert queue.t_q == last.estimated_finish
+
+    @given(st.lists(estimates(), min_size=1, max_size=30), st.floats(0.05, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_translation_iff_gpu_and_text(self, ests, t_c):
+        sched = build_scheduler(DrawnEstimator(ests), t_c)
+        for i, est in enumerate(ests):
+            decision = sched.schedule(
+                Query(conditions=(), measures=("v",)), now=0.1 * i
+            )
+            if decision.target.kind is QueueKind.GPU and est.needs_translation:
+                assert decision.translation is not None
+            else:
+                assert decision.translation is None
+
+    @given(st.lists(estimates(), min_size=1, max_size=30), st.floats(0.05, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_response_estimate_is_achievable(self, ests, t_c):
+        # the estimated response never precedes now + the pure
+        # processing time of the chosen partition
+        sched = build_scheduler(DrawnEstimator(ests), t_c)
+        for i, est in enumerate(ests):
+            now = 0.05 * i
+            decision = sched.schedule(Query(conditions=(), measures=("v",)), now=now)
+            assert (
+                decision.estimated_response
+                >= now + decision.processing.estimated_time - 1e-12
+            )
+
+    @given(st.lists(estimates(), min_size=2, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_flag_matches_step4(self, ests):
+        sched = build_scheduler(DrawnEstimator(ests), 0.3)
+        for i in range(len(ests)):
+            decision = sched.schedule(Query(conditions=(), measures=("v",)), now=0.0)
+            assert decision.meets_deadline == (
+                decision.deadline - decision.estimated_response > 0
+            )

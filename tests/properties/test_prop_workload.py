@@ -1,0 +1,89 @@
+"""Property-based tests for workload generation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import required_resolution
+from repro.query.workload import ArrivalProcess, QueryClass, WorkloadSpec
+
+DIMS = [
+    DimensionHierarchy.from_fanouts("a", ["a0", "a1", "a2"], [4, 5, 6]),
+    DimensionHierarchy.from_fanouts("b", ["b0", "b1", "b2"], [3, 4, 5]),
+    DimensionHierarchy.from_fanouts("c", ["c0", "c1", "c2"], [2, 3, 7]),
+]
+
+
+@st.composite
+def query_classes(draw):
+    resolution = draw(st.integers(0, 2))
+    lo = draw(st.integers(1, 3))
+    hi = draw(st.integers(lo, 3))
+    clo = draw(st.floats(0.05, 0.95))
+    chi = draw(st.floats(clo, 1.0))
+    return QueryClass(
+        name=draw(st.sampled_from(["q1", "q2", "q3"])),
+        weight=draw(st.floats(0.1, 5.0)),
+        resolution=resolution,
+        dims_constrained=(lo, hi),
+        coverage=(clo, chi),
+    )
+
+
+class TestWorkloadInvariants:
+    @given(st.lists(query_classes(), min_size=1, max_size=3), st.integers(0, 2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_generated_queries_honour_class_contracts(self, classes, seed):
+        # unique names per class list
+        named = {c.name: c for c in classes}
+        spec = WorkloadSpec(
+            DIMS, list(named.values()), measures=("v",), seed=seed % (2**31)
+        )
+        stream = spec.generate(40)
+        for entry in stream:
+            cls = named[entry.query_class]
+            q = entry.query
+            # eq. 2 over the generated conditions equals the class resolution
+            assert required_resolution(q.conditions) == cls.resolution
+            # constrained-dimension count within the class bounds
+            lo, hi = cls.dims_constrained
+            assert lo <= len(q.conditions) <= min(hi, len(DIMS))
+            # every range respects the coverage band (after rounding)
+            for cond in q.conditions:
+                d = next(x for x in DIMS if x.name == cond.dimension)
+                card = d.cardinality(cond.resolution)
+                width = cond.width()
+                min_w = max(1, round(cls.coverage[0] * card))
+                max_w = min(card, round(cls.coverage[1] * card))
+                assert min_w - 1 <= width <= max_w + 1
+                # ranges stay inside the axis
+                assert cond.lo is not None and 0 <= cond.lo
+                assert cond.hi is not None and cond.hi <= card
+
+    @given(st.integers(0, 2**31), st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_streams_deterministic(self, seed, n):
+        spec = WorkloadSpec(
+            DIMS,
+            [QueryClass("c", 1.0, resolution=1)],
+            measures=("v",),
+            seed=seed % (2**31),
+        )
+        key = lambda e: (e.query.conditions, e.query.agg, e.time)
+        assert [key(e) for e in spec.generate(n)] == [
+            key(e) for e in spec.generate(n)
+        ]
+
+    @given(
+        st.floats(0.5, 500.0),
+        st.integers(1, 100),
+        st.sampled_from(["uniform", "poisson"]),
+    )
+    @settings(max_examples=60)
+    def test_arrival_times_nonnegative_and_sorted(self, rate, n, kind):
+        rng = np.random.default_rng(0)
+        times = ArrivalProcess(kind, rate=rate).times(n, rng)
+        assert len(times) == n
+        assert np.all(times >= 0)
+        assert np.all(np.diff(times) >= 0)

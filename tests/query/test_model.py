@@ -1,0 +1,217 @@
+"""Unit tests for the query algebra (eq. 1, 2, 11, 12, 16)."""
+
+import pytest
+
+from repro.errors import DimensionError, QueryError, ResolutionError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.model import (
+    Condition,
+    Query,
+    decompose,
+    dimension_column,
+    required_resolution,
+)
+
+
+@pytest.fixture()
+def hierarchies(time_dim):
+    geo = DimensionHierarchy.from_fanouts("geo", ["country", "city"], [10, 20])
+    return {"time": time_dim, "geo": geo}
+
+
+class TestCondition:
+    def test_range_form(self):
+        c = Condition("time", 1, lo=3, hi=9)
+        assert c.is_range and not c.is_text and not c.is_codes
+        assert c.width() == 6
+
+    def test_text_form(self):
+        c = Condition("geo", 1, text_values=("Rome",))
+        assert c.is_text
+        with pytest.raises(QueryError):
+            c.width()
+
+    def test_codes_form(self):
+        c = Condition("geo", 1, codes=(4, 4, 7))
+        assert c.is_codes
+        assert c.width() == 2  # duplicates collapse
+
+    def test_no_parameters_rejected(self):
+        with pytest.raises(QueryError):
+            Condition("time", 0)
+
+    def test_mixed_forms_rejected(self):
+        with pytest.raises(QueryError):
+            Condition("time", 0, lo=0, hi=1, text_values=("x",))
+        with pytest.raises(QueryError):
+            Condition("time", 0, codes=(1,), text_values=("x",))
+
+    def test_half_range_rejected(self):
+        with pytest.raises(QueryError):
+            Condition("time", 0, lo=3)
+
+    def test_invalid_range(self):
+        with pytest.raises(QueryError):
+            Condition("time", 0, lo=5, hi=5)
+        with pytest.raises(QueryError):
+            Condition("time", 0, lo=-1, hi=3)
+
+    def test_negative_resolution(self):
+        with pytest.raises(ResolutionError):
+            Condition("time", -1, lo=0, hi=1)
+
+    def test_at_resolution_refines(self, time_dim):
+        c = Condition("time", 0, lo=1, hi=3)
+        fine = c.at_resolution(1, time_dim)
+        assert (fine.lo, fine.hi) == (12, 36)
+        assert fine.resolution == 1
+
+    def test_at_resolution_wrong_dimension(self, time_dim):
+        c = Condition("geo", 0, lo=0, hi=1)
+        with pytest.raises(DimensionError):
+            c.at_resolution(1, time_dim)
+
+    def test_at_resolution_identity(self, time_dim):
+        c = Condition("time", 1, lo=0, hi=5)
+        assert c.at_resolution(1, time_dim) is c
+
+    def test_translated(self):
+        c = Condition("geo", 1, text_values=("a", "b"))
+        t = c.translated([9, 2, 9])
+        assert t.codes == (2, 9)
+        assert not t.is_text
+
+    def test_translated_on_non_text(self):
+        c = Condition("geo", 1, lo=0, hi=1)
+        with pytest.raises(QueryError):
+            c.translated([1])
+
+    def test_translated_empty_codes(self):
+        c = Condition("geo", 1, text_values=("a",))
+        with pytest.raises(QueryError):
+            c.translated([])
+
+    def test_str_forms(self):
+        assert "[0, 4)" in str(Condition("t", 0, lo=0, hi=4))
+        assert "'x'" in str(Condition("t", 0, text_values=("x",)))
+        assert "codes" in str(Condition("t", 0, codes=(1,)))
+
+
+class TestRequiredResolution:
+    def test_eq2_is_max(self):
+        conds = [Condition("a", 0, lo=0, hi=1), Condition("b", 3, lo=0, hi=1)]
+        assert required_resolution(conds) == 3
+
+    def test_empty_is_zero(self):
+        assert required_resolution([]) == 0
+
+
+class TestQuery:
+    def test_ids_unique(self):
+        a = Query(conditions=(), measures=("v",))
+        b = Query(conditions=(), measures=("v",))
+        assert a.query_id != b.query_id
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(QueryError):
+            Query(
+                conditions=(
+                    Condition("t", 0, lo=0, hi=1),
+                    Condition("t", 1, lo=0, hi=2),
+                ),
+                measures=("v",),
+            )
+
+    def test_invalid_agg(self):
+        with pytest.raises(QueryError):
+            Query(conditions=(), measures=("v",), agg="median")
+
+    def test_sum_requires_measure(self):
+        with pytest.raises(QueryError):
+            Query(conditions=(), measures=(), agg="sum")
+
+    def test_count_without_measures(self):
+        q = Query(conditions=(), measures=(), agg="count")
+        assert q.agg == "count"
+
+    def test_condition_on(self):
+        c = Condition("t", 0, lo=0, hi=1)
+        q = Query(conditions=(c,), measures=("v",))
+        assert q.condition_on("t") is c
+        assert q.condition_on("missing") is None
+
+    def test_needs_translation(self):
+        q = Query(
+            conditions=(Condition("t", 0, text_values=("x",)),), measures=("v",)
+        )
+        assert q.needs_translation
+        assert len(q.text_conditions) == 1
+
+    def test_with_conditions_preserves_identity(self):
+        q = Query(conditions=(), measures=("v",))
+        q2 = q.with_conditions([Condition("t", 0, lo=0, hi=1)])
+        assert q2.query_id == q.query_id
+        assert len(q2.conditions) == 1
+
+
+class TestDecomposition:
+    def test_columns_selected_by_dim_and_level(self, hierarchies):
+        q = Query(
+            conditions=(
+                Condition("time", 1, lo=0, hi=6),
+                Condition("geo", 0, lo=2, hi=4),
+            ),
+            measures=("v",),
+        )
+        d = decompose(q, hierarchies)
+        cols = [p.column for p in d.predicates]
+        assert cols == ["time__month", "geo__country"]
+
+    def test_eq12_column_count(self, hierarchies):
+        q = Query(
+            conditions=(Condition("time", 2, lo=0, hi=10),),
+            measures=("v", "w"),
+        )
+        d = decompose(q, hierarchies)
+        assert d.num_filtration_conditions == 1
+        assert d.num_data_columns == 2
+        assert d.columns_accessed == 3
+
+    def test_count_query_reads_no_data_columns(self, hierarchies):
+        q = Query(conditions=(Condition("time", 0, lo=0, hi=1),), measures=(), agg="count")
+        d = decompose(q, hierarchies)
+        assert d.num_data_columns == 0
+        assert d.columns_accessed == 1
+
+    def test_eq16_text_condition_count(self, hierarchies):
+        q = Query(
+            conditions=(
+                Condition("time", 1, lo=0, hi=2),
+                Condition("geo", 1, text_values=("Rome", "Oslo")),
+            ),
+            measures=("v",),
+        )
+        d = decompose(q, hierarchies)
+        assert d.num_text_conditions == 1
+        assert d.text_columns == ("geo__city",)
+        assert d.needs_translation
+
+    def test_column_fraction(self, hierarchies):
+        q = Query(conditions=(Condition("time", 0, lo=0, hi=1),), measures=("v",))
+        d = decompose(q, hierarchies)
+        assert d.column_fraction(10) == 0.2
+        with pytest.raises(QueryError):
+            d.column_fraction(0)
+
+    def test_unknown_dimension(self, hierarchies):
+        q = Query(conditions=(Condition("zzz", 0, lo=0, hi=1),), measures=("v",))
+        with pytest.raises(DimensionError):
+            decompose(q, hierarchies)
+
+    def test_bad_resolution(self, hierarchies):
+        q = Query(conditions=(Condition("geo", 5, lo=0, hi=1),), measures=("v",))
+        with pytest.raises(ResolutionError):
+            decompose(q, hierarchies)
+
+    def test_dimension_column_helper(self):
+        assert dimension_column("store", "city") == "store__city"

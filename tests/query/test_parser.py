@@ -1,0 +1,154 @@
+"""Unit tests for the textual query language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.query.parser import parse_query, tokenize
+
+
+@pytest.fixture()
+def hierarchies(time_dim):
+    geo = DimensionHierarchy.from_fanouts("geo", ["country", "city"], [10, 20])
+    return {"time": time_dim, "geo": geo}
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("SELECT sum(v)")]
+        assert kinds == ["SELECT", "NAME", "OP", "NAME", "OP", "EOF"]
+
+    def test_string_literal(self):
+        toks = tokenize("'New York'")
+        assert toks[0].kind == "STRING"
+
+    def test_escaped_quote(self):
+        toks = tokenize(r"'O\'Brien'")
+        assert toks[0].kind == "STRING"
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind == "SELECT"
+        assert tokenize("WHERE")[0].kind == "WHERE"
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT sum(v) WHERE a.b = #")
+
+
+class TestParse:
+    def test_minimal_query(self, hierarchies):
+        q = parse_query("SELECT sum(v)", hierarchies)
+        assert q.agg == "sum"
+        assert q.measures == ("v",)
+        assert q.conditions == ()
+
+    def test_range_condition(self, hierarchies):
+        q = parse_query("SELECT sum(v) WHERE time.month IN [3, 9)", hierarchies)
+        (c,) = q.conditions
+        assert (c.dimension, c.resolution, c.lo, c.hi) == ("time", 1, 3, 9)
+
+    def test_between_is_inclusive(self, hierarchies):
+        q = parse_query("SELECT sum(v) WHERE time.year BETWEEN 1 AND 2", hierarchies)
+        (c,) = q.conditions
+        assert (c.lo, c.hi) == (1, 3)
+
+    def test_numeric_equality(self, hierarchies):
+        q = parse_query("SELECT sum(v) WHERE geo.country = 4", hierarchies)
+        (c,) = q.conditions
+        assert (c.lo, c.hi) == (4, 5)
+
+    def test_string_equality(self, hierarchies):
+        q = parse_query("SELECT sum(v) WHERE geo.city = 'Rome'", hierarchies)
+        (c,) = q.conditions
+        assert c.text_values == ("Rome",)
+
+    def test_string_in_list(self, hierarchies):
+        q = parse_query(
+            "SELECT avg(v) WHERE geo.city IN ('Rome', 'Oslo')", hierarchies
+        )
+        (c,) = q.conditions
+        assert c.text_values == ("Rome", "Oslo")
+
+    def test_integer_in_list_becomes_codes(self, hierarchies):
+        q = parse_query("SELECT sum(v) WHERE geo.city IN (3, 5)", hierarchies)
+        (c,) = q.conditions
+        assert c.codes == (3, 5)
+
+    def test_multiple_conditions(self, hierarchies):
+        q = parse_query(
+            "SELECT sum(v) WHERE time.day IN [0, 30) AND geo.country = 2",
+            hierarchies,
+        )
+        assert len(q.conditions) == 2
+        assert q.required_resolution == 2
+
+    def test_count_star(self, hierarchies):
+        q = parse_query("SELECT count(*)", hierarchies)
+        assert q.agg == "count"
+        assert q.measures == ()
+
+    def test_count_star_only_for_count(self, hierarchies):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(*)", hierarchies)
+
+    def test_multiple_measures(self, hierarchies):
+        q = parse_query("SELECT sum(v, w)", hierarchies)
+        assert q.measures == ("v", "w")
+
+    def test_all_aggregates(self, hierarchies):
+        for agg in ("sum", "count", "avg", "min", "max"):
+            q = parse_query(f"SELECT {agg}(v)", hierarchies)
+            assert q.agg == agg
+
+    def test_case_insensitive_keywords(self, hierarchies):
+        q = parse_query("select SUM(v) where time.year = 0", hierarchies)
+        assert q.agg == "sum"
+
+
+class TestErrors:
+    def test_unknown_dimension(self, hierarchies):
+        with pytest.raises(ParseError, match="unknown dimension"):
+            parse_query("SELECT sum(v) WHERE planet.x = 1", hierarchies)
+
+    def test_unknown_level(self, hierarchies):
+        with pytest.raises(ParseError, match="no level"):
+            parse_query("SELECT sum(v) WHERE time.hour = 1", hierarchies)
+
+    def test_missing_where_body(self, hierarchies):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(v) WHERE", hierarchies)
+
+    def test_trailing_garbage(self, hierarchies):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(v) extra", hierarchies)
+
+    def test_mixed_value_list(self, hierarchies):
+        with pytest.raises(ParseError, match="mixes"):
+            parse_query("SELECT sum(v) WHERE geo.city IN ('Rome', 3)", hierarchies)
+
+    def test_bad_comparator(self, hierarchies):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(v) WHERE geo.city > 3", hierarchies)
+
+    def test_invalid_agg_is_query_error(self, hierarchies):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            parse_query("SELECT median(v)", hierarchies)
+
+    def test_duplicate_dimension_rejected(self, hierarchies):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT sum(v) WHERE time.year = 1 AND time.month = 2", hierarchies
+            )
+
+
+class TestRoundTrip:
+    def test_parsed_query_runs_on_table(self, fact_table, small_schema, dataset):
+        city = dataset.vocabularies["store__city"][4].replace("'", r"\'")
+        text = f"SELECT sum(quantity) WHERE date.quarter IN [0, 4) AND store.city = '{city}'"
+        q = parse_query(text, small_schema.hierarchies)
+        assert q.needs_translation
+        assert q.condition_on("date").resolution == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the TPC-DS-flavoured synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, WorkloadError
+from repro.relational.generator import (
+    generate_dataset,
+    make_vocabulary,
+    tpcds_like_schema,
+    zipf_draws,
+)
+
+
+class TestSchema:
+    def test_default_shape(self):
+        schema = tpcds_like_schema()
+        assert schema.num_dimensions == 3
+        assert all(d.num_levels == 4 for d in schema.dimensions)
+
+    def test_default_text_levels(self):
+        schema = tpcds_like_schema()
+        names = {c.name for c in schema.text_columns}
+        assert names == {"store__city", "store__store", "item__brand", "item__item"}
+
+    def test_scale_shrinks_cardinalities(self):
+        big = tpcds_like_schema(scale=1.0)
+        small = tpcds_like_schema(scale=0.5)
+        for b, s in zip(big.dimensions, small.dimensions):
+            assert s.cardinality(3) <= b.cardinality(3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(SchemaError):
+            tpcds_like_schema(scale=0)
+
+    def test_custom_text_levels(self):
+        schema = tpcds_like_schema(text_levels=[("date", "month")])
+        assert {c.name for c in schema.text_columns} == {"date__month"}
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self, rng):
+        vocab = make_vocabulary(500, rng)
+        assert len(vocab) == 500
+        assert len(set(vocab)) == 500
+
+    def test_deterministic(self):
+        v1 = make_vocabulary(50, np.random.default_rng(1))
+        v2 = make_vocabulary(50, np.random.default_rng(1))
+        assert v1 == v2
+
+    def test_prefix(self, rng):
+        vocab = make_vocabulary(5, rng, prefix="City")
+        assert all(v.startswith("City ") for v in vocab)
+
+    def test_zero_size_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            make_vocabulary(0, rng)
+
+
+class TestZipfDraws:
+    def test_range(self, rng):
+        draws = zipf_draws(rng, 100, 10_000)
+        assert draws.min() >= 0 and draws.max() < 100
+
+    def test_skew_concentrates_mass(self, rng):
+        draws = zipf_draws(rng, 1000, 50_000, skew=1.3)
+        _, counts = np.unique(draws, return_counts=True)
+        top = np.sort(counts)[::-1]
+        # the most frequent value should dominate vs uniform expectation (50)
+        assert top[0] > 500
+
+    def test_zero_skew_is_uniform_like(self, rng):
+        draws = zipf_draws(rng, 10, 100_000, skew=0.0)
+        _, counts = np.unique(draws, return_counts=True)
+        assert counts.min() > 8_000  # near 10k each
+
+    def test_cardinality_one(self, rng):
+        assert np.all(zipf_draws(rng, 1, 100) == 0)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(WorkloadError):
+            zipf_draws(rng, 0, 10)
+        with pytest.raises(WorkloadError):
+            zipf_draws(rng, 10, -1)
+        with pytest.raises(WorkloadError):
+            zipf_draws(rng, 10, 10, skew=-1)
+
+
+class TestDataset:
+    def test_deterministic(self, small_schema):
+        a = generate_dataset(small_schema, num_rows=500, seed=7)
+        b = generate_dataset(small_schema, num_rows=500, seed=7)
+        for name in small_schema.column_names:
+            assert np.array_equal(a.table.column(name), b.table.column(name))
+
+    def test_hierarchy_rollup_invariant(self, dataset, small_schema):
+        # coarse == fine // fanout for every adjacent level pair
+        for d in small_schema.dimensions:
+            for r in range(1, d.num_levels):
+                fine = dataset.table.column(f"{d.name}__{d.level(r).name}")
+                coarse = dataset.table.column(f"{d.name}__{d.level(r - 1).name}")
+                factor = d.cardinality(r) // d.cardinality(r - 1)
+                assert np.array_equal(coarse, fine // factor), (d.name, r)
+
+    def test_vocabulary_sizes_match_cardinalities(self, dataset, small_schema):
+        for spec in small_schema.text_columns:
+            card = small_schema.dimension(spec.dimension).cardinality(spec.resolution)
+            assert len(dataset.vocabularies[spec.name]) == card
+
+    def test_raw_value_roundtrip(self, dataset, small_schema):
+        column = small_schema.text_columns[0].name
+        code = int(dataset.table.column(column)[0])
+        raw = dataset.raw_value(column, code)
+        assert dataset.vocabularies[column][code] == raw
+
+    def test_raw_value_out_of_range(self, dataset, small_schema):
+        column = small_schema.text_columns[0].name
+        with pytest.raises(SchemaError):
+            dataset.raw_value(column, 10**9)
+
+    def test_measures_realistic(self, dataset):
+        qty = dataset.table.column("quantity")
+        price = dataset.table.column("sales_price")
+        assert qty.min() >= 1
+        assert (price > 0).all()
+
+    def test_zero_rows(self, small_schema):
+        ds = generate_dataset(small_schema, num_rows=0, seed=1)
+        assert len(ds.table) == 0
+
+    def test_negative_rows_rejected(self, small_schema):
+        with pytest.raises(WorkloadError):
+            generate_dataset(small_schema, num_rows=-1)

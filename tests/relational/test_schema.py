@@ -1,0 +1,114 @@
+"""Unit tests for fact-table schemas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, SchemaError
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.relational.schema import ColumnSpec, TableSchema
+
+
+@pytest.fixture()
+def dims():
+    return [
+        DimensionHierarchy.uniform("a", 2, 4),
+        DimensionHierarchy.uniform("b", 3, 3),
+    ]
+
+
+class TestColumnSpec:
+    def test_dimension_column_requires_binding(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec(name="x", kind="dimension", dtype=np.int32)
+
+    def test_measure_cannot_be_text(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec(name="m", kind="measure", dtype=np.float64, is_text=True)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec(name="x", kind="index", dtype=np.int32)
+
+
+class TestTableSchema:
+    def test_column_layout(self, dims):
+        schema = TableSchema(dims, measures=("v",))
+        names = schema.column_names
+        # dimension columns grouped by dimension, coarse -> fine, then measures
+        assert names == ("a__L0", "a__L1", "b__L0", "b__L1", "b__L2", "v")
+
+    def test_total_columns_is_c_total(self, dims):
+        schema = TableSchema(dims, measures=("v", "w"))
+        assert schema.total_columns == 5 + 2
+
+    def test_text_levels(self, dims):
+        schema = TableSchema(dims, text_levels=[("a", "L1")])
+        (text,) = schema.text_columns
+        assert text.name == "a__L1"
+        assert text.is_text
+
+    def test_unknown_text_dimension(self, dims):
+        with pytest.raises(SchemaError):
+            TableSchema(dims, text_levels=[("z", "L0")])
+
+    def test_unknown_text_level(self, dims):
+        with pytest.raises(Exception):
+            TableSchema(dims, text_levels=[("a", "L9")])
+
+    def test_duplicate_dimensions(self, dims):
+        with pytest.raises(SchemaError):
+            TableSchema([dims[0], dims[0]])
+
+    def test_duplicate_measures(self, dims):
+        with pytest.raises(SchemaError):
+            TableSchema(dims, measures=("v", "v"))
+
+    def test_measure_name_collision(self, dims):
+        with pytest.raises(SchemaError):
+            TableSchema(dims, measures=("a__L0",))
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_dimension_lookup(self, dims):
+        schema = TableSchema(dims)
+        assert schema.dimension("b") is dims[1]
+        with pytest.raises(DimensionError):
+            schema.dimension("z")
+
+    def test_column_lookup(self, dims):
+        schema = TableSchema(dims)
+        spec = schema.column("a__L1")
+        assert spec.dimension == "a"
+        assert spec.resolution == 1
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_contains(self, dims):
+        schema = TableSchema(dims)
+        assert "a__L0" in schema
+        assert "nope" not in schema
+
+    def test_row_nbytes(self, dims):
+        schema = TableSchema(dims, measures=("v",), dim_dtype=np.int32)
+        assert schema.row_nbytes() == 5 * 4 + 8
+
+    def test_table_nbytes(self, dims):
+        schema = TableSchema(dims, measures=("v",))
+        assert schema.table_nbytes(100) == schema.row_nbytes() * 100
+        with pytest.raises(SchemaError):
+            schema.table_nbytes(-1)
+
+    def test_rows_for_bytes_round_trip(self, dims):
+        schema = TableSchema(dims, measures=("v",))
+        rows = schema.rows_for_bytes(1_000_000)
+        assert abs(schema.table_nbytes(rows) - 1_000_000) <= schema.row_nbytes()
+
+    def test_hierarchies_mapping(self, dims):
+        schema = TableSchema(dims)
+        assert set(schema.hierarchies) == {"a", "b"}
+
+    def test_custom_dim_dtype(self, dims):
+        schema = TableSchema(dims, dim_dtype=np.int64)
+        assert schema.column("a__L0").dtype == np.dtype(np.int64)

@@ -1,0 +1,62 @@
+"""Unit tests for the sustainable-rate bisection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.paper import paper_system_config, paper_workload
+from repro.sim.capacity import max_sustainable_rate
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_system_config(threads=8, include_32gb=True)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_workload(include_32gb=True, seed=3)
+
+
+class TestBisection:
+    def test_finds_rate_between_bounds(self, config, workload):
+        result = max_sustainable_rate(
+            config, workload, n_queries=400, lo=5.0, hi=2000.0, iterations=6
+        )
+        assert 5.0 <= result.rate <= 2000.0
+        assert result.report.deadline_hit_rate >= 0.9
+
+    def test_monotone_probe_history(self, config, workload):
+        result = max_sustainable_rate(
+            config, workload, n_queries=300, lo=5.0, hi=2000.0, iterations=5
+        )
+        # sustained probes always at lower rates than failed ones
+        sustained = [
+            p.offered_rate
+            for p in result.probes
+            if p.report.deadline_hit_rate >= 0.9
+        ]
+        failed = [
+            p.offered_rate
+            for p in result.probes
+            if p.report.deadline_hit_rate < 0.9
+        ]
+        if sustained and failed:
+            assert max(sustained) < max(failed)
+
+    def test_sustainable_upper_bound_returned_directly(self, config, workload):
+        result = max_sustainable_rate(
+            config, workload, n_queries=200, lo=1.0, hi=2.0, iterations=3
+        )
+        assert result.rate == 2.0
+
+    def test_unsustainable_lower_bound_rejected(self, config, workload):
+        with pytest.raises(SimulationError, match="unsustainable"):
+            max_sustainable_rate(
+                config, workload, n_queries=300, lo=100_000.0, hi=200_000.0
+            )
+
+    def test_invalid_parameters(self, config, workload):
+        with pytest.raises(SimulationError):
+            max_sustainable_rate(config, workload, hit_target=0.0)
+        with pytest.raises(SimulationError):
+            max_sustainable_rate(config, workload, lo=10.0, hi=5.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(2.0, lambda: log.append("b"))
+        engine.schedule_at(1.0, lambda: log.append("a"))
+        engine.schedule_at(3.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_fifo_tie_break(self):
+        engine = SimulationEngine()
+        log = []
+        for tag in "abc":
+            engine.schedule_at(1.0, lambda t=tag: log.append(t))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_after(1.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_after(-1.0, lambda: None)
+
+    def test_cascading_events(self):
+        engine = SimulationEngine()
+        log = []
+
+        def first():
+            log.append(engine.now)
+            engine.schedule_after(2.0, lambda: log.append(engine.now))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert log == [1.0, 3.0]
+
+
+class TestRun:
+    def test_run_until(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(1.0, lambda: log.append(1))
+        engine.schedule_at(10.0, lambda: log.append(10))
+        processed = engine.run(until=5.0)
+        assert processed == 1
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = SimulationEngine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule_at(float(i), lambda: None)
+        assert engine.run(max_events=4) == 4
+        assert engine.pending == 6
+
+    def test_step_on_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        engine.schedule_at(0.0, lambda: None)
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+
+        def evil():
+            engine.run()
+
+        engine.schedule_at(0.0, evil)
+        with pytest.raises(SimulationError, match="re-entered"):
+            engine.run()

@@ -1,0 +1,102 @@
+"""Unit tests for query records and system reports."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import QueryRecord, SystemReport
+
+
+def rec(qid, submit, finish, deadline=None, target="Q_CPU", cls="c", translated=False):
+    return QueryRecord(
+        query_id=qid,
+        query_class=cls,
+        target=target,
+        submit_time=submit,
+        finish_time=finish,
+        deadline=deadline if deadline is not None else submit + 0.5,
+        estimated_time=0.1,
+        measured_time=0.12,
+        translated=translated,
+    )
+
+
+class TestQueryRecord:
+    def test_response_time(self):
+        assert rec(1, 1.0, 3.0).response_time == 2.0
+
+    def test_deadline_check(self):
+        assert rec(1, 0.0, 0.4).met_deadline
+        assert not rec(1, 0.0, 0.6).met_deadline
+
+    def test_estimation_error(self):
+        assert np.isclose(rec(1, 0, 1).estimation_error, 0.02)
+
+
+class TestSystemReport:
+    def test_empty(self):
+        report = SystemReport.from_records([])
+        assert report.completed == 0
+        assert report.queries_per_second == 0.0
+        assert report.deadline_hit_rate == 0.0
+        assert report.mean_response_time == 0.0
+
+    def test_throughput(self):
+        records = [rec(i, 0.0, (i + 1) * 0.1) for i in range(10)]
+        report = SystemReport.from_records(records)
+        assert np.isclose(report.makespan, 1.0)
+        assert np.isclose(report.queries_per_second, 10.0)
+
+    def test_makespan_uses_earliest_submit(self):
+        records = [rec(1, 1.0, 2.0), rec(2, 0.5, 3.0)]
+        report = SystemReport.from_records(records)
+        assert np.isclose(report.makespan, 2.5)
+
+    def test_deadline_counts(self):
+        records = [rec(1, 0.0, 0.1), rec(2, 0.0, 0.9), rec(3, 0.0, 0.2)]
+        report = SystemReport.from_records(records)
+        assert report.met_deadline == 2
+        assert report.missed_deadline == 1
+        assert np.isclose(report.deadline_hit_rate, 2 / 3)
+
+    def test_by_target(self):
+        records = [
+            rec(1, 0, 1, target="Q_CPU"),
+            rec(2, 0, 1, target="Q_G1"),
+            rec(3, 0, 2, target="Q_G1"),
+        ]
+        report = SystemReport.from_records(records)
+        assert report.by_target() == {"Q_CPU": 1, "Q_G1": 2}
+
+    def test_target_rate_prefix(self):
+        records = [
+            rec(1, 0, 1, target="Q_G1"),
+            rec(2, 0, 2, target="Q_G2"),
+            rec(3, 0, 2, target="Q_CPU"),
+        ]
+        report = SystemReport.from_records(records)
+        assert np.isclose(report.target_rate("Q_G"), 1.0)
+
+    def test_by_class(self):
+        records = [rec(1, 0, 1, cls="a"), rec(2, 0, 1, cls="b"), rec(3, 0, 1, cls="a")]
+        report = SystemReport.from_records(records)
+        assert report.by_class() == {"a": 2, "b": 1}
+
+    def test_translated_count(self):
+        records = [rec(1, 0, 1, translated=True), rec(2, 0, 1)]
+        assert SystemReport.from_records(records).translated_count == 1
+
+    def test_mean_response(self):
+        records = [rec(1, 0.0, 1.0), rec(2, 0.0, 3.0)]
+        assert SystemReport.from_records(records).mean_response_time == 2.0
+
+    def test_records_sorted_by_finish(self):
+        records = [rec(1, 0, 5.0), rec(2, 0, 1.0)]
+        report = SystemReport.from_records(records)
+        assert [r.query_id for r in report.records] == [2, 1]
+
+    def test_summary_renders(self):
+        records = [rec(1, 0, 1, target="Q_CPU")]
+        report = SystemReport.from_records(records, utilisations={"Q_CPU": 0.5})
+        text = report.summary()
+        assert "throughput" in text
+        assert "Q_CPU" in text

@@ -1,0 +1,128 @@
+"""Unit tests for multi-capacity servers and parallel translation."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.resources import Job, Server
+
+
+def make_job(qid, service, log):
+    return Job(
+        query_id=qid,
+        service_time=service,
+        on_complete=lambda t, job: log.append((qid, t)),
+    )
+
+
+class TestMultiCapacityServer:
+    def test_two_units_serve_concurrently(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=2)
+        log = []
+        server.submit(make_job(1, 1.0, log))
+        server.submit(make_job(2, 1.0, log))
+        engine.run()
+        # both finish at t=1 (parallel), not t=1 and t=2
+        assert [t for _, t in log] == [1.0, 1.0]
+
+    def test_third_job_waits(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=2)
+        log = []
+        for i in range(3):
+            server.submit(make_job(i, 1.0, log))
+        engine.run()
+        assert sorted(t for _, t in log) == [1.0, 1.0, 2.0]
+
+    def test_makespan_scales_with_capacity(self):
+        def makespan(capacity, n=12, service=0.5):
+            engine = SimulationEngine()
+            server = Server(engine, "S", capacity=capacity)
+            log = []
+            for i in range(n):
+                server.submit(make_job(i, service, log))
+            engine.run()
+            return max(t for _, t in log)
+
+        assert makespan(1) == pytest.approx(6.0)
+        assert makespan(3) == pytest.approx(2.0)
+        assert makespan(12) == pytest.approx(0.5)
+
+    def test_fifo_start_order_preserved(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=2)
+        starts = {}
+        jobs = []
+        for i, s in enumerate([2.0, 2.0, 0.1, 0.1]):
+            job = Job(query_id=i, service_time=s, on_complete=lambda t, j: None)
+            jobs.append(job)
+            server.submit(job)
+        engine.run()
+        # jobs 2 and 3 start only after 0 or 1 finishes at t=2
+        assert jobs[2].started_at == pytest.approx(2.0)
+        assert jobs[3].started_at == pytest.approx(2.0)
+
+    def test_utilisation_normalised_by_capacity(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=2)
+        log = []
+        server.submit(make_job(1, 1.0, log))
+        server.submit(make_job(2, 1.0, log))
+        engine.run(until=2.0)
+        # 2 unit-seconds of work over 2 units x 2 s horizon = 0.5
+        assert server.utilisation(2.0) == pytest.approx(0.5)
+
+    def test_in_service_counter(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=3)
+        for i in range(2):
+            server.submit(make_job(i, 1.0, []))
+        assert server.in_service == 2
+        engine.run()
+        assert server.in_service == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Server(SimulationEngine(), "S", capacity=0)
+
+
+class TestParallelTranslationSystem:
+    """The future-work ablation: parallel translation removes the 7%."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        from repro.paper import gpu_only_config, paper_workload
+        from repro.sim import HybridSystem
+
+        workload = paper_workload(include_32gb=True, text_prob=1.0, seed=42)
+        stream = workload.generate(1200)
+        out = {}
+        for workers in (1, 2):
+            config = replace(gpu_only_config(), translation_workers=workers)
+            out[workers] = HybridSystem(config).run(stream).queries_per_second
+        config = gpu_only_config()
+        no_trans = paper_workload(
+            include_32gb=True, text_prob=1.0, text_as_codes=True, seed=42
+        )
+        out["no_translation"] = (
+            HybridSystem(config).run(no_trans.generate(1200)).queries_per_second
+        )
+        return out
+
+    def test_one_worker_is_translation_bound(self, rates):
+        assert rates[1] < rates["no_translation"]
+
+    def test_two_workers_recover_gpu_rate(self, rates):
+        # doubling translation capacity lifts the bottleneck: the rate
+        # comes within 2% of the no-translation ceiling
+        assert rates[2] == pytest.approx(rates["no_translation"], rel=0.02)
+
+    def test_workers_validation(self):
+        from repro.paper import gpu_only_config
+
+        with pytest.raises(SimulationError):
+            replace(gpu_only_config(), translation_workers=0)

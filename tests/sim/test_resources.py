@@ -1,0 +1,136 @@
+"""Unit tests for the FIFO servers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.resources import Job, Server
+
+
+def make_job(qid, service, log):
+    return Job(
+        query_id=qid,
+        service_time=service,
+        on_complete=lambda t, job: log.append((qid, t)),
+    )
+
+
+class TestFIFO:
+    def test_sequential_service(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 1.0, log))
+        server.submit(make_job(2, 2.0, log))
+        engine.run()
+        assert log == [(1, 1.0), (2, 3.0)]
+
+    def test_order_preserved(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        for i in range(5):
+            server.submit(make_job(i, 0.5, log))
+        engine.run()
+        assert [qid for qid, _ in log] == [0, 1, 2, 3, 4]
+
+    def test_idle_gap(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 1.0, log))
+        engine.schedule_at(5.0, lambda: server.submit(make_job(2, 1.0, log)))
+        engine.run()
+        assert log == [(1, 1.0), (2, 6.0)]
+
+    def test_zero_service_time(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 0.0, log))
+        engine.run()
+        assert log == [(1, 0.0)]
+
+    def test_negative_service_rejected(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        with pytest.raises(SimulationError):
+            server.submit(make_job(1, -1.0, []))
+
+
+class TestStatistics:
+    def test_busy_time(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 1.5, log))
+        server.submit(make_job(2, 0.5, log))
+        engine.run()
+        assert server.busy_time == 2.0
+        assert server.completed == 2
+
+    def test_utilisation(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        server.submit(make_job(1, 1.0, []))
+        engine.run(until=4.0)
+        assert server.utilisation(4.0) == 0.25
+        assert server.utilisation(0.0) == 0.0
+
+    def test_waiting_time(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 2.0, log))
+        server.submit(make_job(2, 1.0, log))
+        engine.run()
+        assert server.total_wait == 2.0  # job 2 waited 2 s
+
+    def test_queue_length_visible(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        server.submit(make_job(1, 1.0, []))
+        server.submit(make_job(2, 1.0, []))
+        assert server.busy
+        assert server.queue_length == 1
+        engine.run()
+        assert not server.busy
+        assert server.queue_length == 0
+
+
+class TestCallbackChaining:
+    def test_completion_can_submit_to_other_server(self):
+        """The translation -> GPU pipeline pattern."""
+        engine = SimulationEngine()
+        trans = Server(engine, "T")
+        gpu = Server(engine, "G")
+        done = []
+
+        def after_translation(t, job):
+            gpu.submit(
+                Job(
+                    query_id=job.query_id,
+                    service_time=0.5,
+                    on_complete=lambda t2, j2: done.append(t2),
+                )
+            )
+
+        trans.submit(Job(query_id=1, service_time=0.25, on_complete=after_translation))
+        engine.run()
+        assert done == [0.75]
+
+    def test_completion_can_resubmit_same_server(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        finishes = []
+
+        def resubmit_once(t, job):
+            finishes.append(t)
+            if len(finishes) == 1:
+                server.submit(
+                    Job(query_id=2, service_time=1.0, on_complete=resubmit_once)
+                )
+
+        server.submit(Job(query_id=1, service_time=1.0, on_complete=resubmit_once))
+        engine.run()
+        assert finishes == [1.0, 2.0]

@@ -1,0 +1,173 @@
+"""Integration-style unit tests for the full HybridSystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import CPUOnlyScheduler, GPUOnlyScheduler
+from repro.errors import SimulationError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.partitioning import paper_partition_scheme
+from repro.gpu.timing import TESLA_C2070_TIMING
+from repro.olap.pyramid import CubePyramid
+from repro.query.workload import ArrivalProcess, QueryClass, WorkloadSpec
+from repro.sim.system import HybridSystem, SystemConfig
+from repro.core.perfmodel import XEON_X5667_8T
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def mat_config(fact_table, pyramid, translator):
+    device = SimulatedGPU(global_memory_bytes=GB, timing=TESLA_C2070_TIMING)
+    device.load_table(fact_table)
+    return SystemConfig(
+        cpu_model=XEON_X5667_8T.with_overhead(0.002),
+        pyramid=pyramid,
+        device=device,
+        scheme=paper_partition_scheme(),
+        translation_service=translator,
+        time_constraint=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(small_schema, dataset):
+    return WorkloadSpec(
+        small_schema.dimensions,
+        [
+            QueryClass("small", 0.6, resolution=1, coverage=(0.1, 0.5)),
+            QueryClass(
+                "mid",
+                0.25,
+                resolution=2,
+                dims_constrained=(1, 2),
+                coverage=(0.5, 1.0),
+                text_prob=0.5,
+            ),
+            QueryClass("fine", 0.15, resolution=3, coverage=(0.2, 0.8)),
+        ],
+        measures=("sales_price",),
+        text_levels=list(small_schema.text_levels),
+        vocabularies=dataset.vocabularies,
+        seed=31,
+    )
+
+
+class TestMaterialisedRun:
+    def test_all_queries_complete(self, mat_config, workload):
+        stream = workload.generate(200)
+        report = HybridSystem(mat_config).run(stream)
+        assert report.completed == 200
+
+    def test_answers_match_reference(self, mat_config, workload, fact_table, translator):
+        stream = workload.generate(150)
+        report = HybridSystem(mat_config).run(stream)
+        by_id = {e.query.query_id: e.query for e in stream}
+        for record in report.records:
+            q = by_id[record.query_id]
+            if q.needs_translation:
+                q = translator.translate(q).query
+            expected = fact_table.execute(q).value()
+            assert np.isclose(record.answer, expected, equal_nan=True), record
+
+    def test_fine_queries_go_to_gpu(self, mat_config, workload):
+        # resolution-3 queries exceed the pyramid (levels 0-2): GPU only
+        stream = workload.generate(300)
+        report = HybridSystem(mat_config).run(stream)
+        for record in report.records:
+            if record.query_class == "fine":
+                assert record.target.startswith("Q_G"), record
+
+    def test_text_queries_pass_translation(self, mat_config, workload):
+        stream = workload.generate(300)
+        report = HybridSystem(mat_config).run(stream)
+        translated = [r for r in report.records if r.translated]
+        assert translated, "workload should produce text queries"
+        assert all(r.target.startswith("Q_G") for r in translated)
+
+    def test_deterministic_given_seed(self, mat_config, workload):
+        stream = workload.generate(100)
+        r1 = HybridSystem(mat_config).run(stream)
+        r2 = HybridSystem(mat_config).run(stream)
+        assert r1.queries_per_second == r2.queries_per_second
+        assert [x.finish_time for x in r1.records] == [
+            x.finish_time for x in r2.records
+        ]
+
+    def test_utilisations_reported(self, mat_config, workload):
+        report = HybridSystem(mat_config).run(workload.generate(100))
+        assert "Q_CPU" in report.utilisations
+        assert all(0.0 <= u <= 1.0 for u in report.utilisations.values())
+
+
+class TestSchedulerVariants:
+    def test_cpu_only(self, mat_config, small_schema):
+        wl = WorkloadSpec(
+            small_schema.dimensions,
+            [QueryClass("small", 1.0, resolution=1)],
+            measures=("sales_price",),
+        )
+        cfg = SystemConfig(
+            **{**mat_config.__dict__, "scheduler_factory": CPUOnlyScheduler}
+        )
+        report = HybridSystem(cfg).run(wl.generate(100))
+        assert set(report.by_target()) == {"Q_CPU"}
+
+    def test_gpu_only(self, mat_config, workload):
+        cfg = SystemConfig(
+            **{**mat_config.__dict__, "scheduler_factory": GPUOnlyScheduler}
+        )
+        report = HybridSystem(cfg).run(workload.generate(100))
+        assert all(t.startswith("Q_G") for t in report.by_target())
+
+
+class TestNoiseAndFeedback:
+    def test_noise_changes_realised_times(self, mat_config, workload):
+        noisy = SystemConfig(**{**mat_config.__dict__, "noise_sigma": 0.3})
+        stream = workload.generate(100)
+        r_clean = HybridSystem(mat_config).run(stream)
+        r_noisy = HybridSystem(noisy).run(stream)
+        clean_err = sum(abs(r.estimation_error) for r in r_clean.records)
+        noisy_err = sum(abs(r.estimation_error) for r in r_noisy.records)
+        assert clean_err < 1e-12
+        assert noisy_err > 0
+
+    def test_noise_mean_preserving(self, mat_config, workload):
+        noisy = SystemConfig(
+            **{**mat_config.__dict__, "noise_sigma": 0.2, "seed": 5}
+        )
+        stream = workload.generate(300)
+        report = HybridSystem(noisy).run(stream)
+        measured = sum(r.measured_time for r in report.records)
+        estimated = sum(r.estimated_time for r in report.records)
+        assert 0.85 < measured / estimated < 1.15
+
+    def test_feedback_off_still_completes(self, mat_config, workload):
+        cfg = SystemConfig(
+            **{**mat_config.__dict__, "feedback_gain": 0.0, "noise_sigma": 0.2}
+        )
+        report = HybridSystem(cfg).run(workload.generate(100))
+        assert report.completed == 100
+
+
+class TestArrivals:
+    def test_open_arrivals_spread_completions(self, mat_config, workload):
+        stream = workload.generate(100, ArrivalProcess("uniform", rate=50.0))
+        report = HybridSystem(mat_config).run(stream)
+        assert report.completed == 100
+        assert report.makespan >= 99 / 50.0
+
+    def test_closed_arrivals_saturate(self, mat_config, workload):
+        stream = workload.generate(100)
+        report = HybridSystem(mat_config).run(stream)
+        # closed-loop throughput should exceed the 50/s open-loop rate
+        assert report.queries_per_second > 50
+
+
+class TestValidation:
+    def test_bad_time_constraint(self, mat_config):
+        with pytest.raises(SimulationError):
+            SystemConfig(**{**mat_config.__dict__, "time_constraint": 0.0})
+
+    def test_bad_noise(self, mat_config):
+        with pytest.raises(SimulationError):
+            SystemConfig(**{**mat_config.__dict__, "noise_sigma": -0.1})

@@ -1,0 +1,95 @@
+"""Tests for timeline recording and Gantt rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.resources import Job, Server
+from repro.sim.trace import render_gantt
+
+
+def run_jobs(services, capacity=1):
+    engine = SimulationEngine()
+    server = Server(engine, "S", capacity=capacity)
+    for i, s in enumerate(services):
+        server.submit(Job(query_id=i, service_time=s, on_complete=lambda t, j: None))
+    engine.run()
+    return server
+
+
+class TestHistory:
+    def test_records_in_completion_order(self):
+        server = run_jobs([1.0, 0.5])
+        assert server.history == [(0, 0.0, 1.0), (1, 1.0, 1.5)]
+
+    def test_multicapacity_history(self):
+        server = run_jobs([1.0, 1.0, 1.0], capacity=2)
+        starts = sorted(s for _, s, _ in server.history)
+        assert starts == [0.0, 0.0, 1.0]
+
+
+class TestRenderGantt:
+    def test_busy_fraction_shading(self):
+        chart = render_gantt({"S": [(0, 0.0, 5.0)]}, horizon=10.0, width=10)
+        row = chart.splitlines()[0]
+        body = row.split("|")[1]
+        # first half fully shaded, second half blank
+        assert body[:5] == "#####"
+        assert body[5:] == "     "
+        assert "50%" in row
+
+    def test_idle_partition_blank(self):
+        chart = render_gantt(
+            {"A": [(0, 0.0, 2.0)], "B": []}, horizon=2.0, width=12
+        )
+        b_row = next(l for l in chart.splitlines() if l.startswith("B"))
+        assert set(b_row.split("|")[1]) == {" "}
+        assert "0%" in b_row
+
+    def test_horizon_inferred(self):
+        chart = render_gantt({"S": [(0, 0.0, 4.0)]}, width=16)
+        assert "4.000 s" in chart
+
+    def test_partial_cells_shaded_lighter(self):
+        # 25% busy in each cell -> light shade, not '#'
+        timeline = [(i, i * 1.0, i * 1.0 + 0.25) for i in range(10)]
+        chart = render_gantt({"S": timeline}, horizon=10.0, width=10)
+        body = chart.splitlines()[0].split("|")[1]
+        assert "#" not in body
+        assert body.strip() != ""
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            render_gantt({})
+        with pytest.raises(SimulationError):
+            render_gantt({"S": []})
+        with pytest.raises(SimulationError):
+            render_gantt({"S": [(0, 0.0, 1.0)]}, width=4)
+
+
+class TestSystemReportGantt:
+    def test_report_carries_timelines(self):
+        from repro.paper import paper_system_config, paper_workload
+        from repro.sim import HybridSystem
+
+        config = paper_system_config(threads=8, include_32gb=True)
+        workload = paper_workload(include_32gb=True, seed=5)
+        report = HybridSystem(config).run(workload.generate(100))
+        assert set(report.timelines) == set(report.utilisations)
+        chart = report.gantt(width=40)
+        assert "Q_CPU" in chart and "Q_G6" in chart
+
+    def test_slowest_first_visible_in_timelines(self):
+        from repro.paper import paper_system_config, paper_workload
+        from repro.query.workload import ArrivalProcess
+        from repro.sim import HybridSystem
+
+        config = paper_system_config(threads=8, include_32gb=True)
+        workload = paper_workload(include_32gb=True, seed=5)
+        stream = workload.generate(200, ArrivalProcess("uniform", rate=100.0))
+        report = HybridSystem(config).run(stream)
+        # Figure 10's slowest-first: the 1-SM queues serve at least as
+        # many GPU-bound queries as the 4-SM queues at moderate load
+        g1 = len(report.timelines["Q_G1"])
+        g6 = len(report.timelines["Q_G6"])
+        assert g1 >= g6

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("db")
+    rc = main(["generate", str(directory), "--rows", "5000", "--scale", "0.4",
+               "--seed", "3"])
+    assert rc == 0
+    rc = main(["build", str(directory), "--measure", "sales_price",
+               "--resolutions", "0,1,2"])
+    assert rc == 0
+    return directory
+
+
+class TestGenerate:
+    def test_writes_database_files(self, db_dir):
+        assert (db_dir / "schema.json").exists()
+        assert (db_dir / "table.npz").exists()
+        assert (db_dir / "vocabularies.json").exists()
+
+    def test_output_mentions_rows(self, tmp_path, capsys):
+        main(["generate", str(tmp_path / "db2"), "--rows", "100", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "100 rows" in out
+
+
+class TestBuild:
+    def test_pyramid_files(self, db_dir):
+        assert (db_dir / "pyramid_sales_price.npz").exists()
+        assert (db_dir / "pyramid_sales_price.json").exists()
+
+    def test_unknown_measure_fails(self, db_dir, capsys):
+        rc = main(["build", str(db_dir), "--measure", "nope"])
+        assert rc == 2
+        assert "unknown measure" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_both_paths_agree(self, db_dir, capsys):
+        rc = main([
+            "query",
+            str(db_dir),
+            "SELECT sum(sales_price) WHERE date.year = 1",
+            "--path",
+            "both",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cpu-cube" in out and "gpu" in out and "reference-scan" in out
+
+    def test_text_query_translates(self, db_dir, capsys):
+        import json
+
+        vocab = json.loads((db_dir / "vocabularies.json").read_text())
+        city = vocab["store__city"][0].replace("'", r"\'")
+        rc = main([
+            "query",
+            str(db_dir),
+            f"SELECT sum(sales_price) WHERE store.city = '{city}'",
+            "--path",
+            "gpu",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "translated 1 text parameter" in out
+
+    def test_parse_error_is_reported(self, db_dir, capsys):
+        rc = main(["query", str(db_dir), "SELECT sum(sales_price) WHERE ???"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_table1(self, capsys):
+        rc = main(["simulate", "table1", "--threads", "8", "--queries", "400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out
+
+    def test_gpu_only(self, capsys):
+        rc = main(["simulate", "gpu-only", "--queries", "400"])
+        assert rc == 0
+        assert "Q_G" in capsys.readouterr().out
+
+    def test_table3_reports_sustainable_rate(self, capsys):
+        rc = main(["simulate", "table3", "--threads", "8", "--queries", "400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max sustainable rate" in out
+
+
+class TestParser:
+    def test_missing_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestGroupedQueryCLI:
+    def test_grouped_query_prints_groups(self, db_dir, capsys):
+        rc = main([
+            "query",
+            str(db_dir),
+            "SELECT sum(sales_price) BY date.year",
+            "--limit",
+            "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "groups by (date@0)" in out
+
+    def test_grouped_query_cpu_path(self, db_dir, capsys):
+        rc = main([
+            "query",
+            str(db_dir),
+            "SELECT count(*) BY store.region",
+            "--path",
+            "cpu",
+        ])
+        assert rc == 0
+        assert "groups by" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    CubeNotAvailableError,
+    DictionaryError,
+    QueryError,
+    ReproError,
+    UnknownTokenError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError), name
+            assert issubclass(cls, Exception), name
+
+    def test_dimension_and_resolution_are_query_errors(self):
+        assert issubclass(errors.DimensionError, QueryError)
+        assert issubclass(errors.ResolutionError, QueryError)
+        assert issubclass(errors.ParseError, QueryError)
+
+    def test_cube_not_available_is_cube_error(self):
+        assert issubclass(CubeNotAvailableError, errors.CubeError)
+
+    def test_unknown_token_carries_context(self):
+        exc = UnknownTokenError("store__city", "Atlantis")
+        assert exc.column == "store__city"
+        assert exc.token == "Atlantis"
+        assert "Atlantis" in str(exc)
+        assert isinstance(exc, DictionaryError)
+
+    def test_single_except_catches_all(self):
+        # the library contract: one except clause suffices
+        with pytest.raises(ReproError):
+            raise errors.SchedulingError("x")
+        with pytest.raises(ReproError):
+            raise UnknownTokenError("c", "t")
+
+    def test_all_list_is_complete(self):
+        public = {
+            name
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), ReproError)
+        }
+        assert public == set(errors.__all__)

@@ -1,0 +1,287 @@
+"""Tests for grouped (multi-cell) query execution across all paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CubeError, QueryError, TranslationError
+from repro.groupby import (
+    GroupedResult,
+    groupby_from_table,
+    groupby_with_cube,
+    run_groupby_kernel,
+)
+from repro.olap.cube import OLAPCube
+from repro.query.model import Condition, Query, decompose
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def cube(fact_table):
+    return OLAPCube.from_fact_table(
+        fact_table, "sales_price", resolutions=[2, 2, 2], with_minmax=True
+    )
+
+
+def grouped_query(agg="sum", group_by=(("date", 1),), conditions=()):
+    measures = () if agg == "count" else ("sales_price",)
+    return Query(
+        conditions=tuple(conditions),
+        measures=measures,
+        agg=agg,
+        group_by=tuple(group_by),
+    )
+
+
+class TestQueryModel:
+    def test_group_by_raises_required_resolution(self):
+        q = grouped_query(group_by=(("date", 3),))
+        assert q.required_resolution == 3
+
+    def test_duplicate_group_dims_rejected(self):
+        with pytest.raises(QueryError):
+            grouped_query(group_by=(("date", 1), ("date", 2)))
+
+    def test_group_columns_in_decomposition(self, small_schema):
+        q = grouped_query(group_by=(("date", 1), ("store", 0)))
+        d = decompose(q, small_schema.hierarchies)
+        assert d.group_columns == ("date__quarter", "store__region")
+
+    def test_shared_column_counted_once(self, small_schema):
+        q = grouped_query(
+            group_by=(("date", 1),),
+            conditions=(Condition("date", 1, lo=0, hi=8),),
+        )
+        d = decompose(q, small_schema.hierarchies)
+        # date__quarter is both filter and group: 1 column + 1 measure
+        assert d.columns_accessed == 2
+
+    def test_distinct_columns_counted(self, small_schema):
+        q = grouped_query(
+            group_by=(("store", 0),),
+            conditions=(Condition("date", 1, lo=0, hi=8),),
+        )
+        d = decompose(q, small_schema.hierarchies)
+        assert d.columns_accessed == 3
+
+
+class TestReferencePath:
+    def test_cells_match_manual_bincount(self, fact_table, small_schema):
+        q = grouped_query(group_by=(("date", 0),))
+        result = groupby_from_table(fact_table, q)
+        col = fact_table.column("date__year")
+        vals = fact_table.column("sales_price")
+        for year in np.unique(col):
+            assert np.isclose(
+                result.cells[(int(year),)], vals[col == year].sum()
+            )
+
+    def test_total_matches_ungrouped_sum(self, fact_table):
+        q = grouped_query(group_by=(("store", 1),))
+        result = groupby_from_table(fact_table, q)
+        assert np.isclose(result.total(), fact_table.column("sales_price").sum())
+
+    @pytest.mark.parametrize("agg", ["sum", "count", "avg", "min", "max"])
+    def test_all_aggregates(self, fact_table, agg):
+        q = grouped_query(agg=agg, group_by=(("date", 0),))
+        result = groupby_from_table(fact_table, q)
+        col = fact_table.column("date__year")
+        vals = fact_table.column("sales_price")
+        for (year,), value in result.cells.items():
+            sel = vals[col == year]
+            expected = {
+                "sum": sel.sum(),
+                "count": float(len(sel)),
+                "avg": sel.mean(),
+                "min": sel.min(),
+                "max": sel.max(),
+            }[agg]
+            assert np.isclose(value, expected), (agg, year)
+
+    def test_conditions_filter_groups(self, fact_table):
+        q = grouped_query(
+            group_by=(("date", 1),),
+            conditions=(Condition("date", 1, lo=2, hi=5),),
+        )
+        result = groupby_from_table(fact_table, q)
+        assert set(result.cells) <= {(2,), (3,), (4,)}
+
+    def test_no_group_by_rejected(self, fact_table):
+        q = Query(conditions=(), measures=("sales_price",))
+        with pytest.raises(QueryError, match="no group_by"):
+            groupby_from_table(fact_table, q)
+
+    def test_untranslated_text_rejected(self, fact_table):
+        q = grouped_query(
+            group_by=(("date", 0),),
+            conditions=(Condition("store", 2, text_values=("x",)),),
+        )
+        with pytest.raises(TranslationError):
+            groupby_from_table(fact_table, q)
+
+    def test_group_space_budget(self, fact_table, monkeypatch):
+        import repro.groupby as gb
+
+        monkeypatch.setattr(gb, "MAX_GROUP_CELLS", 4)
+        q = grouped_query(group_by=(("date", 2),))
+        with pytest.raises(CubeError, match="budget"):
+            groupby_from_table(fact_table, q)
+
+    def test_empty_match(self, fact_table, small_schema):
+        card = small_schema.dimension("date").cardinality(3)
+        q = grouped_query(
+            group_by=(("store", 0),),
+            conditions=(Condition("date", 3, lo=card - 1, hi=card),),
+        )
+        result = groupby_from_table(fact_table, q)
+        if result.rows_matched == 0:
+            assert result.num_groups == 0
+
+
+class TestCubePath:
+    @pytest.mark.parametrize("agg", ["sum", "count", "avg", "min", "max"])
+    def test_matches_reference(self, fact_table, cube, agg):
+        q = grouped_query(
+            agg=agg,
+            group_by=(("date", 1), ("item", 0)),
+            conditions=(Condition("store", 1, lo=0, hi=12),),
+        )
+        ref = groupby_from_table(fact_table, q)
+        got = groupby_with_cube(cube, q)
+        assert set(got.cells) == set(ref.cells)
+        for k, v in ref.cells.items():
+            assert np.isclose(got.cells[k], v), (agg, k)
+
+    def test_coarsening_groups(self, fact_table, cube):
+        # group at a coarser resolution than the cube's materialisation
+        q = grouped_query(group_by=(("date", 0),))
+        ref = groupby_from_table(fact_table, q)
+        got = groupby_with_cube(cube, q)
+        assert got.cells == pytest.approx(ref.cells)
+
+    def test_group_finer_than_cube_rejected(self, fact_table):
+        coarse = OLAPCube.from_fact_table(fact_table, "sales_price", [0, 0, 0])
+        q = grouped_query(group_by=(("date", 2),))
+        with pytest.raises(QueryError, match="materialised"):
+            groupby_with_cube(coarse, q)
+
+    def test_wrong_measure_rejected(self, cube):
+        q = Query(
+            conditions=(), measures=("quantity",), group_by=(("date", 0),)
+        )
+        with pytest.raises(QueryError, match="aggregates"):
+            groupby_with_cube(cube, q)
+
+    def test_rows_matched_consistent(self, fact_table, cube):
+        q = grouped_query(
+            group_by=(("date", 0),),
+            conditions=(Condition("item", 1, lo=0, hi=20),),
+        )
+        ref = groupby_from_table(fact_table, q)
+        got = groupby_with_cube(cube, q)
+        assert got.rows_matched == ref.rows_matched
+
+
+class TestGPUPath:
+    @pytest.mark.parametrize("n_sm", [1, 4, 14])
+    def test_matches_reference(self, fact_table, small_schema, n_sm):
+        q = grouped_query(
+            group_by=(("store", 0), ("date", 1)),
+            conditions=(Condition("item", 1, lo=0, hi=30),),
+        )
+        d = decompose(q, small_schema.hierarchies)
+        ref = groupby_from_table(fact_table, q)
+        got = run_groupby_kernel(fact_table, d, n_sm)
+        assert set(got.cells) == set(ref.cells)
+        for k, v in ref.cells.items():
+            assert np.isclose(got.cells[k], v)
+
+    def test_min_max_across_shards(self, fact_table, small_schema):
+        q = grouped_query(agg="min", group_by=(("date", 0),))
+        d = decompose(q, small_schema.hierarchies)
+        ref = groupby_from_table(fact_table, q)
+        got = run_groupby_kernel(fact_table, d, 7)
+        assert got.cells == pytest.approx(ref.cells)
+
+    def test_device_entry_point(self, fact_table):
+        from repro.gpu.device import SimulatedGPU
+        from repro.units import GB
+
+        device = SimulatedGPU(global_memory_bytes=GB)
+        device.load_table(fact_table)
+        q = grouped_query(group_by=(("date", 1),))
+        result, elapsed = device.execute_groupby(q, 4)
+        assert elapsed > 0
+        assert result.num_groups > 0
+        ref = groupby_from_table(fact_table, q)
+        assert result.cells == pytest.approx(ref.cells)
+
+    def test_device_rejects_ungrouped(self, fact_table):
+        from repro.errors import DeviceError
+        from repro.gpu.device import SimulatedGPU
+        from repro.units import GB
+
+        device = SimulatedGPU(global_memory_bytes=GB)
+        device.load_table(fact_table)
+        with pytest.raises(DeviceError):
+            device.execute_groupby(Query(conditions=(), measures=("quantity",)), 4)
+
+
+class TestPyramidPath:
+    def test_answer_grouped(self, pyramid, fact_table):
+        q = grouped_query(group_by=(("date", 1),))
+        ref = groupby_from_table(fact_table, q)
+        got = pyramid.answer_grouped(q)
+        assert got.cells == pytest.approx(ref.cells)
+
+    def test_level_selection_honours_groups(self, pyramid):
+        # grouping by resolution 2 forces at least the resolution-2 level
+        q = grouped_query(group_by=(("date", 2),))
+        level = pyramid.select_level(q)
+        assert max(level.resolutions) >= 2
+
+    def test_group_deeper_than_pyramid(self, pyramid):
+        from repro.errors import CubeNotAvailableError
+
+        q = grouped_query(group_by=(("date", 3),))
+        with pytest.raises(CubeNotAvailableError):
+            pyramid.select_level(q)
+
+
+class TestParser:
+    def test_by_clause(self, small_schema):
+        q = parse_query(
+            "SELECT sum(sales_price) BY date.quarter, store.region "
+            "WHERE item.category IN [0, 4)",
+            small_schema.hierarchies,
+        )
+        assert q.group_by == (("date", 1), ("store", 0))
+        assert len(q.conditions) == 1
+
+    def test_by_without_where(self, small_schema):
+        q = parse_query("SELECT count(*) BY date.year", small_schema.hierarchies)
+        assert q.group_by == (("date", 0),)
+        assert q.agg == "count"
+
+    def test_parsed_grouped_query_runs(self, fact_table, small_schema):
+        q = parse_query(
+            "SELECT avg(sales_price) BY store.region", small_schema.hierarchies
+        )
+        result = groupby_from_table(fact_table, q)
+        assert result.num_groups > 0
+
+
+class TestGroupedResult:
+    def test_value_at(self, fact_table):
+        result = groupby_from_table(fact_table, grouped_query(group_by=(("date", 0),)))
+        (coords, value), *_ = list(result.cells.items())
+        assert result.value_at(*coords) == value
+        with pytest.raises(QueryError):
+            result.value_at(10**6)
+
+    def test_top_ordering(self, fact_table):
+        result = groupby_from_table(
+            fact_table, grouped_query(group_by=(("item", 1),))
+        )
+        top = result.top(5)
+        values = [v for _, v in top]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,113 @@
+"""Unit tests for persistence (save/load round-trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import (
+    load_dataset,
+    load_pyramid,
+    load_table,
+    save_dataset,
+    save_pyramid,
+    save_table,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.olap import CubePyramid
+
+
+class TestSchemaRoundTrip:
+    def test_roundtrip(self, small_schema):
+        doc = schema_to_dict(small_schema)
+        restored = schema_from_dict(doc)
+        assert restored.column_names == small_schema.column_names
+        assert restored.text_levels == small_schema.text_levels
+        assert restored.measures == small_schema.measures
+        for d1, d2 in zip(restored.dimensions, small_schema.dimensions):
+            assert d1 == d2
+
+    def test_json_serialisable(self, small_schema):
+        json.dumps(schema_to_dict(small_schema))  # must not raise
+
+    def test_malformed_document(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"dimensions": "nope"})
+
+
+class TestTableRoundTrip:
+    def test_exact_columns(self, fact_table, tmp_path):
+        save_table(fact_table, tmp_path)
+        restored = load_table(tmp_path)
+        assert restored.num_rows == fact_table.num_rows
+        for spec in fact_table.schema.columns:
+            a = fact_table.column(spec.name)
+            b = restored.column(spec.name)
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    def test_queries_agree_after_reload(self, fact_table, tmp_path, small_schema):
+        from repro.query.model import Condition, Query
+
+        save_table(fact_table, tmp_path)
+        restored = load_table(tmp_path)
+        q = Query(
+            conditions=(Condition("date", 1, lo=2, hi=9),), measures=("quantity",)
+        )
+        assert restored.execute(q).value() == fact_table.execute(q).value()
+
+
+class TestDatasetRoundTrip:
+    def test_vocabularies_preserved(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path)
+        restored = load_dataset(tmp_path)
+        assert set(restored.vocabularies) == set(dataset.vocabularies)
+        for col in dataset.vocabularies:
+            assert list(restored.vocabularies[col]) == list(dataset.vocabularies[col])
+
+    def test_dictionaries_rebuild_identically(self, dataset, tmp_path):
+        from repro.text import build_dictionaries
+
+        save_dataset(dataset, tmp_path)
+        restored = load_dataset(tmp_path)
+        orig = build_dictionaries(dataset.vocabularies)
+        redo = build_dictionaries(restored.vocabularies)
+        col = next(iter(orig))
+        token = dataset.vocabularies[col][3]
+        assert orig[col].encode(token) == redo[col].encode(token)
+
+    def test_load_without_vocabularies(self, fact_table, tmp_path):
+        save_table(fact_table, tmp_path)
+        restored = load_dataset(tmp_path)
+        assert restored.vocabularies == {}
+
+
+class TestPyramidRoundTrip:
+    def test_components_exact(self, pyramid, tmp_path):
+        save_pyramid(pyramid, tmp_path)
+        restored = load_pyramid(tmp_path, pyramid.measure)
+        assert len(restored.levels) == len(pyramid.levels)
+        for l1, l2 in zip(restored.levels, pyramid.levels):
+            assert l1.resolutions == l2.resolutions
+            for comp in l2.cube.components:
+                assert np.array_equal(
+                    l1.cube.component(comp), l2.cube.component(comp)
+                )
+
+    def test_answers_agree_after_reload(self, pyramid, tmp_path, small_schema):
+        from repro.query.model import Condition, Query
+
+        save_pyramid(pyramid, tmp_path)
+        restored = load_pyramid(tmp_path, pyramid.measure)
+        q = Query(
+            conditions=(Condition("store", 1, lo=0, hi=10),),
+            measures=("sales_price",),
+        )
+        assert restored.answer(q) == pyramid.answer(q)
+
+    def test_analytic_pyramid_rejected(self, small_schema, tmp_path):
+        pyr = CubePyramid.analytic(small_schema.dimensions, [0, 1])
+        with pytest.raises(SchemaError, match="analytic"):
+            save_pyramid(pyr, tmp_path)

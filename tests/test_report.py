@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report import ascii_plot
+
+
+class TestAsciiPlot:
+    @staticmethod
+    def _grid(chart, height):
+        return [r.split("|", 1)[1] for r in chart.splitlines()[:height]]
+
+    def test_renders_markers(self):
+        chart = ascii_plot({"f": [(0, 0), (1, 1), (2, 2)]}, width=20, height=6)
+        grid = "".join(self._grid(chart, 6))
+        assert grid.count("o") == 3
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": [(0, 0)], "b": [(1, 1)]}, width=20, height=6
+        )
+        assert "o a" in chart and "+ b" in chart
+        assert "o" in chart and "+" in chart
+
+    def test_extremes_map_to_corners(self):
+        chart = ascii_plot({"f": [(0, 0), (10, 10)]}, width=20, height=6)
+        rows = chart.splitlines()
+        # max y on the first grid row, min y on the last
+        assert "o" in rows[0]
+        assert "o" in rows[5]
+        # leftmost and rightmost columns used
+        grid_rows = [r.split("|", 1)[1] for r in rows[:6]]
+        assert grid_rows[5][0] == "o"
+        assert grid_rows[0].rstrip().endswith("o")
+
+    def test_monotone_series_is_monotone_in_grid(self):
+        pts = [(x, x * x) for x in range(1, 9)]
+        chart = ascii_plot({"f": pts}, width=32, height=10)
+        rows = [r.split("|", 1)[1] for r in chart.splitlines()[:10]]
+        cols = sorted(
+            (line.index("o"), 10 - r) for r, line in enumerate(rows) if "o" in line
+        )
+        heights = [h for _, h in cols]
+        assert heights == sorted(heights)
+
+    def test_log_axes(self):
+        pts = [(10**i, 10 ** (2 * i)) for i in range(4)]
+        chart = ascii_plot({"f": pts}, logx=True, logy=True, width=30, height=8)
+        assert "log x" in chart and "log y" in chart
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            ascii_plot({"f": [(0.0, 1.0)]}, logx=True)
+
+    def test_constant_series(self):
+        chart = ascii_plot({"f": [(0, 5), (1, 5), (2, 5)]}, width=12, height=4)
+        grid = "".join(self._grid(chart, 4))
+        assert grid.count("o") == 3
+
+    def test_axis_labels_present(self):
+        chart = ascii_plot(
+            {"f": [(1, 2)]}, xlabel="size [MB]", ylabel="time [s]", width=12, height=4
+        )
+        assert "size [MB] vs time [s]" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot({})
+        with pytest.raises(ReproError):
+            ascii_plot({"f": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot({"f": [(0, 0)]}, width=2, height=2)
+
+    def test_duplicate_points_overlap(self):
+        chart = ascii_plot({"a": [(1, 1)], "b": [(1, 1)]}, width=12, height=4)
+        # later series wins the cell
+        assert "+" in chart.splitlines()[3] or "+" in chart

@@ -1,0 +1,127 @@
+"""Unit tests for the Aho-Corasick automaton."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.text.ahocorasick import AhoCorasick, Match
+
+
+class TestConstruction:
+    def test_classic_example_states(self):
+        ac = AhoCorasick(["he", "she", "his", "hers"])
+        # the canonical automaton from the 1975 paper has 10 states
+        assert ac.num_states == 10
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(DictionaryError):
+            AhoCorasick(["a", ""])
+
+    def test_no_keywords_rejected(self):
+        with pytest.raises(DictionaryError):
+            AhoCorasick([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DictionaryError):
+            AhoCorasick(["x", "x"])
+
+    def test_len(self):
+        assert len(AhoCorasick(["a", "b", "c"])) == 3
+
+
+class TestSearch:
+    def test_classic_example_matches(self):
+        ac = AhoCorasick(["he", "she", "his", "hers"])
+        found = [(m.start, m.keyword) for m in ac.search("ushers")]
+        assert found == [(1, "she"), (2, "he"), (2, "hers")]
+
+    def test_overlapping_matches(self):
+        ac = AhoCorasick(["aa"])
+        assert [(m.start, m.end) for m in ac.search("aaaa")] == [
+            (0, 2),
+            (1, 3),
+            (2, 4),
+        ]
+
+    def test_keyword_inside_keyword(self):
+        ac = AhoCorasick(["ab", "abcd"])
+        found = {m.keyword for m in ac.search("abcd")}
+        assert found == {"ab", "abcd"}
+
+    def test_no_match(self):
+        ac = AhoCorasick(["xyz"])
+        assert ac.search("hello world") == []
+
+    def test_match_positions_are_exact(self):
+        ac = AhoCorasick(["lo wo"])
+        (m,) = ac.search("hello world")
+        assert "hello world"[m.start : m.end] == "lo wo"
+
+    def test_pattern_index(self):
+        ac = AhoCorasick(["b", "a"])
+        matches = ac.search("ab")
+        assert {(m.keyword, m.pattern_index) for m in matches} == {("a", 1), ("b", 0)}
+
+    def test_single_char_patterns(self):
+        ac = AhoCorasick(list("abc"))
+        assert len(ac.search("aabbcc")) == 6
+
+    def test_empty_text(self):
+        ac = AhoCorasick(["x"])
+        assert ac.search("") == []
+
+    def test_unicode(self):
+        ac = AhoCorasick(["naïve", "café"])
+        found = {m.keyword for m in ac.search("a naïve café patron")}
+        assert found == {"naïve", "café"}
+
+
+class TestContainsAny:
+    def test_true_with_early_exit(self):
+        ac = AhoCorasick(["lo"])
+        assert ac.contains_any("hello" + "x" * 1000)
+
+    def test_false(self):
+        ac = AhoCorasick(["zz"])
+        assert not ac.contains_any("hello")
+
+
+class TestLongestMatches:
+    def test_prefers_longest_at_same_start(self):
+        ac = AhoCorasick(["new", "new york", "new york city"])
+        (m,) = ac.longest_matches("in new york city today")
+        assert m.keyword == "new york city"
+
+    def test_non_overlapping(self):
+        ac = AhoCorasick(["ab", "bc"])
+        found = [m.keyword for m in ac.longest_matches("abc")]
+        assert found == ["ab"]
+
+    def test_multiple_disjoint(self):
+        ac = AhoCorasick(["cat", "dog"])
+        found = [m.keyword for m in ac.longest_matches("cat and dog")]
+        assert found == ["cat", "dog"]
+
+
+class TestAgainstNaive:
+    def test_matches_naive_substring_search(self, rng):
+        import itertools
+
+        alphabet = "ab"
+        keywords = [
+            "".join(p)
+            for n in (1, 2, 3)
+            for p in itertools.product(alphabet, repeat=n)
+        ]
+        ac = AhoCorasick(keywords)
+        text = "".join(rng.choice(list(alphabet), size=200))
+        expected = set()
+        for kw in keywords:
+            start = 0
+            while True:
+                pos = text.find(kw, start)
+                if pos == -1:
+                    break
+                expected.add((pos, kw))
+                start = pos + 1
+        got = {(m.start, m.keyword) for m in ac.search(text)}
+        assert got == expected

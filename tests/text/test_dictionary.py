@@ -1,0 +1,153 @@
+"""Unit tests for per-column dictionaries and their backends."""
+
+import pytest
+
+from repro.errors import DictionaryError, UnknownTokenError
+from repro.text.dictionary import (
+    BACKENDS,
+    ColumnDictionary,
+    HashBackend,
+    LinearScanBackend,
+    SortedArrayBackend,
+    TrieBackend,
+    build_dictionaries,
+)
+
+VOCAB = ["rome", "paris", "london", "berlin", "madrid", "oslo"]
+
+ALL_BACKENDS = ["hash", "sorted", "trie", "linear"]
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_find_every_token(self, backend):
+        d = ColumnDictionary("city", VOCAB, backend=backend)
+        for code, token in enumerate(VOCAB):
+            assert d.encode(token) == code
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_missing_token(self, backend):
+        d = ColumnDictionary("city", VOCAB, backend=backend)
+        with pytest.raises(UnknownTokenError) as exc:
+            d.encode("atlantis")
+        assert exc.value.column == "city"
+        assert exc.value.token == "atlantis"
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_prefix_is_not_member(self, backend):
+        # "oslo" is present; its prefix "os" must not match
+        d = ColumnDictionary("city", VOCAB, backend=backend)
+        assert "os" not in d
+        assert "oslo" in d
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_token_extending_member(self, backend):
+        d = ColumnDictionary("city", VOCAB, backend=backend)
+        assert "romeo" not in d
+
+    def test_probe_counts_reflect_complexity(self):
+        vocab = [f"token{i:05d}" for i in range(1000)]
+        linear = LinearScanBackend(vocab)
+        hashb = HashBackend(vocab)
+        linear.find(vocab[-1])
+        hashb.find(vocab[-1])
+        assert linear.probes == 1000
+        assert hashb.probes == 1
+
+    def test_sorted_backend_returns_positional_codes(self):
+        # vocabulary deliberately unsorted: codes must stay positional
+        vocab = ["zeta", "alpha", "mid"]
+        backend = SortedArrayBackend(vocab)
+        assert backend.find("zeta") == 0
+        assert backend.find("alpha") == 1
+
+    def test_trie_shares_prefixes(self):
+        backend = TrieBackend(["car", "cart", "care"])
+        assert backend.find("car") == 0
+        assert backend.find("cart") == 1
+        assert backend.find("care") == 2
+        assert backend.find("ca") is None
+
+    def test_duplicate_vocabulary_rejected(self):
+        with pytest.raises(DictionaryError):
+            HashBackend(["a", "a"])
+
+    def test_registry_complete(self):
+        assert set(BACKENDS) == {"hash", "sorted", "trie", "linear"}
+
+
+class TestColumnDictionary:
+    def test_length_is_d_l(self):
+        d = ColumnDictionary("c", VOCAB)
+        assert len(d) == len(VOCAB)
+        assert d.length == len(VOCAB)
+
+    def test_decode(self):
+        d = ColumnDictionary("c", VOCAB)
+        assert d.decode(2) == "london"
+
+    def test_decode_out_of_range(self):
+        d = ColumnDictionary("c", VOCAB)
+        with pytest.raises(DictionaryError):
+            d.decode(99)
+        with pytest.raises(DictionaryError):
+            d.decode(-1)
+
+    def test_encode_many(self):
+        d = ColumnDictionary("c", VOCAB)
+        assert d.encode_many(["oslo", "rome"]) == [5, 0]
+
+    def test_roundtrip_all(self):
+        d = ColumnDictionary("c", VOCAB, backend="trie")
+        for code in range(len(VOCAB)):
+            assert d.encode(d.decode(code)) == code
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(DictionaryError):
+            ColumnDictionary("c", [])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(DictionaryError):
+            ColumnDictionary("", VOCAB)
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(DictionaryError):
+            ColumnDictionary("c", VOCAB, backend="btree")
+
+    def test_backend_instance_injection(self):
+        backend = HashBackend(VOCAB)
+        d = ColumnDictionary("c", VOCAB, backend=backend)
+        assert d.backend_name == "hash"
+
+    def test_backend_instance_size_mismatch(self):
+        backend = HashBackend(VOCAB[:3])
+        with pytest.raises(DictionaryError):
+            ColumnDictionary("c", VOCAB, backend=backend)
+
+    def test_backend_class_injection(self):
+        d = ColumnDictionary("c", VOCAB, backend=TrieBackend)
+        assert d.backend_name == "trie"
+
+    def test_probes_accumulate(self):
+        d = ColumnDictionary("c", VOCAB, backend="linear")
+        before = d.probes
+        d.encode("madrid")
+        assert d.probes > before
+
+
+class TestBuildDictionaries:
+    def test_from_dataset_vocabularies(self, dataset):
+        dicts = build_dictionaries(dataset.vocabularies, backend="sorted")
+        assert set(dicts) == set(dataset.vocabularies)
+        for column, d in dicts.items():
+            assert d.column == column
+            assert d.backend_name == "sorted"
+
+    def test_encoding_matches_table_codes(self, dataset):
+        # the dictionary must map raw strings back to the stored codes
+        dicts = build_dictionaries(dataset.vocabularies)
+        column = next(iter(dicts))
+        codes = dataset.table.column(column)[:50]
+        for code in codes:
+            raw = dataset.raw_value(column, int(code))
+            assert dicts[column].encode(raw) == int(code)

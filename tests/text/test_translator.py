@@ -1,0 +1,155 @@
+"""Unit tests for the query translation service (Section III-F)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TranslationError, UnknownTokenError
+from repro.query.model import Condition, Query
+from repro.text.dictionary import ColumnDictionary
+from repro.text.translator import TranslationService
+
+
+@pytest.fixture(scope="module")
+def text_column(small_schema):
+    return small_schema.text_columns[0]  # store__city
+
+
+@pytest.fixture(scope="module")
+def city_query(dataset, text_column, small_schema):
+    vocab = dataset.vocabularies[text_column.name]
+    cond = Condition(
+        text_column.dimension,
+        text_column.resolution,
+        text_values=(vocab[3], vocab[7]),
+    )
+    return Query(conditions=(cond,), measures=("quantity",))
+
+
+class TestTranslate:
+    def test_text_replaced_by_codes(self, translator, city_query):
+        result = translator.translate(city_query)
+        (cond,) = result.query.conditions
+        assert not cond.is_text
+        assert cond.codes == (3, 7)
+
+    def test_query_identity_preserved(self, translator, city_query):
+        result = translator.translate(city_query)
+        assert result.query.query_id == city_query.query_id
+
+    def test_lookup_records(self, translator, city_query, text_column):
+        result = translator.translate(city_query)
+        assert result.parameters_translated == 2
+        assert all(col == text_column.name for col, _, _ in result.lookups)
+
+    def test_numeric_query_passthrough(self, translator, small_schema):
+        d = small_schema.dimensions[0].name
+        q = Query(conditions=(Condition(d, 1, lo=0, hi=4),), measures=("quantity",))
+        result = translator.translate(q)
+        assert result.query is q
+        assert result.parameters_translated == 0
+        assert result.estimated_time == 0.0
+
+    def test_unknown_literal_raises(self, translator, text_column):
+        cond = Condition(
+            text_column.dimension, text_column.resolution, text_values=("Atlantis!",)
+        )
+        q = Query(conditions=(cond,), measures=("quantity",))
+        with pytest.raises(UnknownTokenError):
+            translator.translate(q)
+
+    def test_mixed_conditions(self, translator, dataset, text_column, small_schema):
+        vocab = dataset.vocabularies[text_column.name]
+        other_dim = next(
+            d.name for d in small_schema.dimensions if d.name != text_column.dimension
+        )
+        q = Query(
+            conditions=(
+                Condition(other_dim, 1, lo=2, hi=5),
+                Condition(
+                    text_column.dimension,
+                    text_column.resolution,
+                    text_values=(vocab[0],),
+                ),
+            ),
+            measures=("quantity",),
+        )
+        result = translator.translate(q)
+        numeric, coded = result.query.conditions
+        assert numeric.is_range
+        assert coded.codes == (0,)
+
+    def test_translated_answers_match_raw_codes(
+        self, translator, dataset, fact_table, text_column
+    ):
+        vocab = dataset.vocabularies[text_column.name]
+        q_text = Query(
+            conditions=(
+                Condition(
+                    text_column.dimension,
+                    text_column.resolution,
+                    text_values=(vocab[5],),
+                ),
+            ),
+            measures=("quantity",),
+        )
+        q_codes = Query(
+            conditions=(
+                Condition(text_column.dimension, text_column.resolution, codes=(5,)),
+            ),
+            measures=("quantity",),
+        )
+        translated = translator.translate(q_text).query
+        assert np.isclose(
+            fact_table.execute(translated).value("quantity"),
+            fact_table.execute(q_codes).value("quantity"),
+        )
+
+
+class TestEstimation:
+    def test_eq18_sums_per_parameter(self, translator, city_query, text_column):
+        d_l = translator.dictionary_length(text_column.name)
+        expected = 2 * 0.0138e-6 * d_l  # two literals, paper cost model
+        assert np.isclose(translator.estimate_time(city_query), expected)
+
+    def test_custom_cost_model(self, dictionaries, small_schema, city_query):
+        svc = TranslationService(
+            dictionaries, small_schema.hierarchies, cost_model=lambda d_l: 1.0
+        )
+        assert svc.estimate_time(city_query) == 2.0
+
+    def test_estimate_matches_result_field(self, translator, city_query):
+        estimate = translator.estimate_time(city_query)
+        result = translator.translate(city_query)
+        assert result.estimated_time == estimate
+
+    def test_cost_per_lookup(self, translator, text_column):
+        d_l = translator.dictionary_length(text_column.name)
+        assert np.isclose(
+            translator.cost_per_lookup(text_column.name), 0.0138e-6 * d_l
+        )
+
+
+class TestValidation:
+    def test_mismatched_registration(self, small_schema):
+        wrong = ColumnDictionary("other", ["a", "b"])
+        with pytest.raises(TranslationError):
+            TranslationService({"store__city": wrong}, small_schema.hierarchies)
+
+    def test_missing_dictionary(self, dictionaries, small_schema):
+        svc = TranslationService(
+            {k: v for k, v in dictionaries.items() if k != "store__city"},
+            small_schema.hierarchies,
+        )
+        with pytest.raises(TranslationError):
+            svc.dictionary_for("store__city")
+
+
+class TestScanText:
+    def test_finds_dictionary_terms_in_free_text(self, translator, dataset):
+        column = "store__city"
+        city = dataset.vocabularies[column][11]
+        hits = translator.scan_text(f"total sales in {city} last month")
+        assert any(col == column and m.keyword == city for col, m in hits)
+
+    def test_no_terms(self, translator):
+        assert translator.scan_text("0123456789 @@@") == []
