@@ -17,7 +17,6 @@ import pytest
 
 from repro.gpu.partitioning import PartitionScheme, monolithic_scheme, paper_partition_scheme
 from repro.paper import gpu_only_config, paper_workload
-from repro.query.workload import ArrivalProcess
 from repro.sim import HybridSystem
 
 N_QUERIES = 1500

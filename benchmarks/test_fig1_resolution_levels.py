@@ -13,7 +13,7 @@ import pytest
 from repro.core.perfmodel import XEON_X5667_8T
 from repro.gpu.timing import TESLA_C2070_TIMING
 from repro.paper import paper_pyramid
-from repro.units import GB, bytes_to_mb, fmt_bytes
+from repro.units import GB, fmt_bytes
 
 
 @pytest.mark.experiment("FIG1", "cube resolution vs size; levels M and G")

@@ -104,7 +104,7 @@ def calibrate_dictionaries(dataset):
         times.append((time.perf_counter() - start) / 50)
     model = fit_dict_cost(lengths, times)
     print(f"  P_DICT = {model.cost_per_entry * 1e6:.4f} us * D_L "
-          f"(paper: 0.0138 us on a 2010 Xeon)")
+          "(paper: 0.0138 us on a 2010 Xeon)")
     return model
 
 

@@ -60,7 +60,7 @@ def main() -> None:
     query = Query(conditions=tuple(conditions), measures=("net_profit",), agg="sum")
     translated = translator.translate(query)
     print(f"\nstructured query: {query}")
-    print(f"translated codes: "
+    print("translated codes: "
           f"{[(c, t, code) for c, t, code in translated.lookups]}")
 
     # -- 3. run on the GPU --------------------------------------------------

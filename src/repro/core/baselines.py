@@ -28,7 +28,7 @@ purely from placement policy.
 from __future__ import annotations
 
 from repro.core.partitions import PartitionQueue, QueueKind
-from repro.core.scheduler import BaseScheduler, HybridScheduler, QueryEstimates
+from repro.core.scheduler import BaseScheduler, HybridScheduler
 from repro.errors import SchedulingError
 from repro.query.model import Query
 

@@ -15,7 +15,7 @@ evaluation can report how well-calibrated the models were.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.partitions import PartitionQueue
 from repro.errors import SchedulingError

@@ -18,7 +18,7 @@ value T_Q of the queue"*).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.errors import PartitionError

@@ -34,7 +34,7 @@ behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.core.partitions import PartitionQueue, QueueKind, Submission

@@ -25,7 +25,7 @@ which is how Figure 8 is regenerated.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import DeviceError

@@ -183,7 +183,6 @@ def groupby_with_cube(cube: OLAPCube, query: Query) -> GroupedResult:
         )
     hierarchies = {d.name: d for d in cube.dimensions}
     cards, size = _group_setup(query, hierarchies)
-    group_res = dict(query.group_by)
     for dim, res in query.group_by:
         if dim not in hierarchies:
             raise QueryError(f"cube has no dimension {dim!r}")

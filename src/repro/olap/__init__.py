@@ -14,6 +14,14 @@ stands in for the paper's OpenMP implementation
 """
 
 from repro.olap.hierarchy import DimensionHierarchy, Level
+from repro.olap.buildalgs import (
+    array_based_cube,
+    buc_cube,
+    full_cube_reference,
+    pipesort_cube,
+    plan_pipelines,
+    project_coordinates,
+)
 from repro.olap.cube import OLAPCube, AggregateOp
 from repro.olap.subcube import subcube_size_mb, subcube_size_bytes, SubcubeSpec
 from repro.olap.pyramid import CubePyramid, PyramidLevel, PyramidGroup
@@ -35,4 +43,10 @@ __all__ = [
     "ChunkedCube",
     "CubeLattice",
     "ParallelAggregator",
+    "array_based_cube",
+    "buc_cube",
+    "full_cube_reference",
+    "pipesort_cube",
+    "plan_pipelines",
+    "project_coordinates",
 ]

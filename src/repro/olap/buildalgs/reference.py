@@ -1,0 +1,119 @@
+"""Brute-force full-cube reference — the correctness oracle.
+
+:func:`full_cube_reference` materialises every cuboid of the group-by
+lattice (Section II-A, Gray et al.'s CUBE operator) by re-scanning the
+fact table once per cuboid and accumulating cells in plain Python
+dictionaries.  It is deliberately the slowest possible implementation:
+no shared computation, no planning, no vectorised inner loop — just the
+definition of the full cube, written down.  The three real construction
+algorithms (:mod:`~repro.olap.buildalgs.arraybased`,
+:mod:`~repro.olap.buildalgs.buc`, :mod:`~repro.olap.buildalgs.pipesort`)
+are cross-checked against it cell-for-cell.
+
+All builders share one output contract (see the package docstring):
+``frozenset(dimension names) -> {coordinate tuple -> sum}``, with
+coordinates ordered by **sorted dimension name** and an optional
+iceberg condition ``COUNT(*) >= min_support`` applied per cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CubeError
+from repro.query.model import dimension_column
+
+if TYPE_CHECKING:  # avoid a hard olap -> relational dependency
+    from repro.relational.table import FactTable
+
+__all__ = ["full_cube_reference", "project_coordinates"]
+
+#: The cuboid-dictionary type every builder returns.
+CuboidDict = dict
+
+
+def check_build_args(
+    table: "FactTable",
+    measure: str,
+    resolutions: Mapping[str, int],
+    min_support: int,
+) -> list[str]:
+    """Validate the shared builder arguments; return sorted dimension names.
+
+    ``min_support`` is the iceberg threshold of Beyer & Ramakrishnan's
+    BUC paper: a cell survives iff at least ``min_support`` fact rows
+    fall into it.  ``min_support=1`` (the default everywhere) keeps
+    every non-empty cell, i.e. the ordinary full cube.
+    """
+    if min_support < 1:
+        raise CubeError(f"min_support must be >= 1, got {min_support}")
+    schema = table.schema
+    names = sorted(resolutions)
+    for name in names:
+        schema.dimension(name).check_resolution(resolutions[name])
+    table.column(measure)  # raises SchemaError for unknown measures
+    return names
+
+
+def project_coordinates(
+    table: "FactTable",
+    dimensions: Sequence[str],
+    resolutions: Mapping[str, int],
+) -> np.ndarray:
+    """Per-row coordinates of ``dimensions`` at the requested resolutions.
+
+    Returns an ``(num_rows, len(dimensions))`` int64 array whose column
+    ``i`` is the fact-table dimension column of ``dimensions[i]`` at
+    level ``resolutions[dimensions[i]]`` — the projection every
+    construction algorithm groups by.  Column order follows the
+    ``dimensions`` argument (callers pass sorted names for the canonical
+    cell-key order).
+    """
+    if not dimensions:
+        return np.empty((len(table), 0), dtype=np.int64)
+    schema = table.schema
+    cols = []
+    for name in dimensions:
+        dim = schema.dimension(name)
+        level = dim.level(dim.check_resolution(resolutions[name]))
+        cols.append(
+            np.asarray(table.column(dimension_column(name, level.name)), dtype=np.int64)
+        )
+    return np.column_stack(cols)
+
+
+def full_cube_reference(
+    table: "FactTable",
+    measure: str,
+    resolutions: Mapping[str, int],
+    min_support: int = 1,
+) -> CuboidDict:
+    """The full (or iceberg) cube by definition: one scan per cuboid.
+
+    Every subset of the dimension set becomes a cuboid; every cuboid is
+    computed independently by a row-at-a-time Python accumulation over
+    the projected coordinates.  Cells whose row count falls below
+    ``min_support`` are dropped after aggregation (the iceberg
+    condition applied exactly, with no pruning shortcuts to trust).
+    """
+    names = check_build_args(table, measure, resolutions, min_support)
+    values = np.asarray(table.column(measure), dtype=np.float64).tolist()
+
+    cube: CuboidDict = {}
+    for k in range(len(names) + 1):
+        for combo in itertools.combinations(names, k):
+            coords = project_coordinates(table, combo, resolutions)
+            sums: dict[tuple[int, ...], float] = {}
+            counts: dict[tuple[int, ...], int] = {}
+            for key, value in zip(map(tuple, coords.tolist()), values):
+                sums[key] = sums.get(key, 0.0) + value
+                counts[key] = counts.get(key, 0) + 1
+            cube[frozenset(combo)] = {
+                key: total
+                for key, total in sums.items()
+                if counts[key] >= min_support
+            }
+    return cube

@@ -20,7 +20,7 @@ tree used by :mod:`repro.olap.buildalgs`.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import networkx as nx
 

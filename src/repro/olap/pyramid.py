@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
-from repro.errors import CubeError, CubeNotAvailableError, QueryError
+from repro.errors import CubeError, CubeNotAvailableError
 from repro.olap.cube import OLAPCube
 from repro.olap.hierarchy import DimensionHierarchy
 from repro.olap.subcube import answer_with_cube, spec_for_query

@@ -39,7 +39,6 @@ translation overhead).
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.core.baselines import CPUOnlyScheduler, GPUOnlyScheduler
 from repro.core.perfmodel import (
@@ -51,11 +50,10 @@ from repro.core.perfmodel import (
 )
 from repro.errors import WorkloadError
 from repro.gpu.device import SimulatedGPU, TableDescriptor
-from repro.gpu.partitioning import PartitionScheme, paper_partition_scheme
+from repro.gpu.partitioning import paper_partition_scheme
 from repro.gpu.timing import OverheadTiming, TESLA_C2070_TIMING
 from repro.olap.hierarchy import DimensionHierarchy
 from repro.olap.pyramid import CubePyramid
-from repro.query.model import dimension_column
 from repro.query.workload import QueryClass, WorkloadSpec
 from repro.relational.schema import TableSchema
 from repro.sim.system import SystemConfig

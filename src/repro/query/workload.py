@@ -16,7 +16,7 @@ discrete-event system consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, NamedTuple, Sequence
 
 import numpy as np

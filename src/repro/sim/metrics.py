@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.errors import SimulationError
 from repro.units import Rate, fmt_seconds
 
 __all__ = ["QueryRecord", "SystemReport"]

@@ -11,7 +11,7 @@ feedback mechanism corrects.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SimulationError

@@ -24,8 +24,8 @@ Two execution modes share all of the above:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping
 
 import numpy as np
 

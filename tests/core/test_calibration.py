@@ -11,7 +11,7 @@ from repro.core.calibration import (
     fit_power_law,
     r_squared,
 )
-from repro.core.perfmodel import LinearModel, PowerLawModel
+from repro.core.perfmodel import PowerLawModel
 from repro.errors import CalibrationError
 
 

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.gpu.device import SimulatedGPU
-from repro.gpu.partitioning import paper_partition_scheme
 from repro.gpu.timing import TESLA_C2070_TIMING
 from repro.olap.parallel import ParallelAggregator
 from repro.query.model import Condition, Query

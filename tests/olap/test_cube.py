@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import CubeError, QueryError
 from repro.olap.cube import AggregateOp, OLAPCube
-from repro.olap.hierarchy import DimensionHierarchy
 
 
 @pytest.fixture(scope="module")

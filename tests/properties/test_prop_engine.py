@@ -81,8 +81,6 @@ class TestServerProperties:
         # total busy time equals total service; makespan >= busy time
         total_service = sum(s for _, s in arrivals)
         assert np.isclose(server.busy_time, total_service)
-        starts = sorted(start for start, _ in finishes.values())
-        ends = sorted(end for _, end in finishes.values())
         # no two service intervals overlap (single server)
         intervals = sorted(finishes.values())
         for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):

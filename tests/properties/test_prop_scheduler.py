@@ -46,10 +46,8 @@ class TestSchedulerInvariants:
     def test_every_query_is_placed_and_books_are_consistent(self, ests, t_c):
         sched = build_scheduler(DrawnEstimator(ests), t_c)
         n = len(ests)
-        decisions = [
+        for i in range(n):
             sched.schedule(Query(conditions=(), measures=("v",)), now=0.1 * i)
-            for i in range(n)
-        ]
         # every query placed on exactly one processing queue
         placed = sum(q.jobs_submitted for q in [sched.cpu_queue, *sched.gpu_queues])
         assert placed == n

@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
-from repro.query.workload import (
-    ArrivalProcess,
-    QueryClass,
-    QueryStream,
-    TimedQuery,
-    WorkloadSpec,
-)
+from repro.query.workload import ArrivalProcess, QueryClass, TimedQuery, WorkloadSpec
 
 
 @pytest.fixture()

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.core.perfmodel import PAPER_DICT_MODEL
@@ -14,7 +13,7 @@ from repro.paper import (
     paper_workload,
 )
 from repro.query.model import Condition, Query
-from repro.sim.system import HybridSystem, SystemConfig, SystemEstimator
+from repro.sim.system import HybridSystem, SystemEstimator
 
 
 @pytest.fixture(scope="module")

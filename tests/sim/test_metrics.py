@@ -1,7 +1,6 @@
 """Unit tests for query records and system reports."""
 
 import numpy as np
-import pytest
 
 from repro.sim.metrics import QueryRecord, SystemReport
 

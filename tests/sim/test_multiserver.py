@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError
@@ -55,7 +54,6 @@ class TestMultiCapacityServer:
     def test_fifo_start_order_preserved(self):
         engine = SimulationEngine()
         server = Server(engine, "S", capacity=2)
-        starts = {}
         jobs = []
         for i, s in enumerate([2.0, 2.0, 0.1, 0.1]):
             job = Job(query_id=i, service_time=s, on_complete=lambda t, j: None)

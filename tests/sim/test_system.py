@@ -8,7 +8,6 @@ from repro.errors import SimulationError
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.partitioning import paper_partition_scheme
 from repro.gpu.timing import TESLA_C2070_TIMING
-from repro.olap.pyramid import CubePyramid
 from repro.query.workload import ArrivalProcess, QueryClass, WorkloadSpec
 from repro.sim.system import HybridSystem, SystemConfig
 from repro.core.perfmodel import XEON_X5667_8T

@@ -1,6 +1,5 @@
 """Unit tests for size/time/rate helpers."""
 
-import numpy as np
 import pytest
 
 from repro.units import (
