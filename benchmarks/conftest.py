@@ -41,6 +41,27 @@ class ExperimentReport:
         return path
 
 
+@pytest.fixture(autouse=True)
+def audit_simulated_runs(monkeypatch):
+    """Every benchmark's simulated runs pass the invariant checker.
+
+    Mirrors the fixture in tests/conftest.py: each
+    :meth:`repro.sim.system.HybridSystem.run` is replayed against the
+    queues' submission records, so a benchmark whose schedule breaks
+    dependency/FIFO/conservation invariants fails loudly instead of
+    silently reporting corrupt throughput numbers.
+    """
+    from repro.sim.system import HybridSystem
+    from repro.sim.validate import assert_valid
+
+    original = HybridSystem.run
+
+    def audited(self, stream, max_events=None):
+        return assert_valid(original(self, stream, max_events=max_events))
+
+    monkeypatch.setattr(HybridSystem, "run", audited)
+
+
 @pytest.fixture()
 def report(request):
     """Per-test experiment report; saved automatically on success."""

@@ -30,7 +30,6 @@ from __future__ import annotations
 from repro.core.partitions import PartitionQueue, QueueKind
 from repro.core.scheduler import BaseScheduler, HybridScheduler
 from repro.errors import SchedulingError
-from repro.query.model import Query
 
 __all__ = [
     "METScheduler",
@@ -111,6 +110,11 @@ class GPUOnlyScheduler(BaseScheduler):
 
     def choose(self, query, est, response, deadline, now):
         gpu = [(q, t) for q, t in response if q.kind is QueueKind.GPU]
+        if not gpu:
+            raise SchedulingError(
+                f"GPU-only mode cannot process query {query.query_id}: it has "
+                "no GPU estimates"
+            )
         in_bd = [(q, t) for q, t in gpu if deadline - t > 0.0]
         if in_bd:
             return in_bd[0]  # slowest first
@@ -127,7 +131,7 @@ class FastestFirstScheduler(HybridScheduler):
             bd_names = {q.name for q, _ in p_bd}
             gpu_in_bd = [(q, t) for q, t in p_bd if q.kind is QueueKind.GPU]
             if self.cpu_queue.name in bd_names and est.t_cpu is not None and (
-                est.t_cpu < est.fastest_gpu_time or not gpu_in_bd
+                not gpu_in_bd or est.t_cpu < est.fastest_gpu_time
             ):
                 return self.cpu_queue, by_queue[self.cpu_queue]
             if gpu_in_bd:

@@ -36,12 +36,20 @@ class QueueKind(str, Enum):
 
 @dataclass(frozen=True)
 class Submission:
-    """Record of one query submission to a queue."""
+    """Record of one query submission to a queue.
+
+    ``earliest_start`` is the pipeline dependency constraining this job
+    (for GPU jobs of translated queries: the estimated translation
+    finish); ``None`` when the job has no upstream stage.  The simulator
+    and :mod:`repro.sim.validate` use it to audit the realised schedule
+    against the scheduler's beliefs.
+    """
 
     query_id: int
     submit_time: float
     estimated_start: float
     estimated_time: float
+    earliest_start: float | None = None
 
     @property
     def estimated_finish(self) -> float:
@@ -60,9 +68,22 @@ class PartitionQueue:
     n_sm:
         SM count for GPU queues (drives which :math:`T_{GPUj}` estimate
         applies); ``None`` otherwise.
+    capacity:
+        Parallel service units behind this queue (1 = the paper's
+        single-partition configuration).  With ``capacity`` > 1 the
+        :math:`T_Q` bookkeeping is a fluid approximation: each
+        submission advances :math:`T_Q` by ``estimated_time/capacity``
+        (exact for throughput), while the submission record keeps the
+        full single-job service time.
     """
 
-    def __init__(self, name: str, kind: QueueKind | str, n_sm: int | None = None):
+    def __init__(
+        self,
+        name: str,
+        kind: QueueKind | str,
+        n_sm: int | None = None,
+        capacity: int = 1,
+    ):
         if not name:
             raise PartitionError("queue name must be non-empty")
         kind = QueueKind(kind)
@@ -71,9 +92,12 @@ class PartitionQueue:
                 raise PartitionError(f"GPU queue {name!r} needs a positive n_sm")
         elif n_sm is not None:
             raise PartitionError(f"non-GPU queue {name!r} must not set n_sm")
+        if capacity < 1:
+            raise PartitionError(f"queue {name!r} capacity must be >= 1, got {capacity}")
         self.name = name
         self.kind = kind
         self.n_sm = n_sm
+        self.capacity = capacity
         self._t_q = 0.0  # absolute time when all submitted work finishes
         self._outstanding = 0
         self._submissions: list[Submission] = []
@@ -108,8 +132,22 @@ class PartitionQueue:
         """Seconds of estimated work ahead of a submission at ``now``."""
         return self.ready_time(now) - now
 
-    def submit(self, query_id: int, now: float, estimated_time: float) -> Submission:
-        """Steps 5-6's queue update: :math:`T_Q \\leftarrow T_Q + T_{est}`.
+    def submit(
+        self,
+        query_id: int,
+        now: float,
+        estimated_time: float,
+        earliest_start: float | None = None,
+    ) -> Submission:
+        """Steps 5-6's queue update: :math:`T_Q \\leftarrow T_{start} + T_{est}`.
+
+        ``earliest_start`` carries a pipeline dependency: a job that
+        cannot start before an upstream stage finishes (a translated GPU
+        query waits for :math:`T_{Q|TRANS} + T_{TRANS}`) books
+        :math:`T_{start} = \\max(T_Q, now, earliest\\_start)`, so the
+        queue's :math:`T_Q` reflects the stalled window instead of
+        silently under-counting it (Section III-G: *"each queue is aware
+        ... when all its jobs will be finished"*).
 
         Returns the submission record (estimated start/finish), which
         the simulator uses to sanity-check the realised schedule.
@@ -119,7 +157,9 @@ class PartitionQueue:
                 f"estimated time must be >= 0, got {estimated_time} for query {query_id}"
             )
         start = self.ready_time(now)
-        self._t_q = start + estimated_time
+        if earliest_start is not None:
+            start = max(start, earliest_start)
+        self._t_q = start + estimated_time / self.capacity
         self._outstanding += 1
         self.total_estimated += estimated_time
         sub = Submission(
@@ -127,6 +167,7 @@ class PartitionQueue:
             submit_time=now,
             estimated_start=start,
             estimated_time=estimated_time,
+            earliest_start=earliest_start,
         )
         self._submissions.append(sub)
         return sub
@@ -151,7 +192,9 @@ class PartitionQueue:
                 f"feedback for queue {self.name!r} with no outstanding jobs"
             )
         delta = measured_time - estimated_time
-        self._t_q += delta
+        # fluid scaling: on a capacity-c station one job's overrun delays
+        # the queue's drain time by delta/c
+        self._t_q += delta / self.capacity
         self._outstanding -= 1
         self.total_feedback += delta
         return delta

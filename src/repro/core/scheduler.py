@@ -198,13 +198,20 @@ class BaseScheduler:
     def response_times(
         self, est: QueryEstimates, now: float
     ) -> list[tuple[PartitionQueue, float]]:
-        """(queue, T_R) for every partition able to process the query."""
+        """(queue, T_R) for every partition able to process the query.
+
+        A query with an *empty* GPU-estimate map is CPU-only (no GPU
+        partition can process it) and yields no GPU entries; a
+        *partial* map — some SM classes present, the target's missing —
+        is a configuration error and still raises.
+        """
         out: list[tuple[PartitionQueue, float]] = []
         t_r_cpu = self.response_time_cpu(est, now)
         if t_r_cpu is not None:
             out.append((self.cpu_queue, t_r_cpu))
-        for q in self.gpu_queues:
-            out.append((q, self.response_time_gpu(q, est, now)))
+        if est.t_gpu:
+            for q in self.gpu_queues:
+                out.append((q, self.response_time_gpu(q, est, now)))
         return out
 
     # -- submission ------------------------------------------------------------
@@ -220,10 +227,25 @@ class BaseScheduler:
     ) -> ScheduleDecision:
         translation: Submission | None = None
         if target.kind is QueueKind.GPU:
-            if est.needs_translation:
-                translation = self.trans_queue.submit(query.query_id, now, est.t_trans)
             assert target.n_sm is not None
-            processing = target.submit(query.query_id, now, est.gpu_time(target.n_sm))
+            if est.needs_translation:
+                # pipeline-aware T_Q (step 3's max(...) carried into the
+                # books): the GPU job cannot start before its translation
+                # finishes, so the GPU queue's T_Q must cover the stall —
+                # otherwise every later estimate for this partition is
+                # optimistic and untranslated queries pile up behind a
+                # stalled GPU.
+                translation = self.trans_queue.submit(query.query_id, now, est.t_trans)
+                processing = target.submit(
+                    query.query_id,
+                    now,
+                    est.gpu_time(target.n_sm),
+                    earliest_start=translation.estimated_finish,
+                )
+            else:
+                processing = target.submit(
+                    query.query_id, now, est.gpu_time(target.n_sm)
+                )
         elif target.kind is QueueKind.CPU:
             if est.t_cpu is None:
                 raise SchedulingError(
@@ -291,8 +313,11 @@ class HybridScheduler(BaseScheduler):
             gpu_in_bd = [
                 (q, t_r) for q, t_r in p_bd if q.kind is QueueKind.GPU
             ]
+            # NOTE the short-circuit order: ``not gpu_in_bd`` must be
+            # tested first — a CPU-feasible query with no GPU estimates
+            # (empty t_gpu map) has no fastest_gpu_time to compare with.
             if cpu_in_bd and est.t_cpu is not None and (
-                est.t_cpu < est.fastest_gpu_time or not gpu_in_bd
+                not gpu_in_bd or est.t_cpu < est.fastest_gpu_time
             ):
                 return self.cpu_queue, by_queue[self.cpu_queue]
             if gpu_in_bd:

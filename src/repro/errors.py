@@ -24,6 +24,7 @@ __all__ = [
     "AdmissionRejected",
     "CalibrationError",
     "SimulationError",
+    "InvariantViolation",
     "WorkloadError",
     "ParseError",
 ]
@@ -115,6 +116,17 @@ class CalibrationError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class InvariantViolation(SimulationError):
+    """A simulated run violated a scheduling/bookkeeping invariant.
+
+    Raised by :func:`repro.sim.validate.assert_valid` when the realised
+    schedule of a :class:`~repro.sim.metrics.SystemReport` contradicts
+    the queues' :class:`~repro.core.partitions.Submission` records —
+    dependency ordering, FIFO/capacity discipline, job conservation, or
+    (for deterministic runs) estimate-vs-realised drift.
+    """
 
 
 class WorkloadError(ReproError):

@@ -15,13 +15,22 @@ while every scheduling decision is taken by the real
   :class:`SystemReport` (queries/second, deadline hits, utilisation);
 - :mod:`repro.sim.system` — :class:`HybridSystem`, wiring workload ->
   scheduler -> partitions -> feedback, in analytic (paper-scale) or
-  materialised (real-answer) mode.
+  materialised (real-answer) mode;
+- :mod:`repro.sim.validate` — invariant checker auditing each run's
+  realised schedule against the scheduler's :math:`T_Q` books.
 """
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.resources import Server, Job
 from repro.sim.metrics import QueryRecord, SystemReport
 from repro.sim.system import HybridSystem, SystemConfig
+from repro.sim.validate import (
+    ValidationResult,
+    Violation,
+    assert_valid,
+    seed_violation,
+    validate_report,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -31,4 +40,9 @@ __all__ = [
     "SystemReport",
     "HybridSystem",
     "SystemConfig",
+    "ValidationResult",
+    "Violation",
+    "assert_valid",
+    "seed_violation",
+    "validate_report",
 ]

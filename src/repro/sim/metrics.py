@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.core.partitions import Submission
 from repro.units import Rate, fmt_seconds
 
 __all__ = ["QueryRecord", "SystemReport"]
@@ -51,6 +52,16 @@ class SystemReport:
 
     ``timelines`` carries per-partition ``(query_id, start, finish)``
     service records for Gantt rendering (:mod:`repro.sim.trace`).
+
+    The remaining fields are the audit trail consumed by
+    :mod:`repro.sim.validate`: ``submissions`` are the scheduler-side
+    :class:`~repro.core.partitions.Submission` records per queue,
+    ``capacities`` the per-server parallel-unit counts, ``outstanding``
+    the per-queue jobs still in flight when the run stopped (non-zero
+    only for truncated runs), and ``exact_estimates`` is True when
+    realised service times equal the estimates exactly
+    (``noise_sigma=0`` and ``noise_bias=1``), enabling the drift
+    invariant.
     """
 
     records: tuple[QueryRecord, ...]
@@ -61,6 +72,10 @@ class SystemReport:
         default_factory=dict
     )
     rejected: int = 0
+    submissions: Mapping[str, tuple[Submission, ...]] = field(default_factory=dict)
+    capacities: Mapping[str, int] = field(default_factory=dict)
+    outstanding: Mapping[str, int] = field(default_factory=dict)
+    exact_estimates: bool = False
 
     @classmethod
     def from_records(
@@ -70,8 +85,18 @@ class SystemReport:
         horizon: float | None = None,
         timelines: Mapping[str, tuple[tuple[int, float, float], ...]] | None = None,
         rejected: int = 0,
+        submissions: Mapping[str, tuple[Submission, ...]] | None = None,
+        capacities: Mapping[str, int] | None = None,
+        outstanding: Mapping[str, int] | None = None,
+        exact_estimates: bool = False,
     ) -> "SystemReport":
         recs = tuple(sorted(records, key=lambda r: r.finish_time))
+        audit = dict(
+            submissions=dict(submissions or {}),
+            capacities=dict(capacities or {}),
+            outstanding=dict(outstanding or {}),
+            exact_estimates=exact_estimates,
+        )
         if not recs:
             return cls(
                 records=(),
@@ -80,6 +105,7 @@ class SystemReport:
                 utilisations=utilisations or {},
                 timelines=dict(timelines or {}),
                 rejected=rejected,
+                **audit,
             )
         start = min(r.submit_time for r in recs)
         end = max(r.finish_time for r in recs)
@@ -91,6 +117,7 @@ class SystemReport:
             utilisations=dict(utilisations or {}),
             timelines=dict(timelines or {}),
             rejected=rejected,
+            **audit,
         )
 
     def gantt(self, width: int = 72) -> str:

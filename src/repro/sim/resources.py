@@ -20,7 +20,7 @@ from repro.sim.engine import SimulationEngine
 __all__ = ["Job", "Server"]
 
 
-@dataclass
+@dataclass(eq=False)
 class Job:
     """One unit of work for a server.
 
@@ -60,7 +60,7 @@ class Server:
         self.name = name
         self.capacity = capacity
         self._queue: deque[Job] = deque()
-        self._in_service: int = 0
+        self._active: list[Job] = []
         self.completed: int = 0
         self.busy_time: float = 0.0
         self.total_wait: float = 0.0
@@ -74,11 +74,11 @@ class Server:
     @property
     def busy(self) -> bool:
         """True when at least one service unit is occupied."""
-        return self._in_service > 0
+        return bool(self._active)
 
     @property
     def in_service(self) -> int:
-        return self._in_service
+        return len(self._active)
 
     @property
     def queue_length(self) -> int:
@@ -89,11 +89,18 @@ class Server:
 
         For capacity 1 this is the classic utilisation; for larger
         capacities it is normalised by the unit count so 1.0 still
-        means "fully saturated".
+        means "fully saturated".  Jobs still in service at ``horizon``
+        (runs truncated by ``until``/``max_events``) contribute their
+        partial service up to the horizon — ``busy_time`` alone only
+        accrues at completion and would under-report truncated runs.
         """
         if horizon <= 0:
             return 0.0
-        return self.busy_time / (horizon * self.capacity)
+        in_flight = 0.0
+        for job in self._active:
+            assert job.started_at is not None
+            in_flight += min(max(horizon - job.started_at, 0.0), job.service_time)
+        return (self.busy_time + in_flight) / (horizon * self.capacity)
 
     # -- operation ------------------------------------------------------------
 
@@ -108,10 +115,10 @@ class Server:
         self._start_next()
 
     def _start_next(self) -> None:
-        while self._queue and self._in_service < self.capacity:
+        while self._queue and len(self._active) < self.capacity:
             job = self._queue.popleft()
             job.started_at = self.engine.now
-            self._in_service += 1
+            self._active.append(job)
             self.engine.schedule_after(job.service_time, lambda j=job: self._finish(j))
 
     def _finish(self, job: Job) -> None:
@@ -121,7 +128,7 @@ class Server:
         self.total_wait += job.waiting_time
         assert job.started_at is not None
         self.history.append((job.query_id, job.started_at, job.finished_at))
-        self._in_service -= 1
+        self._active.remove(job)
         # start successors before the completion callback so a callback
         # that submits new work observes a consistent server state
         self._start_next()
@@ -129,6 +136,6 @@ class Server:
 
     def __repr__(self) -> str:
         return (
-            f"Server({self.name!r}, {self._in_service}/{self.capacity} busy, "
+            f"Server({self.name!r}, {len(self._active)}/{self.capacity} busy, "
             f"queued={len(self._queue)}, completed={self.completed})"
         )

@@ -101,8 +101,11 @@ class SystemConfig:
         paper's configuration (a single preprocessing partition, whose
         saturation causes the ~7 % GPU slowdown); higher values model
         the parallel translation the conclusion defers to future work.
-        The scheduler's :math:`T_{TRANS}` queue estimate scales by the
-        worker count accordingly.
+        The translation :class:`~repro.sim.resources.Server` gets this
+        many parallel units (a single job still takes the full
+        :math:`T_{TRANS}`), and the queue's :math:`T_Q` backlog drains
+        at ``workers`` jobs at a time (fluid approximation — exact for
+        throughput, the quantity the future-work ablation measures).
     seed:
         RNG seed for service-time noise.
     """
@@ -169,15 +172,15 @@ class SystemEstimator:
             for n_sm in cfg.scheme.distinct_sm_counts
         }
 
-        # Translation (Section III-F): eq. 18 upper bound.  Parallel
-        # translation workers are modelled as a proportionally faster
-        # partition (fluid approximation — exact for throughput, the
-        # quantity the future-work ablation measures).
+        # Translation (Section III-F): eq. 18 upper bound.  This is the
+        # full single-job service time: parallel translation workers do
+        # not make one translation faster — they are modelled as extra
+        # service units on the translation Server and a proportionally
+        # faster-draining Q_TRANS backlog (PartitionQueue.capacity).
         t_trans = 0.0
         for pred in decomposition.text_predicates:
             d_l = self.dictionary_length(pred.column)
             t_trans += len(pred.condition.text_values) * cfg.dict_model.time(d_l)
-        t_trans /= cfg.translation_workers
         return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
 
 
@@ -191,10 +194,6 @@ class HybridSystem:
             config.device.table is not None
             and all(l.materialised for l in config.pyramid.levels)
         )
-        if self._materialised and config.translation_service is None:
-            # materialised mode with text queries needs real dictionaries;
-            # text-free workloads run fine without them.
-            pass
 
     @property
     def materialised(self) -> bool:
@@ -247,7 +246,9 @@ class HybridSystem:
         rng = np.random.default_rng(cfg.seed)
 
         cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
-        trans_q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION)
+        trans_q = PartitionQueue(
+            "Q_TRANS", QueueKind.TRANSLATION, capacity=cfg.translation_workers
+        )
         gpu_qs = [
             PartitionQueue(f"Q_{p.name}", QueueKind.GPU, n_sm=p.n_sm)
             for p in cfg.scheme
@@ -257,8 +258,11 @@ class HybridSystem:
         )
         feedback = FeedbackController(gain=cfg.feedback_gain)
 
+        # the translation Server mirrors its queue's parallel units; the
+        # paper's CPU and GPU partitions are single service stations
         servers: dict[str, Server] = {
-            q.name: Server(engine, q.name) for q in [cpu_q, trans_q, *gpu_qs]
+            q.name: Server(engine, q.name, capacity=q.capacity)
+            for q in [cpu_q, trans_q, *gpu_qs]
         }
         queues: dict[str, PartitionQueue] = {
             q.name: q for q in [cpu_q, trans_q, *gpu_qs]
@@ -316,6 +320,18 @@ class HybridSystem:
             def _arrive() -> None:
                 from repro.errors import AdmissionRejected
 
+                if (
+                    self._materialised
+                    and query.needs_translation
+                    and cfg.translation_service is None
+                ):
+                    # fail at arrival with a clear message rather than
+                    # deep inside _resolve_text at completion time
+                    raise TranslationError(
+                        f"query {query.query_id} carries text parameters but "
+                        "this materialised run has no translation_service "
+                        "configured; text-free workloads run fine without one"
+                    )
                 try:
                     decision = scheduler.schedule(query, engine.now)
                 except AdmissionRejected:
@@ -357,4 +373,8 @@ class HybridSystem:
             horizon=horizon,
             timelines=timelines,
             rejected=rejected[0],
+            submissions={name: q.submissions for name, q in queues.items()},
+            capacities={name: s.capacity for name, s in servers.items()},
+            outstanding={name: q.outstanding for name, q in queues.items()},
+            exact_estimates=cfg.noise_sigma == 0.0 and cfg.noise_bias == 1.0,
         )

@@ -1,0 +1,443 @@
+"""Simulation invariant checking — auditing realised schedules.
+
+Section III-G's scheduler works only if *"each queue is aware of how
+many jobs are outstanding and when all its jobs will be finished"* —
+i.e. if the :math:`T_Q` books agree with what the discrete-event layer
+actually does.  This module replays a :class:`~repro.sim.metrics.
+SystemReport`'s per-server timelines against the queues'
+:class:`~repro.core.partitions.Submission` records and checks four
+invariant families:
+
+``dependency``
+    No job starts before the stage it depends on: a translated GPU
+    query's processing never precedes its realised translation finish,
+    and nothing starts before it was submitted (or before t=0).
+``discipline``
+    Every server honours FIFO order (a job that arrived strictly
+    earlier never starts strictly later) and its capacity (never more
+    than ``capacity`` jobs concurrently in service).
+``conservation``
+    Jobs are neither lost nor invented: per queue,
+    submitted = completed + in-flight; every completed query record has
+    a matching timeline entry; every translation submission pairs with
+    exactly one pipeline-constrained processing submission.
+``drift``
+    When realised service times equal the estimates exactly
+    (``noise_sigma=0``, ``noise_bias=1``) and every station has
+    capacity 1, the realised schedule never finishes *later* than the
+    scheduler's books: each server's last realised completion is
+    bounded by its queue's final :math:`T_Q` (the booked schedule is
+    feasible, and FIFO is work-conserving).  This is precisely the
+    invariant the historical translated-query :math:`T_Q` under-count
+    broke — the GPU queue believed it would drain at
+    :math:`t_{gpu}` while the realised job could not even start before
+    the translation finished.
+
+:func:`seed_violation` deliberately corrupts a report so tests can
+prove the checker fails loudly, not vacuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import InvariantViolation
+from repro.sim.metrics import SystemReport
+
+__all__ = [
+    "Violation",
+    "ValidationResult",
+    "validate_report",
+    "assert_valid",
+    "seed_violation",
+    "SEEDABLE_VIOLATIONS",
+]
+
+#: timeline entry: (query_id, start, finish)
+Entry = tuple[int, float, float]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to debug it."""
+
+    invariant: str  # "dependency" | "discipline" | "conservation" | "drift"
+    queue: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.queue}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one audit: which families ran, what they found."""
+
+    violations: tuple[Violation, ...]
+    checked: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"ok ({', '.join(self.checked)} checked)"
+        lines = [f"{len(self.violations)} invariant violation(s):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _index(timeline: tuple[Entry, ...]) -> dict[int, tuple[float, float]]:
+    """query_id -> (start, finish) for one server's timeline."""
+    return {qid: (start, finish) for qid, start, finish in timeline}
+
+
+def _check_dependency(report: SystemReport, trans: str, tol: float) -> list[Violation]:
+    out: list[Violation] = []
+    trans_index = _index(report.timelines.get(trans, ()))
+    records = {r.query_id: r for r in report.records}
+    for name, timeline in report.timelines.items():
+        for qid, start, finish in timeline:
+            if finish < start - tol:
+                out.append(
+                    Violation(
+                        "dependency",
+                        name,
+                        f"query {qid} finishes at {finish} before its own "
+                        f"start {start}",
+                    )
+                )
+            record = records.get(qid)
+            if record is not None and start < record.submit_time - tol:
+                out.append(
+                    Violation(
+                        "dependency",
+                        name,
+                        f"query {qid} starts at {start} before its submission "
+                        f"at {record.submit_time}",
+                    )
+                )
+    target_indices = {
+        name: _index(tl) for name, tl in report.timelines.items()
+    }
+    for record in report.records:
+        if not record.translated:
+            continue
+        translated = trans_index.get(record.query_id)
+        translated_at = translated[1] if translated is not None else None
+        entry = target_indices.get(record.target, {}).get(record.query_id)
+        start = entry[0] if entry is not None else None
+        if translated_at is None:
+            out.append(
+                Violation(
+                    "dependency",
+                    trans,
+                    f"translated query {record.query_id} completed on "
+                    f"{record.target} but never appears on the translation "
+                    "timeline",
+                )
+            )
+        elif start is not None and start < translated_at - tol:
+            out.append(
+                Violation(
+                    "dependency",
+                    record.target,
+                    f"query {record.query_id} starts at {start} before its "
+                    f"translation finishes at {translated_at}",
+                )
+            )
+    return out
+
+
+def _arrival_times(
+    report: SystemReport, name: str, trans: str
+) -> dict[int, float]:
+    """When each job on server ``name`` became available to start.
+
+    Translation jobs and untranslated processing jobs arrive when the
+    scheduler submitted them; a translated query's processing job
+    arrives at its realised translation finish.
+    """
+    arrivals: dict[int, float] = {}
+    trans_index = _index(report.timelines.get(trans, ()))
+    for sub in report.submissions.get(name, ()):
+        if name != trans and sub.earliest_start is not None:
+            realised = trans_index.get(sub.query_id)
+            if realised is None:
+                continue  # translation still in flight — job never started
+            arrivals[sub.query_id] = realised[1]
+        else:
+            arrivals[sub.query_id] = sub.submit_time
+    return arrivals
+
+
+def _check_discipline(report: SystemReport, trans: str, tol: float) -> list[Violation]:
+    out: list[Violation] = []
+    for name, timeline in report.timelines.items():
+        capacity = report.capacities.get(name, 1)
+
+        # capacity: sweep the in-service interval count; a finish frees
+        # its unit before a start at the same instant claims one
+        events = sorted(
+            [(start, 1, qid) for qid, start, _ in timeline]
+            + [(finish, -1, qid) for qid, _, finish in timeline],
+            key=lambda e: (e[0], e[1]),
+        )
+        in_service = 0
+        for time, delta, qid in events:
+            in_service += delta
+            if in_service > capacity:
+                out.append(
+                    Violation(
+                        "discipline",
+                        name,
+                        f"{in_service} jobs in service at t={time} exceeds "
+                        f"capacity {capacity} (query {qid})",
+                    )
+                )
+                break
+
+        # FIFO: scan in realised start order; a job that arrived
+        # strictly earlier than a previously-started job must not start
+        # strictly later
+        arrivals = _arrival_times(report, name, trans)
+        started = sorted(
+            (start, arrivals[qid], qid)
+            for qid, start, _ in timeline
+            if qid in arrivals
+        )
+        max_arrival = float("-inf")
+        max_arrival_qid = None
+        prev_start = float("-inf")
+        for start, arrival, qid in started:
+            if start > prev_start + tol and arrival < max_arrival - tol:
+                out.append(
+                    Violation(
+                        "discipline",
+                        name,
+                        f"FIFO violated: query {qid} arrived at {arrival} but "
+                        f"starts at {start}, after query {max_arrival_qid} "
+                        f"which arrived later ({max_arrival})",
+                    )
+                )
+                break
+            if arrival > max_arrival:
+                max_arrival = arrival
+                max_arrival_qid = qid
+            prev_start = max(prev_start, start)
+    return out
+
+
+def _check_conservation(report: SystemReport, trans: str) -> list[Violation]:
+    out: list[Violation] = []
+    for name, subs in report.submissions.items():
+        completed = len(report.timelines.get(name, ()))
+        in_flight = report.outstanding.get(name, 0)
+        if len(subs) != completed + in_flight:
+            out.append(
+                Violation(
+                    "conservation",
+                    name,
+                    f"{len(subs)} submitted != {completed} completed + "
+                    f"{in_flight} in flight",
+                )
+            )
+
+    # records and processing timelines must match one-to-one: every
+    # completed record appears on its target's timeline with the same
+    # finish time, and every service interval on a processing server
+    # produced a record (translation serves a pipeline *stage*, not a
+    # whole query, so its timeline has no records of its own)
+    indices = {name: _index(tl) for name, tl in report.timelines.items()}
+    recorded: dict[str, dict[int, float]] = {}
+    for record in report.records:
+        recorded.setdefault(record.target, {})[record.query_id] = record.finish_time
+        entry = indices.get(record.target, {}).get(record.query_id)
+        finish = entry[1] if entry is not None else None
+        if finish is None or finish != record.finish_time:
+            out.append(
+                Violation(
+                    "conservation",
+                    record.target,
+                    f"record for query {record.query_id} (finish "
+                    f"{record.finish_time}) has no matching timeline entry",
+                )
+            )
+    for name, timeline in report.timelines.items():
+        if name == trans:
+            continue
+        for qid, _, finish in timeline:
+            if recorded.get(name, {}).get(qid) != finish:
+                out.append(
+                    Violation(
+                        "conservation",
+                        name,
+                        f"query {qid} served on {name} (finish {finish}) but "
+                        "the run has no completion record for it — the job "
+                        "was lost",
+                    )
+                )
+
+    # each translation submission pairs with exactly one
+    # pipeline-constrained processing submission
+    if trans in report.submissions:
+        pipelined = sum(
+            1
+            for name, subs in report.submissions.items()
+            if name != trans
+            for sub in subs
+            if sub.earliest_start is not None
+        )
+        n_trans = len(report.submissions[trans])
+        if pipelined != n_trans:
+            out.append(
+                Violation(
+                    "conservation",
+                    trans,
+                    f"{n_trans} translation submissions but {pipelined} "
+                    "pipeline-constrained processing submissions",
+                )
+            )
+    return out
+
+
+def _check_drift(report: SystemReport, tol: float) -> list[Violation]:
+    out: list[Violation] = []
+    for record in report.records:
+        if abs(record.measured_time - record.estimated_time) > tol:
+            out.append(
+                Violation(
+                    "drift",
+                    record.target,
+                    f"deterministic run but query {record.query_id} measured "
+                    f"{record.measured_time} != estimated {record.estimated_time}",
+                )
+            )
+    for name, subs in report.submissions.items():
+        timeline = report.timelines.get(name, ())
+        if not subs or not timeline:
+            continue
+        realised_last = max(finish for _, _, finish in timeline)
+        booked_last = max(sub.estimated_finish for sub in subs)
+        if realised_last > booked_last + tol:
+            out.append(
+                Violation(
+                    "drift",
+                    name,
+                    f"realised schedule drains at {realised_last}, after the "
+                    f"queue's booked T_Q {booked_last} — the T_Q books "
+                    "under-count the realised backlog",
+                )
+            )
+    return out
+
+
+def validate_report(
+    report: SystemReport,
+    *,
+    trans_queue: str = "Q_TRANS",
+    tolerance: float = 1e-9,
+    drift_tolerance: float = 1e-6,
+) -> ValidationResult:
+    """Audit one simulated run; returns every violation found.
+
+    The ``drift`` family only runs when the report declares
+    ``exact_estimates`` (deterministic service times) and every station
+    has capacity 1 — with parallel translation workers the queue's
+    fluid :math:`T_Q` is a throughput approximation, not a per-job
+    bound.
+    """
+    violations: list[Violation] = []
+    checked = ["dependency", "discipline", "conservation"]
+    violations += _check_dependency(report, trans_queue, tolerance)
+    violations += _check_discipline(report, trans_queue, tolerance)
+    violations += _check_conservation(report, trans_queue)
+    if report.exact_estimates and all(
+        c == 1 for c in report.capacities.values()
+    ):
+        checked.append("drift")
+        violations += _check_drift(report, drift_tolerance)
+    return ValidationResult(
+        violations=tuple(violations), checked=tuple(checked)
+    )
+
+
+def assert_valid(report: SystemReport, **kwargs) -> SystemReport:
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad run.
+
+    Returns the report unchanged so call sites can chain:
+    ``report = assert_valid(system.run(stream))``.
+    """
+    result = validate_report(report, **kwargs)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return report
+
+
+#: corruption modes understood by :func:`seed_violation`
+SEEDABLE_VIOLATIONS = ("dependency", "discipline", "conservation", "drift")
+
+
+def seed_violation(report: SystemReport, kind: str) -> SystemReport:
+    """Return a copy of ``report`` with one invariant deliberately broken.
+
+    Used by the test suite (and available for manual sanity checks) to
+    prove the checker actually fails on bad schedules instead of
+    passing vacuously.  ``kind`` is one of :data:`SEEDABLE_VIOLATIONS`.
+    """
+    if kind == "conservation":
+        if not report.records:
+            raise InvariantViolation("cannot seed a violation into an empty run")
+        return replace(report, records=report.records[:-1])
+
+    if kind == "drift":
+        name, timeline = max(
+            ((n, t) for n, t in report.timelines.items() if t),
+            key=lambda item: len(item[1]),
+        )
+        qid, start, finish = timeline[-1]
+        pushed = timeline[:-1] + ((qid, start, finish + report.horizon + 1.0),)
+        return replace(report, timelines={**report.timelines, name: pushed})
+
+    if kind == "dependency":
+        for record in report.records:
+            if not record.translated:
+                continue
+            timeline = report.timelines[record.target]
+            entries = list(timeline)
+            for i, (qid, start, finish) in enumerate(entries):
+                if qid == record.query_id:
+                    entries[i] = (qid, record.submit_time - 1.0, finish)
+                    return replace(
+                        report,
+                        timelines={
+                            **report.timelines,
+                            record.target: tuple(entries),
+                        },
+                    )
+        raise InvariantViolation(
+            "cannot seed a dependency violation: no translated query completed"
+        )
+
+    if kind == "discipline":
+        for name, timeline in report.timelines.items():
+            if len(timeline) >= 2 and report.capacities.get(name, 1) == 1:
+                entries = sorted(timeline, key=lambda e: e[1])
+                first, second = entries[0], entries[1]
+                if first[2] > first[1]:  # first job has positive service
+                    overlapped = (second[0], first[1], second[2])
+                    corrupted = tuple(
+                        overlapped if e == second else e for e in timeline
+                    )
+                    return replace(
+                        report,
+                        timelines={**report.timelines, name: corrupted},
+                    )
+        raise InvariantViolation(
+            "cannot seed a discipline violation: no capacity-1 server ran 2 jobs"
+        )
+
+    raise InvariantViolation(
+        f"unknown violation kind {kind!r}; expected one of {SEEDABLE_VIOLATIONS}"
+    )

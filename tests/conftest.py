@@ -47,6 +47,27 @@ def translator(dictionaries, small_schema):
     return TranslationService(dictionaries, small_schema.hierarchies)
 
 
+@pytest.fixture(autouse=True)
+def audit_simulated_runs(monkeypatch):
+    """Audit every :meth:`HybridSystem.run` with the invariant checker.
+
+    Any simulated run anywhere in the suite whose realised schedule
+    contradicts the scheduler's :math:`T_Q` books (dependency order,
+    FIFO/capacity discipline, job conservation, deterministic drift)
+    fails the test with :class:`repro.errors.InvariantViolation` — the
+    run is audited even if the test only inspects throughput.
+    """
+    from repro.sim.system import HybridSystem
+    from repro.sim.validate import assert_valid
+
+    original = HybridSystem.run
+
+    def audited(self, stream, max_events=None):
+        return assert_valid(original(self, stream, max_events=max_events))
+
+    monkeypatch.setattr(HybridSystem, "run", audited)
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(99)

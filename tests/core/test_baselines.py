@@ -119,6 +119,17 @@ class TestGPUOnly:
         decision = sched.schedule(q(), now=0.0)
         assert decision.target.n_sm == 4
 
+    def test_clear_error_for_cpu_only_query(self):
+        # empty t_gpu map = only a cube can answer this query; GPU-only
+        # mode must say so instead of crashing on fastest_gpu_time
+        class _CPUOnly:
+            def estimate(self, query):
+                return QueryEstimates(t_cpu=0.01, t_gpu={})
+
+        sched = make(GPUOnlyScheduler, _CPUOnly())
+        with pytest.raises(SchedulingError, match="no GPU estimates"):
+            sched.schedule(q(), now=0.0)
+
 
 class TestFastestFirst:
     def test_reverses_step5_order(self):
@@ -127,4 +138,13 @@ class TestFastestFirst:
 
     def test_cpu_branch_unchanged(self):
         sched = make(FastestFirstScheduler, FixedEstimator(t_cpu=0.001))
+        assert sched.schedule(q(), now=0.0).target.name == "Q_CPU"
+
+    def test_cpu_only_query_does_not_crash(self):
+        # same short-circuit regression as HybridScheduler step 5
+        class _CPUOnly:
+            def estimate(self, query):
+                return QueryEstimates(t_cpu=0.01, t_gpu={})
+
+        sched = make(FastestFirstScheduler, _CPUOnly())
         assert sched.schedule(q(), now=0.0).target.name == "Q_CPU"

@@ -108,3 +108,61 @@ class TestFeedback:
         q.apply_feedback(1.2, 1.0)
         assert q.total_estimated == 1.0
         assert q.total_feedback == pytest.approx(0.2)
+
+
+class TestEarliestStart:
+    """Pipeline dependencies in the T_Q books (Section III-G)."""
+
+    def test_earliest_start_delays_booked_start(self):
+        q = PartitionQueue("Q_G1", QueueKind.GPU, n_sm=1)
+        sub = q.submit(1, now=0.0, estimated_time=0.01, earliest_start=1.0)
+        assert sub.estimated_start == 1.0
+        assert sub.earliest_start == 1.0
+        assert sub.estimated_finish == pytest.approx(1.01)
+        assert q.t_q == pytest.approx(1.01)
+
+    def test_earliest_start_in_the_past_is_a_noop(self):
+        q = PartitionQueue("Q_G1", QueueKind.GPU, n_sm=1)
+        q.submit(1, now=0.0, estimated_time=2.0)
+        sub = q.submit(2, now=0.0, estimated_time=0.5, earliest_start=1.0)
+        # queue ready at 2.0 already dominates the 1.0 dependency
+        assert sub.estimated_start == 2.0
+        assert q.t_q == pytest.approx(2.5)
+
+    def test_default_has_no_dependency(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        sub = q.submit(1, now=0.0, estimated_time=1.0)
+        assert sub.earliest_start is None
+
+
+class TestCapacity:
+    """Fluid T_Q bookkeeping for multi-worker queues."""
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PartitionError, match="capacity"):
+            PartitionQueue("Q_TRANS", QueueKind.TRANSLATION, capacity=0)
+
+    def test_backlog_drains_fluidly(self):
+        q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION, capacity=2)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        q.submit(2, now=0.0, estimated_time=1.0)
+        # two workers: two 1 s jobs book 1 s of backlog, not 2 s
+        assert q.t_q == pytest.approx(1.0)
+
+    def test_submission_keeps_full_service_time(self):
+        q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION, capacity=4)
+        sub = q.submit(1, now=0.0, estimated_time=1.0)
+        # one job still takes the full second; only the backlog is fluid
+        assert sub.estimated_time == 1.0
+        assert q.t_q == pytest.approx(0.25)
+
+    def test_feedback_scaled_by_capacity(self):
+        q = PartitionQueue("Q_TRANS", QueueKind.TRANSLATION, capacity=2)
+        q.submit(1, now=0.0, estimated_time=1.0)
+        q.apply_feedback(measured_time=2.0, estimated_time=1.0)
+        # a 1 s overrun on a 2-worker station delays the drain by 0.5 s
+        assert q.t_q == pytest.approx(0.5 + 0.5)
+
+    def test_default_capacity_matches_paper(self):
+        q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        assert q.capacity == 1

@@ -172,6 +172,101 @@ class TestQueueUpdates:
         assert sched.cpu_queue.t_q == pytest.approx(0.004)
 
 
+class TestPipelineAwareTQ:
+    """Regression tests for the translated-query :math:`T_Q` under-count.
+
+    Historically ``_submit`` bumped the GPU queue from ``ready_time(now)``
+    only, so a query with ``t_trans=1.0, t_gpu=0.01`` left the GPU queue
+    believing it would drain at t=0.01 while the job could not even start
+    before t=1.0 — every subsequent estimate for that partition was
+    optimistic by the full translation stall.
+    """
+
+    def test_gpu_tq_covers_translation_stall(self):
+        est = FixedEstimator(
+            t_cpu=None, t_gpu={1: 0.01, 2: 0.01, 4: 0.01}, t_trans=1.0
+        )
+        sched = make_scheduler(est, t_c=5.0)
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.translation is not None
+        assert decision.translation.estimated_finish == pytest.approx(1.0)
+        assert decision.processing.earliest_start == pytest.approx(1.0)
+        assert decision.processing.estimated_start == pytest.approx(1.0)
+        # the headline fix: T_Q = 1.01, not the pre-fix 0.01
+        assert decision.target.t_q == pytest.approx(1.01)
+
+    def test_tq_is_max_of_gpu_ready_and_translation_finish(self):
+        # acceptance criterion: T_Q == max(gpu_ready, trans_ready +
+        # t_trans) + t_gpu, here with a backed-up translation queue
+        est = FixedEstimator(t_cpu=None, t_trans=0.5)
+        sched = make_scheduler(est, t_c=50.0)
+        sched.trans_queue.submit(98, now=0.0, estimated_time=2.0)
+        decision = sched.schedule(query(), now=0.0)
+        t_gpu = est.estimate(None).gpu_time(decision.target.n_sm)
+        assert decision.target.t_q == pytest.approx(max(0.0, 2.0 + 0.5) + t_gpu)
+        assert decision.target.t_q == pytest.approx(decision.estimated_response)
+
+    def test_busy_gpu_queue_dominates_translation(self):
+        # when the GPU backlog exceeds the translation finish, T_Q grows
+        # from the GPU side of the max — no double counting
+        est = FixedEstimator(t_cpu=None, t_trans=0.1)
+        sched = make_scheduler(est, t_c=50.0)
+        for q in sched.gpu_queues:
+            q.submit(97, now=0.0, estimated_time=3.0)
+        decision = sched.schedule(query(), now=0.0)
+        t_gpu = est.estimate(None).gpu_time(decision.target.n_sm)
+        assert decision.processing.estimated_start == pytest.approx(3.0)
+        assert decision.target.t_q == pytest.approx(3.0 + t_gpu)
+
+    def test_untranslated_query_sees_true_backlog_behind_stall(self):
+        # a numeric query arriving right after a translated one must see
+        # the stalled window in the partition's backlog
+        est = FixedEstimator(t_cpu=None, t_trans=1.0)
+        sched = make_scheduler(est, t_c=50.0)
+        first = sched.schedule(query(), now=0.0)
+        t_gpu = est.estimate(None).gpu_time(first.target.n_sm)
+        assert first.target.backlog(0.0) == pytest.approx(1.0 + t_gpu)
+
+    def test_untranslated_gpu_query_books_no_earliest_start(self):
+        sched = make_scheduler(FixedEstimator(t_cpu=None))
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.translation is None
+        assert decision.processing.earliest_start is None
+
+
+class TestCPUOnlyQueries:
+    """A CPU-feasible query with an *empty* GPU-estimate map must not crash."""
+
+    class _CPUOnly:
+        def estimate(self, q):
+            return QueryEstimates(t_cpu=0.01, t_gpu={})
+
+    def test_schedules_to_cpu(self):
+        sched = make_scheduler(self._CPUOnly())
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+        assert decision.meets_deadline
+
+    def test_step6_fallback_with_cpu_only(self):
+        class _Slow:
+            def estimate(self, q):
+                return QueryEstimates(t_cpu=9.0, t_gpu={})
+
+        sched = make_scheduler(_Slow(), t_c=0.1)
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+        assert not decision.meets_deadline
+
+    def test_no_partition_at_all_raises(self):
+        class _Nothing:
+            def estimate(self, q):
+                return QueryEstimates(t_cpu=None, t_gpu={})
+
+        sched = make_scheduler(_Nothing())
+        with pytest.raises(SchedulingError, match="no partition"):
+            sched.schedule(query(), now=0.0)
+
+
 class TestValidation:
     def test_queue_kind_checks(self):
         cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)

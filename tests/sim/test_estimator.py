@@ -78,7 +78,14 @@ class TestTranslationEstimates:
         q = Query(conditions=(Condition("d1", 1, lo=0, hi=5),), measures=("m1",))
         assert estimator.estimate(q).t_trans == 0.0
 
-    def test_workers_scale_estimate(self, config):
+    def test_workers_do_not_change_single_job_estimate(self, config):
+        """Parallel workers add translation *throughput*, not speed.
+
+        One translation still takes the full eq. 18 time regardless of
+        worker count — extra workers become extra service units on the
+        translation Server and a faster-draining Q_TRANS backlog, never
+        a shorter single-job service time.
+        """
         q = Query(
             conditions=(Condition("cust", 1, text_values=("cust__name#0",)),),
             measures=("m1",),
@@ -87,7 +94,8 @@ class TestTranslationEstimates:
         doubled = SystemEstimator(
             replace(config, translation_workers=2)
         ).estimate(q).t_trans
-        assert doubled == pytest.approx(base / 2)
+        assert base > 0.0
+        assert doubled == pytest.approx(base)
 
     def test_unknown_dictionary_column(self, config):
         partial = dict(paper_dict_lengths())

@@ -134,3 +134,38 @@ class TestCallbackChaining:
         server.submit(Job(query_id=1, service_time=1.0, on_complete=resubmit_once))
         engine.run()
         assert finishes == [1.0, 2.0]
+
+
+class TestUtilisationInFlight:
+    """Truncated runs: jobs still in service must count toward utilisation."""
+
+    def test_in_flight_job_counts_up_to_horizon(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        server.submit(make_job(1, 2.0, []))
+        # run truncated before the job finishes: busy_time is still 0,
+        # but the server has been busy for the whole first second
+        assert server.busy_time == 0.0
+        assert server.utilisation(1.0) == pytest.approx(1.0)
+
+    def test_in_flight_contribution_capped_at_service_time(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        server.submit(make_job(1, 0.5, []))
+        # horizon far past the job's own service: it contributes 0.5 at most
+        assert server.utilisation(2.0) == pytest.approx(0.25)
+
+    def test_partial_units_on_multicapacity_server(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S", capacity=2)
+        server.submit(make_job(1, 2.0, []))
+        # one of two units busy over the horizon
+        assert server.utilisation(1.0) == pytest.approx(0.5)
+
+    def test_completed_jobs_unchanged(self):
+        engine = SimulationEngine()
+        server = Server(engine, "S")
+        log = []
+        server.submit(make_job(1, 1.0, log))
+        engine.run()
+        assert server.utilisation(2.0) == pytest.approx(0.5)

@@ -170,3 +170,45 @@ class TestValidation:
     def test_bad_noise(self, mat_config):
         with pytest.raises(SimulationError):
             SystemConfig(**{**mat_config.__dict__, "noise_sigma": -0.1})
+
+
+class TestTranslationWiring:
+    def test_translation_workers_reach_the_server(self):
+        # regression: run() used to build every Server with the default
+        # capacity, silently ignoring SystemConfig.translation_workers
+        from dataclasses import replace
+
+        from repro.paper import paper_system_config, paper_workload
+
+        config = replace(
+            paper_system_config(include_32gb=False), translation_workers=3
+        )
+        stream = paper_workload(text_prob=0.5, seed=3).generate(40)
+        report = HybridSystem(config).run(stream)
+        assert report.capacities["Q_TRANS"] == 3
+        assert all(
+            c == 1 for name, c in report.capacities.items() if name != "Q_TRANS"
+        )
+
+    def test_materialised_text_query_without_service_fails_fast(
+        self, mat_config, workload
+    ):
+        from repro.errors import TranslationError
+
+        cfg = SystemConfig(**{**mat_config.__dict__, "translation_service": None})
+        stream = workload.generate(50)
+        assert any(e.query.needs_translation for e in stream)
+        with pytest.raises(TranslationError, match="no translation_service"):
+            HybridSystem(cfg).run(stream)
+
+    def test_materialised_text_free_workload_needs_no_service(
+        self, mat_config, small_schema
+    ):
+        cfg = SystemConfig(**{**mat_config.__dict__, "translation_service": None})
+        wl = WorkloadSpec(
+            small_schema.dimensions,
+            [QueryClass("small", 1.0, resolution=1)],
+            measures=("sales_price",),
+        )
+        report = HybridSystem(cfg).run(wl.generate(50))
+        assert report.completed == 50
