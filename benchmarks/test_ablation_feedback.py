@@ -39,14 +39,20 @@ def run(load: float, feedback_gain: float, bias: float, sigma: float = 0.25):
     workload = paper_workload(include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=42)
     stream = workload.generate(N_QUERIES, ArrivalProcess("uniform", rate=load))
     report = HybridSystem(config).run(stream)
-    return report.queries_per_second, report.deadline_hit_rate, report.mean_response_time
+    return (
+        report.queries_per_second,
+        report.deadline_hit_rate,
+        report.mean_response_time,
+        report.overall_bias_ratio,
+    )
 
 
 def _table(report, rows):
-    for name, (qps, hits, resp) in rows.items():
+    for name, (qps, hits, resp, bias) in rows.items():
         report.line(
             f"  {name:<30s} {qps:6.1f} q/s   hits {100 * hits:5.1f} %   "
-            f"mean response {resp * 1e3:6.1f} ms"
+            f"mean response {resp * 1e3:6.1f} ms   "
+            f"measured/estimated {bias:.2f}"
         )
 
 
@@ -93,6 +99,11 @@ def test_feedback_absorbs_bias_at_sustainable_load(benchmark, report):
     assert biased_on[2] < 0.5 * biased_off[2]
     # pessimistic models are naturally safe
     assert results["40% pessimistic, feedback on"][1] > 0.95
+    # the report itself surfaces the injected mis-calibration
+    # (SystemReport.overall_bias_ratio, Section III-G statistics)
+    assert abs(unbiased[3] - 1.0) < 0.05
+    assert abs(biased_on[3] - 1.4) < 0.1
+    assert abs(results["40% pessimistic, feedback on"][3] - 1 / 1.4) < 0.1
 
 
 @pytest.mark.experiment("ABL-FEEDBACK-overload", "feedback beyond capacity (finding)")

@@ -160,8 +160,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         paper_system_config,
         paper_workload,
     )
-    from repro.sim import HybridSystem
+    from repro.query.workload import ArrivalProcess
+    from repro.sim import HybridSystem, TraceCollector
     from repro.sim.capacity import max_sustainable_rate
+
+    collector = TraceCollector() if args.trace is not None else None
 
     if args.experiment == "table1":
         config = cpu_only_config(threads=args.threads, include_32gb=False)
@@ -184,9 +187,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         report = result.report
         print(f"max sustainable rate: {result.rate:.1f} q/s offered")
+        if collector is not None:
+            # probe-history telemetry: how the bisection reached its answer
+            print(result.explain())
+            # replay the best sustained probe with tracing attached — the
+            # workload stream for (spec, n, rate) is deterministic, so
+            # this reproduces the reported run exactly
+            stream = workload.generate(
+                args.queries, ArrivalProcess("uniform", rate=result.rate)
+            )
+            report = HybridSystem(config).run(stream, collector=collector)
     else:
-        report = HybridSystem(config).run(workload.generate(args.queries))
+        report = HybridSystem(config).run(
+            workload.generate(args.queries), collector=collector
+        )
     print(report.summary())
+    if collector is not None:
+        from repro.report import render_dashboard
+        from repro.sim import assert_trace_valid
+
+        assert_trace_valid(report, collector)
+        n_lines = collector.write_jsonl(args.trace)
+        counts = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(collector.event_counts().items())
+        )
+        print(f"\ntrace: {n_lines} JSONL records -> {args.trace}")
+        print(f"trace events: {counts}")
+        print(render_dashboard(report, collector, width=64))
     return 0
 
 
@@ -231,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=8, choices=(1, 4, 8))
     p.add_argument("--queries", type=int, default=1500)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                   help="write a JSONL lifecycle trace + partition telemetry "
+                        "to PATH and print the observability dashboard "
+                        "(for table3: also the capacity probe history)")
     p.set_defaults(func=cmd_simulate)
 
     return parser

@@ -115,7 +115,7 @@ class GPUOnlyScheduler(BaseScheduler):
                 f"GPU-only mode cannot process query {query.query_id}: it has "
                 "no GPU estimates"
             )
-        in_bd = [(q, t) for q, t in gpu if deadline - t > 0.0]
+        in_bd = [(q, t) for q, t in gpu if t <= deadline]
         if in_bd:
             return in_bd[0]  # slowest first
         return min(gpu, key=lambda item: abs(deadline - item[1]))
@@ -125,7 +125,7 @@ class FastestFirstScheduler(HybridScheduler):
     """Figure 10 with the step-5 GPU search order reversed (ablation)."""
 
     def choose(self, query, est, response, deadline, now):
-        p_bd = [(q, t_r) for q, t_r in response if deadline - t_r > 0.0]
+        p_bd = [(q, t_r) for q, t_r in response if t_r <= deadline]
         if p_bd:
             by_queue = dict(response)
             bd_names = {q.name for q, _ in p_bd}

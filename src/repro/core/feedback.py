@@ -65,17 +65,25 @@ class FeedbackController:
             raise SchedulingError(f"feedback gain must be in [0, 1], got {gain}")
         self.gain = gain
         self._stats: dict[str, FeedbackStats] = {}
+        #: optional lifecycle-trace hook (see
+        #: :class:`repro.sim.obs.TraceCollector`), called as
+        #: ``observer(queue_name, query_id, measured, estimated, applied,
+        #: stats)`` after every completion.  Must only read state.
+        self.observer = None
 
     def on_completion(
         self,
         queue: PartitionQueue,
         measured_time: float,
         estimated_time: float,
+        query_id: int | None = None,
     ) -> float:
         """Record a completion and correct the queue's :math:`T_Q`.
 
         Returns the correction applied (0.0 when ``gain`` is 0, in which
         case the job is still marked complete on the queue).
+        ``query_id`` is observability metadata only — it labels the
+        ``feedback`` trace event and never influences the correction.
         """
         stats = self._stats.setdefault(queue.name, FeedbackStats())
         error = measured_time - estimated_time
@@ -87,11 +95,18 @@ class FeedbackController:
 
         if self.gain == 0.0:
             queue.complete_without_feedback()
-            return 0.0
-        # apply a damped correction: feed back gain * measured + (1-gain)
-        # * estimated as the "measured" value, so T_Q moves by gain*error.
-        effective_measured = estimated_time + self.gain * error
-        return queue.apply_feedback(effective_measured, estimated_time)
+            applied = 0.0
+        else:
+            # apply a damped correction: feed back gain * measured +
+            # (1-gain) * estimated as the "measured" value, so T_Q moves
+            # by gain*error.
+            effective_measured = estimated_time + self.gain * error
+            applied = queue.apply_feedback(effective_measured, estimated_time)
+        if self.observer is not None:
+            self.observer(
+                queue.name, query_id, measured_time, estimated_time, applied, stats
+            )
+        return applied
 
     def stats(self, queue_name: str) -> FeedbackStats:
         return self._stats.get(queue_name, FeedbackStats())

@@ -129,8 +129,17 @@ class ScheduleDecision:
 
     @property
     def meets_deadline(self) -> bool:
-        """Whether the *estimate* makes the deadline (step 4's test)."""
-        return self.deadline - self.estimated_response > 0.0
+        """Whether the *estimate* makes the deadline (step 4's test).
+
+        The boundary is inclusive — a query estimated to finish exactly
+        at :math:`T_D` makes the deadline — matching step 4's
+        :math:`P_{BD}` test and the realised
+        :attr:`~repro.sim.metrics.QueryRecord.met_deadline`
+        (``finish_time <= deadline``).  Historically this used strict
+        ``>``, so a boundary query was excluded from :math:`P_{BD}` yet
+        counted as a hit.
+        """
+        return self.estimated_response <= self.deadline
 
     @property
     def estimated_processing_time(self) -> float:
@@ -174,6 +183,12 @@ class BaseScheduler:
         self.trans_queue = trans_queue
         self.estimator = estimator
         self.time_constraint = time_constraint
+        #: optional lifecycle-trace hook (duck-typed; see
+        #: :class:`repro.sim.obs.TraceCollector`): ``on_estimated(query,
+        #: est, deadline, now)`` after step 2, ``on_decision(decision,
+        #: response, now)`` after the submission of steps 5-6.  Must only
+        #: read state — scheduling is identical with or without it.
+        self.observer = None
 
     # -- response-time estimation (step 3) ---------------------------------
 
@@ -282,6 +297,8 @@ class BaseScheduler:
         """Run steps 1-6 for one query and submit it."""
         deadline = now + self.time_constraint  # step 1
         est = self.estimator.estimate(query)  # step 2
+        if self.observer is not None:
+            self.observer.on_estimated(query, est, deadline, now)
         response = self.response_times(est, now)  # step 3
         if not response:
             raise SchedulingError(
@@ -289,7 +306,10 @@ class BaseScheduler:
                 "(no cube and no GPU queue)"
             )
         target, t_r = self.choose(query, est, response, deadline, now)  # steps 4-6
-        return self._submit(query, target, est, now, deadline, t_r)
+        decision = self._submit(query, target, est, now, deadline, t_r)
+        if self.observer is not None:
+            self.observer.on_decision(decision, response, now)
+        return decision
 
 
 class HybridScheduler(BaseScheduler):
@@ -304,8 +324,9 @@ class HybridScheduler(BaseScheduler):
         now: float,
     ) -> tuple[PartitionQueue, float]:
         by_queue = dict(response)
-        # Step 4: P_BD = partitions delivering before the deadline.
-        p_bd = [(q, t_r) for q, t_r in response if deadline - t_r > 0.0]
+        # Step 4: P_BD = partitions delivering by the deadline (inclusive
+        # boundary, consistent with QueryRecord.met_deadline's <=).
+        p_bd = [(q, t_r) for q, t_r in response if t_r <= deadline]
 
         if p_bd:  # step 5
             bd_queues = {q.name for q, _ in p_bd}

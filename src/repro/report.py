@@ -1,20 +1,28 @@
-"""ASCII chart rendering for benchmark reports.
+"""ASCII chart rendering for benchmark reports and run dashboards.
 
 The reproduction benchmarks regenerate the *data* behind the paper's
 figures; this module renders that data as terminal-friendly charts so
 ``benchmarks/results/*.txt`` shows the curves themselves (bandwidth vs
 size, time vs columns, time vs dictionary length), not just coefficient
-tables.  No plotting dependency required.
+tables.  :func:`render_dashboard` extends the same idea to simulated
+runs: the partition Gantt next to per-partition sparklines of the
+booked :math:`T_Q` backlog and the realised queue depth, from a
+:class:`~repro.sim.obs.TraceCollector`'s telemetry.  No plotting
+dependency required.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["ascii_plot"]
+if TYPE_CHECKING:
+    from repro.sim.metrics import SystemReport
+    from repro.sim.obs import TraceCollector
+
+__all__ = ["ascii_plot", "sparkline", "render_dashboard"]
 
 _MARKERS = "o+x*#@%&"
 
@@ -106,4 +114,116 @@ def ascii_plot(
         scale.append("log y")
     scale_s = f"  [{', '.join(scale)}]" if scale else ""
     lines.append(" " * (margin + 2) + f"{xlabel} vs {ylabel}{scale_s}   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+# -- run dashboards (repro.sim.obs telemetry) ----------------------------
+
+_SPARK_LEVELS = " .:-=+*#"
+
+
+def sparkline(values: Sequence[float], peak: float | None = None) -> str:
+    """Render a sequence of non-negative values as one character row.
+
+    Each value maps to one of 8 density levels, scaled by ``peak``
+    (default: the sequence's own maximum).  An all-zero sequence renders
+    blank — an idle partition is visibly idle.
+    """
+    if peak is None:
+        peak = max(values, default=0.0)
+    if peak <= 0:
+        return " " * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    out = []
+    for v in values:
+        level = int(round(max(0.0, min(v, peak)) / peak * top))
+        # any non-zero signal stays visible, however small
+        if v > 0 and level == 0:
+            level = 1
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def _resample_step(
+    points: Sequence[tuple[float, float]], horizon: float, width: int
+) -> list[float]:
+    """Bucket an event-time step signal onto ``width`` cells.
+
+    Each cell takes the maximum of the samples falling in it; empty
+    cells carry the previous cell's value forward (the signal persists
+    between events).
+    """
+    cell = horizon / width
+    values: list[float | None] = [None] * width
+    for t, v in points:
+        i = min(int(t / cell), width - 1) if cell > 0 else 0
+        current = values[i]
+        values[i] = v if current is None else max(current, v)
+    out: list[float] = []
+    last = 0.0
+    for v in values:
+        if v is not None:
+            last = v
+        out.append(last)
+    return out
+
+
+def render_dashboard(
+    report: "SystemReport", collector: "TraceCollector", width: int = 64
+) -> str:
+    """Partition Gantt + booked/realised sparklines for one traced run.
+
+    The Gantt block (see :func:`repro.sim.trace.render_gantt`) shows
+    *realised service*; below it, each partition gets two sparkline
+    rows from the collector's :class:`~repro.sim.obs.PartitionSample`
+    series — the scheduler's booked :math:`T_Q` backlog in seconds and
+    the realised queue depth (waiting + in service) in jobs.  Reading
+    the two against each other shows exactly where the books and the
+    physical system diverge.
+    """
+    from repro.sim.trace import render_gantt
+
+    if not collector.series:
+        raise ReproError(
+            "render_dashboard needs partition telemetry; run the system "
+            "with a TraceCollector(sample_series=True) attached"
+        )
+    horizon = report.horizon
+    if horizon <= 0:
+        raise ReproError("nothing to render: zero horizon")
+    lines = [
+        render_gantt(
+            report.timelines,
+            horizon=horizon,
+            width=width,
+            capacities=report.capacities,
+        ),
+        "",
+    ]
+    names = [n for n in report.timelines if n in collector.series] or sorted(
+        collector.series
+    )
+    label_width = max(len(n) for n in names)
+    for name in names:
+        samples = collector.series[name]
+        backlog = _resample_step(
+            [(s.time, s.backlog) for s in samples], horizon, width
+        )
+        depth = _resample_step(
+            [(s.time, float(s.queue_depth + s.in_service)) for s in samples],
+            horizon,
+            width,
+        )
+        lines.append(
+            f"{name:>{label_width}} booked T_Q backlog "
+            f"|{sparkline(backlog)}| peak {max(backlog):.3g} s"
+        )
+        lines.append(
+            f"{'':>{label_width}} realised jobs      "
+            f"|{sparkline(depth)}| peak {max(depth):.0f}"
+        )
+    lines.append(
+        f"{'':>{label_width}} (booked backlog from the scheduler's T_Q books; "
+        "realised jobs = waiting + in service)"
+    )
     return "\n".join(lines)

@@ -16,20 +16,27 @@ while every scheduling decision is taken by the real
 - :mod:`repro.sim.system` — :class:`HybridSystem`, wiring workload ->
   scheduler -> partitions -> feedback, in analytic (paper-scale) or
   materialised (real-answer) mode;
+- :mod:`repro.sim.obs` — structured observability: lifecycle trace
+  events and per-partition booked-vs-realised telemetry
+  (:class:`TraceCollector`), zero-impact when unattached;
 - :mod:`repro.sim.validate` — invariant checker auditing each run's
-  realised schedule against the scheduler's :math:`T_Q` books.
+  realised schedule against the scheduler's :math:`T_Q` books, plus
+  the trace cross-check (:func:`validate_trace`).
 """
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.resources import Server, Job
 from repro.sim.metrics import QueryRecord, SystemReport
+from repro.sim.obs import PartitionSample, TraceCollector, TraceEvent
 from repro.sim.system import HybridSystem, SystemConfig
 from repro.sim.validate import (
     ValidationResult,
     Violation,
+    assert_trace_valid,
     assert_valid,
     seed_violation,
     validate_report,
+    validate_trace,
 )
 
 __all__ = [
@@ -40,9 +47,14 @@ __all__ = [
     "SystemReport",
     "HybridSystem",
     "SystemConfig",
+    "PartitionSample",
+    "TraceCollector",
+    "TraceEvent",
     "ValidationResult",
     "Violation",
+    "assert_trace_valid",
     "assert_valid",
     "seed_violation",
     "validate_report",
+    "validate_trace",
 ]

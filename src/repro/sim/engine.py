@@ -37,6 +37,11 @@ class SimulationEngine:
         self.now: float = 0.0
         self.events_processed: int = 0
         self._running = False
+        #: optional observation hook, called as ``observer(now)`` after
+        #: every processed event (repro.sim.obs samples partition state
+        #: here).  Observers must only *read* state — the engine's event
+        #: order and clock are unaffected by the callback.
+        self.observer: Callable[[float], None] | None = None
 
     def schedule_at(self, time: float, action: Action) -> None:
         """Schedule ``action`` at absolute ``time`` (>= now)."""
@@ -64,6 +69,8 @@ class SimulationEngine:
         self.now = time
         self.events_processed += 1
         action()
+        if self.observer is not None:
+            self.observer(self.now)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.core.feedback import FeedbackStats
 from repro.core.partitions import Submission
 from repro.units import Rate, fmt_seconds
 
@@ -62,6 +63,11 @@ class SystemReport:
     realised service times equal the estimates exactly
     (``noise_sigma=0`` and ``noise_bias=1``), enabling the drift
     invariant.
+
+    ``feedback_stats`` carries the per-queue estimation-error
+    statistics of the :class:`~repro.core.feedback.FeedbackController`
+    (Section III-G), so a run reports model calibration
+    (:meth:`bias_ratio`, :attr:`overall_bias_ratio`) directly.
     """
 
     records: tuple[QueryRecord, ...]
@@ -76,6 +82,7 @@ class SystemReport:
     capacities: Mapping[str, int] = field(default_factory=dict)
     outstanding: Mapping[str, int] = field(default_factory=dict)
     exact_estimates: bool = False
+    feedback_stats: Mapping[str, FeedbackStats] = field(default_factory=dict)
 
     @classmethod
     def from_records(
@@ -89,6 +96,7 @@ class SystemReport:
         capacities: Mapping[str, int] | None = None,
         outstanding: Mapping[str, int] | None = None,
         exact_estimates: bool = False,
+        feedback_stats: Mapping[str, FeedbackStats] | None = None,
     ) -> "SystemReport":
         recs = tuple(sorted(records, key=lambda r: r.finish_time))
         audit = dict(
@@ -96,6 +104,7 @@ class SystemReport:
             capacities=dict(capacities or {}),
             outstanding=dict(outstanding or {}),
             exact_estimates=exact_estimates,
+            feedback_stats=dict(feedback_stats or {}),
         )
         if not recs:
             return cls(
@@ -124,7 +133,12 @@ class SystemReport:
         """ASCII Gantt chart of the run (see :mod:`repro.sim.trace`)."""
         from repro.sim.trace import render_gantt
 
-        return render_gantt(self.timelines, horizon=self.horizon, width=width)
+        return render_gantt(
+            self.timelines,
+            horizon=self.horizon,
+            width=width,
+            capacities=self.capacities,
+        )
 
     # -- headline metrics ---------------------------------------------------
 
@@ -184,6 +198,20 @@ class SystemReport:
     @property
     def translated_count(self) -> int:
         return sum(1 for r in self.records if r.translated)
+
+    # -- model calibration (Section III-G feedback statistics) --------------
+
+    def bias_ratio(self, queue: str) -> float:
+        """measured/estimated totals for one partition (NaN if unseen)."""
+        stats = self.feedback_stats.get(queue)
+        return stats.bias_ratio if stats is not None else float("nan")
+
+    @property
+    def overall_bias_ratio(self) -> float:
+        """System-wide measured/estimated ratio; 1.0 = calibrated models."""
+        est = sum(s.total_estimated for s in self.feedback_stats.values())
+        meas = sum(s.total_measured for s in self.feedback_stats.values())
+        return meas / est if est > 0 else float("nan")
 
     def summary(self) -> str:
         """Multi-line human-readable report for examples and benches."""

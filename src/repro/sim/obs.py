@@ -1,0 +1,379 @@
+"""Structured observability for simulated runs (query-lifecycle tracing).
+
+The paper's argument rests on quantities that are invisible in a
+finished :class:`~repro.sim.metrics.SystemReport`: the per-queue
+:math:`T_Q` beliefs the scheduler consults at each decision, which
+Figure-10 branch (step 4/5/6) each query took, the translation-pipeline
+stall, and the feedback delta of Section III-G.  This module makes all
+of them first-class:
+
+* **Lifecycle events** — every query emits typed :class:`TraceEvent`
+  records as it moves through the system::
+
+      arrival -> estimated -> decision
+          [-> translation_start -> translation_finish -> feedback]
+          -> service_start -> service_finish -> feedback
+
+  (or ``arrival -> estimated -> rejected`` under admission control).
+  The ``decision`` event carries the full ``(queue, T_R)`` candidate
+  list of step 3 and the branch taken (:func:`classify_branch`).
+
+* **Per-partition time series** — at every simulation event the
+  collector samples each partition's *booked* state (:math:`T_Q`,
+  backlog, outstanding jobs) next to its *realised* state (queue depth,
+  jobs in service) as :class:`PartitionSample` rows, so the
+  booked-vs-realised drift that :mod:`repro.sim.validate` checks as a
+  pass/fail invariant becomes a plottable signal.
+
+* **Exports** — :meth:`TraceCollector.write_jsonl` dumps everything as
+  JSON Lines; :func:`repro.report.render_dashboard` renders per-partition
+  sparklines next to the Gantt; ``python -m repro simulate --trace PATH``
+  wires both into the CLI.
+
+Tracing is strictly read-only: a run with a collector attached produces
+a byte-identical :class:`SystemReport` to the same run without one, and
+with no collector every hook is a ``None`` check (zero impact).  Use
+:func:`repro.sim.validate.validate_trace` to cross-check a collected
+trace against the queues' :class:`~repro.core.partitions.Submission`
+books.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # import cycle guards: sim.system imports this module
+    from repro.core.feedback import FeedbackController, FeedbackStats
+    from repro.core.scheduler import BaseScheduler, QueryEstimates, ScheduleDecision
+    from repro.query.model import Query
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.resources import Job, Server
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "PartitionSample",
+    "TraceCollector",
+    "classify_branch",
+]
+
+#: every event kind a collector can emit, in rough lifecycle order
+EVENT_KINDS = (
+    "arrival",
+    "estimated",
+    "decision",
+    "translation_start",
+    "translation_finish",
+    "service_start",
+    "service_finish",
+    "feedback",
+    "rejected",
+)
+
+
+def classify_branch(
+    candidates: Sequence[tuple[PartitionQueue, float]],
+    deadline: float,
+    target: PartitionQueue,
+) -> str:
+    """Name the Figure-10 branch implied by a placement.
+
+    ``candidates`` is step 3's ``(queue, T_R)`` list, ``target`` the
+    queue actually chosen.  Deadline membership uses the inclusive
+    boundary (``T_R <= T_D``), consistent with step 4 and
+    :attr:`~repro.sim.metrics.QueryRecord.met_deadline`.
+
+    * ``"step5-cpu"`` / ``"step5-gpu"`` — :math:`P_{BD}` non-empty and
+      the target is inside it (the CPU-wins / slowest-GPU arms);
+    * ``"step6-min-lateness"`` — :math:`P_{BD}` empty, the minimise-
+      lateness fallback;
+    * ``"step5-outside-pbd"`` — :math:`P_{BD}` non-empty but the target
+      misses the deadline anyway: impossible for the paper's scheduler,
+      diagnostic for deadline-blind baselines (MET, round-robin).
+    """
+    p_bd = {q.name for q, t_r in candidates if t_r <= deadline}
+    if not p_bd:
+        return "step6-min-lateness"
+    if target.name not in p_bd:
+        return "step5-outside-pbd"
+    if target.kind is QueueKind.CPU:
+        return "step5-cpu"
+    return "step5-gpu"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed lifecycle event.
+
+    ``data`` is a kind-specific payload (JSON-serialisable by
+    construction); ``query_id`` is ``None`` only for events not tied to
+    a single query (none currently, but the schema allows it).
+    """
+
+    kind: str
+    time: float
+    query_id: int | None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise SimulationError(
+                f"unknown trace event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "record": "event",
+            "kind": self.kind,
+            "time": self.time,
+            "query_id": self.query_id,
+            **self.data,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionSample:
+    """One partition's booked-vs-realised state at one instant.
+
+    ``t_q``/``backlog``/``outstanding`` are the scheduler's *beliefs*
+    (the :class:`~repro.core.partitions.PartitionQueue` books);
+    ``queue_depth``/``in_service`` are the *realised* server state.  The
+    gap between the two columns is exactly the drift signal the
+    Section III-G feedback mechanism exists to correct.
+    """
+
+    time: float
+    queue: str
+    t_q: float
+    backlog: float
+    outstanding: int
+    queue_depth: int
+    in_service: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "record": "sample",
+            "time": self.time,
+            "queue": self.queue,
+            "t_q": self.t_q,
+            "backlog": self.backlog,
+            "outstanding": self.outstanding,
+            "queue_depth": self.queue_depth,
+            "in_service": self.in_service,
+        }
+
+
+class TraceCollector:
+    """Collects lifecycle events and partition telemetry from one run.
+
+    Pass an instance to :meth:`repro.sim.system.HybridSystem.run`; it
+    attaches itself to the engine/server/scheduler/feedback hooks and
+    fills :attr:`events` and :attr:`series`.  A collector is
+    single-run: attach a fresh one per simulation.
+
+    Parameters
+    ----------
+    sample_series:
+        When False, only lifecycle events are collected (no per-event
+        partition sampling) — cheaper for very long runs.
+    """
+
+    def __init__(self, sample_series: bool = True):
+        self.events: list[TraceEvent] = []
+        self.series: dict[str, list[PartitionSample]] = {}
+        self._sample_series = sample_series
+        self._attached = False
+        self._engine: "SimulationEngine | None" = None
+        self._queues: dict[str, PartitionQueue] = {}
+        self._servers: dict[str, "Server"] = {}
+        self._trans_name: str | None = None
+
+    # -- wiring (called by HybridSystem.run) --------------------------------
+
+    def attach(
+        self,
+        *,
+        engine: "SimulationEngine",
+        scheduler: "BaseScheduler",
+        feedback: "FeedbackController",
+        queues: Mapping[str, PartitionQueue],
+        servers: Mapping[str, "Server"],
+        trans_name: str,
+    ) -> None:
+        """Wire this collector into one simulation's hook points."""
+        if self._attached:
+            raise SimulationError(
+                "TraceCollector is single-run: attach a fresh collector "
+                "per simulation"
+            )
+        self._attached = True
+        self._engine = engine
+        self._queues = dict(queues)
+        self._servers = dict(servers)
+        self._trans_name = trans_name
+        engine.observer = self._on_engine_event
+        scheduler.observer = self
+        feedback.observer = self._on_feedback
+        for name, server in servers.items():
+            server.on_start = self._service_hook(name, started=True)
+            server.on_finish = self._service_hook(name, started=False)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(
+        self, kind: str, time: float, query_id: int | None = None, **data: Any
+    ) -> TraceEvent:
+        event = TraceEvent(kind=kind, time=time, query_id=query_id, data=data)
+        self.events.append(event)
+        return event
+
+    def _on_engine_event(self, now: float) -> None:
+        if not self._sample_series:
+            return
+        for name, queue in self._queues.items():
+            server = self._servers.get(name)
+            self.series.setdefault(name, []).append(
+                PartitionSample(
+                    time=now,
+                    queue=name,
+                    t_q=queue.t_q,
+                    backlog=queue.backlog(now),
+                    outstanding=queue.outstanding,
+                    queue_depth=server.queue_length if server is not None else 0,
+                    in_service=server.in_service if server is not None else 0,
+                )
+            )
+
+    def _service_hook(self, server_name: str, started: bool):
+        translation = server_name == self._trans_name
+        stage = "translation" if translation else "service"
+        kind = f"{stage}_start" if started else f"{stage}_finish"
+
+        def hook(now: float, job: "Job") -> None:
+            data: dict[str, Any] = {
+                "server": server_name,
+                "service_time": job.service_time,
+            }
+            if started:
+                data["waited"] = now - job.submitted_at
+            self.emit(kind, now, job.query_id, **data)
+
+        return hook
+
+    # scheduler observer protocol ------------------------------------------
+
+    def on_estimated(
+        self, query: "Query", est: "QueryEstimates", deadline: float, now: float
+    ) -> None:
+        self.emit(
+            "estimated",
+            now,
+            query.query_id,
+            t_cpu=est.t_cpu,
+            t_gpu={str(n_sm): t for n_sm, t in sorted(est.t_gpu.items())},
+            t_trans=est.t_trans,
+            deadline=deadline,
+        )
+
+    def on_decision(
+        self,
+        decision: "ScheduleDecision",
+        candidates: Sequence[tuple[PartitionQueue, float]],
+        now: float,
+    ) -> None:
+        translation = decision.translation
+        self.emit(
+            "decision",
+            now,
+            decision.query.query_id,
+            target=decision.target.name,
+            branch=classify_branch(candidates, decision.deadline, decision.target),
+            candidates=[[q.name, t_r] for q, t_r in candidates],
+            deadline=decision.deadline,
+            estimated_response=decision.estimated_response,
+            estimated_time=decision.processing.estimated_time,
+            meets_deadline=decision.meets_deadline,
+            translation=(
+                None
+                if translation is None
+                else {
+                    "estimated_time": translation.estimated_time,
+                    "estimated_finish": translation.estimated_finish,
+                }
+            ),
+        )
+
+    def _on_feedback(
+        self,
+        queue_name: str,
+        query_id: int | None,
+        measured: float,
+        estimated: float,
+        applied: float,
+        stats: "FeedbackStats",
+    ) -> None:
+        assert self._engine is not None
+        self.emit(
+            "feedback",
+            self._engine.now,
+            query_id,
+            queue=queue_name,
+            measured=measured,
+            estimated=estimated,
+            error=measured - estimated,
+            applied=applied,
+            bias_ratio=stats.bias_ratio,
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    def events_for(self, query_id: int) -> tuple[TraceEvent, ...]:
+        """One query's event stream, in emission (= causal) order."""
+        return tuple(e for e in self.events if e.query_id == query_id)
+
+    def kinds_for(self, query_id: int) -> tuple[str, ...]:
+        return tuple(e.kind for e in self.events_for(query_id))
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def partition_series(self, queue_name: str) -> tuple[PartitionSample, ...]:
+        return tuple(self.series.get(queue_name, ()))
+
+    @property
+    def query_ids(self) -> tuple[int, ...]:
+        seen: dict[int, None] = {}
+        for e in self.events:
+            if e.query_id is not None:
+                seen.setdefault(e.query_id, None)
+        return tuple(seen)
+
+    # -- export ------------------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Dump events then samples as JSON Lines; returns lines written.
+
+        Events come first (in emission order), then samples grouped by
+        partition in time order; every line carries a ``record`` field
+        (``"event"`` or ``"sample"``) so consumers can split the two
+        streams with one filter.
+        """
+        lines = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event.to_json()) + "\n")
+                lines += 1
+            for name in self.series:
+                for sample in self.series[name]:
+                    fh.write(json.dumps(sample.to_json()) + "\n")
+                    lines += 1
+        return lines

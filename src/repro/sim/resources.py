@@ -68,6 +68,12 @@ class Server:
         #: (query_id, start, finish) per served job, in completion order —
         #: the raw material for Gantt rendering (repro.sim.trace)
         self.history: list[tuple[int, float, float]] = []
+        #: observation hooks (repro.sim.obs): ``on_start(now, job)`` fires
+        #: when a job enters service, ``on_finish(finish, job)`` when its
+        #: service ends (before successors start, so trace event order
+        #: matches causal order).  Both must only read state.
+        self.on_start: Callable[[float, Job], None] | None = None
+        self.on_finish: Callable[[float, Job], None] | None = None
 
     # -- state ------------------------------------------------------------
 
@@ -119,6 +125,8 @@ class Server:
             job = self._queue.popleft()
             job.started_at = self.engine.now
             self._active.append(job)
+            if self.on_start is not None:
+                self.on_start(self.engine.now, job)
             self.engine.schedule_after(job.service_time, lambda j=job: self._finish(j))
 
     def _finish(self, job: Job) -> None:
@@ -129,6 +137,8 @@ class Server:
         assert job.started_at is not None
         self.history.append((job.query_id, job.started_at, job.finished_at))
         self._active.remove(job)
+        if self.on_finish is not None:
+            self.on_finish(job.finished_at, job)
         # start successors before the completion callback so a callback
         # that submits new work observes a consistent server state
         self._start_next()

@@ -46,6 +46,7 @@ from repro.query.model import Query, decompose
 from repro.query.workload import QueryStream
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import QueryRecord, SystemReport
+from repro.sim.obs import TraceCollector
 from repro.sim.resources import Job, Server
 from repro.text.translator import TranslationService
 
@@ -239,8 +240,18 @@ class HybridSystem:
 
     # -- the run ------------------------------------------------------------
 
-    def run(self, stream: QueryStream, max_events: int | None = None) -> SystemReport:
-        """Simulate one query stream; returns the aggregated report."""
+    def run(
+        self,
+        stream: QueryStream,
+        max_events: int | None = None,
+        collector: TraceCollector | None = None,
+    ) -> SystemReport:
+        """Simulate one query stream; returns the aggregated report.
+
+        ``collector`` attaches a :class:`~repro.sim.obs.TraceCollector`
+        to the run's observation hooks.  Tracing is read-only: the
+        returned report is identical with or without a collector.
+        """
         cfg = self.config
         engine = SimulationEngine()
         rng = np.random.default_rng(cfg.seed)
@@ -267,6 +278,15 @@ class HybridSystem:
         queues: dict[str, PartitionQueue] = {
             q.name: q for q in [cpu_q, trans_q, *gpu_qs]
         }
+        if collector is not None:
+            collector.attach(
+                engine=engine,
+                scheduler=scheduler,
+                feedback=feedback,
+                queues=queues,
+                servers=servers,
+                trans_name=trans_q.name,
+            )
 
         records: list[QueryRecord] = []
 
@@ -276,7 +296,10 @@ class HybridSystem:
             def _on_complete(finish: float, job: Job) -> None:
                 queue = queues[decision.target.name]
                 feedback.on_completion(
-                    queue, realised, decision.processing.estimated_time
+                    queue,
+                    realised,
+                    decision.processing.estimated_time,
+                    query_id=decision.query.query_id,
                 )
                 answer: float | None = None
                 if self._materialised:
@@ -332,17 +355,34 @@ class HybridSystem:
                         "this materialised run has no translation_service "
                         "configured; text-free workloads run fine without one"
                     )
+                if collector is not None:
+                    collector.emit(
+                        "arrival",
+                        engine.now,
+                        query.query_id,
+                        query_class=query_class,
+                        needs_translation=query.needs_translation,
+                    )
                 try:
                     decision = scheduler.schedule(query, engine.now)
-                except AdmissionRejected:
+                except AdmissionRejected as exc:
                     rejected[0] += 1
+                    if collector is not None:
+                        collector.emit(
+                            "rejected", engine.now, query.query_id, reason=str(exc)
+                        )
                     return
                 if decision.translation is not None:
                     est_trans = decision.translation.estimated_time
                     realised_trans = est_trans * self._noise(rng)
 
                     def _translated(finish: float, job: Job) -> None:
-                        feedback.on_completion(trans_q, realised_trans, est_trans)
+                        feedback.on_completion(
+                            trans_q,
+                            realised_trans,
+                            est_trans,
+                            query_id=query.query_id,
+                        )
                         submit_processing(decision, query_class)
 
                     servers[trans_q.name].submit(
@@ -377,4 +417,5 @@ class HybridSystem:
             capacities={name: s.capacity for name, s in servers.items()},
             outstanding={name: q.outstanding for name, q in queues.items()},
             exact_estimates=cfg.noise_sigma == 0.0 and cfg.noise_bias == 1.0,
+            feedback_stats=feedback.all_stats,
         )

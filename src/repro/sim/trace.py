@@ -27,6 +27,7 @@ def render_gantt(
     timelines: Mapping[str, Timeline],
     horizon: float | None = None,
     width: int = 72,
+    capacities: Mapping[str, int] | None = None,
 ) -> str:
     """Render per-partition service timelines as an ASCII Gantt chart.
 
@@ -35,6 +36,13 @@ def render_gantt(
     :class:`~repro.sim.metrics.SystemReport` as ``timelines``).  Each
     output cell covers ``horizon / width`` seconds and is shaded by the
     fraction of that slice the partition spent serving.
+
+    ``capacities`` gives the parallel service units per partition
+    (default 1): overlapping service records on a capacity-``c``
+    partition (e.g. ``translation_workers=4``) sum to up to ``c`` times
+    the slice, so both the shading and the row percentage are
+    normalised by the unit count — 100 % means *saturated*, never
+    over-counted.
     """
     if not timelines:
         raise SimulationError("render_gantt needs at least one timeline")
@@ -52,6 +60,7 @@ def render_gantt(
     margin = max(len(name) for name in timelines)
     lines = []
     for name, timeline in timelines.items():
+        capacity = max(1, (capacities or {}).get(name, 1))
         busy = [0.0] * width
         for _, start, finish in timeline:
             if finish <= start:
@@ -62,11 +71,12 @@ def render_gantt(
                 lo = max(start, i * cell)
                 hi = min(finish, (i + 1) * cell)
                 busy[i] += max(0.0, hi - lo)
+        full = cell * capacity
         row = "".join(
-            _SHADES[min(len(_SHADES) - 1, int(round(b / cell * (len(_SHADES) - 1))))]
+            _SHADES[min(len(_SHADES) - 1, int(round(b / full * (len(_SHADES) - 1))))]
             for b in busy
         )
-        util = sum(b for b in busy) / horizon
+        util = sum(b for b in busy) / (horizon * capacity)
         lines.append(f"{name:>{margin}} |{row}| {100 * util:3.0f}%")
     lines.append(
         f"{'':>{margin}}  0{'':<{width - 2}}{fmt_seconds(horizon)}"

@@ -33,6 +33,14 @@ invariant families:
     :math:`t_{gpu}` while the realised job could not even start before
     the translation finished.
 
+A fifth family, ``trace``, audits a :class:`~repro.sim.obs.
+TraceCollector`'s lifecycle events against the same books
+(:func:`validate_trace`): every completed query's event stream must be
+well-ordered (arrival -> estimated -> decision -> [translation] ->
+service -> feedback), every ``decision`` event must match a
+:class:`~repro.core.partitions.Submission` on its target queue (and
+vice versa), and the rejected-event count must equal the report's.
+
 :func:`seed_violation` deliberately corrupts a report so tests can
 prove the checker fails loudly, not vacuously.
 """
@@ -40,15 +48,21 @@ prove the checker fails loudly, not vacuously.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import InvariantViolation
 from repro.sim.metrics import SystemReport
+
+if TYPE_CHECKING:
+    from repro.sim.obs import TraceCollector
 
 __all__ = [
     "Violation",
     "ValidationResult",
     "validate_report",
+    "validate_trace",
     "assert_valid",
+    "assert_trace_valid",
     "seed_violation",
     "SEEDABLE_VIOLATIONS",
 ]
@@ -370,6 +384,199 @@ def assert_valid(report: SystemReport, **kwargs) -> SystemReport:
     ``report = assert_valid(system.run(stream))``.
     """
     result = validate_report(report, **kwargs)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return report
+
+
+def _expected_lifecycle(translated: bool) -> tuple[str, ...]:
+    """The well-ordered event stream of one completed query."""
+    kinds = ["arrival", "estimated", "decision"]
+    if translated:
+        kinds += ["translation_start", "translation_finish", "feedback"]
+    kinds += ["service_start", "service_finish", "feedback"]
+    return tuple(kinds)
+
+
+def validate_trace(
+    report: SystemReport,
+    collector: "TraceCollector",
+    *,
+    trans_queue: str = "Q_TRANS",
+    tolerance: float = 1e-9,
+) -> ValidationResult:
+    """Cross-check a lifecycle trace against the :math:`T_Q` books.
+
+    Three reconciliations, reported as the ``trace`` invariant family:
+
+    * every *completed* query's event stream is exactly the expected
+      lifecycle (arrival -> estimated -> decision -> [translation_start
+      -> translation_finish -> feedback] -> service_start ->
+      service_finish -> feedback), with non-decreasing timestamps, a
+      ``decision`` at the record's submit time on the record's target,
+      and a ``service_finish`` at the record's finish time;
+    * ``decision`` events match the queues'
+      :class:`~repro.core.partitions.Submission` records one-to-one —
+      same query, same submit time, same estimated processing time —
+      and decisions carrying a translation stage match the translation
+      queue's submission count (this also covers truncated runs, where
+      submissions outnumber completion records);
+    * ``rejected`` events equal the report's rejected count.
+    """
+    violations: list[Violation] = []
+
+    events_by_query: dict[int, list] = {}
+    for event in collector.events:
+        if event.query_id is not None:
+            events_by_query.setdefault(event.query_id, []).append(event)
+
+    # -- (1) per-query lifecycle ordering for completed queries ----------
+    for record in report.records:
+        events = events_by_query.get(record.query_id, [])
+        kinds = tuple(e.kind for e in events)
+        expected = _expected_lifecycle(record.translated)
+        if kinds != expected:
+            violations.append(
+                Violation(
+                    "trace",
+                    record.target,
+                    f"query {record.query_id} event stream {kinds} != "
+                    f"expected {expected}",
+                )
+            )
+            continue
+        times = [e.time for e in events]
+        if any(b < a - tolerance for a, b in zip(times, times[1:])):
+            violations.append(
+                Violation(
+                    "trace",
+                    record.target,
+                    f"query {record.query_id} events move backwards in "
+                    f"time: {times}",
+                )
+            )
+        decision = events[kinds.index("decision")]
+        if abs(decision.time - record.submit_time) > tolerance:
+            violations.append(
+                Violation(
+                    "trace",
+                    record.target,
+                    f"query {record.query_id} decision at {decision.time} "
+                    f"!= record submit time {record.submit_time}",
+                )
+            )
+        if decision.data.get("target") != record.target:
+            violations.append(
+                Violation(
+                    "trace",
+                    record.target,
+                    f"query {record.query_id} decision targets "
+                    f"{decision.data.get('target')!r} but the record "
+                    f"completed on {record.target!r}",
+                )
+            )
+        finish = events[kinds.index("service_finish")]
+        if abs(finish.time - record.finish_time) > tolerance:
+            violations.append(
+                Violation(
+                    "trace",
+                    record.target,
+                    f"query {record.query_id} service_finish at "
+                    f"{finish.time} != record finish {record.finish_time}",
+                )
+            )
+
+    # -- (2) decision events reconcile with the Submission books ---------
+    decisions = [e for e in collector.events if e.kind == "decision"]
+    decisions_by_target: dict[str, list] = {}
+    for event in decisions:
+        decisions_by_target.setdefault(event.data["target"], []).append(event)
+    for name in decisions_by_target:
+        if name not in report.submissions:
+            violations.append(
+                Violation(
+                    "trace",
+                    name,
+                    f"decision events target {name!r} but the report has "
+                    "no submission book for it",
+                )
+            )
+    for name, subs in report.submissions.items():
+        if name == trans_queue:
+            pipelined = sum(
+                1 for e in decisions if e.data.get("translation") is not None
+            )
+            if pipelined != len(subs):
+                violations.append(
+                    Violation(
+                        "trace",
+                        name,
+                        f"{len(subs)} translation submissions but "
+                        f"{pipelined} decision events carry a translation "
+                        "stage",
+                    )
+                )
+            continue
+        events = decisions_by_target.get(name, [])
+        if len(events) != len(subs):
+            violations.append(
+                Violation(
+                    "trace",
+                    name,
+                    f"{len(subs)} submissions but {len(events)} decision "
+                    "events",
+                )
+            )
+            continue
+        booked = {sub.query_id: sub for sub in subs}
+        for event in events:
+            sub = booked.get(event.query_id)
+            if sub is None:
+                violations.append(
+                    Violation(
+                        "trace",
+                        name,
+                        f"decision for query {event.query_id} has no "
+                        "submission record",
+                    )
+                )
+            elif (
+                abs(sub.submit_time - event.time) > tolerance
+                or abs(sub.estimated_time - event.data["estimated_time"])
+                > tolerance
+            ):
+                violations.append(
+                    Violation(
+                        "trace",
+                        name,
+                        f"decision for query {event.query_id} "
+                        f"(t={event.time}, "
+                        f"est={event.data['estimated_time']}) disagrees "
+                        f"with its submission (t={sub.submit_time}, "
+                        f"est={sub.estimated_time})",
+                    )
+                )
+
+    # -- (3) rejections --------------------------------------------------
+    n_rejected = sum(1 for e in collector.events if e.kind == "rejected")
+    if n_rejected != report.rejected:
+        violations.append(
+            Violation(
+                "trace",
+                trans_queue,
+                f"{n_rejected} rejected events but the report counts "
+                f"{report.rejected} rejections",
+            )
+        )
+
+    return ValidationResult(violations=tuple(violations), checked=("trace",))
+
+
+def assert_trace_valid(
+    report: SystemReport, collector: "TraceCollector", **kwargs
+) -> SystemReport:
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad trace."""
+    result = validate_trace(report, collector, **kwargs)
     if not result.ok:
         raise InvariantViolation(result.summary())
     return report

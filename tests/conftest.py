@@ -62,8 +62,10 @@ def audit_simulated_runs(monkeypatch):
 
     original = HybridSystem.run
 
-    def audited(self, stream, max_events=None):
-        return assert_valid(original(self, stream, max_events=max_events))
+    def audited(self, stream, max_events=None, collector=None):
+        return assert_valid(
+            original(self, stream, max_events=max_events, collector=collector)
+        )
 
     monkeypatch.setattr(HybridSystem, "run", audited)
 

@@ -148,3 +148,27 @@ class TestFastestFirst:
 
         sched = make(FastestFirstScheduler, _CPUOnly())
         assert sched.schedule(q(), now=0.0).target.name == "Q_CPU"
+
+
+class TestBaselineDeadlineBoundary:
+    """The inclusive P_BD boundary also applies to the baselines."""
+
+    def test_gpu_only_exact_deadline_is_feasible(self):
+        sched = make(
+            GPUOnlyScheduler,
+            FixedEstimator(t_cpu=None, t_gpu={1: 0.5, 2: 0.5, 4: 0.5}),
+            t_c=0.5,
+        )
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.name == "Q_G1"  # slowest-first, not fallback
+        assert decision.meets_deadline
+
+    def test_fastest_first_exact_deadline_is_feasible(self):
+        sched = make(
+            FastestFirstScheduler,
+            FixedEstimator(t_cpu=None, t_gpu={1: 0.5, 2: 0.5, 4: 0.5}),
+            t_c=0.5,
+        )
+        decision = sched.schedule(q(), now=0.0)
+        assert decision.target.name == "Q_G6"
+        assert decision.meets_deadline

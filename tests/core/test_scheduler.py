@@ -310,3 +310,68 @@ class TestValidation:
         assert est.fastest_gpu_time == 0.1
         with pytest.raises(SchedulingError):
             QueryEstimates(t_cpu=None, t_gpu={}).fastest_gpu_time
+
+
+class TestDeadlineBoundary:
+    """Regression: the P_BD boundary is inclusive (T_R <= T_D).
+
+    Step 4 and ScheduleDecision.meets_deadline historically used strict
+    "deadline - T_R > 0", so a query estimated to finish *exactly* at
+    the deadline was pushed to the step-6 fallback and flagged as
+    missing — while QueryRecord.met_deadline counts finish <= deadline
+    as a hit.  All three places now agree on the inclusive boundary.
+    """
+
+    def test_cpu_exactly_at_deadline_is_in_pbd(self):
+        # CPU finishes exactly at T_D; every GPU misses by a mile
+        sched = make_scheduler(
+            FixedEstimator(t_cpu=0.5, t_gpu={1: 9.0, 2: 9.0, 4: 9.0}), t_c=0.5
+        )
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.target.name == "Q_CPU"
+        assert decision.estimated_response == 0.5 == decision.deadline
+        assert decision.meets_deadline  # was False under strict '>'
+
+    def test_gpu_exactly_at_deadline_keeps_slowest_first(self):
+        # all GPUs land exactly on T_D: step 5's slowest-first applies,
+        # not step 6's min-lateness (which would pick by tie-break order)
+        sched = make_scheduler(
+            FixedEstimator(t_cpu=9.0, t_gpu={1: 0.5, 2: 0.5, 4: 0.5}), t_c=0.5
+        )
+        decision = sched.schedule(query(), now=0.0)
+        assert decision.target.name == "Q_G1"
+        assert decision.meets_deadline
+
+    def test_decision_agrees_with_record_accounting(self):
+        from repro.sim.metrics import QueryRecord
+
+        sched = make_scheduler(
+            FixedEstimator(t_cpu=0.5, t_gpu={1: 9.0, 2: 9.0, 4: 9.0}), t_c=0.5
+        )
+        decision = sched.schedule(query(), now=0.0)
+        # realise the run exactly as estimated: the record must agree
+        # with the decision's promise
+        record = QueryRecord(
+            query_id=0,
+            query_class="q",
+            target=decision.target.name,
+            submit_time=0.0,
+            finish_time=decision.estimated_response,
+            deadline=decision.deadline,
+            estimated_time=decision.processing.estimated_time,
+            measured_time=decision.processing.estimated_time,
+            translated=False,
+        )
+        assert record.met_deadline == decision.meets_deadline is True
+
+    def test_just_past_deadline_still_falls_through(self):
+        import math
+
+        sched = make_scheduler(
+            FixedEstimator(
+                t_cpu=math.nextafter(0.5, 1.0), t_gpu={1: 9.0, 2: 9.0, 4: 9.0}
+            ),
+            t_c=0.5,
+        )
+        decision = sched.schedule(query(), now=0.0)
+        assert not decision.meets_deadline

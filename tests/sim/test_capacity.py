@@ -60,3 +60,70 @@ class TestBisection:
             max_sustainable_rate(config, workload, hit_target=0.0)
         with pytest.raises(SimulationError):
             max_sustainable_rate(config, workload, lo=10.0, hi=5.0)
+
+
+def _fake_report(hits: int, total: int):
+    """A synthetic report with an exact deadline-hit rate."""
+    from repro.sim.metrics import QueryRecord, SystemReport
+
+    records = [
+        QueryRecord(
+            query_id=i,
+            query_class="small",
+            target="Q_CPU",
+            submit_time=0.0,
+            finish_time=0.1 if i < hits else 1.0,
+            deadline=0.5,
+            estimated_time=0.1,
+            measured_time=0.1,
+            translated=False,
+        )
+        for i in range(total)
+    ]
+    return SystemReport.from_records(records, horizon=1.0)
+
+
+class TestRateProbe:
+    def test_failed_probe_is_not_sustained(self):
+        # regression: `sustained` used to test `report is not None`,
+        # which every probe satisfies — failures looked sustained
+        from repro.sim.capacity import RateProbe
+
+        probe = RateProbe(offered_rate=10.0, report=_fake_report(1, 2))
+        assert probe.report is not None  # the old predicate holds...
+        assert not probe.sustained  # ...but the probe clearly failed
+        assert probe.hit_rate == 0.5
+
+    def test_target_boundary_is_inclusive(self):
+        from repro.sim.capacity import RateProbe
+
+        assert RateProbe(10.0, _fake_report(9, 10), hit_target=0.9).sustained
+        assert not RateProbe(10.0, _fake_report(8, 10), hit_target=0.9).sustained
+
+    def test_custom_hit_target(self):
+        from repro.sim.capacity import RateProbe
+
+        assert RateProbe(10.0, _fake_report(1, 2), hit_target=0.5).sustained
+
+
+class TestProbeTelemetry:
+    def test_search_probes_carry_correct_verdicts(self, config, workload):
+        result = max_sustainable_rate(
+            config, workload, n_queries=200, lo=5.0, hi=5000.0, iterations=3
+        )
+        assert result.probes[0].sustained  # verified lower bound
+        assert not result.probes[1].sustained  # verified upper bound
+        for p in result.probes:
+            assert p.hit_target == 0.9
+            assert p.sustained == (p.report.deadline_hit_rate >= 0.9)
+
+    def test_explain_lists_every_probe(self, config, workload):
+        result = max_sustainable_rate(
+            config, workload, n_queries=200, lo=5.0, hi=5000.0, iterations=3
+        )
+        text = result.explain()
+        lines = text.splitlines()
+        assert f"{len(result.probes)} probes" in lines[0]
+        assert len(lines) == 1 + len(result.probes)
+        assert any("FAILED" in line for line in lines[1:])
+        assert any("sustained" in line for line in lines[1:])

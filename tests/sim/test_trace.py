@@ -93,3 +93,52 @@ class TestSystemReportGantt:
         g1 = len(report.timelines["Q_G1"])
         g6 = len(report.timelines["Q_G6"])
         assert g1 >= g6
+
+
+class TestCapacityNormalisedGantt:
+    """Regression: utilisation is busy-time over capacity x horizon.
+
+    render_gantt used to divide by the horizon alone, so a partition
+    with capacity 2 running two overlapping jobs printed 200%.
+    """
+
+    def test_fully_loaded_wide_server_is_100_percent(self):
+        timelines = {"T": ((0, 0.0, 10.0), (1, 0.0, 10.0))}
+        chart = render_gantt(
+            timelines, horizon=10.0, width=10, capacities={"T": 2}
+        )
+        row = chart.splitlines()[0]
+        assert "100%" in row and "200%" not in row
+        assert row.split("|")[1] == "##########"
+
+    def test_half_loaded_wide_server_is_50_percent(self):
+        timelines = {"T": ((0, 0.0, 10.0),)}
+        chart = render_gantt(
+            timelines, horizon=10.0, width=10, capacities={"T": 2}
+        )
+        row = chart.splitlines()[0]
+        assert "50%" in row
+        assert "#" not in row.split("|")[1]  # half-full cells shade lighter
+
+    def test_report_gantt_with_translation_workers(self):
+        from dataclasses import replace
+
+        from repro.paper import TABLE3_TEXT_PROB, paper_system_config, paper_workload
+        from repro.query.workload import ArrivalProcess
+        from repro.sim import HybridSystem
+
+        config = replace(
+            paper_system_config(threads=8, include_32gb=True),
+            translation_workers=4,
+        )
+        workload = paper_workload(
+            include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=11
+        )
+        stream = workload.generate(300, ArrivalProcess("uniform", rate=200.0))
+        report = HybridSystem(config).run(stream)
+        assert report.capacities["Q_TRANS"] == 4
+        for row in report.gantt(width=40).splitlines():
+            if not row.endswith("%"):
+                continue  # axis/legend footer
+            util = int(row.rsplit(" ", 1)[-1].rstrip("%"))
+            assert 0 <= util <= 100

@@ -127,3 +127,36 @@ class TestGroupedQueryCLI:
         ])
         assert rc == 0
         assert "groups by" in capsys.readouterr().out
+
+
+class TestSimulateTrace:
+    def test_trace_flag_writes_jsonl_and_dashboard(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        rc = main(
+            ["simulate", "table2", "--queries", "120", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace:" in out
+        assert "booked T_Q backlog" in out  # the dashboard rendered
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records if r["record"] == "event"}
+        assert {"arrival", "estimated", "decision", "service_finish",
+                "feedback"} <= kinds
+        assert any(r["record"] == "sample" for r in records)
+
+    def test_table3_trace_prints_probe_history(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        rc = main(
+            ["simulate", "table3", "--queries", "120", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max sustainable rate" in out
+        assert "probes; best sustained offered rate" in out
+        assert "probe  1:" in out
+        assert trace.exists()
