@@ -6,11 +6,15 @@ pytest-benchmark timing, each harness writes a human-readable
 paper-vs-measured report into ``benchmarks/results/<experiment>.txt`` so
 the numbers survive pytest's output capturing; EXPERIMENTS.md is
 assembled from those files.
+
+By default a benchmark run is hermetic: reports go to a per-session
+temporary directory (printed at the end of the run) and the checked-in
+``benchmarks/results/`` files are left untouched.  Pass
+``--write-results`` to refresh the committed reports in place.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
@@ -34,11 +38,28 @@ class ExperimentReport:
             f"  {label:<38s} paper: {paper!s:>10s}   measured: {measured!s:>10s} {unit}"
         )
 
-    def save(self) -> Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{self.experiment}.txt"
+    def save(self, results_dir: Path = RESULTS_DIR) -> Path:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / f"{self.experiment}.txt"
         path.write_text("\n".join(self.lines) + "\n")
         return path
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--write-results",
+        action="store_true",
+        default=False,
+        help="write experiment reports into the committed "
+        "benchmarks/results/ directory instead of a temporary one",
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir(request, tmp_path_factory):
+    if request.config.getoption("--write-results"):
+        return RESULTS_DIR
+    return tmp_path_factory.mktemp("results")
 
 
 @pytest.fixture(autouse=True)
@@ -63,14 +84,14 @@ def audit_simulated_runs(monkeypatch):
 
 
 @pytest.fixture()
-def report(request):
+def report(request, results_dir):
     """Per-test experiment report; saved automatically on success."""
     marker = request.node.get_closest_marker("experiment")
     name = marker.args[0] if marker else request.node.name
     title = marker.args[1] if marker and len(marker.args) > 1 else ""
     rep = ExperimentReport(name, title)
     yield rep
-    rep.save()
+    rep.save(results_dir)
 
 
 def pytest_configure(config):

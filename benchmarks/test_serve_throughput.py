@@ -1,0 +1,107 @@
+"""BENCH-SERVE — wall-clock serving throughput (the Table-3 analogue).
+
+Unlike TAB3 (simulated-time capacity search) this drives the live
+``repro.serve`` engine: real cube aggregations on the CPU partition,
+kernel-substitute scans on the GPU partitions, real dictionary lookups
+on the translation partition, all in wall-clock time on this machine.
+Absolute q/s therefore depends on the host; the pinned assertions are
+structural (everything completes, the audit passes, all partition
+kinds carry load), not a paper number.
+"""
+
+import math
+
+import pytest
+
+from repro.core.perfmodel import XEON_X5667_8T
+from repro.gpu import SimulatedGPU
+from repro.gpu.partitioning import paper_partition_scheme
+from repro.gpu.timing import TESLA_C2070_TIMING
+from repro.olap import CubePyramid
+from repro.query.workload import ArrivalProcess, QueryClass, WorkloadSpec
+from repro.relational import generate_dataset, tpcds_like_schema
+from repro.serve import MaterialisedExecutor, OpenLoopGenerator, ServeEngine
+from repro.sim.system import SystemConfig
+from repro.sim.validate import assert_valid
+from repro.text import TranslationService, build_dictionaries
+from repro.units import GB
+
+DURATION = 2.0
+RATE = 60.0
+ROWS = 10_000
+SEED = 2012
+
+
+def build_world():
+    schema = tpcds_like_schema(scale=0.5)
+    dataset = generate_dataset(schema, num_rows=ROWS, seed=SEED)
+    pyramid = CubePyramid.from_fact_table(dataset.table, "sales_price", [0, 1, 2])
+    translator = TranslationService(
+        build_dictionaries(dataset.vocabularies), schema.hierarchies
+    )
+    device = SimulatedGPU(global_memory_bytes=GB, timing=TESLA_C2070_TIMING)
+    device.load_table(dataset.table)
+    config = SystemConfig(
+        cpu_model=XEON_X5667_8T.with_overhead(0.002),
+        pyramid=pyramid,
+        device=device,
+        scheme=paper_partition_scheme(),
+        translation_service=translator,
+        time_constraint=0.5,
+    )
+    workload = WorkloadSpec(
+        schema.dimensions,
+        [
+            QueryClass("small", 0.6, resolution=1, coverage=(0.1, 0.5)),
+            QueryClass(
+                "mid",
+                0.25,
+                resolution=2,
+                dims_constrained=(1, 2),
+                coverage=(0.5, 1.0),
+                text_prob=0.5,
+            ),
+            QueryClass("fine", 0.15, resolution=3, coverage=(0.2, 0.8)),
+        ],
+        measures=("sales_price",),
+        text_levels=list(schema.text_levels),
+        vocabularies=dataset.vocabularies,
+        seed=SEED,
+    )
+    return config, workload
+
+
+def serve_once():
+    config, workload = build_world()
+    n_queries = math.ceil(DURATION * RATE)
+    stream = workload.generate(
+        n_queries, ArrivalProcess("poisson", rate=RATE)
+    )
+    engine = ServeEngine(config, executor=MaterialisedExecutor(config))
+    with engine:
+        load = OpenLoopGenerator(engine, shed=True).run(stream)
+    return load, engine.report()
+
+
+@pytest.mark.experiment("BENCH-SERVE", "Wall-clock serving rate (Table-3 analogue)")
+def test_serve_wallclock_throughput(benchmark, report):
+    load, sys_report = benchmark.pedantic(serve_once, rounds=1, iterations=1)
+    assert_valid(sys_report, require_drained=True)
+
+    report.row("offered", "-", f"{load.offered_rate:.1f} q/s")
+    report.row("served overall", "-", f"{sys_report.queries_per_second:.1f} q/s")
+    report.row("CPU partition", "-", f"{sys_report.target_rate('Q_CPU'):.1f} q/s")
+    report.row("GPU partitions", "-", f"{sys_report.target_rate('Q_G'):.1f} q/s")
+    report.row(
+        "deadline hit rate", ">= 0.9", f"{sys_report.deadline_hit_rate:.2f}"
+    )
+    benchmark.extra_info["measured_qps"] = sys_report.queries_per_second
+
+    # structural pins: every accepted query finished, the laptop-sized
+    # world keeps up with the offered rate, and both resource kinds served
+    assert load.accepted == sys_report.completed
+    assert sys_report.completed + load.rejected + load.shed == load.offered
+    assert sys_report.completed > 0.8 * load.offered
+    by_target = sys_report.by_target()
+    assert by_target.get("Q_CPU", 0) > 0
+    assert sum(n for t, n in by_target.items() if t.startswith("Q_G")) > 0

@@ -217,6 +217,139 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--scheduler`` choices for ``repro serve`` -> scheduler factory
+def _serve_scheduler_factory(name: str):
+    from repro.core.admission import AdmissionControlScheduler
+    from repro.core.baselines import FastestFirstScheduler, GPUOnlyScheduler
+    from repro.core.scheduler import HybridScheduler
+
+    return {
+        "hybrid": HybridScheduler,
+        "gpu-only": GPUOnlyScheduler,
+        "fastest-first": FastestFirstScheduler,
+        "admission": AdmissionControlScheduler,
+    }[name]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a live workload in wall-clock time (the ``repro.serve`` plane).
+
+    Unlike ``simulate`` this executes *real* work — cube aggregations,
+    kernel-substitute scans, dictionary lookups — against a laptop-sized
+    materialised world built in-process, then reports realised q/s per
+    partition in the layout of the paper's Table 3 and audits the run
+    with the same invariant families as simulated runs.
+    """
+    import math
+
+    from repro.core.perfmodel import XEON_X5667_8T
+    from repro.gpu import SimulatedGPU
+    from repro.gpu.partitioning import paper_partition_scheme
+    from repro.gpu.timing import TESLA_C2070_TIMING
+    from repro.olap import CubePyramid
+    from repro.query.workload import ArrivalProcess, QueryClass, WorkloadSpec
+    from repro.relational import generate_dataset, tpcds_like_schema
+    from repro.serve import OpenLoopGenerator, ServeEngine
+    from repro.sim import TraceCollector
+    from repro.sim.system import SystemConfig
+    from repro.sim.validate import assert_trace_valid, assert_valid
+    from repro.text import TranslationService, build_dictionaries
+    from repro.units import GB
+
+    # a self-contained materialised world (same shape as the test suite's)
+    schema = tpcds_like_schema(scale=0.5)
+    dataset = generate_dataset(schema, num_rows=args.rows, seed=args.seed)
+    pyramid = CubePyramid.from_fact_table(dataset.table, "sales_price", [0, 1, 2])
+    translator = TranslationService(
+        build_dictionaries(dataset.vocabularies), schema.hierarchies
+    )
+    device = SimulatedGPU(global_memory_bytes=GB, timing=TESLA_C2070_TIMING)
+    device.load_table(dataset.table)
+    config = SystemConfig(
+        cpu_model=XEON_X5667_8T.with_overhead(0.002),
+        pyramid=pyramid,
+        device=device,
+        scheme=paper_partition_scheme(),
+        translation_service=translator,
+        time_constraint=args.time_constraint,
+        scheduler_factory=_serve_scheduler_factory(args.scheduler),
+        translation_workers=args.translation_workers,
+    )
+    workload = WorkloadSpec(
+        schema.dimensions,
+        [
+            QueryClass("small", 0.6, resolution=1, coverage=(0.1, 0.5)),
+            QueryClass(
+                "mid",
+                0.25,
+                resolution=2,
+                dims_constrained=(1, 2),
+                coverage=(0.5, 1.0),
+                text_prob=0.5,
+            ),
+            QueryClass("fine", 0.15, resolution=3, coverage=(0.2, 0.8)),
+        ],
+        measures=("sales_price",),
+        text_levels=list(schema.text_levels),
+        vocabularies=dataset.vocabularies,
+        seed=args.seed,
+    )
+    n_queries = max(1, math.ceil(args.duration * args.rate))
+    stream = workload.generate(
+        n_queries, ArrivalProcess("poisson", rate=args.rate)
+    )
+
+    collector = TraceCollector(sample_series=args.trace is not None)
+    engine = ServeEngine(
+        config,
+        collector=collector,
+        max_in_flight=args.max_in_flight,
+        cpu_threads=args.cpu_threads,
+    )
+    print(
+        f"serving {n_queries} queries over ~{args.duration:.0f}s at "
+        f"{args.rate:.0f} q/s offered ({args.scheduler} scheduler, "
+        f"{args.rows} rows)..."
+    )
+    with engine:  # start; drain on exit
+        load = OpenLoopGenerator(engine, shed=True).run(stream)
+    report = engine.report()
+
+    # audit the live run with the simulation invariant checker
+    assert_valid(report, require_drained=True)
+    assert_trace_valid(report, collector)
+
+    print(
+        f"offered {load.offered} | accepted {load.accepted} | "
+        f"rejected {load.rejected} | shed {load.shed} "
+        f"(wall time {load.duration:.2f}s)"
+    )
+    print()
+    print(report.summary())
+    print()
+    print("Table 3 (wall-clock):")
+    print(f"  {'partition':<12s}{'queries':>8s}{'q/s':>8s}{'util':>7s}")
+    for target in sorted(report.timelines):
+        # realised jobs per station (counts translation work on Q_TRANS,
+        # which never appears as a record's final target)
+        count = len(report.timelines[target])
+        rate = count / report.makespan if report.makespan > 0 else 0.0
+        util = report.utilisations.get(target, 0.0)
+        print(f"  {target:<12s}{count:>8d}{rate:>8.1f}{100 * util:>6.0f}%")
+    print(f"  {'CPU total':<12s}{'':>8s}{report.target_rate('Q_CPU'):>8.1f}")
+    print(f"  {'GPU total':<12s}{'':>8s}{report.target_rate('Q_G'):>8.1f}")
+    print(f"  {'overall':<12s}{'':>8s}{report.queries_per_second:>8.1f}")
+
+    if args.trace is not None:
+        n_lines = collector.write_jsonl(args.trace)
+        counts = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(collector.event_counts().items())
+        )
+        print(f"\ntrace: {n_lines} JSONL records -> {args.trace}")
+        print(f"trace events: {counts}")
+    return 0
+
+
 # -- parser ------------------------------------------------------------
 
 
@@ -263,6 +396,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "to PATH and print the observability dashboard "
                         "(for table3: also the capacity probe history)")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a live workload in wall-clock time (repro.serve)",
+    )
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="target serving window in seconds")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="offered Poisson arrival rate (queries/second)")
+    p.add_argument(
+        "--scheduler",
+        choices=("hybrid", "gpu-only", "fastest-first", "admission"),
+        default="hybrid",
+    )
+    p.add_argument("--rows", type=int, default=10_000,
+                   help="fact-table rows for the in-process database")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--time-constraint", type=float, default=0.5,
+                   help="per-query deadline T_C in seconds")
+    p.add_argument("--cpu-threads", type=int, default=4,
+                   help="ParallelAggregator threads on the CPU partition")
+    p.add_argument("--translation-workers", type=int, default=1)
+    p.add_argument("--max-in-flight", type=int, default=256,
+                   help="admission bound; excess arrivals are shed")
+    p.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                   help="write the JSONL lifecycle trace to PATH")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

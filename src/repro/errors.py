@@ -25,6 +25,8 @@ __all__ = [
     "CalibrationError",
     "SimulationError",
     "InvariantViolation",
+    "ServeError",
+    "BackpressureError",
     "WorkloadError",
     "ParseError",
 ]
@@ -126,6 +128,25 @@ class InvariantViolation(SimulationError):
     the queues' :class:`~repro.core.partitions.Submission` records —
     dependency ordering, FIFO/capacity discipline, job conservation, or
     (for deterministic runs) estimate-vs-realised drift.
+    """
+
+
+class ServeError(ReproError):
+    """The wall-clock serving engine reached an invalid state.
+
+    Raised by :mod:`repro.serve` for lifecycle misuse (submitting to a
+    stopped engine, draining past its timeout) and for queries whose
+    live execution failed after being accepted.
+    """
+
+
+class BackpressureError(ServeError):
+    """A bounded submission queue refused new work (backpressure).
+
+    Raised by non-blocking submission when the serving engine's
+    in-flight bound is reached, and by blocking submission when the
+    bound is still reached after the caller's timeout.  Load generators
+    either treat this as shed load or retry.
     """
 
 

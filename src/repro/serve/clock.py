@@ -1,0 +1,87 @@
+"""Injectable time sources for the wall-clock serving plane.
+
+Everywhere :mod:`repro.serve` reads time it goes through a
+:class:`Clock`, never through :mod:`time` directly.  Production uses
+:class:`RealClock` (monotonic wall time); the deterministic concurrency
+test suite injects a :class:`FakeClock` whose reads and sleeps are pure
+state transitions, so a test that "waits" 10 simulated seconds runs in
+microseconds and two runs of the same test take identical timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ServeError
+
+__all__ = ["Clock", "RealClock", "FakeClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic time source with a pacing primitive."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        """Seconds since an arbitrary (but fixed) origin; never decreases."""
+        ...
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - protocol
+        """Block (or simulate blocking) for ``seconds``."""
+        ...
+
+
+class RealClock:
+    """Wall time: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self) -> str:
+        return "RealClock()"
+
+
+class FakeClock:
+    """A controllable clock for deterministic tests.
+
+    Reads return the internal counter; :meth:`sleep` *advances* the
+    counter by the requested duration instead of blocking, so a paced
+    load generator runs at full speed while still stamping the
+    timestamps it would have stamped in real time.  :meth:`advance`
+    moves the counter explicitly from test code.
+
+    All transitions are lock-protected and monotone, so concurrent
+    readers (worker pools stamping start/finish times) always observe a
+    non-decreasing clock — the property every :mod:`repro.sim.validate`
+    ordering invariant rests on.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            self._now += seconds
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ServeError(f"cannot advance a clock backwards ({seconds})")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self.now():.6f})"

@@ -1,0 +1,511 @@
+"""The wall-clock serving engine — Figure 10 against live clocks.
+
+:class:`ServeEngine` is the production-shaped counterpart of
+:class:`~repro.sim.system.HybridSystem.run`: the same scheduler classes
+over the same :class:`~repro.core.partitions.PartitionQueue` books and
+the same :class:`~repro.core.feedback.FeedbackController` loop, but
+with every partition realised as a :class:`~repro.serve.pool.
+WorkerPool` executing *real* work in *real* (injected-clock) time:
+
+* the CPU OLAP partition runs :class:`~repro.olap.parallel.
+  ParallelAggregator` reductions;
+* each GPU partition of the :class:`~repro.gpu.partitioning.
+  PartitionScheme` is a capacity-limited pool running the
+  :mod:`repro.gpu` kernel substitutes;
+* the translation partition runs :class:`~repro.text.translator.
+  TranslationService` lookups before GPU dispatch, exactly Figure 10's
+  pipeline (a translated query's processing task is enqueued by the
+  translation worker at realised translation finish).
+
+Three production concerns the simulated plane never needed:
+
+* **admission & backpressure** — ``max_in_flight`` bounds accepted but
+  unfinished queries; blocking submits wait for space (closed-loop
+  clients), non-blocking ones raise
+  :class:`~repro.errors.BackpressureError` (open-loop shed), and
+  :class:`~repro.core.admission.AdmissionControlScheduler` rejections
+  surface as :class:`SubmitOutcome` rejections;
+* **graceful drain** — :meth:`drain` stops admission, waits for
+  in-flight work to finish, and joins every worker;
+* **observability of live runs** — a :class:`~repro.sim.obs.
+  TraceCollector` attached via :meth:`~repro.sim.obs.TraceCollector.
+  attach_serve` records the identical lifecycle event stream the
+  simulator emits, so :func:`repro.sim.validate.assert_trace_valid`
+  audits serving exactly like simulation.
+
+All scheduler/queue/feedback/trace bookkeeping happens under one
+engine-wide lock (see :mod:`repro.serve.pool`); executor work runs
+outside it.  :meth:`report` emits a standard
+:class:`~repro.sim.metrics.SystemReport`, so every metric, dashboard
+and invariant checker in the repo consumes live runs unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.feedback import FeedbackController
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.scheduler import BaseScheduler, ScheduleDecision
+from repro.errors import AdmissionRejected, BackpressureError, ServeError
+from repro.query.model import Query
+from repro.serve.clock import Clock, RealClock
+from repro.serve.executors import MaterialisedExecutor, QueryExecutor
+from repro.serve.pool import EngineState, ServeTask, WorkerPool
+from repro.sim.metrics import QueryRecord, SystemReport
+from repro.sim.obs import TraceCollector
+from repro.sim.system import SystemConfig, SystemEstimator
+
+__all__ = ["ServeEngine", "SubmitOutcome", "Ticket"]
+
+
+class Ticket:
+    """Completion handle for one accepted query (closed-loop clients)."""
+
+    __slots__ = ("_event", "record", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.record: QueryRecord | None = None
+        self.error: BaseException | None = None
+
+    def _complete(
+        self, record: QueryRecord | None, error: BaseException | None
+    ) -> None:
+        self.record = record
+        self.error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the query finished; True when it did."""
+        return self._event.wait(timeout=timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """Result of one submission attempt.
+
+    ``accepted`` is False when admission control shed the query
+    (``decision``/``ticket`` are then None).  Backpressure is *not* an
+    outcome — it raises :class:`~repro.errors.BackpressureError` so
+    open-loop generators can count shed load explicitly.
+    """
+
+    accepted: bool
+    decision: ScheduleDecision | None = None
+    ticket: Ticket | None = None
+
+
+class ServeEngine:
+    """Serve queries on live worker pools under the Figure-10 scheduler.
+
+    Parameters
+    ----------
+    config:
+        The standard :class:`~repro.sim.system.SystemConfig`; the
+        scheduler factory, partition scheme, translation workers, and
+        time constraint all mean exactly what they mean in simulation.
+    clock:
+        Time source; defaults to :class:`~repro.serve.clock.RealClock`.
+        Tests inject :class:`~repro.serve.clock.FakeClock`.
+    executor:
+        The per-partition work; defaults to
+        :class:`~repro.serve.executors.MaterialisedExecutor` (requires
+        a materialised config).
+    estimator:
+        Step-2 estimate source; defaults to
+        :class:`~repro.sim.system.SystemEstimator` over ``config``.
+        Tests inject stubs to drive scheduling deterministically.
+    collector:
+        Optional :class:`~repro.sim.obs.TraceCollector`; attached via
+        :meth:`~repro.sim.obs.TraceCollector.attach_serve`.
+    max_in_flight:
+        Bound on accepted-but-unfinished queries (None = unbounded).
+        The front door of the backpressure chain.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        clock: Clock | None = None,
+        executor: QueryExecutor | None = None,
+        estimator=None,
+        collector: TraceCollector | None = None,
+        max_in_flight: int | None = 1024,
+        cpu_threads: int = 4,
+    ):
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ServeError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.config = config
+        self.clock = clock if clock is not None else RealClock()
+        self._state = EngineState(self.clock)
+        self.executor: QueryExecutor = (
+            executor
+            if executor is not None
+            else MaterialisedExecutor(config, cpu_threads=cpu_threads)
+        )
+        self.estimator = (
+            estimator if estimator is not None else SystemEstimator(config)
+        )
+        self.max_in_flight = max_in_flight
+
+        # the same queue/scheduler/feedback wiring as HybridSystem.run
+        self.cpu_queue = PartitionQueue("Q_CPU", QueueKind.CPU)
+        self.trans_queue = PartitionQueue(
+            "Q_TRANS", QueueKind.TRANSLATION, capacity=config.translation_workers
+        )
+        self.gpu_queues = [
+            PartitionQueue(f"Q_{p.name}", QueueKind.GPU, n_sm=p.n_sm)
+            for p in config.scheme
+        ]
+        self.scheduler: BaseScheduler = config.scheduler_factory(
+            self.cpu_queue,
+            self.gpu_queues,
+            self.trans_queue,
+            self.estimator,
+            config.time_constraint,
+        )
+        self.feedback = FeedbackController(gain=config.feedback_gain)
+        self.queues: dict[str, PartitionQueue] = {
+            q.name: q
+            for q in [self.cpu_queue, self.trans_queue, *self.gpu_queues]
+        }
+        self.pools: dict[str, WorkerPool] = {
+            name: WorkerPool(name, self._state, capacity=q.capacity)
+            for name, q in self.queues.items()
+        }
+
+        self.records: list[QueryRecord] = []
+        self.errors: list[tuple[int, BaseException]] = []
+        self.rejected = 0
+        self._in_flight = 0
+        self._accepting = True
+        self._started = False
+
+        self._collector = collector
+        if collector is not None:
+            collector.attach_serve(
+                now_fn=self._state.now,
+                scheduler=self.scheduler,
+                feedback=self.feedback,
+                queues=self.queues,
+                stations=self.pools,
+                trans_name=self.trans_queue.name,
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ServeEngine":
+        """Spawn every partition's worker threads (idempotent)."""
+        for pool in self.pools.values():
+            pool.start()
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ServeEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+        else:  # error path: stop quickly, keep the original exception
+            self.stop(finish_queued=False)
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted queries not yet finished (translation + processing)."""
+        return self._in_flight
+
+    @property
+    def elapsed(self) -> float:
+        """Engine-relative clock reading (report/trace timebase)."""
+        return self._state.now()
+
+    # -- submission (the dispatcher) ----------------------------------------
+
+    def submit(
+        self,
+        query: Query,
+        query_class: str = "default",
+        *,
+        block: bool = True,
+        timeout: float | None = 30.0,
+    ) -> SubmitOutcome:
+        """Schedule one query and hand it to its partition pools.
+
+        Runs steps 1-6 of Figure 10 via the configured scheduler — the
+        *same* object code as simulated-time dispatch — then enqueues
+        the translation and/or processing task.  Blocks (or raises
+        :class:`~repro.errors.BackpressureError` when ``block=False``)
+        while ``max_in_flight`` queries are outstanding.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state.cond:
+            while (
+                self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight
+                and self._accepting
+            ):
+                if not block:
+                    raise BackpressureError(
+                        f"{self._in_flight} queries in flight "
+                        f"(max_in_flight={self.max_in_flight})"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"still {self._in_flight} queries in flight after "
+                        f"{timeout}s (max_in_flight={self.max_in_flight})"
+                    )
+                self._state.cond.wait(timeout=remaining)
+            if not self._accepting:
+                raise ServeError("engine is draining; submission refused")
+            now = self._state.now()
+            self._emit(
+                "arrival",
+                now,
+                query.query_id,
+                query_class=query_class,
+                needs_translation=query.needs_translation,
+            )
+            try:
+                decision = self.scheduler.schedule(query, now)
+            except AdmissionRejected as exc:
+                self.rejected += 1
+                self._emit("rejected", now, query.query_id, reason=str(exc))
+                self._sample(now)
+                return SubmitOutcome(accepted=False)
+            ticket = Ticket()
+            self._in_flight += 1
+            if decision.translation is not None:
+                self.pools[self.trans_queue.name].submit(
+                    self._translation_task(decision, query_class, ticket)
+                )
+            else:
+                self.pools[decision.target.name].submit(
+                    self._processing_task(decision, query_class, ticket, query)
+                )
+            self._sample(now)
+            return SubmitOutcome(accepted=True, decision=decision, ticket=ticket)
+
+    # -- task construction ---------------------------------------------------
+
+    def _translation_task(
+        self, decision: ScheduleDecision, query_class: str, ticket: Ticket
+    ) -> ServeTask:
+        query = decision.query
+        assert decision.translation is not None
+        est_trans = decision.translation.estimated_time
+
+        def on_start(task: ServeTask) -> None:
+            self._emit(
+                "translation_start",
+                task.started,
+                query.query_id,
+                server=self.trans_queue.name,
+                waited=task.waited,
+            )
+            self._sample(task.started)
+
+        def on_done(task: ServeTask) -> None:
+            self._emit(
+                "translation_finish",
+                task.finished,
+                query.query_id,
+                server=self.trans_queue.name,
+                service_time=task.service_time,
+            )
+            self.feedback.on_completion(
+                self.trans_queue,
+                task.service_time,
+                est_trans,
+                query_id=query.query_id,
+            )
+            if task.error is not None:
+                self.errors.append((query.query_id, task.error))
+                self._finish(ticket, None, task.error)
+            else:
+                # realised pipeline handoff: the processing task arrives
+                # at its partition at translation finish, exactly the
+                # dependency edge validate_report's `dependency` family
+                # audits against the realised translation timeline
+                self.pools[decision.target.name].submit(
+                    self._processing_task(
+                        decision, query_class, ticket, task.result
+                    )
+                )
+            self._sample(task.finished)
+
+        return ServeTask(
+            query_id=query.query_id,
+            run=lambda: self.executor.translate(query),
+            on_start=on_start,
+            on_done=on_done,
+        )
+
+    def _processing_task(
+        self,
+        decision: ScheduleDecision,
+        query_class: str,
+        ticket: Ticket,
+        resolved: Query,
+    ) -> ServeTask:
+        query = decision.query
+        target = decision.target
+
+        def on_start(task: ServeTask) -> None:
+            self._emit(
+                "service_start",
+                task.started,
+                query.query_id,
+                server=target.name,
+                waited=task.waited,
+            )
+            self._sample(task.started)
+
+        def on_done(task: ServeTask) -> None:
+            self._emit(
+                "service_finish",
+                task.finished,
+                query.query_id,
+                server=target.name,
+                service_time=task.service_time,
+            )
+            self.feedback.on_completion(
+                self.queues[target.name],
+                task.service_time,
+                decision.processing.estimated_time,
+                query_id=query.query_id,
+            )
+            record = QueryRecord(
+                query_id=query.query_id,
+                query_class=query_class,
+                target=target.name,
+                submit_time=decision.processing.submit_time,
+                finish_time=task.finished,
+                deadline=decision.deadline,
+                estimated_time=decision.processing.estimated_time,
+                measured_time=task.service_time,
+                translated=decision.translation is not None,
+                answer=None if task.error is not None else task.result,
+            )
+            self.records.append(record)
+            if task.error is not None:
+                self.errors.append((query.query_id, task.error))
+            self._finish(ticket, record, task.error)
+            self._sample(task.finished)
+
+        return ServeTask(
+            query_id=query.query_id,
+            run=lambda: self.executor.execute(target, resolved),
+            on_start=on_start,
+            on_done=on_done,
+        )
+
+    def _finish(
+        self,
+        ticket: Ticket,
+        record: QueryRecord | None,
+        error: BaseException | None,
+    ) -> None:
+        self._in_flight -= 1
+        ticket._complete(record, error)
+        self._state.cond.notify_all()
+
+    # -- observability helpers ----------------------------------------------
+
+    def _emit(self, kind: str, when, query_id: int, **data) -> None:
+        if self._collector is not None:
+            self._collector.emit(kind, when, query_id, **data)
+
+    def _sample(self, when) -> None:
+        if self._collector is not None:
+            self._collector.sample(when)
+
+    # -- drain / stop ------------------------------------------------------------
+
+    def drain(self, timeout: float | None = 60.0) -> None:
+        """Stop admission, wait for in-flight work, join all workers.
+
+        ``timeout`` is a *real-time* liveness bound (independent of the
+        injected clock): a hung executor fails the drain loudly instead
+        of blocking forever.  Accepted queries that failed during
+        execution re-raise here as :class:`~repro.errors.ServeError` —
+        a drained engine either served everything or says why not.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state.cond:
+            self._accepting = False
+            self._state.cond.notify_all()
+            while self._in_flight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServeError(
+                        f"drain timed out with {self._in_flight} queries in "
+                        f"flight after {timeout}s"
+                    )
+                self._state.cond.wait(timeout=remaining)
+        self.stop()
+        if self.errors:
+            qid, first = self.errors[0]
+            raise ServeError(
+                f"{len(self.errors)} quer{'y' if len(self.errors) == 1 else 'ies'} "
+                f"failed during execution; first: query {qid}: {first!r}"
+            ) from first
+
+    def stop(self, finish_queued: bool = True) -> None:
+        """Join every pool's workers (no drain semantics; see drain())."""
+        for pool in self.pools.values():
+            pool.stop(finish_queued=finish_queued)
+        self._started = False
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> SystemReport:
+        """Aggregate the run into a standard :class:`SystemReport`.
+
+        The result carries the same audit trail as a simulated report
+        (submission books, capacities, outstanding counts, timelines),
+        so :func:`repro.sim.validate.validate_report` and
+        :func:`~repro.sim.validate.validate_trace` apply unchanged.
+        ``exact_estimates`` is always False: realised wall-clock service
+        can never exactly equal the model estimate, so the
+        deterministic-drift family is (correctly) skipped.
+        """
+        with self._state.cond:
+            horizon = self._state.now()
+            return SystemReport.from_records(
+                list(self.records),
+                utilisations={
+                    name: pool.utilisation(horizon)
+                    for name, pool in self.pools.items()
+                },
+                horizon=horizon,
+                timelines={
+                    name: tuple(pool.history)
+                    for name, pool in self.pools.items()
+                },
+                rejected=self.rejected,
+                submissions={
+                    name: q.submissions for name, q in self.queues.items()
+                },
+                capacities={
+                    name: pool.capacity for name, pool in self.pools.items()
+                },
+                outstanding={
+                    name: q.outstanding for name, q in self.queues.items()
+                },
+                exact_estimates=False,
+                feedback_stats=self.feedback.all_stats,
+            )

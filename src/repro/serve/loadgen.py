@@ -1,0 +1,196 @@
+"""Load generation for the wall-clock serving engine.
+
+Two client models drive a :class:`~repro.serve.engine.ServeEngine`:
+
+* :class:`OpenLoopGenerator` — arrivals follow a
+  :class:`~repro.query.workload.QueryStream`'s timestamps regardless of
+  how the system keeps up (the standard open-loop model; this is what
+  ``python -m repro serve --rate R`` runs, with Poisson arrivals).
+  When the engine pushes back, the generator either *sheds* the query
+  (counting it, like a front-end returning 503) or blocks and lets the
+  arrival process fall behind.
+* :class:`ClosedLoopGenerator` — ``clients`` concurrent clients each
+  submit a query, wait for its :class:`~repro.serve.engine.Ticket`,
+  then immediately submit the next (the saturation model behind the
+  paper's Tables 1-3 throughput numbers: offered load always equals
+  system capacity).
+
+Both pace themselves through the engine's injected
+:class:`~repro.serve.clock.Clock`, so under a
+:class:`~repro.serve.clock.FakeClock` an open-loop run over a
+10-second stream completes in milliseconds with identical bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import BackpressureError, ServeError
+from repro.query.workload import QueryStream
+from repro.serve.engine import ServeEngine
+
+__all__ = ["LoadReport", "OpenLoopGenerator", "ClosedLoopGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one load-generation run did to the engine.
+
+    ``offered`` = ``accepted`` + ``rejected`` (admission control) +
+    ``shed`` (backpressure, open-loop shed mode only).  ``duration`` is
+    engine-relative seconds from the generator's start to its last
+    submission returning.
+    """
+
+    offered: int
+    accepted: int
+    rejected: int
+    shed: int
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.offered != self.accepted + self.rejected + self.shed:
+            raise ServeError(
+                f"load report books do not balance: {self.offered} offered "
+                f"!= {self.accepted} accepted + {self.rejected} rejected "
+                f"+ {self.shed} shed"
+            )
+
+    @property
+    def offered_rate(self) -> float:
+        return self.offered / self.duration if self.duration > 0 else 0.0
+
+
+class OpenLoopGenerator:
+    """Replay a timed query stream against a serving engine.
+
+    Parameters
+    ----------
+    engine:
+        A started :class:`~repro.serve.engine.ServeEngine`.
+    shed:
+        When True (the default), backpressured submissions are dropped
+        and counted instead of blocking — the open-loop contract (the
+        arrival process never waits for the system).  When False,
+        submissions block and arrivals drift late under overload.
+    """
+
+    def __init__(self, engine: ServeEngine, *, shed: bool = True):
+        self._engine = engine
+        self._shed = shed
+
+    def run(self, stream: QueryStream) -> LoadReport:
+        """Submit every stream entry at (or after) its timestamp."""
+        engine = self._engine
+        start = engine.elapsed
+        offered = accepted = rejected = shed = 0
+        for timed in stream:
+            # pace via the injected clock: under FakeClock this advances
+            # time instead of blocking, keeping paced tests instant
+            lag = (start + timed.time) - engine.elapsed
+            if lag > 0:
+                engine.clock.sleep(lag)
+            offered += 1
+            try:
+                outcome = engine.submit(
+                    timed.query, timed.query_class, block=not self._shed
+                )
+            except BackpressureError:
+                shed += 1
+                continue
+            if outcome.accepted:
+                accepted += 1
+            else:
+                rejected += 1
+        return LoadReport(
+            offered=offered,
+            accepted=accepted,
+            rejected=rejected,
+            shed=shed,
+            duration=engine.elapsed - start,
+        )
+
+
+class ClosedLoopGenerator:
+    """``clients`` concurrent think-time-free clients (saturation load).
+
+    Each client thread repeatedly takes the next unserved stream entry,
+    submits it blocking, and waits on the returned ticket before moving
+    on — so exactly ``clients`` queries are in flight at any moment
+    (fewer only while the shared stream runs dry).  Arrival timestamps
+    in the stream are ignored: a closed loop's arrivals are completions.
+
+    ``client_timeout`` bounds each ticket wait in *real* seconds (a
+    liveness guard: a wedged engine fails the run instead of hanging
+    it).
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        *,
+        clients: int = 4,
+        client_timeout: float = 60.0,
+    ):
+        if clients < 1:
+            raise ServeError(f"need at least one client, got {clients}")
+        self._engine = engine
+        self._clients = clients
+        self._client_timeout = client_timeout
+
+    def run(self, stream: QueryStream) -> LoadReport:
+        engine = self._engine
+        entries = list(stream)
+        start = engine.elapsed
+        lock = threading.Lock()
+        next_idx = [0]
+        counts = {"accepted": 0, "rejected": 0}
+        failures: list[BaseException] = []
+
+        def client() -> None:
+            while True:
+                with lock:
+                    if next_idx[0] >= len(entries) or failures:
+                        return
+                    timed = entries[next_idx[0]]
+                    next_idx[0] += 1
+                try:
+                    outcome = engine.submit(
+                        timed.query, timed.query_class, block=True
+                    )
+                    if not outcome.accepted:
+                        with lock:
+                            counts["rejected"] += 1
+                        continue
+                    assert outcome.ticket is not None
+                    if not outcome.ticket.wait(timeout=self._client_timeout):
+                        raise ServeError(
+                            f"client gave up on query "
+                            f"{timed.query.query_id} after "
+                            f"{self._client_timeout}s"
+                        )
+                    with lock:
+                        counts["accepted"] += 1
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=client, name=f"serve-client-{i}", daemon=True)
+            for i in range(min(self._clients, max(len(entries), 1)))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise failures[0]
+        return LoadReport(
+            offered=counts["accepted"] + counts["rejected"],
+            accepted=counts["accepted"],
+            rejected=counts["rejected"],
+            shed=0,
+            duration=engine.elapsed - start,
+        )

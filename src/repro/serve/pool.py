@@ -1,0 +1,308 @@
+"""Per-partition worker pools for the wall-clock serving engine.
+
+A :class:`WorkerPool` is the live counterpart of the simulated-time
+:class:`~repro.sim.resources.Server`: a FIFO task queue drained by
+``capacity`` worker threads.  Its design goal is *auditability* — a
+finished serve run must pass the same :mod:`repro.sim.validate`
+invariant families as a simulated run, which requires that the realised
+timeline (arrival/start/finish stamps per task) is exactly consistent
+with the order things actually happened.
+
+The mechanism is a single shared :class:`EngineState` lock (one
+condition variable for the whole engine, re-entrant so completion
+callbacks can hand work to downstream pools):
+
+* *every* bookkeeping transition — enqueue + arrival stamp, dequeue +
+  start stamp, finish stamp + completion callback — happens inside the
+  lock, in one critical section;
+* the actual *work* (cube aggregation, kernel scan, dictionary lookup)
+  runs outside the lock, so pools genuinely execute in parallel.
+
+Because stamping and queue mutation are atomic, per-pool enqueue order
+equals arrival-stamp order and dequeue order equals start-stamp order,
+so the FIFO and capacity discipline checks of
+:func:`repro.sim.validate.validate_report` hold by construction — any
+violation in a report indicates a real engine bug, not stamp jitter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import BackpressureError, ServeError
+from repro.serve.clock import Clock
+
+__all__ = ["EngineState", "ServeTask", "WorkerPool"]
+
+
+class EngineState:
+    """Shared clock + lock for one serving engine.
+
+    ``cond`` is a re-entrant condition variable: worker completion
+    callbacks run while holding it and may submit follow-up tasks to
+    other pools (translation -> GPU handoff) without deadlocking.
+    ``now()`` returns seconds since the engine's origin, so reports and
+    traces start near t=0 like simulated runs.
+    """
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self.cond = threading.Condition(threading.RLock())
+        self._t0 = clock.now()
+
+    def now(self) -> float:
+        """Engine-relative monotonic time (0.0 at engine creation)."""
+        return self.clock.now() - self._t0
+
+
+@dataclass(eq=False)
+class ServeTask:
+    """One unit of live work for a pool.
+
+    ``run`` executes outside the engine lock and its return value lands
+    in ``result`` (an exception lands in ``error`` — pools never let a
+    task kill a worker thread).  ``on_start``/``on_done`` fire under the
+    engine lock at the corresponding transition; ``on_done`` is where
+    the engine applies feedback, records metrics, and hands translated
+    queries to their processing pool.
+    """
+
+    query_id: int
+    run: Callable[[], Any]
+    on_done: Callable[["ServeTask"], None]
+    on_start: Callable[["ServeTask"], None] | None = None
+    arrived: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    result: Any = None
+    error: BaseException | None = None
+
+    #: wall seconds of realised service (finish - start stamps)
+    @property
+    def service_time(self) -> float:
+        if self.started is None or self.finished is None:
+            raise ServeError(f"task {self.query_id} has not finished")
+        return self.finished - self.started
+
+    @property
+    def waited(self) -> float:
+        if self.started is None:
+            raise ServeError(f"task {self.query_id} has not started")
+        return self.started - self.arrived
+
+
+@dataclass
+class _PoolStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    busy_time: float = 0.0
+    total_wait: float = 0.0
+    history: list[tuple[int, float, float]] = field(default_factory=list)
+
+
+class WorkerPool:
+    """FIFO station with ``capacity`` worker threads.
+
+    Mirrors :class:`~repro.sim.resources.Server`'s observable surface
+    (``queue_length``, ``in_service``, ``capacity``, ``history``,
+    ``utilisation``) so :class:`~repro.sim.obs.TraceCollector` partition
+    sampling and :class:`~repro.sim.metrics.SystemReport` construction
+    work identically for live runs.
+
+    Parameters
+    ----------
+    name:
+        Partition label, matching its :class:`~repro.core.partitions.
+        PartitionQueue` (``"Q_CPU"``, ``"Q_G1a"``, ``"Q_TRANS"``...).
+    state:
+        The engine-wide :class:`EngineState` (shared lock + clock).
+    capacity:
+        Worker-thread count (1 = the paper's single service station per
+        partition; the translation partition gets
+        ``translation_workers``).
+    max_queue:
+        Bound on *waiting* tasks.  ``None`` = unbounded (engine-level
+        admission bounds total in-flight work instead); with a bound,
+        blocking submits exert backpressure on the producer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        state: EngineState,
+        capacity: int = 1,
+        max_queue: int | None = None,
+    ):
+        if capacity < 1:
+            raise ServeError(f"pool {name!r} capacity must be >= 1, got {capacity}")
+        if max_queue is not None and max_queue < 1:
+            raise ServeError(f"pool {name!r} max_queue must be >= 1, got {max_queue}")
+        self.name = name
+        self.capacity = capacity
+        self.max_queue = max_queue
+        self._state = state
+        self._tasks: deque[ServeTask] = deque()
+        self._in_service = 0
+        self._stats = _PoolStats()
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self._started = False
+
+    # -- observable state (Server-compatible surface) ----------------------
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service
+
+    @property
+    def submitted(self) -> int:
+        return self._stats.submitted
+
+    @property
+    def completed(self) -> int:
+        return self._stats.completed
+
+    @property
+    def failed(self) -> int:
+        return self._stats.failed
+
+    @property
+    def busy_time(self) -> float:
+        return self._stats.busy_time
+
+    @property
+    def history(self) -> list[tuple[int, float, float]]:
+        """(query_id, start, finish) per served task, completion order."""
+        return self._stats.history
+
+    def utilisation(self, horizon: float) -> float:
+        """Mean fraction of workers busy over ``horizon`` (cf. Server)."""
+        if horizon <= 0:
+            return 0.0
+        return self._stats.busy_time / (horizon * self.capacity)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._state.cond:
+            if self._started:
+                return
+            self._started = True
+            self._stopping = False
+        for i in range(self.capacity):
+            t = threading.Thread(
+                target=self._worker, name=f"serve-{self.name}-{i}", daemon=True
+            )
+            self._threads.append(t)
+            t.start()
+
+    def stop(self, finish_queued: bool = True) -> None:
+        """Stop workers; by default they first drain queued tasks."""
+        with self._state.cond:
+            self._stopping = True
+            if not finish_queued:
+                self._tasks.clear()
+            self._state.cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=30.0)
+            if t.is_alive():  # pragma: no cover - deadlock guard
+                raise ServeError(f"pool {self.name!r} worker failed to stop")
+        self._threads.clear()
+        with self._state.cond:
+            self._started = False
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        task: ServeTask,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> ServeTask:
+        """Enqueue one task; stamps its arrival under the engine lock.
+
+        With a ``max_queue`` bound and a full queue, a blocking submit
+        waits for space (backpressure on the producer) and a
+        non-blocking one raises :class:`~repro.errors.BackpressureError`
+        immediately.  ``timeout`` bounds the blocking wait in *real*
+        seconds (a liveness guard, independent of the injected clock).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state.cond:
+            if self._stopping:
+                raise ServeError(f"pool {self.name!r} is stopping")
+            while (
+                self.max_queue is not None and len(self._tasks) >= self.max_queue
+            ):
+                if not block:
+                    raise BackpressureError(
+                        f"pool {self.name!r} queue is full "
+                        f"({len(self._tasks)}/{self.max_queue})"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"pool {self.name!r} still full after {timeout}s"
+                    )
+                self._state.cond.wait(timeout=remaining)
+                if self._stopping:
+                    raise ServeError(f"pool {self.name!r} is stopping")
+            task.arrived = self._state.now()
+            self._tasks.append(task)
+            self._stats.submitted += 1
+            self._state.cond.notify_all()
+        return task
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._state.cond:
+                while not self._tasks and not self._stopping:
+                    self._state.cond.wait()
+                if not self._tasks and self._stopping:
+                    return
+                # dequeue + start-stamp atomically: start order == FIFO
+                # order even with capacity > 1 workers racing to pull
+                task = self._tasks.popleft()
+                task.started = self._state.now()
+                self._in_service += 1
+                if task.on_start is not None:
+                    task.on_start(task)
+            try:
+                task.result = task.run()
+            except Exception as exc:  # noqa: BLE001 - surfaced via task.error
+                task.error = exc
+            with self._state.cond:
+                task.finished = self._state.now()
+                self._in_service -= 1
+                self._stats.completed += 1
+                if task.error is not None:
+                    self._stats.failed += 1
+                self._stats.busy_time += task.service_time
+                self._stats.total_wait += task.waited
+                self._stats.history.append(
+                    (task.query_id, task.started, task.finished)
+                )
+                try:
+                    task.on_done(task)
+                finally:
+                    self._state.cond.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.name!r}, {self._in_service}/{self.capacity} busy, "
+            f"queued={len(self._tasks)}, completed={self._stats.completed})"
+        )

@@ -190,6 +190,7 @@ class TraceCollector:
         self._sample_series = sample_series
         self._attached = False
         self._engine: "SimulationEngine | None" = None
+        self._now_fn = None
         self._queues: dict[str, PartitionQueue] = {}
         self._servers: dict[str, "Server"] = {}
         self._trans_name: str | None = None
@@ -214,6 +215,7 @@ class TraceCollector:
             )
         self._attached = True
         self._engine = engine
+        self._now_fn = lambda: engine.now
         self._queues = dict(queues)
         self._servers = dict(servers)
         self._trans_name = trans_name
@@ -223,6 +225,41 @@ class TraceCollector:
         for name, server in servers.items():
             server.on_start = self._service_hook(name, started=True)
             server.on_finish = self._service_hook(name, started=False)
+
+    def attach_serve(
+        self,
+        *,
+        now_fn,
+        scheduler: "BaseScheduler",
+        feedback: "FeedbackController",
+        queues: Mapping[str, PartitionQueue],
+        stations: Mapping[str, Any],
+        trans_name: str,
+    ) -> None:
+        """Wire this collector into a wall-clock serving engine.
+
+        The serve plane has no :class:`~repro.sim.engine.
+        SimulationEngine` and its stations stamp start/finish
+        transitions themselves (the engine emits those events directly
+        and calls :meth:`sample` at each transition), so only the
+        scheduler and feedback hooks are installed here.  ``stations``
+        is any mapping of partition name to an object with the
+        :class:`~repro.sim.resources.Server` observable surface
+        (``queue_length``/``in_service``); ``now_fn`` supplies the
+        engine-relative clock used to stamp ``feedback`` events.
+        """
+        if self._attached:
+            raise SimulationError(
+                "TraceCollector is single-run: attach a fresh collector "
+                "per serving engine"
+            )
+        self._attached = True
+        self._now_fn = now_fn
+        self._queues = dict(queues)
+        self._servers = dict(stations)
+        self._trans_name = trans_name
+        scheduler.observer = self
+        feedback.observer = self._on_feedback
 
     # -- emission ------------------------------------------------------------
 
@@ -234,6 +271,15 @@ class TraceCollector:
         return event
 
     def _on_engine_event(self, now: float) -> None:
+        self.sample(now)
+
+    def sample(self, now: float) -> None:
+        """Record one booked-vs-realised sample row per partition.
+
+        Simulated runs call this from the engine's event hook; serving
+        engines call it at every lifecycle transition (arrival, service
+        start/finish) since there is no central event loop to hook.
+        """
         if not self._sample_series:
             return
         for name, queue in self._queues.items():
@@ -318,10 +364,10 @@ class TraceCollector:
         applied: float,
         stats: "FeedbackStats",
     ) -> None:
-        assert self._engine is not None
+        assert self._now_fn is not None
         self.emit(
             "feedback",
-            self._engine.now,
+            self._now_fn(),
             query_id,
             queue=queue_name,
             measured=measured,

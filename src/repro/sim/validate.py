@@ -353,20 +353,38 @@ def validate_report(
     trans_queue: str = "Q_TRANS",
     tolerance: float = 1e-9,
     drift_tolerance: float = 1e-6,
+    require_drained: bool = False,
 ) -> ValidationResult:
-    """Audit one simulated run; returns every violation found.
+    """Audit one simulated or served run; returns every violation found.
 
     The ``drift`` family only runs when the report declares
     ``exact_estimates`` (deterministic service times) and every station
     has capacity 1 — with parallel translation workers the queue's
     fluid :math:`T_Q` is a throughput approximation, not a per-job
     bound.
+
+    ``require_drained`` strengthens ``conservation`` for reports taken
+    after a completed run (a finished simulation, or a serving engine
+    after :meth:`~repro.serve.ServeEngine.drain`): every queue must show
+    zero outstanding jobs — accepted work that never completed is a
+    violation, not merely "in flight".
     """
     violations: list[Violation] = []
     checked = ["dependency", "discipline", "conservation"]
     violations += _check_dependency(report, trans_queue, tolerance)
     violations += _check_discipline(report, trans_queue, tolerance)
     violations += _check_conservation(report, trans_queue)
+    if require_drained:
+        for name, outstanding in sorted(report.outstanding.items()):
+            if outstanding:
+                violations.append(
+                    Violation(
+                        "conservation",
+                        name,
+                        f"{outstanding} job(s) still outstanding after a "
+                        "drained run",
+                    )
+                )
     if report.exact_estimates and all(
         c == 1 for c in report.capacities.values()
     ):

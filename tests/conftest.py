@@ -6,12 +6,105 @@ expensive fixtures are session-scoped since they are read-only.
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.olap import CubePyramid, DimensionHierarchy, Level
 from repro.relational import generate_dataset, tpcds_like_schema
 from repro.text import TranslationService, build_dictionaries
+
+# the suite must be repeatable run-to-run (the serve concurrency tests
+# assert 20/20 identical repeats; CI reruns must not roam the example
+# space): derandomise hypothesis so every run draws the same examples
+hypothesis_settings.register_profile("deterministic", derandomize=True)
+hypothesis_settings.load_profile("deterministic")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/regression/golden/*.json from the current "
+        "simulator instead of comparing against it",
+    )
+
+
+# -- hermeticity guards --------------------------------------------------------
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+#: directories the suite must treat as read-only; tests that need a
+#: scratch file get one from ``tmp_path``
+_WATCHED_DIRS = ("src", "docs", "benchmarks", "tests")
+_IGNORED_PARTS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    ".benchmarks",
+}
+
+
+def _snapshot_tree() -> set[Path]:
+    files = set()
+    for top in _WATCHED_DIRS:
+        root = _REPO_ROOT / top
+        if not root.is_dir():
+            continue
+        for path in root.rglob("*"):
+            if path.is_dir():
+                continue
+            parts = set(path.parts)
+            if parts & _IGNORED_PARTS or path.suffix == ".pyc":
+                continue
+            files.add(path)
+    return files
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_stray_writes(request):
+    """Fail the session if any test writes new files into the repo tree.
+
+    Golden-fixture regeneration is the one sanctioned write, so the
+    guard stands down under ``--regen-golden``.
+    """
+    if request.config.getoption("--regen-golden"):
+        yield
+        return
+    before = _snapshot_tree()
+    yield
+    stray = sorted(str(p.relative_to(_REPO_ROOT)) for p in _snapshot_tree() - before)
+    assert not stray, (
+        "test run created files inside the repo tree (use tmp_path "
+        f"instead): {stray}"
+    )
+
+
+@pytest.fixture(autouse=True)
+def bounded_sleeps(request, monkeypatch):
+    """Cap ``time.sleep`` at 50 ms inside tests.
+
+    The serve suite is built around a fake clock precisely so nothing
+    needs long real sleeps; a test that wants one anyway must say so
+    with ``@pytest.mark.wallclock``.
+    """
+    if request.node.get_closest_marker("wallclock"):
+        return
+    real_sleep = time.sleep
+
+    def guarded(seconds):
+        assert seconds <= 0.05, (
+            f"time.sleep({seconds}) in a test: sleeps over 50 ms make the "
+            "suite slow and flaky — drive a FakeClock or mark the test "
+            "with @pytest.mark.wallclock"
+        )
+        real_sleep(seconds)
+
+    monkeypatch.setattr(time, "sleep", guarded)
 
 
 @pytest.fixture(scope="session")

@@ -90,6 +90,8 @@ class TestSchedulerInvariants:
         sched = build_scheduler(DrawnEstimator(ests), 0.3)
         for i in range(len(ests)):
             decision = sched.schedule(Query(conditions=(), measures=("v",)), now=0.0)
+            # inclusive boundary: finishing exactly at T_D makes the
+            # deadline (step 4's P_BD test and QueryRecord.met_deadline)
             assert decision.meets_deadline == (
-                decision.deadline - decision.estimated_response > 0
+                decision.deadline - decision.estimated_response >= 0
             )

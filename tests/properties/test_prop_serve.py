@@ -1,0 +1,112 @@
+"""Property: the serving engine is the Figure-10 scheduler, verbatim.
+
+For any drawn estimate sequence, batch-submitting through a fake-clock
+:class:`~repro.serve.ServeEngine` must produce exactly the decision
+sequence a bare scheduler produces over an identical queue scheme —
+same partition, same branch (translated or not), same estimated
+response, same admission verdict.  The serving layer adds wall-clock
+execution; it must never add scheduling behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionControlScheduler, AdmissionRejected
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.paper import paper_system_config
+from repro.query.model import Query
+from repro.serve import FakeClock, NullExecutor, ServeEngine
+
+from tests.properties.test_prop_scheduler import DrawnEstimator, estimates
+
+CONFIG = paper_system_config(include_32gb=False)
+
+
+def reference_scheduler(config, estimator, factory=None):
+    """The same wiring ServeEngine uses, minus the serving machinery."""
+    cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+    trans_q = PartitionQueue(
+        "Q_TRANS", QueueKind.TRANSLATION, capacity=config.translation_workers
+    )
+    gpu_qs = [
+        PartitionQueue(f"Q_{p.name}", QueueKind.GPU, n_sm=p.n_sm)
+        for p in config.scheme
+    ]
+    factory = factory if factory is not None else config.scheduler_factory
+    return factory(cpu_q, gpu_qs, trans_q, estimator, config.time_constraint)
+
+
+class TestServeMatchesScheduler:
+    @given(st.lists(estimates(), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_same_partition_and_branch(self, ests):
+        reference = reference_scheduler(CONFIG, DrawnEstimator(ests))
+        expected = [
+            reference.schedule(Query(conditions=(), measures=("v",)), now=0.0)
+            for _ in ests
+        ]
+
+        engine = ServeEngine(
+            CONFIG,
+            clock=FakeClock(),
+            executor=NullExecutor(),
+            estimator=DrawnEstimator(ests),
+        )
+        # batch-submit before start: the fake clock stays at 0, so every
+        # serve decision sees now=0.0 exactly like the reference
+        outcomes = [
+            engine.submit(Query(conditions=(), measures=("v",)))
+            for _ in ests
+        ]
+        try:
+            for want, outcome in zip(expected, outcomes):
+                got = outcome.decision
+                assert got.target.name == want.target.name
+                assert (got.translation is None) == (want.translation is None)
+                assert got.estimated_response == want.estimated_response
+                assert got.meets_deadline == want.meets_deadline
+                assert got.deadline == want.deadline
+        finally:
+            engine.stop(finish_queued=False)
+
+    @given(
+        st.lists(estimates(), min_size=1, max_size=25),
+        st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_admission_verdicts(self, ests, lateness_factor):
+        import functools
+
+        factory = functools.partial(
+            AdmissionControlScheduler, lateness_factor=lateness_factor
+        )
+        config = paper_system_config(
+            include_32gb=False, scheduler_factory=factory
+        )
+        reference = reference_scheduler(config, DrawnEstimator(ests), factory)
+        verdicts = []
+        for _ in ests:
+            try:
+                d = reference.schedule(
+                    Query(conditions=(), measures=("v",)), now=0.0
+                )
+                verdicts.append(d.target.name)
+            except AdmissionRejected:
+                verdicts.append(None)
+
+        engine = ServeEngine(
+            config,
+            clock=FakeClock(),
+            executor=NullExecutor(),
+            estimator=DrawnEstimator(ests),
+        )
+        try:
+            for want in verdicts:
+                outcome = engine.submit(Query(conditions=(), measures=("v",)))
+                if want is None:
+                    assert not outcome.accepted
+                else:
+                    assert outcome.accepted
+                    assert outcome.decision.target.name == want
+        finally:
+            engine.stop(finish_queued=False)

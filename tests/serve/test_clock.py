@@ -1,0 +1,87 @@
+"""Clock abstraction: fake determinism, real monotonicity."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import Clock, FakeClock, RealClock
+
+
+class TestFakeClock:
+    def test_starts_at_origin(self):
+        assert FakeClock().now() == 0.0
+        assert FakeClock(start=5.0).now() == 5.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = FakeClock()
+        before = time.monotonic()
+        clock.sleep(3600.0)
+        assert clock.now() == 3600.0
+        # an hour of fake sleep costs essentially no real time
+        assert time.monotonic() - before < 1.0
+
+    def test_negative_sleep_is_a_noop(self):
+        clock = FakeClock(start=2.0)
+        clock.sleep(-1.0)
+        assert clock.now() == 2.0
+
+    def test_advance_returns_new_time(self):
+        clock = FakeClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now() == 2.0
+
+    def test_advance_backwards_raises(self):
+        with pytest.raises(ServeError):
+            FakeClock().advance(-0.1)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(FakeClock(), Clock)
+
+    def test_concurrent_readers_see_monotone_time(self):
+        clock = FakeClock()
+        failures = []
+
+        def reader():
+            last = clock.now()
+            for _ in range(2000):
+                now = clock.now()
+                if now < last:
+                    failures.append((last, now))
+                    return
+                last = now
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        for _ in range(2000):
+            clock.advance(0.001)
+        for t in readers:
+            t.join()
+        assert not failures
+
+
+class TestRealClock:
+    def test_now_is_monotone(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_nonpositive_sleep_returns_immediately(self):
+        clock = RealClock()
+        before = time.monotonic()
+        clock.sleep(0.0)
+        clock.sleep(-5.0)
+        assert time.monotonic() - before < 0.05
+
+    def test_sleep_actually_sleeps(self):
+        clock = RealClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.009
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(RealClock(), Clock)

@@ -1,0 +1,113 @@
+"""Race tests: many submitters, one engine, books must still balance.
+
+A :class:`threading.Barrier` lines every submitter up behind the same
+starting gun so the submission burst genuinely contends on the engine
+lock.  Afterwards the submission books, pool counters, and the full
+simulation invariant checker must all reconcile — under concurrency
+the serving layer may reorder *between* clients, but it must never
+lose, duplicate, or mis-account a query.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import FakeClock, ServeTask, WorkerPool
+from repro.serve.pool import EngineState
+from repro.sim.validate import assert_valid
+
+from tests.serve.conftest import CPU_FAST, GPU_ONLY, GPU_TEXT, make_query
+
+SUBMITTERS = 8
+PER_SUBMITTER = 50
+
+
+class TestPoolRace:
+    def test_concurrent_submitters_books_reconcile(self):
+        state = EngineState(FakeClock())
+        pool = WorkerPool("Q_X", state, capacity=2)
+        done_lock = threading.Lock()
+        done: list[int] = []
+
+        def on_done(task):
+            with done_lock:
+                done.append(task.query_id)
+
+        barrier = threading.Barrier(SUBMITTERS)
+        errors: list[BaseException] = []
+
+        def submitter(worker_index):
+            try:
+                barrier.wait(timeout=10.0)
+                for j in range(PER_SUBMITTER):
+                    qid = worker_index * PER_SUBMITTER + j
+                    pool.submit(
+                        ServeTask(query_id=qid, run=lambda: None, on_done=on_done)
+                    )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        pool.start()
+        threads = [
+            threading.Thread(target=submitter, args=(i,))
+            for i in range(SUBMITTERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        pool.stop(finish_queued=True)
+
+        assert not errors
+        total = SUBMITTERS * PER_SUBMITTER
+        assert pool.submitted == pool.completed == total
+        assert pool.failed == 0
+        assert pool.queue_length == 0 and pool.in_service == 0
+        # every query id ran exactly once, none invented, none lost
+        assert sorted(done) == list(range(total))
+        assert sorted(qid for qid, _, _ in pool.history) == list(range(total))
+
+
+class TestEngineRace:
+    @pytest.mark.parametrize("clients", [6])
+    def test_concurrent_clients_full_audit(self, make_engine, clients):
+        per_client = 30
+        # mixed archetypes: CPU wins, GPU-only, and translated queries
+        # all interleave across the shared scheduler books
+        engine = make_engine(CPU_FAST, GPU_ONLY, GPU_TEXT).start()
+        barrier = threading.Barrier(clients)
+        outcomes_lock = threading.Lock()
+        outcomes = []
+        errors: list[BaseException] = []
+
+        def client():
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(per_client):
+                    outcome = engine.submit(make_query())
+                    with outcomes_lock:
+                        outcomes.append(outcome)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        engine.drain()
+
+        assert not errors
+        total = clients * per_client
+        assert len(outcomes) == total
+        assert all(o.accepted for o in outcomes)
+        assert all(o.ticket.done for o in outcomes)
+
+        report = engine.report()
+        assert report.completed == total and report.rejected == 0
+        # submission books vs realised history, per partition
+        for name, submissions in report.submissions.items():
+            assert len(submissions) == len(report.timelines[name]), name
+        # the full invariant audit: dependency order, FIFO/capacity
+        # discipline, and conservation must survive the contention
+        assert_valid(report, require_drained=True)

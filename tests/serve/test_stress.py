@@ -1,0 +1,58 @@
+"""Stress: ten thousand queries through a fake-clock engine, fully traced.
+
+The load generator paces against the fake clock, so the "100 second"
+offered schedule runs in real milliseconds; the point is volume — the
+per-event trace audit and the invariant families must hold at a scale
+where any lost wakeup, dropped record, or mis-stamped transition is
+overwhelmingly likely to surface.
+"""
+
+import itertools
+
+from repro.query.workload import QueryStream, TimedQuery
+from repro.sim.obs import TraceCollector
+from repro.sim.validate import assert_trace_valid, assert_valid
+
+from tests.serve.conftest import CPU_FAST, GPU_ONLY, GPU_TEXT, make_query
+
+N_QUERIES = 10_000
+
+
+def test_ten_thousand_queries_fully_audited(make_engine):
+    from repro.serve import OpenLoopGenerator
+
+    collector = TraceCollector(sample_series=False)
+    engine = make_engine(
+        CPU_FAST, GPU_ONLY, GPU_TEXT, collector=collector, max_in_flight=4096
+    ).start()
+    archetypes = itertools.cycle(["small", "mid", "fine"])
+    stream = QueryStream(
+        [
+            TimedQuery(i * 1e-4, make_query(), next(archetypes))
+            for i in range(N_QUERIES)
+        ]
+    )
+    load = OpenLoopGenerator(engine, shed=False).run(stream)
+    engine.drain()
+
+    assert load.offered == N_QUERIES
+    assert load.accepted == N_QUERIES
+    assert load.rejected == 0 and load.shed == 0
+
+    report = engine.report()
+    assert report.completed == N_QUERIES
+    assert sorted(report.by_class().items()) == [
+        ("fine", N_QUERIES // 3),
+        ("mid", N_QUERIES // 3),
+        ("small", N_QUERIES // 3 + N_QUERIES % 3),
+    ]
+    # every third query is the translated archetype
+    assert sum(1 for r in report.records if r.translated) == N_QUERIES // 3
+
+    assert_valid(report, require_drained=True)
+    assert_trace_valid(report, collector)
+    # the trace holds a complete lifecycle for all 10k queries:
+    # 6 events for plain queries, 9 for the translated third
+    per_query = [e for e in collector.events if e.query_id is not None]
+    translated = N_QUERIES // 3
+    assert len(per_query) == 6 * (N_QUERIES - translated) + 9 * translated
