@@ -165,6 +165,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.capacity import max_sustainable_rate
 
     collector = TraceCollector() if args.trace is not None else None
+    registry = snapshots = None
+    if args.metrics_snapshots is not None:
+        from repro.metrics import MetricsRegistry, SnapshotWriter
+
+        registry = MetricsRegistry()
+        # simulated seconds: paper runs span minutes of virtual time
+        snapshots = SnapshotWriter(
+            registry, path=args.metrics_snapshots, interval=1.0
+        )
 
     if args.experiment == "table1":
         config = cpu_only_config(threads=args.threads, include_32gb=False)
@@ -187,19 +196,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         report = result.report
         print(f"max sustainable rate: {result.rate:.1f} q/s offered")
-        if collector is not None:
-            # probe-history telemetry: how the bisection reached its answer
-            print(result.explain())
-            # replay the best sustained probe with tracing attached — the
-            # workload stream for (spec, n, rate) is deterministic, so
+        if collector is not None or registry is not None:
+            if collector is not None:
+                # probe-history telemetry: how the bisection reached its answer
+                print(result.explain())
+            # replay the best sustained probe with observability attached —
+            # the workload stream for (spec, n, rate) is deterministic, so
             # this reproduces the reported run exactly
             stream = workload.generate(
                 args.queries, ArrivalProcess("uniform", rate=result.rate)
             )
-            report = HybridSystem(config).run(stream, collector=collector)
+            report = HybridSystem(config).run(
+                stream, collector=collector, metrics=registry, snapshots=snapshots
+            )
     else:
         report = HybridSystem(config).run(
-            workload.generate(args.queries), collector=collector
+            workload.generate(args.queries),
+            collector=collector,
+            metrics=registry,
+            snapshots=snapshots,
         )
     print(report.summary())
     if collector is not None:
@@ -214,6 +229,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"\ntrace: {n_lines} JSONL records -> {args.trace}")
         print(f"trace events: {counts}")
         print(render_dashboard(report, collector, width=64))
+    if registry is not None:
+        from repro.report import render_metrics_dashboard
+        from repro.sim.validate import assert_metrics_valid
+
+        assert_metrics_valid(report, snapshots.snapshots[-1])
+        print(
+            f"\nmetrics: {len(snapshots.snapshots)} snapshots -> "
+            f"{args.metrics_snapshots}"
+        )
+        print(render_metrics_dashboard(snapshots.snapshots, width=64))
     return 0
 
 
@@ -255,6 +280,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.validate import assert_trace_valid, assert_valid
     from repro.text import TranslationService, build_dictionaries
     from repro.units import GB
+
+    # metrics plane first: the scrape endpoint comes up before the world
+    # build, so an operator (or the CI curl loop) can poll it immediately
+    # even while the dataset is still being materialised
+    metrics_enabled = (
+        args.metrics_port is not None
+        or args.metrics_snapshots is not None
+        or args.slo is not None
+    )
+    registry = exporter = slo = snapshots = None
+    if metrics_enabled:
+        from repro.metrics import (
+            MetricsExporter,
+            MetricsRegistry,
+            SloMonitor,
+            SnapshotWriter,
+        )
+
+        registry = MetricsRegistry()
+        snapshots = SnapshotWriter(
+            registry,
+            path=args.metrics_snapshots,
+            interval=max(args.duration / 64.0, 0.05),
+        )
+        if args.slo is not None:
+            slo = SloMonitor(target=args.slo, registry=registry)
+        if args.metrics_port is not None:
+            exporter = MetricsExporter(registry, port=args.metrics_port)
+            exporter.start()
+            print(f"metrics: Prometheus text at {exporter.url}")
 
     # a self-contained materialised world (same shape as the test suite's)
     schema = tpcds_like_schema(scale=0.5)
@@ -303,6 +358,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = ServeEngine(
         config,
         collector=collector,
+        metrics=registry,
+        slo=slo,
+        snapshots=snapshots,
         max_in_flight=args.max_in_flight,
         cpu_threads=args.cpu_threads,
     )
@@ -311,13 +369,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{args.rate:.0f} q/s offered ({args.scheduler} scheduler, "
         f"{args.rows} rows)..."
     )
-    with engine:  # start; drain on exit
-        load = OpenLoopGenerator(engine, shed=True).run(stream)
-    report = engine.report()
+    try:
+        with engine:  # start; drain on exit
+            load = OpenLoopGenerator(engine, shed=True).run(stream)
+        report = engine.report()
 
-    # audit the live run with the simulation invariant checker
-    assert_valid(report, require_drained=True)
-    assert_trace_valid(report, collector)
+        # audit the live run with the simulation invariant checker
+        assert_valid(report, require_drained=True)
+        assert_trace_valid(report, collector)
+        if registry is not None:
+            from repro.sim.validate import assert_metrics_valid
+
+            assert_metrics_valid(report, registry.collect(engine.elapsed))
+    finally:
+        if exporter is not None:
+            exporter.stop()
 
     print(
         f"offered {load.offered} | accepted {load.accepted} | "
@@ -347,6 +413,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"\ntrace: {n_lines} JSONL records -> {args.trace}")
         print(f"trace events: {counts}")
+    if registry is not None:
+        from repro.report import render_metrics_dashboard
+
+        print()
+        print(render_metrics_dashboard(snapshots.snapshots, width=64))
+        if args.metrics_snapshots is not None:
+            print(
+                f"metrics: {len(snapshots.snapshots)} snapshots -> "
+                f"{args.metrics_snapshots}"
+            )
+    if slo is not None:
+        crossings = ", ".join(
+            f"{e.kind}@{e.time:.2f}s" for e in slo.events
+        ) or "none"
+        print(
+            f"SLO: hit rate {slo.hit_rate:.3f} vs target {slo.target:.2f} "
+            f"(burn {slo.burn_rate:.2f}, crossings: {crossings})"
+        )
     return 0
 
 
@@ -395,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL lifecycle trace + partition telemetry "
                         "to PATH and print the observability dashboard "
                         "(for table3: also the capacity probe history)")
+    p.add_argument("--metrics-snapshots", type=Path, default=None, metavar="PATH",
+                   help="attach the live metrics plane, write periodic JSONL "
+                        "registry snapshots to PATH, reconcile them against "
+                        "the report, and print the metrics dashboard")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -422,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission bound; excess arrivals are shed")
     p.add_argument("--trace", type=Path, default=None, metavar="PATH",
                    help="write the JSONL lifecycle trace to PATH")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve Prometheus text at http://127.0.0.1:N/metrics "
+                        "for the duration of the run (0 = any free port)")
+    p.add_argument("--metrics-snapshots", type=Path, default=None, metavar="PATH",
+                   help="write periodic JSONL metrics snapshots to PATH")
+    p.add_argument("--slo", type=float, default=None, metavar="TARGET",
+                   help="monitor the windowed deadline hit rate against "
+                        "TARGET (e.g. 0.9) and report burn + crossings")
     p.set_defaults(func=cmd_serve)
 
     return parser

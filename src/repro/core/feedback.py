@@ -70,6 +70,10 @@ class FeedbackController:
         #: ``observer(queue_name, query_id, measured, estimated, applied,
         #: stats)`` after every completion.  Must only read state.
         self.observer = None
+        #: optional metrics hook with the same signature (see
+        #: :meth:`repro.metrics.instrument.RuntimeMetrics.on_feedback`);
+        #: separate from ``observer`` so traces and metrics coexist.
+        self.metrics_observer = None
 
     def on_completion(
         self,
@@ -104,6 +108,10 @@ class FeedbackController:
             applied = queue.apply_feedback(effective_measured, estimated_time)
         if self.observer is not None:
             self.observer(
+                queue.name, query_id, measured_time, estimated_time, applied, stats
+            )
+        if self.metrics_observer is not None:
+            self.metrics_observer(
                 queue.name, query_id, measured_time, estimated_time, applied, stats
             )
         return applied

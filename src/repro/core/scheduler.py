@@ -189,6 +189,10 @@ class BaseScheduler:
         #: response, now)`` after the submission of steps 5-6.  Must only
         #: read state — scheduling is identical with or without it.
         self.observer = None
+        #: optional metrics hook speaking the same protocol (see
+        #: :class:`repro.metrics.instrument.RuntimeMetrics`); a separate
+        #: slot so tracing and metering can be attached simultaneously.
+        self.metrics_observer = None
 
     # -- response-time estimation (step 3) ---------------------------------
 
@@ -299,6 +303,8 @@ class BaseScheduler:
         est = self.estimator.estimate(query)  # step 2
         if self.observer is not None:
             self.observer.on_estimated(query, est, deadline, now)
+        if self.metrics_observer is not None:
+            self.metrics_observer.on_estimated(query, est, deadline, now)
         response = self.response_times(est, now)  # step 3
         if not response:
             raise SchedulingError(
@@ -309,6 +315,8 @@ class BaseScheduler:
         decision = self._submit(query, target, est, now, deadline, t_r)
         if self.observer is not None:
             self.observer.on_decision(decision, response, now)
+        if self.metrics_observer is not None:
+            self.metrics_observer.on_decision(decision, response, now)
         return decision
 
 

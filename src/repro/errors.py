@@ -27,6 +27,7 @@ __all__ = [
     "InvariantViolation",
     "ServeError",
     "BackpressureError",
+    "MetricsError",
     "WorkloadError",
     "ParseError",
 ]
@@ -147,6 +148,15 @@ class BackpressureError(ServeError):
     in-flight bound is reached, and by blocking submission when the
     bound is still reached after the caller's timeout.  Load generators
     either treat this as shed load or retry.
+    """
+
+
+class MetricsError(ReproError):
+    """The live metrics plane was misused or reached an invalid state.
+
+    Raised by :mod:`repro.metrics` for malformed metric/label names,
+    conflicting family re-registration, histogram bound mismatches, and
+    exporter lifecycle misuse.
     """
 
 

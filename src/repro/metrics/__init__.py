@@ -1,0 +1,61 @@
+"""Live metrics plane: registry, histograms, exposition, SLO monitoring.
+
+Where :mod:`repro.sim.obs` answers "what happened" after a run (the
+trace plane), this package answers "what is happening" while one is in
+flight (the metrics plane): thread-safe counters/gauges/histograms in a
+:class:`MetricsRegistry`, Prometheus text exposition over HTTP, clock-
+driven JSONL snapshots, and windowed deadline-SLO burn monitoring.  See
+:mod:`repro.metrics.instrument` for the family reference and
+``repro.sim.validate.validate_metrics`` for the invariant family that
+reconciles snapshots against the run's :class:`~repro.sim.metrics.
+SystemReport` books.
+"""
+
+from repro.metrics.exporter import CONTENT_TYPE, MetricsExporter, render_prometheus
+from repro.metrics.histogram import (
+    CORRECTION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramSnapshot,
+    LatencyHistogram,
+    log_buckets,
+)
+from repro.metrics.instrument import (
+    PoolInstruments,
+    PoolMetrics,
+    RuntimeMetrics,
+    TranslatorMetrics,
+)
+from repro.metrics.registry import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.metrics.slo import SloEvent, SloMonitor
+from repro.metrics.snapshots import SnapshotWriter
+
+__all__ = [
+    "CONTENT_TYPE",
+    "CORRECTION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "LatencyHistogram",
+    "MetricsExporter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PoolInstruments",
+    "PoolMetrics",
+    "RuntimeMetrics",
+    "SloEvent",
+    "SloMonitor",
+    "SnapshotWriter",
+    "TranslatorMetrics",
+    "log_buckets",
+    "render_prometheus",
+]

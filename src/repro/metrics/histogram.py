@@ -1,0 +1,222 @@
+"""Fixed-bucket latency histograms with mergeable snapshots.
+
+The serving layer needs percentiles that can be read while the run is
+still in flight, merged across workers, and exposed in the Prometheus
+text format.  All three needs point at the same classic design: a fixed
+set of log-spaced upper bounds chosen up front, one integer counter per
+bucket, and quantiles answered as *bucket bounds* rather than
+interpolated values.  A ``quantile_bound(0.95)`` answer is therefore
+exact in the only sense that matters operationally: the true p95 is
+guaranteed to be ≤ the returned bound and > the previous bound.
+
+Buckets use Prometheus ``le`` semantics: a bucket with upper bound ``b``
+counts every observation ``x <= b`` that did not fit an earlier bucket,
+and observations above the largest bound land in an implicit ``+Inf``
+overflow bucket.
+
+``LatencyHistogram`` itself is a plain mutable accumulator and is *not*
+thread-safe; :class:`repro.metrics.registry.MetricsRegistry` serialises
+access when histograms live inside a registry family.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import MetricsError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "CORRECTION_BUCKETS",
+    "log_buckets",
+    "HistogramSnapshot",
+    "LatencyHistogram",
+]
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> tuple[float, ...]:
+    """Log-spaced bucket bounds from ``lo`` to ``hi`` inclusive.
+
+    ``per_decade`` bounds per factor of ten; bounds are rounded to six
+    significant digits so decade edges come out exact (``0.001`` rather
+    than ``0.0010000000000000002``) and render cleanly in the exporter.
+    """
+    if lo <= 0 or hi <= lo:
+        raise MetricsError(f"log_buckets needs 0 < lo < hi, got lo={lo} hi={hi}")
+    if per_decade < 1:
+        raise MetricsError(f"per_decade must be >= 1, got {per_decade}")
+    steps = round(math.log10(hi / lo) * per_decade)
+    if not math.isclose(lo * 10 ** (steps / per_decade), hi, rel_tol=1e-9):
+        raise MetricsError(
+            f"hi/lo ratio must be a whole number of steps at {per_decade}/decade"
+        )
+    return tuple(float(f"{lo * 10 ** (i / per_decade):.6g}") for i in range(steps + 1))
+
+
+#: Default bounds for wall-clock latencies: 100 µs .. 10 s, 4 per decade.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 10.0, per_decade=4)
+
+#: Symmetric bounds for signed feedback corrections (seconds).  The
+#: feedback loop shrinks as well as grows booked times, so the deltas it
+#: applies straddle zero.
+CORRECTION_BUCKETS = tuple(
+    [-b for b in reversed(log_buckets(1e-4, 1.0, per_decade=1))]
+    + [0.0]
+    + list(log_buckets(1e-4, 1.0, per_decade=1))
+)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable point-in-time copy of a histogram.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the final entry is the
+    ``+Inf`` overflow bucket.  Snapshots with identical bounds form a
+    commutative monoid under :meth:`merge` (and :meth:`minus` recovers
+    the histogram of an interval from two cumulative snapshots, which is
+    how the dashboard computes windowed p95 series).
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if self.bounds != other.bounds:
+            raise MetricsError("cannot merge histograms with different bucket bounds")
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+    def minus(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        """The histogram of observations between ``earlier`` and ``self``."""
+        if self.bounds != earlier.bounds:
+            raise MetricsError("cannot subtract histograms with different bucket bounds")
+        counts = tuple(a - b for a, b in zip(self.counts, earlier.counts))
+        if any(c < 0 for c in counts) or self.count < earlier.count:
+            raise MetricsError("subtrahend snapshot is not an earlier state of this one")
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=counts,
+            total=self.total - earlier.total,
+            count=self.count - earlier.count,
+        )
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return tuple(out)
+
+    def quantile_bound(self, q: float) -> float:
+        """Smallest bucket bound whose cumulative count covers quantile ``q``.
+
+        Exact in the ``le`` sense: the true q-quantile is ≤ the returned
+        bound.  Returns NaN for an empty histogram and ``inf`` when the
+        quantile falls in the overflow bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        running = 0
+        for bound, c in zip(self.bounds, self.counts):
+            running += c
+            if running >= rank:
+                return bound
+        return math.inf
+
+    @property
+    def p50(self) -> float:
+        return self.quantile_bound(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile_bound(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile_bound(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "HistogramSnapshot":
+        return cls(
+            bounds=tuple(float(b) for b in data["bounds"]),
+            counts=tuple(int(c) for c in data["counts"]),
+            total=float(data["total"]),
+            count=int(data["count"]),
+        )
+
+    @classmethod
+    def empty(cls, bounds: Sequence[float]) -> "HistogramSnapshot":
+        return cls(tuple(bounds), (0,) * (len(bounds) + 1), 0.0, 0)
+
+
+class LatencyHistogram:
+    """Mutable fixed-bucket histogram accumulator.
+
+    Not thread-safe on its own — callers either own the instance (one
+    per worker, merged later) or go through a
+    :class:`~repro.metrics.registry.MetricsRegistry` family, whose lock
+    serialises :meth:`observe` and :meth:`snapshot`.
+    """
+
+    __slots__ = ("bounds", "_counts", "_total", "_count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise MetricsError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise MetricsError("bucket bounds must be finite (+Inf is implicit)")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise MetricsError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._total = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first bound >= value, i.e. ``le`` semantics;
+        # values above the last bound land in the trailing overflow slot.
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._total += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self._counts),
+            total=self._total,
+            count=self._count,
+        )

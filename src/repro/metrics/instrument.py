@@ -1,0 +1,259 @@
+"""Bind the runtime's None-guarded hooks to a :class:`MetricsRegistry`.
+
+The runtime (engine, pools, scheduler, feedback, translator) exposes
+``None``-guarded observer slots in the style of :mod:`repro.sim.obs`:
+with nothing attached every hook site is a single ``is not None`` check.
+This module provides the objects that fill those slots, each a thin
+adapter that looks up its instrument families once at construction and
+then only does counter/gauge/histogram updates on the hot path.
+
+:class:`RuntimeMetrics` owns the engine-level families and doubles as
+the scheduler's ``metrics_observer`` (it speaks the same
+``on_estimated`` / ``on_decision`` protocol as
+:class:`~repro.sim.obs.TraceCollector`, so tracing and metering can be
+attached simultaneously) and supplies ``on_feedback`` for the
+:class:`~repro.core.feedback.FeedbackController`.  :class:`PoolMetrics`
+fans one set of labelled families out to per-pool bound adapters, and
+:class:`TranslatorMetrics` meters dictionary lookups.
+
+Metric family reference (all prefixed ``repro_``):
+
+====================================  =========  ==================  =============================
+family                                kind       labels              meaning
+====================================  =========  ==================  =============================
+queries_submitted_total               counter    —                   offered to the scheduler
+queries_admitted_total                counter    —                   accepted (got a ticket)
+queries_rejected_total                counter    —                   shed by admission control
+queries_completed_total               counter    target              finished with a record
+queries_failed_total                  counter    stage               errored in translation/service
+in_flight_queries                     gauge      —                   admitted minus finished
+query_latency_seconds                 histogram  target              end-to-end (submit→finish)
+stage_latency_seconds                 histogram  stage               per-stage service time
+scheduler_estimates_total             counter    —                   Figure-10 step-2 estimates
+scheduler_decisions_total             counter    branch              Figure-10 branch taken
+feedback_bias_ratio                   gauge      queue               measured/estimated ratio
+feedback_correction_seconds           histogram  queue               signed applied deltas
+pool_queue_depth                      gauge      pool                tasks waiting
+pool_busy_workers                     gauge      pool                tasks in service
+pool_wait_seconds                     histogram  pool                queue wait per task
+pool_service_seconds                  histogram  pool                service time per task
+pool_tasks_total                      counter    pool, outcome       ok/failed completions
+translation_lookups_total             counter    result              dictionary hits/misses
+translation_seconds                   histogram  —                   wall time per translate()
+====================================  =========  ==================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.metrics.histogram import CORRECTION_BUCKETS
+from repro.metrics.registry import MetricsRegistry
+from repro.sim.obs import classify_branch
+
+if TYPE_CHECKING:
+    from repro.core.feedback import FeedbackStats
+    from repro.core.partitions import PartitionQueue
+    from repro.core.scheduler import QueryEstimates, ScheduleDecision
+    from repro.query.model import Query
+    from repro.sim.metrics import QueryRecord
+
+__all__ = ["RuntimeMetrics", "PoolMetrics", "PoolInstruments", "TranslatorMetrics"]
+
+
+class RuntimeMetrics:
+    """Engine-level instruments plus the scheduler/feedback observer."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.submitted = registry.counter(
+            "repro_queries_submitted_total",
+            "Queries offered to the scheduler (admitted or not).",
+        )
+        self.admitted = registry.counter(
+            "repro_queries_admitted_total", "Queries accepted for execution."
+        )
+        self.rejected = registry.counter(
+            "repro_queries_rejected_total", "Queries shed by admission control."
+        )
+        self.completed = registry.counter(
+            "repro_queries_completed_total",
+            "Queries that finished with a record, by placement target.",
+            labels=("target",),
+        )
+        self.failed = registry.counter(
+            "repro_queries_failed_total",
+            "Queries whose execution raised, by failing stage.",
+            labels=("stage",),
+        )
+        self.in_flight = registry.gauge(
+            "repro_in_flight_queries", "Admitted queries not yet finished."
+        )
+        self.e2e_latency = registry.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end latency (submit to finish), by placement target.",
+            labels=("target",),
+        )
+        self.stage_latency = registry.histogram(
+            "repro_stage_latency_seconds",
+            "Realised service time per pipeline stage.",
+            labels=("stage",),
+        )
+        self.estimates = registry.counter(
+            "repro_scheduler_estimates_total",
+            "Figure-10 step-2 estimate computations.",
+        )
+        self.decisions = registry.counter(
+            "repro_scheduler_decisions_total",
+            "Placement decisions by Figure-10 branch.",
+            labels=("branch",),
+        )
+        self.bias_ratio = registry.gauge(
+            "repro_feedback_bias_ratio",
+            "Running measured/estimated ratio per partition queue "
+            "(1.0 = estimates unbiased).",
+            labels=("queue",),
+        )
+        self.correction = registry.histogram(
+            "repro_feedback_correction_seconds",
+            "Signed booked-time corrections applied by the feedback loop.",
+            labels=("queue",),
+            buckets=CORRECTION_BUCKETS,
+        )
+
+    # -- scheduler metrics_observer protocol (mirrors TraceCollector) ------
+
+    def on_estimated(
+        self, query: "Query", est: "QueryEstimates", deadline: float, now: float
+    ) -> None:
+        self.estimates.inc()
+
+    def on_decision(
+        self,
+        decision: "ScheduleDecision",
+        candidates: Sequence[tuple["PartitionQueue", float]],
+        now: float,
+    ) -> None:
+        branch = classify_branch(candidates, decision.deadline, decision.target)
+        self.decisions.inc(branch=branch)
+
+    # -- feedback metrics_observer (plain callable) ------------------------
+
+    def on_feedback(
+        self,
+        queue_name: str,
+        query_id: int | None,
+        measured: float,
+        estimated: float,
+        applied: float,
+        stats: "FeedbackStats",
+    ) -> None:
+        self.bias_ratio.set(stats.bias_ratio, queue=queue_name)
+        self.correction.observe(applied, queue=queue_name)
+
+    # -- engine lifecycle helpers ------------------------------------------
+
+    def on_submitted(self) -> None:
+        self.submitted.inc()
+
+    def on_rejected(self) -> None:
+        self.rejected.inc()
+
+    def on_admitted(self, in_flight: int) -> None:
+        self.admitted.inc()
+        self.in_flight.set(in_flight)
+
+    def on_stage(self, stage: str, seconds: float) -> None:
+        self.stage_latency.observe(seconds, stage=stage)
+
+    def on_completed(self, record: "QueryRecord", in_flight: int) -> None:
+        self.completed.inc(target=record.target)
+        self.e2e_latency.observe(record.response_time, target=record.target)
+        self.in_flight.set(in_flight)
+
+    def on_failed(self, stage: str, in_flight: int) -> None:
+        self.failed.inc(stage=stage)
+        self.in_flight.set(in_flight)
+
+
+class PoolInstruments:
+    """One pool's view of the shared :class:`PoolMetrics` families.
+
+    Fills the ``WorkerPool.metrics`` slot; every method is called with
+    the engine lock held, so the depth/busy arguments are consistent.
+    """
+
+    __slots__ = ("_families", "_pool")
+
+    def __init__(self, families: "PoolMetrics", pool: str):
+        self._families = families
+        self._pool = pool
+
+    def on_submitted(self, queue_depth: int) -> None:
+        self._families.queue_depth.set(queue_depth, pool=self._pool)
+
+    def on_started(self, waited: float, queue_depth: int, busy: int) -> None:
+        self._families.queue_depth.set(queue_depth, pool=self._pool)
+        self._families.busy_workers.set(busy, pool=self._pool)
+        self._families.wait.observe(waited, pool=self._pool)
+
+    def on_finished(
+        self, service_time: float, failed: bool, queue_depth: int, busy: int
+    ) -> None:
+        self._families.queue_depth.set(queue_depth, pool=self._pool)
+        self._families.busy_workers.set(busy, pool=self._pool)
+        self._families.service.observe(service_time, pool=self._pool)
+        self._families.tasks.inc(pool=self._pool, outcome="failed" if failed else "ok")
+
+
+class PoolMetrics:
+    """Labelled worker-pool families, fanned out per pool via ``for_pool``."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.queue_depth = registry.gauge(
+            "repro_pool_queue_depth", "Tasks waiting in the pool queue.", labels=("pool",)
+        )
+        self.busy_workers = registry.gauge(
+            "repro_pool_busy_workers", "Tasks currently in service.", labels=("pool",)
+        )
+        self.wait = registry.histogram(
+            "repro_pool_wait_seconds", "Queue wait per task.", labels=("pool",)
+        )
+        self.service = registry.histogram(
+            "repro_pool_service_seconds", "Service time per task.", labels=("pool",)
+        )
+        self.tasks = registry.counter(
+            "repro_pool_tasks_total",
+            "Tasks completed by the pool, by outcome.",
+            labels=("pool", "outcome"),
+        )
+
+    def for_pool(self, name: str) -> PoolInstruments:
+        return PoolInstruments(self, name)
+
+
+class TranslatorMetrics:
+    """Dictionary lookup counters and translate-call latency.
+
+    Fills the ``TranslationService.metrics`` slot (duck-typed there so
+    the text layer keeps no import on this package).
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.lookups = registry.counter(
+            "repro_translation_lookups_total",
+            "Dictionary literal lookups, by result.",
+            labels=("result",),
+        )
+        self.latency = registry.histogram(
+            "repro_translation_seconds", "Wall time per translate() call."
+        )
+
+    def on_translated(self, lookups: int, seconds: float) -> None:
+        if lookups:
+            self.lookups.inc(lookups, result="hit")
+        self.latency.observe(seconds)
+
+    def on_miss(self, seconds: float) -> None:
+        self.lookups.inc(result="miss")
+        self.latency.observe(seconds)

@@ -1,0 +1,335 @@
+"""Thread-safe metrics registry: counters, gauges, labelled families.
+
+One :class:`MetricsRegistry` holds every instrument for a run.  All
+mutation and collection goes through a single registry :class:`RLock`,
+so a scrape (``collect``) observes a consistent cut without ever taking
+the serving engine's lock — the exporter thread and the worker threads
+only ever contend on this one small lock, for the duration of a dict
+update (the "scrape-safe under the engine lock discipline" requirement).
+
+Families are identified by a Prometheus-compatible name and a fixed
+tuple of label names; samples within a family are keyed by the tuple of
+label *values*.  Registration is idempotent: asking for an existing name
+with the same kind and labels returns the existing family, while a
+conflicting re-registration raises :class:`~repro.errors.MetricsError`.
+This lets independent subsystems (engine, pools, translator, SLO
+monitor) wire themselves to one registry without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import MetricsError
+from repro.metrics.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramSnapshot,
+    LatencyHistogram,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "FamilySnapshot",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class _Instrument:
+    """Shared plumbing for one labelled metric family."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+    ):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._samples: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def label_sets(self) -> tuple[tuple[str, ...], ...]:
+        with self._registry._lock:
+            return tuple(sorted(self._samples))
+
+    def _signature(self) -> tuple:
+        return (type(self), self.label_names)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, queries, lookups)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricsError(f"{self.name}: counters cannot decrease ({amount})")
+        key = self._key(labels)
+        with self._registry._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._registry._lock:
+            return self._samples.get(key, 0.0)
+
+
+class Gauge(_Instrument):
+    """Instantaneous value that can go both ways (depth, in-flight)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._registry._lock:
+            return self._samples.get(key, 0.0)
+
+
+class Histogram(_Instrument):
+    """Family of fixed-bucket latency histograms, one per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(registry, name, help, label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            hist = self._samples.get(key)
+            if hist is None:
+                hist = self._samples[key] = LatencyHistogram(self.buckets)
+            hist.observe(value)
+
+    def snapshot(self, **labels: Any) -> HistogramSnapshot:
+        key = self._key(labels)
+        with self._registry._lock:
+            hist = self._samples.get(key)
+            if hist is None:
+                return HistogramSnapshot.empty(self.buckets)
+            return hist.snapshot()
+
+    def _signature(self) -> tuple:
+        return (type(self), self.label_names, self.buckets)
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """Immutable copy of one family: name, kind, and all its samples."""
+
+    name: str
+    kind: str
+    help: str
+    label_names: tuple[str, ...]
+    samples: Mapping[tuple[str, ...], float | HistogramSnapshot]
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def value(self, **labels: Any) -> float:
+        sample = self.samples.get(self._key(labels))
+        if sample is None:
+            return 0.0
+        if isinstance(sample, HistogramSnapshot):
+            raise MetricsError(f"{self.name} is a histogram; use .histogram()")
+        return sample
+
+    def histogram(self, **labels: Any) -> HistogramSnapshot | None:
+        sample = self.samples.get(self._key(labels))
+        if sample is not None and not isinstance(sample, HistogramSnapshot):
+            raise MetricsError(f"{self.name} is not a histogram family")
+        return sample
+
+    def total(self) -> float:
+        """Sum of all scalar samples (counters/gauges) across label sets."""
+        return sum(
+            v for v in self.samples.values() if not isinstance(v, HistogramSnapshot)
+        )
+
+    def items(self) -> list[tuple[tuple[str, ...], float | HistogramSnapshot]]:
+        return sorted(self.samples.items())
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "samples": [
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "value": val.to_json() if isinstance(val, HistogramSnapshot) else val,
+                }
+                for key, val in self.items()
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A consistent cut of every family in a registry at one instant."""
+
+    time: float
+    families: tuple[FamilySnapshot, ...]
+
+    def family(self, name: str) -> FamilySnapshot | None:
+        for fam in self.families:
+            if fam.name == name:
+                return fam
+        return None
+
+    def value(self, name: str, **labels: Any) -> float:
+        fam = self.family(name)
+        if fam is None:
+            raise MetricsError(f"no metric family named {name!r} in snapshot")
+        return fam.value(**labels)
+
+    def histogram(self, name: str, **labels: Any) -> HistogramSnapshot | None:
+        fam = self.family(name)
+        if fam is None:
+            raise MetricsError(f"no metric family named {name!r} in snapshot")
+        return fam.histogram(**labels)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "families": [fam.to_json() for fam in self.families],
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+
+class MetricsRegistry:
+    """Thread-safe home for every instrument of one run.
+
+    The registry lock is deliberately the *only* lock in this module and
+    is never held while calling out to user code, so instrumented hot
+    paths pay one uncontended lock acquisition plus a dict update per
+    event, and a concurrent scrape can never deadlock the engine.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labels, buckets=tuple(buckets))
+
+    def _register(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Sequence[str],
+        **extra: Any,
+    ) -> Any:
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        labels = tuple(labels)
+        for label in labels:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricsError(f"invalid label name {label!r} for {name}")
+        candidate = cls(self, name, help, labels, **extra)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing._signature() != candidate._signature():
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names} and cannot be "
+                        f"re-registered as {candidate.kind}{labels}"
+                    )
+                return existing
+            self._families[name] = candidate
+            return candidate
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def collect(self, now: float = 0.0) -> MetricsSnapshot:
+        """Snapshot every family under the registry lock (one consistent cut)."""
+        with self._lock:
+            families = []
+            for name in sorted(self._families):
+                fam = self._families[name]
+                samples = {
+                    key: (
+                        val.snapshot() if isinstance(val, LatencyHistogram) else val
+                    )
+                    for key, val in fam._samples.items()
+                }
+                families.append(
+                    FamilySnapshot(
+                        name=fam.name,
+                        kind=fam.kind,
+                        help=fam.help,
+                        label_names=fam.label_names,
+                        samples=samples,
+                    )
+                )
+        return MetricsSnapshot(time=now, families=tuple(families))

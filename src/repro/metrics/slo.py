@@ -1,0 +1,167 @@
+"""Windowed deadline-SLO monitoring with threshold-crossing events.
+
+The paper's time constraint ``T_C`` (Section IV) is a *per-query*
+deadline; an operator watching a live system cares about the *rate* at
+which those deadlines are met over a recent window.  :class:`SloMonitor`
+keeps a sliding window of (finish time, met?) observations, computes the
+windowed hit rate and its **burn rate** — the fraction of the error
+budget being consumed, ``(1 - hit_rate) / (1 - target)`` — and emits a
+:class:`SloEvent` whenever the hit rate crosses the target in either
+direction (``breach`` going under, ``recover`` coming back).
+
+A burn rate of 1.0 means the service is exactly consuming its budget;
+above 1.0 the SLO will be missed if the window is representative.  With
+``target=1.0`` there is no error budget, so any miss burns infinitely.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import MetricsError
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["SloEvent", "SloMonitor"]
+
+
+@dataclass(frozen=True)
+class SloEvent:
+    """One threshold crossing: the hit rate moved across the target."""
+
+    kind: str  # "breach" | "recover"
+    time: float
+    hit_rate: float
+    burn_rate: float
+    window_count: int
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "hit_rate": self.hit_rate,
+            "burn_rate": self.burn_rate,
+            "window_count": self.window_count,
+        }
+
+
+class SloMonitor:
+    """Track windowed deadline-hit-rate burn against a target.
+
+    ``observe(met, now)`` is called once per completed query (the serve
+    engine does this under its own lock; the monitor's internal lock
+    makes standalone use safe too).  When a ``registry`` is given the
+    monitor publishes ``repro_slo_target``, ``repro_slo_hit_rate`` and
+    ``repro_slo_burn_rate`` gauges plus a ``repro_slo_events_total``
+    counter labelled by crossing kind, so the scrape endpoint carries
+    the SLO state alongside the raw latency histograms.
+    """
+
+    def __init__(
+        self,
+        target: float = 0.9,
+        window: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+        on_event: Optional[Callable[[SloEvent], None]] = None,
+    ):
+        if not 0.0 < target <= 1.0:
+            raise MetricsError(f"SLO target must be in (0, 1], got {target}")
+        if window <= 0:
+            raise MetricsError(f"SLO window must be positive, got {window}")
+        self.target = float(target)
+        self.window = float(window)
+        self.on_event = on_event
+        self.events: list[SloEvent] = []
+        self._lock = threading.Lock()
+        self._observations: deque[tuple[float, bool]] = deque()
+        self._hits = 0
+        self._breached = False
+        self._hit_gauge = self._burn_gauge = self._event_counter = None
+        if registry is not None:
+            registry.gauge(
+                "repro_slo_target", "Deadline hit-rate target for the SLO monitor."
+            ).set(self.target)
+            self._hit_gauge = registry.gauge(
+                "repro_slo_hit_rate", "Windowed deadline hit rate."
+            )
+            self._burn_gauge = registry.gauge(
+                "repro_slo_burn_rate",
+                "Fraction of the SLO error budget being consumed "
+                "((1 - hit_rate) / (1 - target)).",
+            )
+            self._event_counter = registry.counter(
+                "repro_slo_events_total",
+                "SLO threshold crossings observed.",
+                labels=("kind",),
+            )
+            self._hit_gauge.set(1.0)
+            self._burn_gauge.set(0.0)
+
+    def observe(self, met: bool, now: float) -> Optional[SloEvent]:
+        """Record one query outcome; return a crossing event if one fired."""
+        with self._lock:
+            self._observations.append((now, bool(met)))
+            if met:
+                self._hits += 1
+            self._prune(now)
+            hit_rate = self._hit_rate_locked()
+            burn = self._burn_locked(hit_rate)
+            event = None
+            if not self._breached and hit_rate < self.target:
+                self._breached = True
+                event = SloEvent("breach", now, hit_rate, burn, len(self._observations))
+            elif self._breached and hit_rate >= self.target:
+                self._breached = False
+                event = SloEvent("recover", now, hit_rate, burn, len(self._observations))
+            if event is not None:
+                self.events.append(event)
+        if self._hit_gauge is not None:
+            self._hit_gauge.set(hit_rate)
+            self._burn_gauge.set(burn)
+        if event is not None:
+            if self._event_counter is not None:
+                self._event_counter.inc(kind=event.kind)
+            if self.on_event is not None:
+                self.on_event(event)
+        return event
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._observations and self._observations[0][0] < cutoff:
+            _, was_met = self._observations.popleft()
+            if was_met:
+                self._hits -= 1
+
+    def _hit_rate_locked(self) -> float:
+        n = len(self._observations)
+        return self._hits / n if n else 1.0
+
+    def _burn_locked(self, hit_rate: float) -> float:
+        budget = 1.0 - self.target
+        missing = 1.0 - hit_rate
+        if budget <= 0.0:
+            return 0.0 if missing <= 0.0 else math.inf
+        return missing / budget
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            return self._hit_rate_locked()
+
+    @property
+    def burn_rate(self) -> float:
+        with self._lock:
+            return self._burn_locked(self._hit_rate_locked())
+
+    @property
+    def breached(self) -> bool:
+        with self._lock:
+            return self._breached
+
+    @property
+    def window_count(self) -> int:
+        with self._lock:
+            return len(self._observations)

@@ -1,0 +1,81 @@
+"""Periodic JSONL metric snapshots driven by the run's own clock.
+
+A wall-clock timer thread would be wrong here twice over: under
+:class:`~repro.serve.clock.FakeClock` a sleeping thread *advances* the
+clock (sleeps are how tests fast-forward time), and in simulated time
+there is no wall clock at all.  So snapshots are **tick-driven**: the
+engine calls :meth:`SnapshotWriter.tick` with the current clock reading
+at every state transition it already observes (arrivals, completions,
+samples), and the writer emits a snapshot whenever a full interval has
+elapsed since the previous one.  Under ``FakeClock`` the cadence is a
+pure function of the event times, which is what makes the snapshot
+tests deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Union
+
+from repro.errors import MetricsError
+from repro.metrics.registry import MetricsRegistry, MetricsSnapshot
+
+__all__ = ["SnapshotWriter"]
+
+
+class SnapshotWriter:
+    """Collect registry snapshots on an interval grid, optionally to JSONL.
+
+    Snapshots land in the in-memory :attr:`snapshots` list (for the live
+    dashboard and end-of-run validation) and, when ``path`` is given,
+    are appended to a JSONL file one ``MetricsSnapshot.to_json()`` object
+    per line.  The grid is anchored at the first tick: with
+    ``interval=1.0`` and a first tick at ``t=0.2``, snapshots fall due at
+    0.2, 1.2, 2.2, ...  A tick that jumps several intervals writes a
+    single snapshot (the current state), not one per missed slot.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: Union[str, Path, None] = None,
+        interval: float = 1.0,
+    ):
+        if interval <= 0:
+            raise MetricsError(f"snapshot interval must be positive, got {interval}")
+        self._registry = registry
+        self.path = Path(path) if path is not None else None
+        self.interval = float(interval)
+        self.snapshots: list[MetricsSnapshot] = []
+        self._lock = threading.Lock()
+        self._next_due: float | None = None
+        if self.path is not None:
+            # truncate up front so a rerun does not append to stale data
+            self.path.write_text("")
+
+    def tick(self, now: float) -> MetricsSnapshot | None:
+        """Record a snapshot if an interval has elapsed; else do nothing."""
+        with self._lock:
+            if self._next_due is None:
+                self._next_due = now
+            if now < self._next_due:
+                return None
+            while self._next_due <= now:
+                self._next_due += self.interval
+            return self._write_locked(now)
+
+    def write(self, now: float) -> MetricsSnapshot:
+        """Force a snapshot regardless of the grid (e.g. the final drain)."""
+        with self._lock:
+            if self._next_due is None or self._next_due <= now:
+                self._next_due = now + self.interval
+            return self._write_locked(now)
+
+    def _write_locked(self, now: float) -> MetricsSnapshot:
+        snapshot = self._registry.collect(now)
+        self.snapshots.append(snapshot)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(snapshot.to_json_line() + "\n")
+        return snapshot

@@ -19,10 +19,16 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from repro.errors import ReproError
 
 if TYPE_CHECKING:
+    from repro.metrics.registry import MetricsSnapshot
     from repro.sim.metrics import SystemReport
     from repro.sim.obs import TraceCollector
 
-__all__ = ["ascii_plot", "sparkline", "render_dashboard"]
+__all__ = [
+    "ascii_plot",
+    "sparkline",
+    "render_dashboard",
+    "render_metrics_dashboard",
+]
 
 _MARKERS = "o+x*#@%&"
 
@@ -169,7 +175,10 @@ def _resample_step(
 
 
 def render_dashboard(
-    report: "SystemReport", collector: "TraceCollector", width: int = 64
+    report: "SystemReport",
+    collector: "TraceCollector",
+    width: int = 64,
+    metrics: "Sequence[MetricsSnapshot] | None" = None,
 ) -> str:
     """Partition Gantt + booked/realised sparklines for one traced run.
 
@@ -180,6 +189,11 @@ def render_dashboard(
     the realised queue depth (waiting + in service) in jobs.  Reading
     the two against each other shows exactly where the books and the
     physical system diverge.
+
+    ``metrics`` (a sequence of :class:`~repro.metrics.registry.
+    MetricsSnapshot`, e.g. ``SnapshotWriter.snapshots``) appends the
+    live-metrics view of :func:`render_metrics_dashboard`, so simulated
+    and served runs share one dashboard path.
     """
     from repro.sim.trace import render_gantt
 
@@ -225,5 +239,126 @@ def render_dashboard(
     lines.append(
         f"{'':>{label_width}} (booked backlog from the scheduler's T_Q books; "
         "realised jobs = waiting + in service)"
+    )
+    if metrics:
+        lines += ["", render_metrics_dashboard(metrics, width=width)]
+    return "\n".join(lines)
+
+
+# -- live metrics view (repro.metrics snapshots) -------------------------
+
+
+def _rate_points(
+    snapshots: "Sequence[MetricsSnapshot]", family: str, key: tuple[str, ...]
+) -> list[tuple[float, float]]:
+    """Per-interval rate of one cumulative counter sample."""
+    points: list[tuple[float, float]] = []
+    prev_t: float | None = None
+    prev_v = 0.0
+    for snap in snapshots:
+        fam = snap.family(family)
+        value = float(fam.samples.get(key, 0.0)) if fam is not None else 0.0
+        if prev_t is not None and snap.time > prev_t:
+            points.append((snap.time, (value - prev_v) / (snap.time - prev_t)))
+        prev_t, prev_v = snap.time, value
+    return points
+
+
+def _p95_points(
+    snapshots: "Sequence[MetricsSnapshot]", family: str, key: tuple[str, ...]
+) -> list[tuple[float, float]]:
+    """Windowed p95 between consecutive cumulative histogram snapshots."""
+    points: list[tuple[float, float]] = []
+    prev = None
+    for snap in snapshots:
+        fam = snap.family(family)
+        hist = fam.samples.get(key) if fam is not None else None
+        if hist is None:
+            continue
+        window = hist if prev is None else hist.minus(prev)
+        if window.count > 0:
+            p95 = window.quantile_bound(0.95)
+            if math.isfinite(p95):
+                points.append((snap.time, p95))
+        prev = hist
+    return points
+
+
+def render_metrics_dashboard(
+    snapshots: "Sequence[MetricsSnapshot]", width: int = 64
+) -> str:
+    """Live view of a run's metrics snapshots (sim and serve alike).
+
+    For each placement target: the per-interval completion rate (q/s)
+    and the windowed p95 end-to-end latency, as sparklines over the
+    run, with the latest cumulative totals alongside.  When the
+    registry carries :class:`~repro.metrics.slo.SloMonitor` gauges, an
+    SLO row shows the burn-rate history and the latest windowed hit
+    rate against the target.  Input is any non-empty sequence of
+    :class:`~repro.metrics.registry.MetricsSnapshot` in time order —
+    typically ``SnapshotWriter.snapshots`` or JSONL re-reads.
+    """
+    if not snapshots:
+        raise ReproError(
+            "render_metrics_dashboard needs at least one metrics snapshot; "
+            "attach a SnapshotWriter to the run"
+        )
+    latest = snapshots[-1]
+    horizon = latest.time
+    if horizon <= 0:
+        raise ReproError("nothing to render: zero metrics horizon")
+
+    completed = latest.family("repro_queries_completed_total")
+    targets = [key[0] for key, _ in completed.items()] if completed is not None else []
+    lines = [
+        f"live metrics @ t={horizon:.3g}s "
+        f"({len(snapshots)} snapshot{'s' if len(snapshots) != 1 else ''})"
+    ]
+    label_width = max((len(t) for t in targets), default=8)
+    for target in targets:
+        key = (target,)
+        total = completed.samples.get(key, 0.0)
+        rate = _resample_step(
+            _rate_points(snapshots, "repro_queries_completed_total", key),
+            horizon,
+            width,
+        )
+        lines.append(
+            f"{target:>{label_width}} completions q/s   "
+            f"|{sparkline(rate)}| peak {max(rate):.3g}  total {total:g}"
+        )
+        latency = latest.family("repro_query_latency_seconds")
+        hist = latency.samples.get(key) if latency is not None else None
+        if hist is not None and hist.count > 0:
+            p95 = _resample_step(
+                _p95_points(snapshots, "repro_query_latency_seconds", key),
+                horizon,
+                width,
+            )
+            lines.append(
+                f"{'':>{label_width}} p95 latency (s)   "
+                f"|{sparkline(p95)}| run p95 {hist.quantile_bound(0.95):.3g}"
+            )
+    burn_fam = latest.family("repro_slo_burn_rate")
+    if burn_fam is not None:
+        burn = _resample_step(
+            [
+                # clamp: target=1.0 burns infinitely on any miss
+                (s.time, min(float(f.samples.get((), 0.0)), 1e9))
+                for s in snapshots
+                if (f := s.family("repro_slo_burn_rate")) is not None
+            ],
+            horizon,
+            width,
+        )
+        hit = latest.value("repro_slo_hit_rate")
+        target_v = latest.value("repro_slo_target")
+        lines.append(
+            f"{'SLO':>{label_width}} budget burn       "
+            f"|{sparkline(burn)}| hit rate {hit:.3f} vs target {target_v:g}"
+        )
+    lines.append(
+        f"{'':>{label_width}} (rates per snapshot interval; p95 from "
+        "windowed histogram deltas)"
     )
     return "\n".join(lines)

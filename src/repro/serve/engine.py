@@ -50,6 +50,10 @@ from repro.core.feedback import FeedbackController
 from repro.core.partitions import PartitionQueue, QueueKind
 from repro.core.scheduler import BaseScheduler, ScheduleDecision
 from repro.errors import AdmissionRejected, BackpressureError, ServeError
+from repro.metrics.instrument import PoolMetrics, RuntimeMetrics, TranslatorMetrics
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.slo import SloMonitor
+from repro.metrics.snapshots import SnapshotWriter
 from repro.query.model import Query
 from repro.serve.clock import Clock, RealClock
 from repro.serve.executors import MaterialisedExecutor, QueryExecutor
@@ -125,6 +129,27 @@ class ServeEngine:
     collector:
         Optional :class:`~repro.sim.obs.TraceCollector`; attached via
         :meth:`~repro.sim.obs.TraceCollector.attach_serve`.
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`.  When
+        given, the engine wires :class:`~repro.metrics.instrument.
+        RuntimeMetrics` into the scheduler/feedback ``metrics_observer``
+        slots, per-pool :class:`~repro.metrics.instrument.
+        PoolInstruments` into every :class:`WorkerPool`, and
+        :class:`~repro.metrics.instrument.TranslatorMetrics` into the
+        config's :class:`~repro.text.translator.TranslationService`
+        (replacing any hook a previous engine installed on that shared
+        service).  With ``metrics=None`` every hook site is a single
+        ``is not None`` check — the no-op-cheap discipline of
+        :mod:`repro.sim.obs`.
+    slo:
+        Optional :class:`~repro.metrics.slo.SloMonitor`; fed one
+        observation per finished query (``met_deadline`` at the realised
+        finish time, failures counting as misses).
+    snapshots:
+        Optional :class:`~repro.metrics.snapshots.SnapshotWriter`;
+        ticked at every lifecycle transition the engine already observes
+        and force-written once at the end of :meth:`drain`, so snapshot
+        cadence is a pure function of event times under ``FakeClock``.
     max_in_flight:
         Bound on accepted-but-unfinished queries (None = unbounded).
         The front door of the backpressure chain.
@@ -138,6 +163,9 @@ class ServeEngine:
         executor: QueryExecutor | None = None,
         estimator=None,
         collector: TraceCollector | None = None,
+        metrics: MetricsRegistry | None = None,
+        slo: SloMonitor | None = None,
+        snapshots: SnapshotWriter | None = None,
         max_in_flight: int | None = 1024,
         cpu_threads: int = 4,
     ):
@@ -199,6 +227,20 @@ class ServeEngine:
                 stations=self.pools,
                 trans_name=self.trans_queue.name,
             )
+
+        self.metrics = metrics
+        self._metrics: RuntimeMetrics | None = None
+        self._slo = slo
+        self._snapshots = snapshots
+        if metrics is not None:
+            self._metrics = RuntimeMetrics(metrics)
+            self.scheduler.metrics_observer = self._metrics
+            self.feedback.metrics_observer = self._metrics.on_feedback
+            pool_families = PoolMetrics(metrics)
+            for name, pool in self.pools.items():
+                pool.metrics = pool_families.for_pool(name)
+            if config.translation_service is not None:
+                config.translation_service.metrics = TranslatorMetrics(metrics)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -277,15 +319,21 @@ class ServeEngine:
                 query_class=query_class,
                 needs_translation=query.needs_translation,
             )
+            if self._metrics is not None:
+                self._metrics.on_submitted()
             try:
                 decision = self.scheduler.schedule(query, now)
             except AdmissionRejected as exc:
                 self.rejected += 1
+                if self._metrics is not None:
+                    self._metrics.on_rejected()
                 self._emit("rejected", now, query.query_id, reason=str(exc))
                 self._sample(now)
                 return SubmitOutcome(accepted=False)
             ticket = Ticket()
             self._in_flight += 1
+            if self._metrics is not None:
+                self._metrics.on_admitted(self._in_flight)
             if decision.translation is not None:
                 self.pools[self.trans_queue.name].submit(
                     self._translation_task(decision, query_class, ticket)
@@ -330,9 +378,15 @@ class ServeEngine:
                 est_trans,
                 query_id=query.query_id,
             )
+            if self._metrics is not None:
+                self._metrics.on_stage("translation", task.service_time)
             if task.error is not None:
                 self.errors.append((query.query_id, task.error))
                 self._finish(ticket, None, task.error)
+                if self._metrics is not None:
+                    self._metrics.on_failed("translation", self._in_flight)
+                if self._slo is not None:
+                    self._slo.observe(False, task.finished)
             else:
                 # realised pipeline handoff: the processing task arrives
                 # at its partition at translation finish, exactly the
@@ -402,6 +456,18 @@ class ServeEngine:
             if task.error is not None:
                 self.errors.append((query.query_id, task.error))
             self._finish(ticket, record, task.error)
+            if self._metrics is not None:
+                self._metrics.on_stage("service", task.service_time)
+                if task.error is not None:
+                    self._metrics.on_failed("service", self._in_flight)
+                # failed-in-service queries still carry a record, so they
+                # count as completed too; validate_metrics reconciles
+                # admitted == completed + failed{translation} + in-flight
+                self._metrics.on_completed(record, self._in_flight)
+            if self._slo is not None:
+                self._slo.observe(
+                    task.error is None and record.met_deadline, task.finished
+                )
             self._sample(task.finished)
 
         return ServeTask(
@@ -430,6 +496,8 @@ class ServeEngine:
     def _sample(self, when) -> None:
         if self._collector is not None:
             self._collector.sample(when)
+        if self._snapshots is not None:
+            self._snapshots.tick(when)
 
     # -- drain / stop ------------------------------------------------------------
 
@@ -456,6 +524,10 @@ class ServeEngine:
                         f"flight after {timeout}s"
                     )
                 self._state.cond.wait(timeout=remaining)
+            # final forced snapshot: the drained registry state is what
+            # validate_metrics reconciles against the report books
+            if self._snapshots is not None:
+                self._snapshots.write(self._state.now())
         self.stop()
         if self.errors:
             qid, first = self.errors[0]

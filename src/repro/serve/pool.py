@@ -146,6 +146,9 @@ class WorkerPool:
         self.capacity = capacity
         self.max_queue = max_queue
         self._state = state
+        #: optional :class:`repro.metrics.instrument.PoolInstruments`;
+        #: None-guarded like every observability hook (zero cost unattached)
+        self.metrics = None
         self._tasks: deque[ServeTask] = deque()
         self._in_service = 0
         self._stats = _PoolStats()
@@ -262,6 +265,8 @@ class WorkerPool:
             task.arrived = self._state.now()
             self._tasks.append(task)
             self._stats.submitted += 1
+            if self.metrics is not None:
+                self.metrics.on_submitted(len(self._tasks))
             self._state.cond.notify_all()
         return task
 
@@ -279,6 +284,10 @@ class WorkerPool:
                 task = self._tasks.popleft()
                 task.started = self._state.now()
                 self._in_service += 1
+                if self.metrics is not None:
+                    self.metrics.on_started(
+                        task.waited, len(self._tasks), self._in_service
+                    )
                 if task.on_start is not None:
                     task.on_start(task)
             try:
@@ -296,6 +305,13 @@ class WorkerPool:
                 self._stats.history.append(
                     (task.query_id, task.started, task.finished)
                 )
+                if self.metrics is not None:
+                    self.metrics.on_finished(
+                        task.service_time,
+                        task.error is not None,
+                        len(self._tasks),
+                        self._in_service,
+                    )
                 try:
                     task.on_done(task)
                 finally:

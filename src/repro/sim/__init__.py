@@ -21,7 +21,8 @@ while every scheduling decision is taken by the real
   (:class:`TraceCollector`), zero-impact when unattached;
 - :mod:`repro.sim.validate` — invariant checker auditing each run's
   realised schedule against the scheduler's :math:`T_Q` books, plus
-  the trace cross-check (:func:`validate_trace`).
+  the trace cross-check (:func:`validate_trace`) and the live-metrics
+  reconciliation (:func:`validate_metrics`).
 """
 
 from repro.sim.engine import SimulationEngine
@@ -32,9 +33,12 @@ from repro.sim.system import HybridSystem, SystemConfig
 from repro.sim.validate import (
     ValidationResult,
     Violation,
+    assert_metrics_valid,
     assert_trace_valid,
     assert_valid,
+    seed_metrics_violation,
     seed_violation,
+    validate_metrics,
     validate_report,
     validate_trace,
 )
@@ -52,9 +56,12 @@ __all__ = [
     "TraceEvent",
     "ValidationResult",
     "Violation",
+    "assert_metrics_valid",
     "assert_trace_valid",
     "assert_valid",
+    "seed_metrics_violation",
     "seed_violation",
+    "validate_metrics",
     "validate_report",
     "validate_trace",
 ]

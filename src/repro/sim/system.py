@@ -245,12 +245,23 @@ class HybridSystem:
         stream: QueryStream,
         max_events: int | None = None,
         collector: TraceCollector | None = None,
+        metrics=None,
+        snapshots=None,
     ) -> SystemReport:
         """Simulate one query stream; returns the aggregated report.
 
         ``collector`` attaches a :class:`~repro.sim.obs.TraceCollector`
         to the run's observation hooks.  Tracing is read-only: the
         returned report is identical with or without a collector.
+
+        ``metrics`` attaches a :class:`~repro.metrics.registry.
+        MetricsRegistry`: the same families the serving engine exports
+        get fed from simulated-time events, so one dashboard/validation
+        path covers both planes.  ``snapshots`` (a :class:`~repro.
+        metrics.snapshots.SnapshotWriter` over the same registry) is
+        ticked at every arrival and completion — simulated time stands
+        in for the clock, making snapshot cadence fully deterministic.
+        Both are read-only like the collector.
         """
         cfg = self.config
         engine = SimulationEngine()
@@ -288,6 +299,15 @@ class HybridSystem:
                 trans_name=trans_q.name,
             )
 
+        run_metrics = None
+        if metrics is not None:
+            from repro.metrics.instrument import RuntimeMetrics
+
+            run_metrics = RuntimeMetrics(metrics)
+            scheduler.metrics_observer = run_metrics
+            feedback.metrics_observer = run_metrics.on_feedback
+        in_flight = [0]
+
         records: list[QueryRecord] = []
 
         def complete_processing(
@@ -308,20 +328,25 @@ class HybridSystem:
                     else:
                         assert decision.target.n_sm is not None
                         answer = self._answer_gpu(decision.query, decision.target.n_sm)
-                records.append(
-                    QueryRecord(
-                        query_id=decision.query.query_id,
-                        query_class=query_class,
-                        target=decision.target.name,
-                        submit_time=decision.processing.submit_time,
-                        finish_time=finish,
-                        deadline=decision.deadline,
-                        estimated_time=decision.processing.estimated_time,
-                        measured_time=realised,
-                        translated=decision.translation is not None,
-                        answer=answer,
-                    )
+                record = QueryRecord(
+                    query_id=decision.query.query_id,
+                    query_class=query_class,
+                    target=decision.target.name,
+                    submit_time=decision.processing.submit_time,
+                    finish_time=finish,
+                    deadline=decision.deadline,
+                    estimated_time=decision.processing.estimated_time,
+                    measured_time=realised,
+                    translated=decision.translation is not None,
+                    answer=answer,
                 )
+                records.append(record)
+                if run_metrics is not None:
+                    in_flight[0] -= 1
+                    run_metrics.on_stage("service", realised)
+                    run_metrics.on_completed(record, in_flight[0])
+                if snapshots is not None:
+                    snapshots.tick(finish)
 
             return _on_complete
 
@@ -363,15 +388,24 @@ class HybridSystem:
                         query_class=query_class,
                         needs_translation=query.needs_translation,
                     )
+                if run_metrics is not None:
+                    run_metrics.on_submitted()
+                if snapshots is not None:
+                    snapshots.tick(engine.now)
                 try:
                     decision = scheduler.schedule(query, engine.now)
                 except AdmissionRejected as exc:
                     rejected[0] += 1
+                    if run_metrics is not None:
+                        run_metrics.on_rejected()
                     if collector is not None:
                         collector.emit(
                             "rejected", engine.now, query.query_id, reason=str(exc)
                         )
                     return
+                if run_metrics is not None:
+                    in_flight[0] += 1
+                    run_metrics.on_admitted(in_flight[0])
                 if decision.translation is not None:
                     est_trans = decision.translation.estimated_time
                     realised_trans = est_trans * self._noise(rng)
@@ -383,6 +417,8 @@ class HybridSystem:
                             est_trans,
                             query_id=query.query_id,
                         )
+                        if run_metrics is not None:
+                            run_metrics.on_stage("translation", realised_trans)
                         submit_processing(decision, query_class)
 
                     servers[trans_q.name].submit(
@@ -401,6 +437,9 @@ class HybridSystem:
             engine.schedule_at(timed.time, on_arrival(timed.query, timed.query_class))
 
         engine.run(max_events=max_events)
+
+        if snapshots is not None:
+            snapshots.write(engine.now)
 
         horizon = engine.now
         utilisations = {

@@ -41,12 +41,20 @@ service -> feedback), every ``decision`` event must match a
 :class:`~repro.core.partitions.Submission` on its target queue (and
 vice versa), and the rejected-event count must equal the report's.
 
-:func:`seed_violation` deliberately corrupts a report so tests can
-prove the checker fails loudly, not vacuously.
+A sixth family, ``metrics``, reconciles a live :class:`~repro.metrics.
+registry.MetricsSnapshot` against the report books
+(:func:`validate_metrics`): at drain, the exported counters, gauges and
+latency histograms must agree *exactly* with what the run recorded —
+the observability plane is itself under invariant test.
+
+:func:`seed_violation` (and :func:`seed_metrics_violation` for
+snapshots) deliberately corrupts a report so tests can prove the
+checkers fail loudly, not vacuously.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
@@ -54,6 +62,7 @@ from repro.errors import InvariantViolation
 from repro.sim.metrics import SystemReport
 
 if TYPE_CHECKING:
+    from repro.metrics.registry import MetricsSnapshot
     from repro.sim.obs import TraceCollector
 
 __all__ = [
@@ -61,10 +70,14 @@ __all__ = [
     "ValidationResult",
     "validate_report",
     "validate_trace",
+    "validate_metrics",
     "assert_valid",
     "assert_trace_valid",
+    "assert_metrics_valid",
     "seed_violation",
+    "seed_metrics_violation",
     "SEEDABLE_VIOLATIONS",
+    "SEEDABLE_METRICS_VIOLATIONS",
 ]
 
 #: timeline entry: (query_id, start, finish)
@@ -598,6 +611,253 @@ def assert_trace_valid(
     if not result.ok:
         raise InvariantViolation(result.summary())
     return report
+
+
+#: metric families validate_metrics requires in every instrumented run
+_CORE_FAMILIES = (
+    "repro_queries_submitted_total",
+    "repro_queries_admitted_total",
+    "repro_queries_rejected_total",
+    "repro_queries_completed_total",
+    "repro_queries_failed_total",
+    "repro_in_flight_queries",
+    "repro_query_latency_seconds",
+    "repro_scheduler_decisions_total",
+)
+
+
+def validate_metrics(
+    report: SystemReport,
+    snapshot: "MetricsSnapshot",
+    *,
+    tolerance: float = 1e-6,
+) -> ValidationResult:
+    """Reconcile a metrics snapshot against the report books exactly.
+
+    The ``metrics`` invariant family: at the end of a run (a finished
+    simulation, or a served engine after ``drain()``), the live
+    registry's exported state must agree with the
+    :class:`~repro.sim.metrics.SystemReport` it was recorded alongside:
+
+    * every core family exists in the snapshot;
+    * ``rejected_total`` equals the report's rejected count, and
+      ``submitted_total == admitted_total + rejected_total``;
+    * ``completed_total`` matches the report's per-target completion
+      counts label-for-label, both directions;
+    * the in-flight ledger balances:
+      ``admitted == completed + failed{stage=translation} + in_flight``
+      (a query that fails *in service* still produces a record, so it
+      counts as completed *and* as ``failed{stage=service}``);
+    * on a drained run (no outstanding jobs anywhere), the in-flight
+      gauge reads zero;
+    * the end-to-end latency histogram carries exactly one observation
+      per completed record, per target, and its ``_sum`` equals the
+      summed response times within ``tolerance``;
+    * Figure-10 decision counters sum to the admitted count;
+    * when pool instruments are attached (serving runs),
+      ``pool_tasks_total`` per pool equals that pool's timeline length;
+    * every exported feedback bias-ratio gauge equals the corresponding
+      :class:`~repro.core.feedback.FeedbackStats` ratio.
+    """
+    violations: list[Violation] = []
+
+    def bad(queue: str, message: str) -> None:
+        violations.append(Violation("metrics", queue, message))
+
+    missing = [name for name in _CORE_FAMILIES if snapshot.family(name) is None]
+    for name in missing:
+        bad(name, "core metric family missing from snapshot")
+    if missing:
+        return ValidationResult(tuple(violations), checked=("metrics",))
+
+    submitted = snapshot.value("repro_queries_submitted_total")
+    admitted = snapshot.value("repro_queries_admitted_total")
+    rejected = snapshot.value("repro_queries_rejected_total")
+    completed_fam = snapshot.family("repro_queries_completed_total")
+    failed_fam = snapshot.family("repro_queries_failed_total")
+    in_flight = snapshot.value("repro_in_flight_queries")
+
+    if rejected != report.rejected:
+        bad(
+            "repro_queries_rejected_total",
+            f"counter reads {rejected} but the report counts "
+            f"{report.rejected} rejections",
+        )
+    if submitted != admitted + rejected:
+        bad(
+            "repro_queries_submitted_total",
+            f"{submitted} submitted != {admitted} admitted + "
+            f"{rejected} rejected",
+        )
+
+    by_target = report.by_target()
+    for (target,), count in completed_fam.items():
+        if by_target.get(target, 0) != count:
+            bad(
+                "repro_queries_completed_total",
+                f"counter says {count:g} completions on {target} but the "
+                f"report records {by_target.get(target, 0)}",
+            )
+    for target, count in sorted(by_target.items()):
+        if completed_fam.value(target=target) != count:
+            bad(
+                "repro_queries_completed_total",
+                f"report records {count} completions on {target} but the "
+                f"counter reads {completed_fam.value(target=target):g}",
+            )
+
+    completed_total = completed_fam.total()
+    failed_translation = failed_fam.value(stage="translation")
+    if admitted != completed_total + failed_translation + in_flight:
+        bad(
+            "repro_in_flight_queries",
+            f"ledger does not balance: {admitted} admitted != "
+            f"{completed_total} completed + {failed_translation} "
+            f"failed-in-translation + {in_flight} in flight",
+        )
+    if all(n == 0 for n in report.outstanding.values()) and in_flight != 0:
+        bad(
+            "repro_in_flight_queries",
+            f"drained run (no outstanding jobs) but the gauge reads "
+            f"{in_flight}",
+        )
+
+    latency_fam = snapshot.family("repro_query_latency_seconds")
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for record in report.records:
+        sums[record.target] = sums.get(record.target, 0.0) + record.response_time
+        counts[record.target] = counts.get(record.target, 0) + 1
+    seen_targets = {key[0] for key, _ in latency_fam.items()}
+    for target in sorted(set(counts) | seen_targets):
+        hist = latency_fam.histogram(target=target)
+        n = hist.count if hist is not None else 0
+        total = hist.total if hist is not None else 0.0
+        if n != counts.get(target, 0):
+            bad(
+                "repro_query_latency_seconds",
+                f"{n} observations on {target} but the report has "
+                f"{counts.get(target, 0)} records",
+            )
+        elif abs(total - sums.get(target, 0.0)) > tolerance * max(1, n):
+            bad(
+                "repro_query_latency_seconds",
+                f"histogram sum {total} on {target} != summed response "
+                f"times {sums.get(target, 0.0)}",
+            )
+
+    decisions = snapshot.family("repro_scheduler_decisions_total").total()
+    if decisions != admitted:
+        bad(
+            "repro_scheduler_decisions_total",
+            f"{decisions:g} Figure-10 decisions != {admitted:g} admitted",
+        )
+
+    pool_fam = snapshot.family("repro_pool_tasks_total")
+    if pool_fam is not None:
+        pool_counts: dict[str, float] = {}
+        for (pool, _outcome), count in pool_fam.items():
+            pool_counts[pool] = pool_counts.get(pool, 0.0) + count
+        for pool, count in sorted(pool_counts.items()):
+            served = len(report.timelines.get(pool, ()))
+            if count != served:
+                bad(
+                    "repro_pool_tasks_total",
+                    f"{count:g} tasks counted on {pool} but its timeline "
+                    f"has {served} entries",
+                )
+
+    bias_fam = snapshot.family("repro_feedback_bias_ratio")
+    if bias_fam is not None:
+        for (queue,), gauge in bias_fam.items():
+            stats = report.feedback_stats.get(queue)
+            expected = stats.bias_ratio if stats is not None else None
+            if expected is None or not math.isclose(
+                gauge, expected, rel_tol=1e-9, abs_tol=tolerance
+            ):
+                bad(
+                    "repro_feedback_bias_ratio",
+                    f"gauge reads {gauge} for {queue} but the feedback "
+                    f"stats give {expected}",
+                )
+
+    return ValidationResult(tuple(violations), checked=("metrics",))
+
+
+def assert_metrics_valid(
+    report: SystemReport, snapshot: "MetricsSnapshot", **kwargs
+) -> SystemReport:
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad snapshot."""
+    result = validate_metrics(report, snapshot, **kwargs)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return report
+
+
+#: corruption modes understood by :func:`seed_metrics_violation`
+SEEDABLE_METRICS_VIOLATIONS = ("completed", "latency", "in-flight", "missing-family")
+
+
+def seed_metrics_violation(snapshot: "MetricsSnapshot", kind: str) -> "MetricsSnapshot":
+    """Return a copy of ``snapshot`` with one reconciliation broken.
+
+    The metrics-plane analogue of :func:`seed_violation`: tests corrupt
+    a healthy snapshot and prove :func:`validate_metrics` fails loudly.
+    ``kind`` is one of :data:`SEEDABLE_METRICS_VIOLATIONS`.
+    """
+
+    def swap_family(name: str, new_samples: dict) -> "MetricsSnapshot":
+        return replace(
+            snapshot,
+            families=tuple(
+                replace(fam, samples=new_samples) if fam.name == name else fam
+                for fam in snapshot.families
+            ),
+        )
+
+    if kind == "missing-family":
+        return replace(
+            snapshot,
+            families=tuple(
+                fam
+                for fam in snapshot.families
+                if fam.name != "repro_queries_submitted_total"
+            ),
+        )
+
+    if kind == "completed":
+        fam = snapshot.family("repro_queries_completed_total")
+        if fam is None or not fam.samples:
+            raise InvariantViolation(
+                "cannot seed a completed-counter violation: no completions"
+            )
+        key = next(iter(sorted(fam.samples)))
+        return swap_family(fam.name, {**fam.samples, key: fam.samples[key] + 1})
+
+    if kind == "latency":
+        fam = snapshot.family("repro_query_latency_seconds")
+        if fam is None or not fam.samples:
+            raise InvariantViolation(
+                "cannot seed a latency violation: no latency observations"
+            )
+        key = next(iter(sorted(fam.samples)))
+        hist = fam.samples[key]
+        return swap_family(
+            fam.name, {**fam.samples, key: replace(hist, total=hist.total + 1000.0)}
+        )
+
+    if kind == "in-flight":
+        fam = snapshot.family("repro_in_flight_queries")
+        if fam is None:
+            raise InvariantViolation(
+                "cannot seed an in-flight violation: gauge family missing"
+            )
+        return swap_family(fam.name, {**fam.samples, (): 1.0 + fam.value()})
+
+    raise InvariantViolation(
+        f"unknown violation kind {kind!r}; expected one of "
+        f"{SEEDABLE_METRICS_VIOLATIONS}"
+    )
 
 
 #: corruption modes understood by :func:`seed_violation`

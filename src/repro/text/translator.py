@@ -16,6 +16,7 @@ parameter filters (eq. 16-17).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -91,6 +92,13 @@ class TranslationService:
         self._hierarchies = dict(hierarchies)
         self._cost_model: DictCostFn = cost_model or _paper_p_dict
         self._scanner: AhoCorasick | None = None
+        #: optional metrics hook, duck-typed so the text layer keeps no
+        #: import on :mod:`repro.metrics` (see :class:`repro.metrics.
+        #: instrument.TranslatorMetrics`): ``on_translated(lookups,
+        #: seconds)`` per successful call, ``on_miss(seconds)`` per
+        #: unknown-token rejection.  None-guarded: translation is
+        #: timing-free when nothing is attached.
+        self.metrics = None
 
     # -- introspection -------------------------------------------------------
 
@@ -152,6 +160,20 @@ class TranslationService:
         paper's system would reject it at preprocessing time rather than
         waste a GPU partition on it.
         """
+        if self.metrics is None:
+            return self._translate(query)
+        start = time.perf_counter()
+        try:
+            result = self._translate(query)
+        except UnknownTokenError:
+            self.metrics.on_miss(time.perf_counter() - start)
+            raise
+        self.metrics.on_translated(
+            result.parameters_translated, time.perf_counter() - start
+        )
+        return result
+
+    def _translate(self, query: Query) -> TranslationResult:
         decomposition = decompose(query, self._hierarchies)
         estimated = self.estimate_time_decomposed(decomposition)
         if not decomposition.needs_translation:

@@ -155,9 +155,11 @@ def audit_simulated_runs(monkeypatch):
 
     original = HybridSystem.run
 
-    def audited(self, stream, max_events=None, collector=None):
+    def audited(self, stream, max_events=None, collector=None, **kwargs):
         return assert_valid(
-            original(self, stream, max_events=max_events, collector=collector)
+            original(
+                self, stream, max_events=max_events, collector=collector, **kwargs
+            )
         )
 
     monkeypatch.setattr(HybridSystem, "run", audited)

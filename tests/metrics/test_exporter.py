@@ -1,0 +1,101 @@
+"""Prometheus text rendering (golden) and the HTTP scrape endpoint."""
+
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.metrics import (
+    CONTENT_TYPE,
+    MetricsExporter,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+pytestmark = pytest.mark.wallclock  # the HTTP tests hit a real socket
+
+
+def _example_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_queries_total", "Queries handled.", labels=("target",)
+    ).inc(3, target="Q_CPU")
+    reg.gauge("repro_in_flight", "In-flight queries.").set(2)
+    hist = reg.histogram("repro_latency_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return reg
+
+
+GOLDEN = """\
+# HELP repro_in_flight In-flight queries.
+# TYPE repro_in_flight gauge
+repro_in_flight 2
+# HELP repro_latency_seconds Latency.
+# TYPE repro_latency_seconds histogram
+repro_latency_seconds_bucket{le="0.1"} 1
+repro_latency_seconds_bucket{le="1"} 2
+repro_latency_seconds_bucket{le="+Inf"} 3
+repro_latency_seconds_sum 5.55
+repro_latency_seconds_count 3
+# HELP repro_queries_total Queries handled.
+# TYPE repro_queries_total counter
+repro_queries_total{target="Q_CPU"} 3
+"""
+
+
+class TestRendering:
+    def test_golden_exposition(self):
+        assert render_prometheus(_example_registry().collect()) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().collect()) == ""
+
+    def test_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_test_total", "multi\nline \\ help", labels=("name",)
+        ).inc(name='quo"te\\')
+        text = render_prometheus(reg.collect())
+        assert '# HELP repro_test_total multi\\nline \\\\ help' in text
+        assert 'repro_test_total{name="quo\\"te\\\\"} 1' in text
+
+    def test_special_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_inf").set(math.inf)
+        reg.gauge("repro_nan").set(math.nan)
+        text = render_prometheus(reg.collect())
+        assert "repro_inf +Inf" in text
+        assert "repro_nan NaN" in text
+
+
+class TestHttpEndpoint:
+    def test_scrape_round_trip(self):
+        with MetricsExporter(_example_registry(), port=0) as exporter:
+            with urllib.request.urlopen(exporter.url, timeout=10.0) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+        assert body == GOLDEN
+
+    def test_root_path_serves_metrics_too(self):
+        with MetricsExporter(_example_registry(), port=0) as exporter:
+            url = f"http://{exporter.host}:{exporter.port}/"
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                assert "repro_queries_total" in resp.read().decode("utf-8")
+
+    def test_unknown_path_is_404(self):
+        with MetricsExporter(_example_registry(), port=0) as exporter:
+            url = f"http://{exporter.host}:{exporter.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=10.0)
+            assert excinfo.value.code == 404
+
+    def test_scrape_observes_live_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_live_total")
+        with MetricsExporter(reg, port=0) as exporter:
+            counter.inc(7)
+            with urllib.request.urlopen(exporter.url, timeout=10.0) as resp:
+                assert "repro_live_total 7" in resp.read().decode("utf-8")

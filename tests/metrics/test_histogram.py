@@ -1,0 +1,137 @@
+"""Bucket boundaries, quantile exactness, and snapshot algebra."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import (
+    CORRECTION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramSnapshot,
+    LatencyHistogram,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_decade_edges_are_exact(self):
+        assert log_buckets(0.001, 1.0, per_decade=1) == (0.001, 0.01, 0.1, 1.0)
+
+    def test_per_decade_subdivision(self):
+        bounds = log_buckets(0.1, 10.0, per_decade=2)
+        assert len(bounds) == 5
+        assert bounds[0] == 0.1 and bounds[-1] == 10.0
+        # strictly increasing, log-spaced
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(math.isclose(r, ratios[0], rel_tol=1e-3) for r in ratios)
+
+    def test_default_buckets_span_100us_to_10s(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-4
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert len(DEFAULT_LATENCY_BUCKETS) == 21
+
+    def test_invalid_ranges_raise(self):
+        with pytest.raises(MetricsError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(MetricsError):
+            log_buckets(1.0, 1.0)
+        with pytest.raises(MetricsError):
+            log_buckets(0.001, 1.0, per_decade=0)
+        with pytest.raises(MetricsError):
+            # 3.5 decades is not a whole number of steps at 1/decade
+            log_buckets(0.001, 3.16, per_decade=1)
+
+    def test_correction_buckets_signed_and_increasing(self):
+        assert 0.0 in CORRECTION_BUCKETS
+        assert CORRECTION_BUCKETS[0] == -1.0 and CORRECTION_BUCKETS[-1] == 1.0
+        assert all(
+            a < b for a, b in zip(CORRECTION_BUCKETS, CORRECTION_BUCKETS[1:])
+        )
+
+
+class TestBucketing:
+    def test_le_boundary_lands_in_its_bucket(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        hist.observe(0.001)  # exactly on a bound: le-inclusive
+        hist.observe(0.0011)  # just above: next bucket
+        snap = hist.snapshot()
+        assert snap.counts == (1, 1, 0, 0)
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01))
+        hist.observe(5.0)
+        snap = hist.snapshot()
+        assert snap.counts == (0, 0, 1)
+        assert snap.quantile_bound(0.5) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(MetricsError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(MetricsError):
+            LatencyHistogram(bounds=(0.1, 0.1))
+        with pytest.raises(MetricsError):
+            LatencyHistogram(bounds=(0.1, math.inf))
+
+
+class TestQuantiles:
+    def test_quantile_is_smallest_covering_bound(self):
+        hist = LatencyHistogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in [0.5] * 50 + [1.5] * 45 + [3.0] * 5:
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap.count == 100
+        assert snap.p50 == 1.0  # rank 50 falls in the first bucket
+        assert snap.p95 == 2.0  # rank 95 = 50 + 45
+        assert snap.p99 == 4.0
+        assert snap.quantile_bound(1.0) == 4.0
+
+    def test_empty_histogram_is_nan(self):
+        snap = HistogramSnapshot.empty((1.0, 2.0))
+        assert math.isnan(snap.p95)
+        assert math.isnan(snap.mean)
+
+    def test_quantile_domain(self):
+        snap = HistogramSnapshot.empty((1.0,))
+        with pytest.raises(MetricsError):
+            snap.quantile_bound(1.5)
+
+    def test_mean(self):
+        hist = LatencyHistogram(bounds=(10.0,))
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.snapshot().mean == pytest.approx(3.0)
+
+
+class TestSnapshotAlgebra:
+    def _snap(self, *values):
+        hist = LatencyHistogram(bounds=(1.0, 2.0))
+        for v in values:
+            hist.observe(v)
+        return hist.snapshot()
+
+    def test_merge_adds_counts(self):
+        merged = self._snap(0.5, 1.5).merge(self._snap(1.5, 3.0))
+        assert merged.counts == (1, 2, 1)
+        assert merged.count == 4
+        assert merged.total == pytest.approx(6.5)
+
+    def test_merge_requires_same_bounds(self):
+        other = LatencyHistogram(bounds=(1.0, 4.0)).snapshot()
+        with pytest.raises(MetricsError):
+            self._snap(0.5).merge(other)
+
+    def test_minus_recovers_interval(self):
+        earlier = self._snap(0.5)
+        later = earlier.merge(self._snap(1.5, 1.5))
+        window = later.minus(earlier)
+        assert window.counts == (0, 2, 0)
+        assert window.count == 2
+
+    def test_minus_rejects_non_earlier_state(self):
+        with pytest.raises(MetricsError):
+            self._snap(0.5).minus(self._snap(1.5))
+
+    def test_json_round_trip(self):
+        snap = self._snap(0.5, 1.5, 9.0)
+        assert HistogramSnapshot.from_json(snap.to_json()) == snap

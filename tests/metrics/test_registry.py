@@ -1,0 +1,159 @@
+"""Registry semantics: labels, registration, isolation, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsRegistry
+
+THREADS = 8
+PER_THREAD = 500
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_negative_increment_raises(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(MetricsError):
+            c.inc(-1.0)
+
+    def test_labelled_family(self):
+        c = MetricsRegistry().counter("repro_test_total", labels=("target",))
+        c.inc(target="Q_CPU")
+        c.inc(3, target="Q_G1")
+        assert c.value(target="Q_CPU") == 1.0
+        assert c.value(target="Q_G1") == 3.0
+        assert c.value(target="Q_G2") == 0.0  # never incremented
+        assert c.label_sets() == (("Q_CPU",), ("Q_G1",))
+
+    def test_wrong_label_set_raises(self):
+        c = MetricsRegistry().counter("repro_test_total", labels=("target",))
+        with pytest.raises(MetricsError):
+            c.inc()  # missing label
+        with pytest.raises(MetricsError):
+            c.inc(target="x", extra="y")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_test_gauge")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec()
+        assert g.value() == pytest.approx(6.0)
+
+
+class TestRegistration:
+    def test_idempotent_same_signature(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_test_total", labels=("x",))
+        b = reg.counter("repro_test_total", labels=("x",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total")
+        with pytest.raises(MetricsError):
+            reg.gauge("repro_test_total")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total", labels=("x",))
+        with pytest.raises(MetricsError):
+            reg.counter("repro_test_total", labels=("y",))
+
+    def test_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_test_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            reg.histogram("repro_test_seconds", buckets=(1.0, 4.0))
+
+    def test_invalid_names_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("0bad")
+        with pytest.raises(MetricsError):
+            reg.counter("bad name")
+        with pytest.raises(MetricsError):
+            reg.counter("repro_ok_total", labels=("0bad",))
+        with pytest.raises(MetricsError):
+            reg.counter("repro_ok_total", labels=("__reserved",))
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total")
+        assert "repro_test_total" in reg
+        assert "repro_other_total" not in reg
+        assert reg.get("repro_test_total").kind == "counter"
+
+
+class TestCollect:
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        snap = reg.collect(now=1.5)
+        assert snap.time == 1.5
+        assert [f.name for f in snap.families] == ["repro_a_total", "repro_b_total"]
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        h = reg.histogram("repro_test_seconds", buckets=(1.0,))
+        c.inc()
+        h.observe(0.5)
+        snap = reg.collect()
+        c.inc(10)
+        h.observe(0.5)
+        assert snap.value("repro_test_total") == 1.0
+        assert snap.histogram("repro_test_seconds").count == 1
+
+    def test_histogram_accessors_guarded(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total").inc()
+        reg.histogram("repro_test_seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.collect()
+        with pytest.raises(MetricsError):
+            snap.value("repro_test_seconds")
+        with pytest.raises(MetricsError):
+            snap.family("repro_test_total").histogram()
+        with pytest.raises(MetricsError):
+            snap.value("repro_no_such_family")
+
+
+class TestConcurrency:
+    def test_barrier_aligned_increments_are_exact(self):
+        """THREADS×PER_THREAD racing inc() calls must not lose a count."""
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_race_total", labels=("worker",))
+        hist = reg.histogram("repro_race_seconds", buckets=(1.0, 2.0))
+        barrier = threading.Barrier(THREADS)
+        errors: list[BaseException] = []
+
+        def worker(index: int):
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(PER_THREAD):
+                    counter.inc(worker=str(index % 2))  # contend on two keys
+                    hist.observe(0.5)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        snap = reg.collect()
+        assert snap.family("repro_race_total").total() == THREADS * PER_THREAD
+        assert snap.histogram("repro_race_seconds").count == THREADS * PER_THREAD

@@ -1,0 +1,66 @@
+"""Tick-driven snapshot cadence (deterministic under injected clocks)."""
+
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsRegistry, SnapshotWriter
+
+
+class TestCadence:
+    def test_grid_anchored_at_first_tick(self):
+        writer = SnapshotWriter(MetricsRegistry(), interval=1.0)
+        assert writer.tick(0.0) is not None  # first tick writes and anchors
+        assert writer.tick(0.4) is None  # within the interval
+        assert writer.tick(0.999) is None
+        assert writer.tick(1.0) is not None  # interval elapsed
+        assert [s.time for s in writer.snapshots] == [0.0, 1.0]
+
+    def test_multi_interval_jump_writes_once(self):
+        writer = SnapshotWriter(MetricsRegistry(), interval=1.0)
+        writer.tick(0.0)
+        assert writer.tick(3.7) is not None  # skips 1.0 and 2.0 slots
+        assert [s.time for s in writer.snapshots] == [0.0, 3.7]
+        assert writer.tick(3.9) is None  # next slot is 4.0
+        assert writer.tick(4.0) is not None
+
+    def test_non_zero_anchor(self):
+        writer = SnapshotWriter(MetricsRegistry(), interval=1.0)
+        writer.tick(0.2)
+        assert writer.tick(1.1) is None
+        assert writer.tick(1.2) is not None
+
+    def test_write_forces_off_grid(self):
+        writer = SnapshotWriter(MetricsRegistry(), interval=10.0)
+        writer.tick(0.0)
+        snap = writer.write(0.5)  # final-drain style forced snapshot
+        assert snap.time == 0.5
+        assert len(writer.snapshots) == 2
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(MetricsError):
+            SnapshotWriter(MetricsRegistry(), interval=0.0)
+
+
+class TestJsonl:
+    def test_snapshots_append_as_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_test_total")
+        writer = SnapshotWriter(reg, path=path, interval=1.0)
+        writer.tick(0.0)
+        counter.inc(5)
+        writer.tick(1.0)
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["time"] == 0.0
+        assert lines[1]["families"][0]["samples"][0]["value"] == 5.0
+
+    def test_reinit_truncates_stale_data(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("stale\n")
+        SnapshotWriter(MetricsRegistry(), path=path, interval=1.0)
+        assert path.read_text() == ""

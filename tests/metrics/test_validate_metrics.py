@@ -1,0 +1,72 @@
+"""The sixth invariant family: metrics snapshots reconcile with the books."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.metrics import MetricsRegistry, SnapshotWriter
+from repro.paper import TABLE3_TEXT_PROB, paper_system_config, paper_workload
+from repro.query.workload import ArrivalProcess
+from repro.sim import (
+    HybridSystem,
+    assert_metrics_valid,
+    seed_metrics_violation,
+    seed_violation,
+    validate_metrics,
+)
+from repro.sim.validate import SEEDABLE_METRICS_VIOLATIONS
+
+
+@pytest.fixture(scope="module")
+def metered_run():
+    """One Table-3-preset simulation with the metrics plane attached."""
+    config = paper_system_config(threads=8, include_32gb=True)
+    workload = paper_workload(include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=7)
+    stream = workload.generate(200, ArrivalProcess("uniform", rate=150.0))
+    registry = MetricsRegistry()
+    snapshots = SnapshotWriter(registry, interval=0.1)
+    report = HybridSystem(config).run(
+        stream, metrics=registry, snapshots=snapshots
+    )
+    return report, snapshots.snapshots[-1]
+
+
+class TestHealthyRuns:
+    def test_sim_run_reconciles(self, metered_run):
+        report, snapshot = metered_run
+        result = validate_metrics(report, snapshot)
+        assert result.ok, result.summary()
+        assert_metrics_valid(report, snapshot)  # does not raise
+
+    def test_counts_present(self, metered_run):
+        _, snapshot = metered_run
+        assert snapshot.value("repro_queries_submitted_total") == 200.0
+        fam = snapshot.family("repro_scheduler_decisions_total")
+        assert fam.total() == 200.0
+
+
+class TestSeededViolations:
+    def test_report_corruption_is_caught(self, metered_run):
+        """Dropping a record from the books must break the reconciliation."""
+        report, snapshot = metered_run
+        broken = seed_violation(report, "conservation")
+        result = validate_metrics(broken, snapshot)
+        assert not result.ok
+
+    @pytest.mark.parametrize("kind", SEEDABLE_METRICS_VIOLATIONS)
+    def test_snapshot_corruption_is_caught(self, metered_run, kind):
+        report, snapshot = metered_run
+        broken = seed_metrics_violation(snapshot, kind)
+        result = validate_metrics(report, broken)
+        assert not result.ok, f"seeded {kind!r} violation went undetected"
+        with pytest.raises(InvariantViolation):
+            assert_metrics_valid(report, broken)
+
+    def test_unknown_kind_raises(self, metered_run):
+        _, snapshot = metered_run
+        with pytest.raises(InvariantViolation, match="unknown"):
+            seed_metrics_violation(snapshot, "no-such-kind")
+
+    def test_original_snapshot_unmodified(self, metered_run):
+        report, snapshot = metered_run
+        seed_metrics_violation(snapshot, "completed")
+        assert validate_metrics(report, snapshot).ok

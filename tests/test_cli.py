@@ -160,3 +160,62 @@ class TestSimulateTrace:
         assert "probes; best sustained offered rate" in out
         assert "probe  1:" in out
         assert trace.exists()
+
+class TestSimulateMetrics:
+    def test_metrics_snapshots_flag_writes_jsonl_and_dashboard(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "metrics.jsonl"
+        rc = main(
+            ["simulate", "table2", "--queries", "120",
+             "--metrics-snapshots", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "live metrics @" in out  # the metrics dashboard rendered
+        assert "completions q/s" in out
+        snapshots = [json.loads(line) for line in path.read_text().splitlines()]
+        assert snapshots, "no snapshots written"
+        names = {f["name"] for f in snapshots[-1]["families"]}
+        assert "repro_queries_submitted_total" in names
+        assert "repro_query_latency_seconds" in names
+
+    def test_metrics_compose_with_trace(self, tmp_path, capsys):
+        rc = main(
+            ["simulate", "table1", "--queries", "80",
+             "--trace", str(tmp_path / "run.jsonl"),
+             "--metrics-snapshots", str(tmp_path / "metrics.jsonl")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "booked T_Q backlog" in out  # trace dashboard
+        assert "live metrics @" in out  # metrics dashboard
+
+
+@pytest.mark.wallclock
+class TestServeMetricsCLI:
+    def test_serve_with_full_metrics_plane(self, tmp_path, capsys):
+        import json
+        import urllib.error
+        import urllib.request
+
+        path = tmp_path / "metrics.jsonl"
+        # port 0: the OS picks a free port; the URL is printed early
+        rc = main(
+            ["serve", "--duration", "0.5", "--rate", "30", "--rows", "2000",
+             "--metrics-port", "0", "--metrics-snapshots", str(path),
+             "--slo", "0.9"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "metrics: Prometheus text at http://127.0.0.1:" in out
+        assert "SLO: hit rate" in out
+        assert "live metrics @" in out
+        snapshots = [json.loads(line) for line in path.read_text().splitlines()]
+        assert snapshots
+        # the endpoint is down once the run is over
+        url = out.split("Prometheus text at ", 1)[1].splitlines()[0]
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=2.0)
