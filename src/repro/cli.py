@@ -488,6 +488,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="serve a live workload in wall-clock time (repro.serve)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "flag summary:\n"
+            "  --duration SECONDS        target serving window (default 5.0)\n"
+            "  --rate Q_PER_S            offered Poisson arrival rate (default 50)\n"
+            "  --scheduler NAME          hybrid | gpu-only | fastest-first | admission\n"
+            "  --rows N                  fact-table rows for the in-process database\n"
+            "  --seed N                  workload / dataset seed (default 2012)\n"
+            "  --time-constraint T_C     per-query deadline in seconds (default 0.5)\n"
+            "  --cpu-threads N           ParallelAggregator threads (default 4)\n"
+            "  --translation-workers N   text-translation pool size (default 1)\n"
+            "  --max-in-flight N         admission bound; excess is shed (default 256)\n"
+            "  --trace PATH              JSONL lifecycle trace (repro.sim.obs)\n"
+            "  --metrics-port N          live Prometheus text endpoint (0 = any port)\n"
+            "  --metrics-snapshots PATH  periodic JSONL registry snapshots\n"
+            "  --slo TARGET              windowed deadline-SLO burn monitor\n"
+            "\n"
+            "The last three attach the live metrics plane (tutorial section 8);\n"
+            "the final snapshot is reconciled against the run report by\n"
+            "repro.sim.validate.validate_metrics."
+        ),
     )
     p.add_argument("--duration", type=float, default=5.0,
                    help="target serving window in seconds")

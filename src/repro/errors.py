@@ -14,6 +14,7 @@ __all__ = [
     "ResolutionError",
     "CubeError",
     "CubeNotAvailableError",
+    "RollupError",
     "SchemaError",
     "DictionaryError",
     "UnknownTokenError",
@@ -59,6 +60,15 @@ class CubeNotAvailableError(CubeError):
     The scheduling algorithm treats this as "the query must be answered by
     the GPU" (Section III-C of the paper: *"If the resolution R is too high
     and cube is not precalculated, the query must be answered by GPU"*).
+    """
+
+
+class RollupError(CubeError):
+    """The materialized-rollup cache tier was misused.
+
+    Raised by :mod:`repro.olap.rollup` for malformed cuboid specs,
+    unknown dimensions or measures, executing a query no installed
+    cuboid covers, and catalog-coherence misuse (shrinking row counts).
     """
 
 

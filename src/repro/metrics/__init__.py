@@ -22,6 +22,7 @@ from repro.metrics.histogram import (
 from repro.metrics.instrument import (
     PoolInstruments,
     PoolMetrics,
+    RollupMetrics,
     RuntimeMetrics,
     TranslatorMetrics,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "MetricsSnapshot",
     "PoolInstruments",
     "PoolMetrics",
+    "RollupMetrics",
     "RuntimeMetrics",
     "SloEvent",
     "SloMonitor",

@@ -40,6 +40,10 @@ pool_service_seconds                  histogram  pool                service tim
 pool_tasks_total                      counter    pool, outcome       ok/failed completions
 translation_lookups_total             counter    result              dictionary hits/misses
 translation_seconds                   histogram  —                   wall time per translate()
+rollup_hits_total                     counter    —                   answered from the rollup cache
+rollup_misses_total                   counter    —                   fell through to the scheduler
+rollup_materializations_total         counter    —                   cuboids installed in the catalog
+rollup_hit_latency_seconds            histogram  —                   wall time to answer a cache hit
 ====================================  =========  ==================  =============================
 """
 
@@ -58,7 +62,13 @@ if TYPE_CHECKING:
     from repro.query.model import Query
     from repro.sim.metrics import QueryRecord
 
-__all__ = ["RuntimeMetrics", "PoolMetrics", "PoolInstruments", "TranslatorMetrics"]
+__all__ = [
+    "RuntimeMetrics",
+    "PoolMetrics",
+    "PoolInstruments",
+    "TranslatorMetrics",
+    "RollupMetrics",
+]
 
 
 class RuntimeMetrics:
@@ -230,6 +240,45 @@ class PoolMetrics:
 
     def for_pool(self, name: str) -> PoolInstruments:
         return PoolInstruments(self, name)
+
+
+class RollupMetrics:
+    """Rollup-cache tier counters and hit latency.
+
+    Fills the ``RollupRouter.metrics`` slot (duck-typed there so
+    :mod:`repro.olap.rollup` keeps no import on this package).  The hit
+    latency is *real* wall time for the cuboid projection — it is
+    independent of any injected engine clock, since the whole point of
+    the tier is the physical microseconds a hit costs.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.hits = registry.counter(
+            "repro_rollup_hits_total",
+            "Queries answered from the materialized rollup cache.",
+        )
+        self.misses = registry.counter(
+            "repro_rollup_misses_total",
+            "Queries that missed the cache and went to the scheduler.",
+        )
+        self.materializations = registry.counter(
+            "repro_rollup_materializations_total",
+            "Cuboids materialized into the rollup catalog.",
+        )
+        self.hit_latency = registry.histogram(
+            "repro_rollup_hit_latency_seconds",
+            "Wall time to answer a query from a materialized cuboid.",
+        )
+
+    def on_hit(self, seconds: float) -> None:
+        self.hits.inc()
+        self.hit_latency.observe(seconds)
+
+    def on_miss(self) -> None:
+        self.misses.inc()
+
+    def on_materialized(self) -> None:
+        self.materializations.inc()
 
 
 class TranslatorMetrics:

@@ -9,8 +9,10 @@ Figure 1 (:mod:`repro.olap.pyramid`), chunked/compressed storage
 (:mod:`repro.olap.lattice`), cube-construction algorithms
 (:mod:`repro.olap.buildalgs`), the multi-process aggregation engine that
 stands in for the paper's OpenMP implementation
-(:mod:`repro.olap.parallel`) and the bandwidth benchmark behind Figure 3
-(:mod:`repro.olap.bandwidth`).
+(:mod:`repro.olap.parallel`), the bandwidth benchmark behind Figure 3
+(:mod:`repro.olap.bandwidth`) and the materialized-rollup answer cache
+that serves covered queries without touching the scheduler
+(:mod:`repro.olap.rollup`).
 """
 
 from repro.olap.hierarchy import DimensionHierarchy, Level
@@ -28,8 +30,24 @@ from repro.olap.pyramid import CubePyramid, PyramidLevel, PyramidGroup
 from repro.olap.chunks import ChunkedCube
 from repro.olap.lattice import CubeLattice
 from repro.olap.parallel import ParallelAggregator
+from repro.olap.rollup import (
+    ROLLUP_TARGET,
+    AdmissionPolicy,
+    CuboidSpec,
+    MaterialisedCuboid,
+    RollupCatalog,
+    RollupExecutor,
+    RollupRouter,
+)
 
 __all__ = [
+    "ROLLUP_TARGET",
+    "AdmissionPolicy",
+    "CuboidSpec",
+    "MaterialisedCuboid",
+    "RollupCatalog",
+    "RollupExecutor",
+    "RollupRouter",
     "DimensionHierarchy",
     "Level",
     "OLAPCube",

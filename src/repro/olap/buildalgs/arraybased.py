@@ -74,9 +74,39 @@ def array_based_cube(
 ) -> CuboidDict:
     """Full/iceberg cube via dense-array simultaneous aggregation.
 
-    Parameters match the shared builder contract (see the package
-    docstring); ``chunk_extent`` sets the per-axis block size of the
-    chunked dense-to-sparse traversal.
+    One ``bincount`` pass over the fact table builds the dense base
+    cuboid (sum and count arrays); every coarser cuboid is then a
+    single axis-sum over its smallest parent along the minimum-size
+    spanning tree, so the fact table is scanned exactly once.
+
+    Parameters
+    ----------
+    table:
+        The fact table to cube.
+    measure:
+        Measure column summed per cell.
+    resolutions:
+        Dimension name -> resolution index; the keys are the dimension
+        set of the lattice.
+    min_support:
+        Iceberg threshold; see
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
+    chunk_extent:
+        Per-axis block size of the chunked dense-to-sparse traversal
+        that emits occupied cells.
+
+    Returns
+    -------
+    CuboidDict
+        Same shape as
+        :func:`~repro.olap.buildalgs.reference.full_cube_reference`,
+        cell-for-cell identical to it.
+
+    Raises
+    ------
+    CubeError, SchemaError
+        As documented on
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
     """
     names = check_build_args(table, measure, resolutions, min_support)
     values = np.asarray(table.column(measure), dtype=np.float64)

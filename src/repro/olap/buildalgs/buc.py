@@ -41,9 +41,44 @@ def buc_cube(
 ) -> CuboidDict:
     """Full/iceberg cube via bottom-up recursive partitioning.
 
-    Parameters match the shared builder contract; ``prune`` optionally
-    replaces the default support test ``partition_size >= min_support``
-    (it must be anti-monotone for the output to stay exact).
+    Aggregates the current partition, then sorts it on each unbound
+    dimension and recurses into the coordinate groups; subtrees whose
+    partition fails the (anti-monotone) iceberg condition are pruned
+    before they are materialised.
+
+    Parameters
+    ----------
+    table:
+        The fact table to cube.
+    measure:
+        Measure column summed per cell.
+    resolutions:
+        Dimension name -> resolution index; the keys are the dimension
+        set of the lattice.
+    min_support:
+        Iceberg threshold; see
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
+    prune:
+        Optional replacement for the default support test
+        ``partition_size >= min_support``.  Called with the partition's
+        row indices and the full measure array; returning ``False``
+        prunes the subtree.  Must be anti-monotone (a superset of a
+        rejected partition is also rejected) for the output to equal
+        the exact iceberg cube.
+
+    Returns
+    -------
+    CuboidDict
+        Same shape as
+        :func:`~repro.olap.buildalgs.reference.full_cube_reference`.
+        Every cuboid key is present even when pruning empties its cell
+        dictionary.
+
+    Raises
+    ------
+    CubeError, SchemaError
+        As documented on
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
     """
     names = check_build_args(table, measure, resolutions, min_support)
     values = np.asarray(table.column(measure), dtype=np.float64)

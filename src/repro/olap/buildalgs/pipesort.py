@@ -34,13 +34,28 @@ __all__ = ["pipesort_cube", "plan_pipelines"]
 def plan_pipelines(names: Sequence[str]) -> list[tuple[str, ...]]:
     """Minimum prefix-chain cover of the cuboid lattice over ``names``.
 
-    Returns sort orders (tuples of dimension names) such that every one
-    of the ``2^n`` cuboids is a prefix of at least one order, using the
-    provably minimal ``C(n, n // 2)`` pipelines.  The result depends
-    only on the *set* of names: names are sorted internally, the full
-    sort order ``tuple(sorted(names))`` always comes first, and the
-    remaining pipelines follow in (length-descending, lexicographic)
-    order.
+    The result depends only on the *set* of names: names are sorted
+    internally, the full sort order ``tuple(sorted(names))`` always
+    comes first, and the remaining pipelines follow in
+    (length-descending, lexicographic) order.
+
+    Parameters
+    ----------
+    names:
+        The dimension names spanning the lattice; order is irrelevant,
+        duplicates are rejected.
+
+    Returns
+    -------
+    list[tuple[str, ...]]
+        Sort orders such that every one of the ``2^n`` cuboids is a
+        prefix of at least one order, using the provably minimal
+        ``C(n, n // 2)`` pipelines (symmetric chain decomposition).
+
+    Raises
+    ------
+    CubeError
+        If ``names`` contains duplicates.
     """
     ordered = sorted(names)
     if len(set(ordered)) != len(ordered):
@@ -72,10 +87,36 @@ def pipesort_cube(
 ) -> CuboidDict:
     """Full/iceberg cube via sorted pipeline scans.
 
-    Parameters match the shared builder contract (see the package
-    docstring).  Each pipeline sorts the projected coordinates once and
-    aggregates every still-uncomputed prefix cuboid from the contiguous
-    runs of that sorted order.
+    Each pipeline from :func:`plan_pipelines` sorts the projected
+    coordinates once (:func:`numpy.lexsort`) and aggregates every
+    still-uncomputed prefix cuboid from the contiguous runs of that
+    sorted order.
+
+    Parameters
+    ----------
+    table:
+        The fact table to cube.
+    measure:
+        Measure column summed per cell.
+    resolutions:
+        Dimension name -> resolution index; the keys are the dimension
+        set of the lattice.
+    min_support:
+        Iceberg threshold; see
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
+
+    Returns
+    -------
+    CuboidDict
+        Same shape as
+        :func:`~repro.olap.buildalgs.reference.full_cube_reference`,
+        cell-for-cell identical to it.
+
+    Raises
+    ------
+    CubeError, SchemaError
+        As documented on
+        :func:`~repro.olap.buildalgs.reference.check_build_args`.
     """
     names = check_build_args(table, measure, resolutions, min_support)
     values = np.asarray(table.column(measure), dtype=np.float64)

@@ -43,10 +43,36 @@ def check_build_args(
 ) -> list[str]:
     """Validate the shared builder arguments; return sorted dimension names.
 
-    ``min_support`` is the iceberg threshold of Beyer & Ramakrishnan's
-    BUC paper: a cell survives iff at least ``min_support`` fact rows
-    fall into it.  ``min_support=1`` (the default everywhere) keeps
-    every non-empty cell, i.e. the ordinary full cube.
+    Every construction algorithm calls this first, so the four builders
+    accept and reject exactly the same inputs.
+
+    Parameters
+    ----------
+    table:
+        The fact table to cube.
+    measure:
+        Name of the measure column to aggregate (``SUM`` per cell).
+    resolutions:
+        Mapping of dimension name to resolution index; its keys define
+        the dimension set the lattice is built over.
+    min_support:
+        The iceberg threshold of Beyer & Ramakrishnan's BUC paper: a
+        cell survives iff at least ``min_support`` fact rows fall into
+        it.  ``min_support=1`` (the default everywhere) keeps every
+        non-empty cell, i.e. the ordinary full cube.
+
+    Returns
+    -------
+    list[str]
+        The dimension names in sorted order — the canonical coordinate
+        order of every cell key the builders emit.
+
+    Raises
+    ------
+    CubeError
+        If ``min_support < 1`` or a resolution is out of range.
+    SchemaError
+        If a dimension or the measure is not in ``table``'s schema.
     """
     if min_support < 1:
         raise CubeError(f"min_support must be >= 1, got {min_support}")
@@ -65,12 +91,22 @@ def project_coordinates(
 ) -> np.ndarray:
     """Per-row coordinates of ``dimensions`` at the requested resolutions.
 
-    Returns an ``(num_rows, len(dimensions))`` int64 array whose column
-    ``i`` is the fact-table dimension column of ``dimensions[i]`` at
-    level ``resolutions[dimensions[i]]`` — the projection every
-    construction algorithm groups by.  Column order follows the
-    ``dimensions`` argument (callers pass sorted names for the canonical
-    cell-key order).
+    Parameters
+    ----------
+    dimensions:
+        Dimension names to project, in the desired column order
+        (callers pass sorted names for the canonical cell-key order).
+    resolutions:
+        Mapping of dimension name to the resolution index whose level
+        column is read; may contain extra keys.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(num_rows, len(dimensions))`` int64 array whose column
+        ``i`` is the fact-table dimension column of ``dimensions[i]``
+        at level ``resolutions[dimensions[i]]`` — the projection every
+        construction algorithm groups by.
     """
     if not dimensions:
         return np.empty((len(table), 0), dtype=np.int64)
@@ -98,6 +134,30 @@ def full_cube_reference(
     the projected coordinates.  Cells whose row count falls below
     ``min_support`` are dropped after aggregation (the iceberg
     condition applied exactly, with no pruning shortcuts to trust).
+
+    Parameters
+    ----------
+    table:
+        The fact table to cube.
+    measure:
+        Measure column summed per cell.
+    resolutions:
+        Dimension name -> resolution index; the keys are the dimension
+        set of the lattice.
+    min_support:
+        Iceberg threshold; see :func:`check_build_args`.
+
+    Returns
+    -------
+    CuboidDict
+        ``frozenset(dimension names) -> {coordinate tuple -> sum}``
+        with one entry per subset of the dimension set, coordinates in
+        sorted-name order.
+
+    Raises
+    ------
+    CubeError, SchemaError
+        As documented on :func:`check_build_args`.
     """
     names = check_build_args(table, measure, resolutions, min_support)
     values = np.asarray(table.column(measure), dtype=np.float64).tolist()

@@ -44,6 +44,20 @@ class CubeLattice:
     resolutions:
         Resolution per dimension used for cardinality estimates
         (defaults to each dimension's finest level).
+
+    Raises
+    ------
+    CubeError
+        If ``dimensions`` is empty, contains duplicate names, or
+        ``resolutions`` has the wrong length or an out-of-range value.
+
+    Attributes
+    ----------
+    graph:
+        The lattice as a :class:`networkx.DiGraph` with one node per
+        cuboid (a ``frozenset`` of dimension names, with a ``size``
+        estimate attached) and an edge ``parent -> child`` wherever the
+        child drops exactly one grouped dimension.
     """
 
     def __init__(
@@ -81,7 +95,25 @@ class CubeLattice:
     # -- sizes ------------------------------------------------------------
 
     def cuboid_size(self, cuboid: Iterable[str]) -> int:
-        """Cells in a cuboid: product of grouped-dimension cardinalities."""
+        """Cells in a cuboid: product of grouped-dimension cardinalities.
+
+        Parameters
+        ----------
+        cuboid:
+            Grouped dimension names (any iterable; the empty iterable
+            is the apex, whose size is 1).
+
+        Returns
+        -------
+        int
+            The dense cell count at this lattice's resolutions — an
+            upper bound on the occupied (sparse) cell count.
+
+        Raises
+        ------
+        CubeError
+            If a name is not one of this lattice's dimensions.
+        """
         size = 1
         for name in cuboid:
             if name not in self._card:
@@ -101,17 +133,28 @@ class CubeLattice:
 
     @property
     def num_cuboids(self) -> int:
+        """Number of cuboids in the lattice: ``2 ** len(dimensions)``."""
         return self.graph.number_of_nodes()
 
     def cuboids(self) -> list[Cuboid]:
-        """All cuboids, coarsest (fewest dimensions) first."""
+        """All cuboids, coarsest (fewest dimensions) first.
+
+        Returns
+        -------
+        list[Cuboid]
+            Deterministic order: ascending dimension count, then
+            sorted names.  :meth:`RollupCatalog.covers
+            <repro.olap.rollup.RollupCatalog.covers>` relies on this
+            order to prefer the coarsest sufficient cuboid.
+        """
         return sorted(self.graph.nodes, key=lambda c: (len(c), sorted(c)))
 
     def parents(self, cuboid: Cuboid) -> list[Cuboid]:
-        """Cuboids with exactly one more grouped dimension."""
+        """Cuboids with exactly one more grouped dimension, name-sorted."""
         return sorted(self.graph.predecessors(cuboid), key=sorted)
 
     def children(self, cuboid: Cuboid) -> list[Cuboid]:
+        """Cuboids with exactly one fewer grouped dimension, name-sorted."""
         return sorted(self.graph.successors(cuboid), key=sorted)
 
     # -- planning ------------------------------------------------------------
@@ -123,6 +166,14 @@ class CubeLattice:
         estimated size; name-sorted tie-break keeps plans deterministic).
         The result is the *minimum size spanning tree* of [20] for the
         uniform-cost-per-cell model.
+
+        Returns
+        -------
+        networkx.DiGraph
+            A spanning arborescence of :attr:`graph` rooted at
+            :attr:`base`: every node keeps its ``size`` attribute and
+            every non-base cuboid has exactly one incoming edge from
+            the parent it should be aggregated from.
         """
         tree = nx.DiGraph()
         tree.add_nodes_from(self.graph.nodes(data=True))
@@ -138,8 +189,13 @@ class CubeLattice:
     def computation_order(self) -> list[tuple[Cuboid, Cuboid | None]]:
         """(cuboid, source-parent) pairs in a valid computation order.
 
-        The base cuboid comes first with source ``None`` (computed from
-        the fact table); every other cuboid follows its smallest parent.
+        Returns
+        -------
+        list[tuple[Cuboid, Cuboid | None]]
+            A topological order of the smallest-parent tree.  The base
+            cuboid comes first with source ``None`` (computed from the
+            fact table); every other cuboid appears after the smallest
+            parent it is derived from.
         """
         tree = self.smallest_parent_tree()
         order: list[tuple[Cuboid, Cuboid | None]] = [(self.base, None)]
@@ -153,8 +209,12 @@ class CubeLattice:
     def total_tree_cost(self) -> int:
         """Sum of parent sizes along the smallest-parent tree edges.
 
-        A proxy for the cells scanned while building the full cube —
-        what the minimum-size-spanning-tree construction minimises.
+        Returns
+        -------
+        int
+            A proxy for the cells scanned while building the full cube
+            — what the minimum-size-spanning-tree construction
+            minimises.
         """
         tree = self.smallest_parent_tree()
         return sum(self.cuboid_size(parent) for parent, _ in tree.edges)

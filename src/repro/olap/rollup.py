@@ -1,0 +1,748 @@
+"""Materialized-rollup answer cache: routing queries around Figure 10.
+
+The paper routes *every* query through admission, estimation, and
+dispatch (Figure 10).  At serving scale, most traffic repeats a small
+set of query shapes, and for those shapes the answer is a lookup in a
+pre-aggregated cuboid — microseconds, not the milliseconds of a
+scheduled sub-cube scan.  This module adds that tier in front of both
+planes (the simulated :class:`~repro.sim.system.HybridSystem` and the
+wall-clock :class:`~repro.serve.engine.ServeEngine`):
+
+* :class:`RollupCatalog` holds materialized cuboids of the group-by
+  lattice, keyed by ``frozenset(dims)`` like every builder in
+  :mod:`repro.olap.buildalgs`.  Each cuboid is a dense
+  :class:`~repro.olap.cube.OLAPCube` over a *subset* of the schema's
+  dimensions, built from :func:`~repro.olap.buildalgs.
+  project_coordinates` with all four components (sum/count/min/max) so
+  any query aggregate is answerable.
+* :meth:`RollupCatalog.covers` walks the :class:`~repro.olap.lattice.
+  CubeLattice` coarsest-first for an ancestor cuboid whose dimensions
+  ⊇ the query's condition/group-by dimensions, whose per-dimension
+  resolution is at least as fine as the query needs, and whose iceberg
+  threshold pruned nothing (a pruned cuboid under-counts, so it never
+  serves answers).
+* :class:`RollupExecutor` answers a covered query through
+  :func:`~repro.olap.subcube.answer_with_cube` — the *same* aggregation
+  code path the CPU pyramid uses, so hit answers match scheduler-path
+  answers exactly (property-tested in
+  ``tests/properties/test_prop_rollup.py``).
+* :class:`AdmissionPolicy` observes the shapes of cache misses and
+  plans which cuboids to materialize: frequency × cost-saved greedy
+  under a byte budget.
+* :class:`RollupRouter` is the façade the engines integrate: one
+  ``serve()`` call per submission under the engine lock (hit → a
+  zero-cost :class:`~repro.sim.metrics.QueryRecord` on the
+  :data:`ROLLUP_TARGET` pseudo-partition; miss → ``None`` and the query
+  flows unchanged through Figure 10), plus ``maintain()`` for
+  synchronous or :class:`~repro.serve.pool.WorkerPool`-backed
+  background materialization.
+
+Cache coherence: the catalog is exact with respect to the fact rows it
+has seen.  :meth:`RollupCatalog.ingest` folds a batch into every
+installed cuboid (sum/count/min/max are all mergeable) and advances the
+authoritative row count; iceberg cuboids (``min_support > 1``) are
+dropped instead, because pruning is not incrementally maintainable.  A
+cuboid whose ``built_rows`` disagrees with the catalog's row count is
+*stale* and :meth:`~RollupCatalog.covers` skips it.  Lock ordering is
+engine lock → catalog lock, never the reverse (see
+``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import RollupError
+from repro.olap.buildalgs import project_coordinates
+from repro.olap.cube import AggregateOp, OLAPCube
+from repro.olap.lattice import CubeLattice, Cuboid
+from repro.olap.subcube import answer_with_cube
+from repro.query.model import Query
+from repro.sim.metrics import QueryRecord
+
+if TYPE_CHECKING:  # avoid a hard olap -> relational/serve dependency
+    from repro.relational.table import FactTable
+    from repro.serve.pool import WorkerPool
+
+__all__ = [
+    "ROLLUP_TARGET",
+    "CuboidSpec",
+    "MaterialisedCuboid",
+    "RollupCatalog",
+    "RollupExecutor",
+    "AdmissionPolicy",
+    "RollupRouter",
+]
+
+#: Pseudo-partition name stamped on cache-hit records.  Deliberately not
+#: a real :class:`~repro.core.partitions.PartitionQueue` name: hits live
+#: outside the scheduler's books, and the ``rollup`` validation family
+#: asserts they never leak into them.
+ROLLUP_TARGET = "Q_ROLLUP"
+
+#: bytes per cell of a materialized cuboid (sum/count/min/max float64)
+_CELL_NBYTES = 32
+
+
+@dataclass(frozen=True)
+class CuboidSpec:
+    """What to materialize: a cuboid of the lattice at fixed resolutions.
+
+    Parameters
+    ----------
+    dims:
+        Grouped dimension names.  Normalised to sorted order at
+        construction (with ``resolutions`` permuted alongside), so two
+        specs over the same dimensions compare equal regardless of the
+        order the caller wrote them in.
+    resolutions:
+        Resolution index per dimension, aligned with ``dims``.
+    min_support:
+        Iceberg threshold (Beyer & Ramakrishnan): a cell survives iff at
+        least this many fact rows fall into it.  1 keeps every cell.
+    """
+
+    dims: tuple[str, ...]
+    resolutions: tuple[int, ...]
+    min_support: int = 1
+
+    def __post_init__(self) -> None:
+        dims = tuple(self.dims)
+        resolutions = tuple(self.resolutions)
+        if not dims:
+            raise RollupError("a cuboid spec needs at least one dimension")
+        if len(dims) != len(set(dims)):
+            raise RollupError(f"duplicate dimensions in cuboid spec: {dims}")
+        if len(resolutions) != len(dims):
+            raise RollupError(
+                f"{len(dims)} dims but {len(resolutions)} resolutions"
+            )
+        if self.min_support < 1:
+            raise RollupError(f"min_support must be >= 1, got {self.min_support}")
+        order = sorted(range(len(dims)), key=lambda i: dims[i])
+        object.__setattr__(self, "dims", tuple(dims[i] for i in order))
+        object.__setattr__(
+            self, "resolutions", tuple(resolutions[i] for i in order)
+        )
+
+    @property
+    def key(self) -> Cuboid:
+        """The lattice node this spec materialises."""
+        return frozenset(self.dims)
+
+    def resolution_of(self, dimension: str) -> int:
+        try:
+            return self.resolutions[self.dims.index(dimension)]
+        except ValueError:
+            raise RollupError(
+                f"cuboid spec {self.dims} has no dimension {dimension!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class MaterialisedCuboid:
+    """One installed catalog entry: the spec, its cube, and provenance.
+
+    ``built_rows`` is the total fact-row count the cube aggregates; the
+    catalog compares it with its authoritative row count to detect stale
+    entries.  ``pruned_cells`` counts cells zeroed by the iceberg
+    threshold — :meth:`RollupCatalog.covers` refuses any cuboid with
+    ``pruned_cells > 0``, since a pruned cell would silently under-count
+    a covering answer.
+    """
+
+    spec: CuboidSpec
+    cube: OLAPCube
+    built_rows: int
+    pruned_cells: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.cube.nbytes
+
+    @property
+    def num_cells(self) -> int:
+        return self.cube.num_cells
+
+
+class RollupCatalog:
+    """Materialized cuboids keyed by ``frozenset(dims)``, with coverage.
+
+    Parameters
+    ----------
+    table:
+        The base fact table cuboids aggregate.  Batches added later via
+        :meth:`ingest` are folded into installed cuboids and remembered,
+        so later :meth:`materialise` calls stay consistent.
+    measure:
+        The measure every cuboid aggregates.  ``count`` queries are
+        answerable regardless of measure; other aggregates must match.
+    lattice:
+        The cuboid lattice to walk in :meth:`covers`; defaults to the
+        full lattice over the table schema's dimensions at their finest
+        resolutions.
+
+    All catalog state is guarded by one internal re-entrant lock; the
+    engines call in while holding the engine lock (ordering: engine →
+    catalog, never the reverse).
+    """
+
+    def __init__(
+        self,
+        table: "FactTable",
+        measure: str,
+        *,
+        lattice: CubeLattice | None = None,
+    ):
+        self._table = table
+        self.measure = measure
+        self._schema = table.schema
+        self._dims = {d.name: d for d in self._schema.dimensions}
+        table.column(measure)  # fail fast on unknown measures
+        self.lattice = (
+            lattice if lattice is not None else CubeLattice(self._schema.dimensions)
+        )
+        #: lattice walk order: coarsest (fewest dims, smallest) first —
+        #: the cheapest cuboid that covers a query answers it
+        self._order = tuple(self.lattice.cuboids())
+        self._lock = threading.RLock()
+        self._cuboids: dict[Cuboid, MaterialisedCuboid] = {}
+        self._batches: list["FactTable"] = []
+        self._row_count = len(table)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cuboids)
+
+    def __contains__(self, dims: Iterable[str]) -> bool:
+        with self._lock:
+            return frozenset(dims) in self._cuboids
+
+    def get(self, dims: Iterable[str]) -> MaterialisedCuboid | None:
+        with self._lock:
+            return self._cuboids.get(frozenset(dims))
+
+    def cuboids(self) -> tuple[MaterialisedCuboid, ...]:
+        """Installed cuboids, coarsest first (the covers() walk order)."""
+        with self._lock:
+            return tuple(
+                self._cuboids[key] for key in self._order if key in self._cuboids
+            )
+
+    @property
+    def total_nbytes(self) -> int:
+        with self._lock:
+            return sum(c.nbytes for c in self._cuboids.values())
+
+    @property
+    def row_count(self) -> int:
+        """Authoritative fact-row count a fresh cuboid must aggregate."""
+        with self._lock:
+            return self._row_count
+
+    def estimated_nbytes(self, spec: CuboidSpec) -> int:
+        """Bytes a spec would occupy once materialised (dense, 4 components)."""
+        cells = 1
+        for name, res in zip(spec.dims, spec.resolutions):
+            dim = self._dims.get(name)
+            if dim is None:
+                raise RollupError(f"schema has no dimension {name!r}")
+            cells *= dim.cardinality(dim.check_resolution(res))
+        return cells * _CELL_NBYTES
+
+    # -- materialization ---------------------------------------------------
+
+    def materialise(self, spec: CuboidSpec) -> MaterialisedCuboid:
+        """Build (but do not install) the cuboid a spec describes.
+
+        Pure computation with no catalog lock held — safe to run on a
+        background :class:`~repro.serve.pool.WorkerPool` worker.  The
+        build aggregates the base table plus every batch ingested so
+        far, then applies the iceberg threshold to the merged counts.
+        """
+        names = list(spec.dims)
+        res_map = dict(zip(spec.dims, spec.resolutions))
+        dims = [self._dims[n] if n in self._dims else None for n in names]
+        for n, d in zip(names, dims):
+            if d is None:
+                raise RollupError(f"schema has no dimension {n!r}")
+        shape = tuple(
+            d.cardinality(d.check_resolution(res_map[n]))
+            for n, d in zip(names, dims)
+        )
+        size = int(np.prod(shape))
+        sums = np.zeros(size)
+        counts = np.zeros(size)
+        mins = np.full(size, np.inf)
+        maxs = np.full(size, -np.inf)
+        with self._lock:
+            tables = [self._table, *self._batches]
+        rows = 0
+        for table in tables:
+            rows += len(table)
+            if len(table) == 0:
+                continue
+            coords = project_coordinates(table, names, res_map)
+            values = np.asarray(table.column(self.measure), dtype=np.float64)
+            flat = np.ravel_multi_index(tuple(coords.T), shape)
+            sums += np.bincount(flat, weights=values, minlength=size)
+            counts += np.bincount(flat, minlength=size).astype(np.float64)
+            np.minimum.at(mins, flat, values)
+            np.maximum.at(maxs, flat, values)
+        pruned = 0
+        if spec.min_support > 1:
+            kill = (counts > 0) & (counts < spec.min_support)
+            pruned = int(kill.sum())
+            sums[kill] = 0.0
+            counts[kill] = 0.0
+            mins[kill] = np.inf
+            maxs[kill] = -np.inf
+        cube = OLAPCube(
+            [self._dims[n] for n in names],
+            [res_map[n] for n in names],
+            {
+                "sum": sums.reshape(shape),
+                "count": counts.reshape(shape),
+                "min": mins.reshape(shape),
+                "max": maxs.reshape(shape),
+            },
+            measure=self.measure,
+        )
+        return MaterialisedCuboid(
+            spec=spec, cube=cube, built_rows=rows, pruned_cells=pruned
+        )
+
+    def install(self, cuboid: MaterialisedCuboid) -> MaterialisedCuboid:
+        """Install a built cuboid (last writer wins per lattice node)."""
+        with self._lock:
+            self._cuboids[cuboid.spec.key] = cuboid
+        return cuboid
+
+    def materialise_and_install(self, spec: CuboidSpec) -> MaterialisedCuboid:
+        return self.install(self.materialise(spec))
+
+    # -- coherence ---------------------------------------------------------
+
+    def drop(self, dims: Iterable[str]) -> bool:
+        """Remove one cuboid; True if it was installed."""
+        with self._lock:
+            return self._cuboids.pop(frozenset(dims), None) is not None
+
+    def invalidate(self) -> int:
+        """Drop every cuboid (full cache flush); returns the count dropped."""
+        with self._lock:
+            n = len(self._cuboids)
+            self._cuboids.clear()
+            return n
+
+    def ingest(self, batch: "FactTable") -> int:
+        """Fold a batch of new fact rows into the catalog, exactly.
+
+        Sum/count/min/max are mergeable, so every plain cuboid absorbs
+        the batch in place and stays exact.  Iceberg cuboids are
+        dropped: a cell pruned at build time may cross the threshold
+        with the new rows, and the pruned rows are gone.  The batch is
+        remembered so later :meth:`materialise` calls aggregate it too.
+        Returns the rows ingested.
+        """
+        with self._lock:
+            self._batches.append(batch)
+            self._row_count += len(batch)
+            for key in list(self._cuboids):
+                entry = self._cuboids[key]
+                if entry.spec.min_support > 1:
+                    del self._cuboids[key]
+                    continue
+                entry.cube.ingest(batch, self.measure)
+                self._cuboids[key] = MaterialisedCuboid(
+                    spec=entry.spec,
+                    cube=entry.cube,
+                    built_rows=entry.built_rows + len(batch),
+                    pruned_cells=entry.pruned_cells,
+                )
+        return len(batch)
+
+    def mark_stale(self, new_row_count: int) -> None:
+        """Declare the fact data has grown outside the catalog's view.
+
+        Every installed cuboid whose ``built_rows`` no longer matches
+        becomes stale and stops covering queries until rebuilt — the
+        fail-safe coherence path when rows were added without
+        :meth:`ingest`.
+        """
+        with self._lock:
+            if new_row_count < self._row_count:
+                raise RollupError(
+                    f"row count cannot shrink ({self._row_count} -> "
+                    f"{new_row_count}); rebuild the catalog instead"
+                )
+            self._row_count = new_row_count
+
+    # -- coverage ----------------------------------------------------------
+
+    def _needed_resolutions(self, query: Query) -> dict[str, int] | None:
+        """dimension -> minimum resolution the query needs, or None.
+
+        ``None`` means "not answerable from any cuboid": untranslated
+        text conditions (the CPU rollup path has no dictionary), a
+        measure mismatch, or a dimension outside the schema.
+        """
+        if query.needs_translation:
+            return None
+        if (
+            query.agg != "count"
+            and query.measures
+            and self.measure not in query.measures
+        ):
+            return None
+        needed: dict[str, int] = {}
+        for cond in query.conditions:
+            if cond.dimension not in self._dims:
+                return None
+            needed[cond.dimension] = max(
+                needed.get(cond.dimension, 0), cond.resolution
+            )
+        for dim, res in query.group_by:
+            if dim not in self._dims:
+                return None
+            needed[dim] = max(needed.get(dim, 0), res)
+        return needed
+
+    def _entry_covers(
+        self, entry: MaterialisedCuboid, needed: Mapping[str, int]
+    ) -> bool:
+        """Spec-level coverage of one installed cuboid, exactly:
+
+        dims ⊇ needed, per-dimension resolution fine enough, no iceberg
+        pruning, and not stale.  The brute-force check the property
+        tests replay against :meth:`covers`.
+        """
+        if entry.pruned_cells:
+            return False
+        if entry.built_rows != self._row_count:
+            return False
+        if not set(needed) <= entry.spec.key:
+            return False
+        return all(
+            entry.spec.resolution_of(dim) >= res for dim, res in needed.items()
+        )
+
+    def covers(self, query: Query) -> MaterialisedCuboid | None:
+        """The cheapest installed cuboid that can answer ``query``.
+
+        Walks the lattice coarsest-first (fewest dimensions, smallest
+        cuboid) and returns the first installed ancestor whose
+        dimensions ⊇ the query's condition/group-by dimensions at
+        sufficient resolution, skipping iceberg-pruned and stale
+        entries.  Returns ``None`` on a miss — the query then flows
+        through Figure 10 unchanged.
+        """
+        needed = self._needed_resolutions(query)
+        if needed is None:
+            return None
+        op = AggregateOp(query.agg)
+        with self._lock:
+            for key in self._order:
+                entry = self._cuboids.get(key)
+                if entry is None:
+                    continue
+                if not self._entry_covers(entry, needed):
+                    continue
+                if any(
+                    comp not in entry.cube.components for comp in op.components
+                ):
+                    continue
+                return entry
+        return None
+
+    def would_cover(self, needed: Mapping[str, int]) -> bool:
+        """True when some installed cuboid covers a dim→resolution shape."""
+        with self._lock:
+            return any(
+                self._entry_covers(entry, needed)
+                for entry in self._cuboids.values()
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"RollupCatalog({self.measure!r}, {len(self._cuboids)} cuboids, "
+                f"{self.total_nbytes / 2**20:.3f} MB, rows={self._row_count})"
+            )
+
+
+class RollupExecutor:
+    """Answer covered queries from the catalog's cuboids.
+
+    The answer path is :func:`~repro.olap.subcube.answer_with_cube` on
+    the cuboid's dense :class:`~repro.olap.cube.OLAPCube` — byte-for-
+    byte the aggregation code the CPU pyramid path runs, which is what
+    makes hit answers exactly equal to scheduler-path answers.
+    """
+
+    def __init__(self, catalog: RollupCatalog):
+        self.catalog = catalog
+
+    def answer(
+        self, query: Query, cuboid: MaterialisedCuboid | None = None
+    ) -> float:
+        """The query's aggregate from the cache; raises on a miss."""
+        if cuboid is None:
+            cuboid = self.catalog.covers(query)
+        if cuboid is None:
+            raise RollupError(
+                f"no installed cuboid covers query {query.query_id} "
+                f"(conditions on {[c.dimension for c in query.conditions]})"
+            )
+        return answer_with_cube(cuboid.cube, query)
+
+
+@dataclass
+class _ShapeStats:
+    """Miss statistics for one observed query shape."""
+
+    spec: CuboidSpec
+    count: int = 0
+    total_cost: float = 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.total_cost / self.count if self.count else 0.0
+
+
+@dataclass
+class AdmissionPolicy:
+    """Decide which cuboids deserve materialization: greedy under budget.
+
+    The router reports every cache miss via :meth:`observe` (optionally
+    with the scheduler's estimated service cost for that query);
+    :meth:`plan` then ranks the observed shapes by
+    ``frequency × cost-saved / bytes`` and picks greedily until the byte
+    budget (catalog bytes included) is exhausted.  ``min_frequency``
+    keeps one-off shapes from ever being materialised.
+    """
+
+    byte_budget: int
+    min_frequency: int = 2
+    _shapes: dict[CuboidSpec, _ShapeStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @staticmethod
+    def spec_for(query: Query) -> CuboidSpec | None:
+        """The cuboid shape that would cover ``query``, or None.
+
+        Text queries and fully unconstrained queries have no useful
+        shape (the former need translation first; the latter are covered
+        by *any* cuboid).
+        """
+        if query.needs_translation:
+            return None
+        needed: dict[str, int] = {}
+        for cond in query.conditions:
+            needed[cond.dimension] = max(
+                needed.get(cond.dimension, 0), cond.resolution
+            )
+        for dim, res in query.group_by:
+            needed[dim] = max(needed.get(dim, 0), res)
+        if not needed:
+            return None
+        names = sorted(needed)
+        return CuboidSpec(
+            dims=tuple(names), resolutions=tuple(needed[n] for n in names)
+        )
+
+    def observe(self, query: Query, cost: float | None = None) -> None:
+        """Record one cache miss (``cost`` = estimated seconds saved)."""
+        spec = self.spec_for(query)
+        if spec is None:
+            return
+        with self._lock:
+            stats = self._shapes.get(spec)
+            if stats is None:
+                stats = self._shapes[spec] = _ShapeStats(spec=spec)
+            stats.count += 1
+            if cost is not None:
+                stats.total_cost += cost
+
+    def shapes(self) -> tuple[_ShapeStats, ...]:
+        """Observed shapes, most frequent first (deterministic ties)."""
+        with self._lock:
+            return tuple(
+                sorted(
+                    self._shapes.values(),
+                    key=lambda s: (-s.count, s.spec.dims),
+                )
+            )
+
+    def plan(
+        self, catalog: RollupCatalog, limit: int | None = None
+    ) -> list[CuboidSpec]:
+        """Specs worth materialising now, best first, within budget."""
+        with self._lock:
+            candidates = [
+                s for s in self._shapes.values() if s.count >= self.min_frequency
+            ]
+
+        def score(stats: _ShapeStats) -> float:
+            try:
+                bytes_ = catalog.estimated_nbytes(stats.spec)
+            except RollupError:
+                # shape references dimensions outside this catalog's
+                # schema; rank it last, the pick loop skips it anyway
+                return float("-inf")
+            saved = stats.mean_cost if stats.total_cost > 0 else 1.0
+            return stats.count * saved / max(bytes_, 1)
+
+        ranked = sorted(candidates, key=lambda s: (-score(s), s.spec.dims))
+        remaining = self.byte_budget - catalog.total_nbytes
+        picked: list[CuboidSpec] = []
+        for stats in ranked:
+            if limit is not None and len(picked) >= limit:
+                break
+            needed = dict(zip(stats.spec.dims, stats.spec.resolutions))
+            if catalog.would_cover(needed):
+                continue
+            try:
+                cost = catalog.estimated_nbytes(stats.spec)
+            except RollupError:
+                continue  # shape references dimensions outside this schema
+            if cost > remaining:
+                continue
+            picked.append(stats.spec)
+            remaining -= cost
+        return picked
+
+
+class RollupRouter:
+    """The cache tier façade both planes integrate.
+
+    One :meth:`serve` call per submission, made while the engine lock is
+    held (catalog locking nests inside — see the lock-ordering rules in
+    ``docs/architecture.md``).  A hit returns a finished, zero-cost
+    :class:`~repro.sim.metrics.QueryRecord` on :data:`ROLLUP_TARGET`; a
+    miss returns ``None``, feeds the :class:`AdmissionPolicy`, and the
+    query proceeds through Figure 10 untouched.
+
+    ``metrics`` is an optional
+    :class:`~repro.metrics.instrument.RollupMetrics`; the engines wire
+    it when a registry is attached, following the same ``None``-guarded
+    hook discipline as every other observability slot.
+    """
+
+    def __init__(
+        self,
+        catalog: RollupCatalog,
+        policy: AdmissionPolicy | None = None,
+        metrics=None,
+    ):
+        self.catalog = catalog
+        self.executor = RollupExecutor(catalog)
+        self.policy = policy
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.materialized = 0
+        #: maintenance tasks carry negative ids so they can never be
+        #: confused with query ids in pool histories
+        self._maintenance_ids = itertools.count(-1, -1)
+
+    # -- the hot path ------------------------------------------------------
+
+    def serve(
+        self,
+        query: Query,
+        query_class: str = "default",
+        now: float = 0.0,
+        deadline: float | None = None,
+    ) -> QueryRecord | None:
+        """Try to answer one query from the cache.
+
+        Returns a completed :class:`~repro.sim.metrics.QueryRecord`
+        (``submit == finish == now``: the zero-cost semantics both
+        planes share) or ``None`` on a miss.  The hit-latency histogram
+        observes the *real* microseconds the projection took, separate
+        from the engine's injected clock.
+        """
+        cuboid = self.catalog.covers(query)
+        if cuboid is None:
+            self.misses += 1
+            if self.metrics is not None:
+                self.metrics.on_miss()
+            if self.policy is not None:
+                self.policy.observe(query)
+            return None
+        t0 = time.perf_counter()
+        answer = self.executor.answer(query, cuboid)
+        elapsed = time.perf_counter() - t0
+        self.hits += 1
+        if self.metrics is not None:
+            self.metrics.on_hit(elapsed)
+        return QueryRecord(
+            query_id=query.query_id,
+            query_class=query_class,
+            target=ROLLUP_TARGET,
+            submit_time=now,
+            finish_time=now,
+            deadline=deadline if deadline is not None else now,
+            estimated_time=0.0,
+            measured_time=0.0,
+            translated=False,
+            answer=answer,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- maintenance -------------------------------------------------------
+
+    def _install(self, cuboid: MaterialisedCuboid) -> None:
+        self.catalog.install(cuboid)
+        self.materialized += 1
+        if self.metrics is not None:
+            self.metrics.on_materialized()
+
+    def maintain(
+        self,
+        pool: "WorkerPool | None" = None,
+        limit: int | None = None,
+    ) -> int:
+        """Materialize what the policy recommends; returns the spec count.
+
+        With ``pool=None`` the builds run synchronously.  With a
+        :class:`~repro.serve.pool.WorkerPool` (a *dedicated* maintenance
+        pool — never one of the engine's partition pools, whose
+        histories are audited against the scheduler books) each build
+        runs on a worker thread and installs under the catalog lock from
+        the pool's completion callback.
+        """
+        if self.policy is None:
+            raise RollupError("router has no AdmissionPolicy to plan with")
+        specs = self.policy.plan(self.catalog, limit=limit)
+        for spec in specs:
+            if pool is None:
+                self._install(self.catalog.materialise(spec))
+            else:
+                from repro.serve.pool import ServeTask
+
+                def on_done(task) -> None:
+                    if task.error is None:
+                        self._install(task.result)
+
+                pool.submit(
+                    ServeTask(
+                        query_id=next(self._maintenance_ids),
+                        run=lambda spec=spec: self.catalog.materialise(spec),
+                        on_done=on_done,
+                    )
+                )
+        return len(specs)

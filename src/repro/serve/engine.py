@@ -50,7 +50,13 @@ from repro.core.feedback import FeedbackController
 from repro.core.partitions import PartitionQueue, QueueKind
 from repro.core.scheduler import BaseScheduler, ScheduleDecision
 from repro.errors import AdmissionRejected, BackpressureError, ServeError
-from repro.metrics.instrument import PoolMetrics, RuntimeMetrics, TranslatorMetrics
+from repro.metrics.instrument import (
+    PoolMetrics,
+    RollupMetrics,
+    RuntimeMetrics,
+    TranslatorMetrics,
+)
+from repro.olap.rollup import RollupRouter
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.slo import SloMonitor
 from repro.metrics.snapshots import SnapshotWriter
@@ -104,6 +110,9 @@ class SubmitOutcome:
     accepted: bool
     decision: ScheduleDecision | None = None
     ticket: Ticket | None = None
+    #: True when the rollup tier answered before the scheduler was
+    #: consulted: ``decision`` is None and ``ticket`` is already done
+    cache_hit: bool = False
 
 
 class ServeEngine:
@@ -153,6 +162,16 @@ class ServeEngine:
     max_in_flight:
         Bound on accepted-but-unfinished queries (None = unbounded).
         The front door of the backpressure chain.
+    rollup:
+        Optional :class:`~repro.olap.rollup.RollupRouter`.  When given,
+        every submission first asks the rollup catalog for coverage
+        (under the engine lock; the catalog lock nests inside — see
+        ``docs/architecture.md``).  A hit completes immediately with a
+        zero-cost record on :data:`~repro.olap.rollup.ROLLUP_TARGET`,
+        bypassing estimation, dispatch, and the in-flight bound; a miss
+        proceeds through Figure 10 untouched.  If ``metrics`` is also
+        given, the engine wires :class:`~repro.metrics.instrument.
+        RollupMetrics` into the router.
     """
 
     def __init__(
@@ -168,6 +187,7 @@ class ServeEngine:
         snapshots: SnapshotWriter | None = None,
         max_in_flight: int | None = 1024,
         cpu_threads: int = 4,
+        rollup: RollupRouter | None = None,
     ):
         if max_in_flight is not None and max_in_flight < 1:
             raise ServeError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -211,6 +231,7 @@ class ServeEngine:
         }
 
         self.records: list[QueryRecord] = []
+        self.cache_hits: list[QueryRecord] = []
         self.errors: list[tuple[int, BaseException]] = []
         self.rejected = 0
         self._in_flight = 0
@@ -228,10 +249,13 @@ class ServeEngine:
                 trans_name=self.trans_queue.name,
             )
 
+        self.rollup = rollup
         self.metrics = metrics
         self._metrics: RuntimeMetrics | None = None
         self._slo = slo
         self._snapshots = snapshots
+        if metrics is not None and rollup is not None:
+            rollup.metrics = RollupMetrics(metrics)
         if metrics is not None:
             self._metrics = RuntimeMetrics(metrics)
             self.scheduler.metrics_observer = self._metrics
@@ -319,6 +343,33 @@ class ServeEngine:
                 query_class=query_class,
                 needs_translation=query.needs_translation,
             )
+            if self.rollup is not None:
+                hit = self.rollup.serve(
+                    query,
+                    query_class,
+                    now,
+                    deadline=now + self.config.time_constraint,
+                )
+                if hit is not None:
+                    # answered before the scheduler was consulted: no
+                    # submitted/admitted counts, no books, no in-flight
+                    # slot — the `rollup` validation family audits this
+                    self.cache_hits.append(hit)
+                    self._emit(
+                        "cache-hit",
+                        now,
+                        query.query_id,
+                        target=hit.target,
+                        answer=hit.answer,
+                    )
+                    if self._slo is not None:
+                        self._slo.observe(True, now)
+                    self._sample(now)
+                    ticket = Ticket()
+                    ticket._complete(hit, None)
+                    return SubmitOutcome(
+                        accepted=True, ticket=ticket, cache_hit=True
+                    )
             if self._metrics is not None:
                 self._metrics.on_submitted()
             try:
@@ -580,4 +631,5 @@ class ServeEngine:
                 },
                 exact_estimates=False,
                 feedback_stats=self.feedback.all_stats,
+                cache_hits=list(self.cache_hits),
             )

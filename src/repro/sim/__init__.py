@@ -21,8 +21,9 @@ while every scheduling decision is taken by the real
   (:class:`TraceCollector`), zero-impact when unattached;
 - :mod:`repro.sim.validate` — invariant checker auditing each run's
   realised schedule against the scheduler's :math:`T_Q` books, plus
-  the trace cross-check (:func:`validate_trace`) and the live-metrics
-  reconciliation (:func:`validate_metrics`).
+  the trace cross-check (:func:`validate_trace`), the live-metrics
+  reconciliation (:func:`validate_metrics`) and the rollup-cache audit
+  (:func:`validate_rollup`).
 """
 
 from repro.sim.engine import SimulationEngine
@@ -34,12 +35,14 @@ from repro.sim.validate import (
     ValidationResult,
     Violation,
     assert_metrics_valid,
+    assert_rollup_valid,
     assert_trace_valid,
     assert_valid,
     seed_metrics_violation,
     seed_violation,
     validate_metrics,
     validate_report,
+    validate_rollup,
     validate_trace,
 )
 
@@ -57,11 +60,13 @@ __all__ = [
     "ValidationResult",
     "Violation",
     "assert_metrics_valid",
+    "assert_rollup_valid",
     "assert_trace_valid",
     "assert_valid",
     "seed_metrics_violation",
     "seed_violation",
     "validate_metrics",
     "validate_report",
+    "validate_rollup",
     "validate_trace",
 ]

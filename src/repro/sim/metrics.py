@@ -68,6 +68,13 @@ class SystemReport:
     statistics of the :class:`~repro.core.feedback.FeedbackController`
     (Section III-G), so a run reports model calibration
     (:meth:`bias_ratio`, :attr:`overall_bias_ratio`) directly.
+
+    ``cache_hits`` are queries answered by the :mod:`repro.olap.rollup`
+    tier *before* reaching the scheduler: they appear in no submission
+    book, timeline, or ``records`` entry (the ``rollup`` validation
+    family enforces that disjointness) and are excluded from the
+    scheduler-path headline metrics; :attr:`effective_queries_per_second`
+    is the combined serving rate.
     """
 
     records: tuple[QueryRecord, ...]
@@ -83,6 +90,7 @@ class SystemReport:
     outstanding: Mapping[str, int] = field(default_factory=dict)
     exact_estimates: bool = False
     feedback_stats: Mapping[str, FeedbackStats] = field(default_factory=dict)
+    cache_hits: tuple[QueryRecord, ...] = ()
 
     @classmethod
     def from_records(
@@ -97,16 +105,20 @@ class SystemReport:
         outstanding: Mapping[str, int] | None = None,
         exact_estimates: bool = False,
         feedback_stats: Mapping[str, FeedbackStats] | None = None,
+        cache_hits: Iterable[QueryRecord] | None = None,
     ) -> "SystemReport":
         recs = tuple(sorted(records, key=lambda r: r.finish_time))
+        hits = tuple(sorted(cache_hits or (), key=lambda r: r.finish_time))
         audit = dict(
             submissions=dict(submissions or {}),
             capacities=dict(capacities or {}),
             outstanding=dict(outstanding or {}),
             exact_estimates=exact_estimates,
             feedback_stats=dict(feedback_stats or {}),
+            cache_hits=hits,
         )
-        if not recs:
+        spanning = recs + hits
+        if not spanning:
             return cls(
                 records=(),
                 makespan=0.0,
@@ -116,8 +128,8 @@ class SystemReport:
                 rejected=rejected,
                 **audit,
             )
-        start = min(r.submit_time for r in recs)
-        end = max(r.finish_time for r in recs)
+        start = min(r.submit_time for r in spanning)
+        end = max(r.finish_time for r in spanning)
         makespan = end - start
         return cls(
             records=recs,
@@ -199,6 +211,25 @@ class SystemReport:
     def translated_count(self) -> int:
         return sum(1 for r in self.records if r.translated)
 
+    # -- rollup-cache tier (queries that never reached the scheduler) -------
+
+    @property
+    def cache_hit_count(self) -> int:
+        return len(self.cache_hits)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of all answered queries served by the rollup tier."""
+        total = self.completed + self.cache_hit_count
+        return self.cache_hit_count / total if total else 0.0
+
+    @property
+    def effective_queries_per_second(self) -> float:
+        """Combined serving rate: scheduler-path plus cache-served."""
+        if self.makespan <= 0:
+            return 0.0
+        return (self.completed + self.cache_hit_count) / self.makespan
+
     # -- model calibration (Section III-G feedback statistics) --------------
 
     def bias_ratio(self, queue: str) -> float:
@@ -226,6 +257,12 @@ class SystemReport:
             f"mean response time   : {fmt_seconds(self.mean_response_time)}",
             f"translated queries   : {self.translated_count}",
         ]
+        if self.cache_hits:
+            lines.append(
+                f"cache-served         : {self.cache_hit_count} "
+                f"({100.0 * self.cache_hit_rate:.1f}% of answers, "
+                f"{self.effective_queries_per_second:.1f} effective q/s)"
+            )
         for target, count in sorted(self.by_target().items()):
             util = self.utilisations.get(target)
             util_s = f", util {100 * util:.0f}%" if util is not None else ""

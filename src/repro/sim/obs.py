@@ -14,7 +14,9 @@ of them first-class:
           [-> translation_start -> translation_finish -> feedback]
           -> service_start -> service_finish -> feedback
 
-  (or ``arrival -> estimated -> rejected`` under admission control).
+  (or ``arrival -> estimated -> rejected`` under admission control, or
+  ``arrival -> cache-hit`` when the :mod:`repro.olap.rollup` tier
+  answers from a materialised cuboid before the scheduler is consulted).
   The ``decision`` event carries the full ``(queue, T_R)`` candidate
   list of step 3 and the branch taken (:func:`classify_branch`).
 
@@ -65,6 +67,7 @@ __all__ = [
 #: every event kind a collector can emit, in rough lifecycle order
 EVENT_KINDS = (
     "arrival",
+    "cache-hit",
     "estimated",
     "decision",
     "translation_start",
@@ -79,7 +82,7 @@ EVENT_KINDS = (
 def classify_branch(
     candidates: Sequence[tuple[PartitionQueue, float]],
     deadline: float,
-    target: PartitionQueue,
+    target: PartitionQueue | None,
 ) -> str:
     """Name the Figure-10 branch implied by a placement.
 
@@ -88,6 +91,9 @@ def classify_branch(
     boundary (``T_R <= T_D``), consistent with step 4 and
     :attr:`~repro.sim.metrics.QueryRecord.met_deadline`.
 
+    * ``"cache-hit"`` — ``target`` is ``None``: the query never reached
+      steps 1-6 because the :mod:`repro.olap.rollup` tier answered it
+      from a materialised cuboid;
     * ``"step5-cpu"`` / ``"step5-gpu"`` — :math:`P_{BD}` non-empty and
       the target is inside it (the CPU-wins / slowest-GPU arms);
     * ``"step6-min-lateness"`` — :math:`P_{BD}` empty, the minimise-
@@ -96,6 +102,8 @@ def classify_branch(
       misses the deadline anyway: impossible for the paper's scheduler,
       diagnostic for deadline-blind baselines (MET, round-robin).
     """
+    if target is None:
+        return "cache-hit"
     p_bd = {q.name for q, t_r in candidates if t_r <= deadline}
     if not p_bd:
         return "step6-min-lateness"

@@ -247,6 +247,7 @@ class HybridSystem:
         collector: TraceCollector | None = None,
         metrics=None,
         snapshots=None,
+        rollup=None,
     ) -> SystemReport:
         """Simulate one query stream; returns the aggregated report.
 
@@ -262,6 +263,14 @@ class HybridSystem:
         ticked at every arrival and completion — simulated time stands
         in for the clock, making snapshot cadence fully deterministic.
         Both are read-only like the collector.
+
+        ``rollup`` attaches a :class:`~repro.olap.rollup.RollupRouter`:
+        arrivals the catalog covers are answered at their arrival
+        instant (the simulated analogue of a microsecond cache hit —
+        zero simulated cost), land in :attr:`SystemReport.cache_hits`
+        and never reach the scheduler; misses proceed through Figure 10
+        untouched.  When ``metrics`` is also given, the router gets a
+        :class:`~repro.metrics.instrument.RollupMetrics` wired in.
         """
         cfg = self.config
         engine = SimulationEngine()
@@ -306,9 +315,14 @@ class HybridSystem:
             run_metrics = RuntimeMetrics(metrics)
             scheduler.metrics_observer = run_metrics
             feedback.metrics_observer = run_metrics.on_feedback
+        if metrics is not None and rollup is not None:
+            from repro.metrics.instrument import RollupMetrics
+
+            rollup.metrics = RollupMetrics(metrics)
         in_flight = [0]
 
         records: list[QueryRecord] = []
+        cache_hits: list[QueryRecord] = []
 
         def complete_processing(
             decision: ScheduleDecision, query_class: str, realised: float
@@ -388,6 +402,29 @@ class HybridSystem:
                         query_class=query_class,
                         needs_translation=query.needs_translation,
                     )
+                if rollup is not None:
+                    hit = rollup.serve(
+                        query,
+                        query_class,
+                        engine.now,
+                        deadline=engine.now + cfg.time_constraint,
+                    )
+                    if hit is not None:
+                        # zero-cost hit: answered at the arrival instant,
+                        # never offered to the scheduler (no submitted/
+                        # admitted counts, no submission books)
+                        cache_hits.append(hit)
+                        if collector is not None:
+                            collector.emit(
+                                "cache-hit",
+                                engine.now,
+                                query.query_id,
+                                target=hit.target,
+                                answer=hit.answer,
+                            )
+                        if snapshots is not None:
+                            snapshots.tick(engine.now)
+                        return
                 if run_metrics is not None:
                     run_metrics.on_submitted()
                 if snapshots is not None:
@@ -457,4 +494,5 @@ class HybridSystem:
             outstanding={name: q.outstanding for name, q in queues.items()},
             exact_estimates=cfg.noise_sigma == 0.0 and cfg.noise_bias == 1.0,
             feedback_stats=feedback.all_stats,
+            cache_hits=cache_hits,
         )

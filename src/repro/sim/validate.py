@@ -47,6 +47,20 @@ registry.MetricsSnapshot` against the report books
 latency histograms must agree *exactly* with what the run recorded —
 the observability plane is itself under invariant test.
 
+A seventh family, ``rollup``, audits the :mod:`repro.olap.rollup`
+cache tier (:func:`validate_rollup`): cache-served queries live in
+:attr:`~repro.sim.metrics.SystemReport.cache_hits` and *only* there —
+they must never appear in the scheduler's submission books, the
+servers' timelines, or the completion records (a query answered before
+the scheduler was consulted by definition left no trace in the
+:math:`T_Q` machinery).  With a collector, every hit's event stream is
+exactly ``arrival -> cache-hit``; with a snapshot,
+``repro_rollup_hits_total`` (and the hit-latency histogram count) must
+equal the report's hit count and ``repro_rollup_misses_total`` the
+scheduler-offered count.  The books-disjointness core of the family
+also runs inside :func:`validate_report` whenever a report carries
+cache hits, so the conftest audit covers every simulated run.
+
 :func:`seed_violation` (and :func:`seed_metrics_violation` for
 snapshots) deliberately corrupts a report so tests can prove the
 checkers fail loudly, not vacuously.
@@ -71,9 +85,11 @@ __all__ = [
     "validate_report",
     "validate_trace",
     "validate_metrics",
+    "validate_rollup",
     "assert_valid",
     "assert_trace_valid",
     "assert_metrics_valid",
+    "assert_rollup_valid",
     "seed_violation",
     "seed_metrics_violation",
     "SEEDABLE_VIOLATIONS",
@@ -360,6 +376,63 @@ def _check_drift(report: SystemReport, tol: float) -> list[Violation]:
     return out
 
 
+def _check_rollup_books(report: SystemReport) -> list[Violation]:
+    """Core of the ``rollup`` family: cache hits live outside the books.
+
+    A cache-served query was answered before the scheduler was
+    consulted, so it must appear in no submission book, no server
+    timeline, and no completion record; its zero-cost record must be
+    internally consistent (finish >= submit) and no query may be
+    cache-served twice.
+    """
+    out: list[Violation] = []
+    hit_ids = [r.query_id for r in report.cache_hits]
+    dupes = {qid for qid in hit_ids if hit_ids.count(qid) > 1}
+    for qid in sorted(dupes):
+        out.append(
+            Violation(
+                "rollup",
+                "cache",
+                f"query {qid} appears {hit_ids.count(qid)} times in "
+                "cache_hits — a query is served at most once",
+            )
+        )
+    scheduled = {r.query_id for r in report.records}
+    booked = {
+        sub.query_id for subs in report.submissions.values() for sub in subs
+    }
+    timelined = {
+        qid for tl in report.timelines.values() for qid, _, _ in tl
+    }
+    for rec in report.cache_hits:
+        if rec.finish_time < rec.submit_time:
+            out.append(
+                Violation(
+                    "rollup",
+                    "cache",
+                    f"cache hit for query {rec.query_id} finishes at "
+                    f"{rec.finish_time} before its submission at "
+                    f"{rec.submit_time}",
+                )
+            )
+        for where, ids in (
+            ("completion records", scheduled),
+            ("submission books", booked),
+            ("server timelines", timelined),
+        ):
+            if rec.query_id in ids:
+                out.append(
+                    Violation(
+                        "rollup",
+                        "cache",
+                        f"cache-served query {rec.query_id} also appears in "
+                        f"the {where} — a hit must bypass the scheduler "
+                        "entirely",
+                    )
+                )
+    return out
+
+
 def validate_report(
     report: SystemReport,
     *,
@@ -381,6 +454,10 @@ def validate_report(
     after :meth:`~repro.serve.ServeEngine.drain`): every queue must show
     zero outstanding jobs — accepted work that never completed is a
     violation, not merely "in flight".
+
+    When the report carries rollup-cache hits, the books-disjointness
+    core of the ``rollup`` family runs as well (the trace/metrics
+    reconciliations need :func:`validate_rollup`).
     """
     violations: list[Violation] = []
     checked = ["dependency", "discipline", "conservation"]
@@ -403,6 +480,9 @@ def validate_report(
     ):
         checked.append("drift")
         violations += _check_drift(report, drift_tolerance)
+    if report.cache_hits:
+        checked.append("rollup")
+        violations += _check_rollup_books(report)
     return ValidationResult(
         violations=tuple(violations), checked=tuple(checked)
     )
@@ -794,6 +874,97 @@ def assert_metrics_valid(
     return report
 
 
+def validate_rollup(
+    report: SystemReport,
+    *,
+    collector: "TraceCollector | None" = None,
+    snapshot: "MetricsSnapshot | None" = None,
+) -> ValidationResult:
+    """Audit the rollup-cache tier against the report, trace, and metrics.
+
+    The ``rollup`` invariant family, in three layers (each optional
+    input adds one):
+
+    * **books** (always): every cache-served query in
+      :attr:`~repro.sim.metrics.SystemReport.cache_hits` is absent from
+      the submission books, server timelines and completion records,
+      appears at most once, and its record has ``finish >= submit``;
+    * **trace** (with ``collector``): the number of ``cache-hit``
+      events equals the report's hit count, and every hit's per-query
+      event stream is exactly ``("arrival", "cache-hit")`` — a hit must
+      emit no ``estimated``/``decision``/service events;
+    * **metrics** (with ``snapshot``): ``repro_rollup_hits_total`` and
+      the hit-latency histogram count equal the report's hit count, and
+      ``repro_rollup_misses_total`` equals
+      ``repro_queries_submitted_total`` when that family is present
+      (every miss — and only misses — is offered to the scheduler).
+    """
+    violations = _check_rollup_books(report)
+
+    def bad(message: str) -> None:
+        violations.append(Violation("rollup", "cache", message))
+
+    hits = report.cache_hits
+    if collector is not None:
+        n_events = sum(1 for e in collector.events if e.kind == "cache-hit")
+        if n_events != len(hits):
+            bad(
+                f"{n_events} cache-hit events but the report carries "
+                f"{len(hits)} cache hits"
+            )
+        for rec in hits:
+            kinds = collector.kinds_for(rec.query_id)
+            if kinds != ("arrival", "cache-hit"):
+                bad(
+                    f"cache-served query {rec.query_id} has event stream "
+                    f"{kinds} != ('arrival', 'cache-hit')"
+                )
+
+    if snapshot is not None:
+        fam = snapshot.family("repro_rollup_hits_total")
+        if fam is None:
+            if hits:
+                bad(
+                    "report carries cache hits but the snapshot has no "
+                    "repro_rollup_hits_total family"
+                )
+        else:
+            counted = snapshot.value("repro_rollup_hits_total")
+            if counted != len(hits):
+                bad(
+                    f"repro_rollup_hits_total reads {counted:g} but the "
+                    f"report carries {len(hits)} cache hits"
+                )
+            hist = snapshot.histogram("repro_rollup_hit_latency_seconds")
+            n = hist.count if hist is not None else 0
+            if n != len(hits):
+                bad(
+                    f"hit-latency histogram has {n} observations but the "
+                    f"report carries {len(hits)} cache hits"
+                )
+            misses_fam = snapshot.family("repro_rollup_misses_total")
+            submitted_fam = snapshot.family("repro_queries_submitted_total")
+            if misses_fam is not None and submitted_fam is not None:
+                misses = snapshot.value("repro_rollup_misses_total")
+                submitted = snapshot.value("repro_queries_submitted_total")
+                if misses != submitted:
+                    bad(
+                        f"repro_rollup_misses_total reads {misses:g} but "
+                        f"{submitted:g} queries were offered to the "
+                        "scheduler — every miss, and only misses, reach it"
+                    )
+
+    return ValidationResult(tuple(violations), checked=("rollup",))
+
+
+def assert_rollup_valid(report: SystemReport, **kwargs) -> SystemReport:
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad cache tier."""
+    result = validate_rollup(report, **kwargs)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return report
+
+
 #: corruption modes understood by :func:`seed_metrics_violation`
 SEEDABLE_METRICS_VIOLATIONS = ("completed", "latency", "in-flight", "missing-family")
 
@@ -861,7 +1032,13 @@ def seed_metrics_violation(snapshot: "MetricsSnapshot", kind: str) -> "MetricsSn
 
 
 #: corruption modes understood by :func:`seed_violation`
-SEEDABLE_VIOLATIONS = ("dependency", "discipline", "conservation", "drift")
+SEEDABLE_VIOLATIONS = (
+    "dependency",
+    "discipline",
+    "conservation",
+    "drift",
+    "rollup",
+)
 
 
 def seed_violation(report: SystemReport, kind: str) -> SystemReport:
@@ -904,6 +1081,24 @@ def seed_violation(report: SystemReport, kind: str) -> SystemReport:
         raise InvariantViolation(
             "cannot seed a dependency violation: no translated query completed"
         )
+
+    if kind == "rollup":
+        if not report.records:
+            raise InvariantViolation(
+                "cannot seed a rollup violation: need a scheduled record"
+            )
+        # claim a scheduler-served query was also answered by the cache:
+        # the same query now both bypassed and traversed the scheduler,
+        # which the books-disjointness check must reject
+        rec = report.records[0]
+        dup = replace(
+            rec,
+            target="Q_ROLLUP",
+            finish_time=rec.submit_time,
+            estimated_time=0.0,
+            measured_time=0.0,
+        )
+        return replace(report, cache_hits=report.cache_hits + (dup,))
 
     if kind == "discipline":
         for name, timeline in report.timelines.items():

@@ -1,0 +1,117 @@
+"""ServeEngine × rollup cache tier: the hot-path integration.
+
+The router sits inside ``submit`` — after the arrival event, before
+``on_submitted`` — so cache hits never enter the scheduler books and
+the existing invariant families hold unchanged while the seventh
+("rollup") audits the hits themselves.
+"""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, RollupMetrics
+from repro.olap import (
+    ROLLUP_TARGET,
+    AdmissionPolicy,
+    CuboidSpec,
+    RollupCatalog,
+    RollupRouter,
+)
+from repro.query.model import Condition, Query
+from repro.sim import TraceCollector
+from repro.sim.validate import (
+    assert_trace_valid,
+    validate_report,
+    validate_rollup,
+)
+
+from tests.serve.conftest import CPU_FAST
+
+
+def covered_query():
+    return Query(
+        conditions=(Condition("date", 1, lo=0, hi=3),),
+        measures=("sales_price",),
+    )
+
+
+def uncovered_query():
+    return Query(
+        conditions=(Condition("date", 3, lo=0, hi=3),),
+        measures=("sales_price",),
+    )
+
+
+@pytest.fixture()
+def router(fact_table, small_schema):
+    catalog = RollupCatalog(fact_table, "sales_price")
+    names = tuple(d.name for d in small_schema.dimensions)
+    catalog.materialise_and_install(
+        CuboidSpec(dims=names, resolutions=(2,) * len(names))
+    )
+    return RollupRouter(catalog, policy=AdmissionPolicy(byte_budget=1 << 30))
+
+
+class TestSubmitHook:
+    def test_hit_returns_finished_ticket(self, make_engine, router):
+        engine = make_engine(CPU_FAST, rollup=router)
+        with engine:
+            outcome = engine.submit(covered_query())
+        assert outcome.accepted and outcome.cache_hit
+        assert outcome.decision is None
+        assert outcome.ticket.done
+        assert outcome.ticket.record.target == ROLLUP_TARGET
+        assert outcome.ticket.record.answer is not None
+
+    def test_hits_stay_out_of_scheduler_books(self, make_engine, router):
+        collector = TraceCollector()
+        engine = make_engine(CPU_FAST, rollup=router, collector=collector)
+        with engine:
+            hit = engine.submit(covered_query())
+            miss = engine.submit(uncovered_query())
+            miss.ticket.wait(timeout=5.0)
+        assert hit.cache_hit and not miss.cache_hit
+        report = engine.report()
+        assert report.cache_hit_count == 1
+        # the hit is invisible to the scheduler books: one record, no rejects
+        assert len(report.records) == 1
+        assert report.rejected == 0
+        result = validate_report(report, require_drained=True)
+        assert result.ok and "rollup" in result.checked
+        assert_trace_valid(report, collector)
+        assert validate_rollup(report, collector=collector).ok
+        kinds = collector.kinds_for(hit.ticket.record.query_id)
+        assert kinds == ("arrival", "cache-hit")
+
+    def test_no_router_means_no_change(self, make_engine):
+        engine = make_engine(CPU_FAST)
+        with engine:
+            outcome = engine.submit(covered_query())
+            outcome.ticket.wait(timeout=5.0)
+        assert not outcome.cache_hit
+        assert engine.report().cache_hit_count == 0
+
+    def test_metrics_wiring_and_reconciliation(self, make_engine, router):
+        registry = MetricsRegistry()
+        engine = make_engine(CPU_FAST, rollup=router, metrics=registry)
+        assert isinstance(router.metrics, RollupMetrics)
+        with engine:
+            engine.submit(covered_query())
+            engine.submit(covered_query())
+            miss = engine.submit(uncovered_query())
+            miss.ticket.wait(timeout=5.0)
+        report = engine.report()
+        snapshot = registry.collect(engine.elapsed)
+        assert validate_rollup(report, snapshot=snapshot).ok
+        assert snapshot.family("repro_rollup_hits_total").total() == 2
+        assert snapshot.family("repro_rollup_misses_total").total() == 1
+
+    def test_effective_rate_counts_hits(self, make_engine, router):
+        engine = make_engine(CPU_FAST, rollup=router)
+        with engine:
+            engine.submit(covered_query())
+            miss = engine.submit(uncovered_query())
+            miss.ticket.wait(timeout=5.0)
+        report = engine.report()
+        assert report.cache_hit_rate == pytest.approx(0.5)
+        assert report.effective_queries_per_second >= report.queries_per_second
+        assert "cache-served" in report.summary()

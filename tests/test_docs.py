@@ -1,0 +1,86 @@
+"""Documentation-sync checks: flags, links and runnable references.
+
+The CLI grew flags in past PRs that the prose never learned about
+(``--metrics-snapshots`` and ``--slo`` were missing from the serve help
+epilog, the README and the tutorial).  These tests make that class of
+drift impossible:
+
+- every ``repro serve`` flag must appear in the parser's own epilog,
+  the README CLI table and the tutorial;
+- every relative markdown link in README/DESIGN.md/docs/ must resolve
+  to a real file;
+- every ``benchmarks/``, ``examples/`` and ``docs/`` path the docs
+  mention must exist on disk.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "DESIGN.md", *(REPO / "docs").glob("*.md")]
+)
+
+
+def serve_option_strings():
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions
+        if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    serve = subparsers.choices["serve"]
+    flags = []
+    for action in serve._actions:
+        flags.extend(s for s in action.option_strings if s.startswith("--"))
+    return serve, sorted(set(flags) - {"--help"})
+
+
+class TestServeFlagSync:
+    def test_epilog_lists_every_flag(self):
+        serve, flags = serve_option_strings()
+        assert serve.epilog, "serve subparser must carry a flag epilog"
+        missing = [f for f in flags if f not in serve.epilog]
+        assert not missing, f"serve --help epilog omits {missing}"
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/tutorial.md"])
+    def test_docs_list_every_flag(self, doc):
+        _, flags = serve_option_strings()
+        text = (REPO / doc).read_text()
+        missing = [f for f in flags if f not in text]
+        assert not missing, f"{doc} omits serve flags {missing}"
+
+    def test_epilog_flags_all_exist(self):
+        # the reverse direction: no stale flags lingering in the epilog
+        serve, flags = serve_option_strings()
+        documented = set(re.findall(r"--[a-z-]+", serve.epilog))
+        assert documented <= set(flags)
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+    def test_relative_links_resolve(self, doc):
+        broken = []
+        for target in LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (doc.parent / target).exists():
+                broken.append(target)
+        assert not broken, f"{doc.relative_to(REPO)} has broken links: {broken}"
+
+    def test_mentioned_repo_paths_exist(self):
+        pattern = re.compile(
+            r"`((?:benchmarks|examples|docs)/[A-Za-z0-9_./-]+\.(?:py|md|txt))`"
+        )
+        missing = []
+        for doc in DOC_FILES:
+            for path in pattern.findall(doc.read_text()):
+                if not (REPO / path).exists():
+                    missing.append(f"{doc.name}: {path}")
+        assert not missing, f"docs reference nonexistent paths: {missing}"
