@@ -1,0 +1,195 @@
+"""BENCH-BATCH — vectorised batch admission vs the per-query hot path.
+
+Times ``HybridScheduler.schedule_batch`` against a ``schedule`` loop on
+a deliberately heavy world: eight 4-level dimensions plus the paper's
+customer dimension, a 28-SM device under :class:`OverheadTiming`, and a
+five-queue partition scheme, so the per-query Figure-10 pass (estimate,
+step-2 sweep over every queue, book update) has real work per call.
+The speedup is the point of the batch path, but only because the
+decisions are *identical*: the harness first pins estimate- and
+decision-level bit-identity over all 4 000 queries, then measures.
+
+The committed result pins a >= 5x scheduler-decision throughput gain;
+the ratio is host-independent enough to assert because both sides run
+the same Python on the same machine back to back.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.core.partitions import PartitionQueue, QueueKind
+from repro.core.perfmodel import PAPER_DICT_MODEL
+from repro.gpu.device import SimulatedGPU, TableDescriptor
+from repro.gpu.partitioning import PartitionScheme
+from repro.gpu.timing import TESLA_C2070_TIMING, OverheadTiming
+from repro.olap.hierarchy import DimensionHierarchy
+from repro.olap.pyramid import CubePyramid
+from repro.paper import CPU_MODELS, PAPER_DICT_LENGTH, customer_dimension
+from repro.query.workload import QueryClass, WorkloadSpec
+from repro.relational.schema import TableSchema
+from repro.sim.system import SystemConfig, SystemEstimator
+from repro.units import GB
+
+NDIMS = 8
+N_QUERIES = 4000
+TRIALS = 7
+MIN_SPEEDUP = 5.0
+
+
+def build_world():
+    dims = [
+        DimensionHierarchy.from_fanouts(
+            f"d{i}", ["L0", "L1", "L2", "L3"], [8, 5, 10, 4]
+        )
+        for i in range(1, NDIMS + 1)
+    ]
+    cust = customer_dimension()
+    schema = TableSchema(
+        dimensions=[*dims, cust],
+        measures=("m1", "m2", "m3", "m4"),
+        text_levels=[("cust", "name"), ("d8", "L3")],
+    )
+    device = SimulatedGPU(
+        num_sms=28,
+        global_memory_bytes=64 * GB,
+        timing=OverheadTiming(base=TESLA_C2070_TIMING, overhead=0.072),
+    )
+    device.load_table(TableDescriptor(schema, schema.rows_for_bytes(4 * GB)))
+    config = SystemConfig(
+        cpu_model=CPU_MODELS[8],
+        pyramid=CubePyramid.analytic(dims, [0, 1, 2], cell_nbytes=8, measure="m1"),
+        device=device,
+        scheme=PartitionScheme([1, 2, 4, 7, 14]),
+        dict_model=PAPER_DICT_MODEL,
+        dict_lengths={c.name: PAPER_DICT_LENGTH for c in schema.text_columns},
+        time_constraint=0.5,
+    )
+    spec = WorkloadSpec(
+        dimensions=[*dims, cust],
+        classes=[
+            QueryClass(
+                "small",
+                weight=0.6,
+                resolution=1,
+                dims_constrained=(2, NDIMS),
+                coverage=(0.1, 0.9),
+                text_prob=0.4,
+            ),
+            QueryClass(
+                "mid",
+                weight=0.4,
+                resolution=2,
+                dims_constrained=(NDIMS // 2, NDIMS),
+                coverage=(0.5, 1.0),
+                text_prob=0.4,
+            ),
+        ],
+        measures=("m1",),
+        text_levels=[("cust", "name"), ("d8", "L3")],
+        vocabularies={
+            c.name: tuple(f"tok{j}" for j in range(16))
+            for c in schema.text_columns
+        },
+        range_dimensions=tuple(f"d{i}" for i in range(1, NDIMS + 1)),
+        seed=7,
+    )
+    return config, [tq.query for tq in spec.generate(N_QUERIES)]
+
+
+def make_scheduler(config):
+    cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+    trans_q = PartitionQueue(
+        "Q_TRANS", QueueKind.TRANSLATION, capacity=config.translation_workers
+    )
+    gpu_qs = [
+        PartitionQueue(f"Q_{p.name}", QueueKind.GPU, n_sm=p.n_sm)
+        for p in config.scheme
+    ]
+    return config.scheduler_factory(
+        cpu_q, gpu_qs, trans_q, SystemEstimator(config), config.time_constraint
+    )
+
+
+def decision_key(decision):
+    translation = decision.translation
+    return (
+        decision.target.name,
+        decision.processing.estimated_start,
+        decision.processing.estimated_finish,
+        decision.estimated_response,
+        None
+        if translation is None
+        else (translation.estimated_start, translation.estimated_finish),
+    )
+
+
+def measure(config, queries):
+    """Interleaved min-of-``TRIALS`` microseconds per decision."""
+
+    def time_sequential():
+        scheduler = make_scheduler(config)
+        t0 = time.perf_counter()
+        for query in queries:
+            scheduler.schedule(query, 0.0)
+        return (time.perf_counter() - t0) / len(queries) * 1e6
+
+    def time_batched():
+        scheduler = make_scheduler(config)
+        t0 = time.perf_counter()
+        scheduler.schedule_batch(queries, 0.0)
+        return (time.perf_counter() - t0) / len(queries) * 1e6
+
+    gc.disable()
+    try:
+        seq_trials, bat_trials = [], []
+        for _ in range(TRIALS):
+            seq_trials.append(time_sequential())
+            bat_trials.append(time_batched())
+    finally:
+        gc.enable()
+    return min(seq_trials), min(bat_trials)
+
+
+@pytest.mark.experiment("BENCH-BATCH", "Vectorised batch admission speedup")
+def test_batch_admission_speedup(benchmark, report):
+    config, queries = build_world()
+
+    # identity first: the throughput gain only counts because the
+    # batched pass reproduces the sequential hot path bit for bit
+    estimator = SystemEstimator(config)
+    scalar = [estimator.estimate(q) for q in queries]
+    batched = SystemEstimator(config).estimate_batch(queries)
+    estimate_mismatches = sum(
+        s.t_cpu != b.t_cpu or s.t_gpu != b.t_gpu or s.t_trans != b.t_trans
+        for s, b in zip(scalar, batched)
+    )
+    seq_sched, bat_sched = make_scheduler(config), make_scheduler(config)
+    seq = [seq_sched.schedule(q, 0.0) for q in queries]
+    bat = bat_sched.schedule_batch(queries, 0.0)
+    decision_mismatches = sum(
+        decision_key(a) != decision_key(b) for a, b in zip(seq, bat)
+    )
+
+    seq_us, bat_us = benchmark.pedantic(
+        measure, args=(config, queries), rounds=1, iterations=1
+    )
+    ratio = seq_us / bat_us
+
+    report.line(f"  {N_QUERIES} queries, {len(config.scheme)} GPU queues,")
+    report.line(f"  {TRIALS} interleaved trials, min of each")
+    report.line()
+    report.row("estimate mismatches", "0", str(estimate_mismatches))
+    report.row("decision mismatches", "0", str(decision_mismatches))
+    report.row("sequential schedule()", "-", f"{seq_us:.1f} us/query")
+    report.row("schedule_batch()", "-", f"{bat_us:.1f} us/query")
+    report.row("speedup", f">= {MIN_SPEEDUP:.0f}x", f"{ratio:.2f}x")
+    benchmark.extra_info["speedup"] = ratio
+
+    assert estimate_mismatches == 0
+    assert decision_mismatches == 0
+    assert ratio >= MIN_SPEEDUP, (
+        f"batch admission only {ratio:.2f}x over sequential "
+        f"({seq_us:.1f} vs {bat_us:.1f} us/query)"
+    )

@@ -21,13 +21,21 @@ the Table-1/3 baseline columns can be reproduced.
 
 All models expose ``time(x) -> seconds`` and are plain frozen
 dataclasses, so calibrated replacements (from
-:mod:`repro.core.calibration`) drop in transparently.
+:mod:`repro.core.calibration`) drop in transparently.  The batch
+admission path additionally uses ``time_many(xs) -> ndarray``, which is
+contractually bit-identical to ``[time(x) for x in xs]``: linear and
+dictionary models evaluate as one NumPy pass, while the power-law
+exponent is applied per element (NumPy's SIMD ``pow`` differs from libm
+in the last ulp, which would break the byte-identical scheduling
+guarantee).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from repro.errors import CalibrationError
 
@@ -57,6 +65,10 @@ class TimeModel(Protocol):
         ...
 
 
+def _as_batch(xs: Sequence[float] | np.ndarray) -> np.ndarray:
+    return np.asarray(xs, dtype=np.float64)
+
+
 @dataclass(frozen=True)
 class PowerLawModel:
     """:math:`t = a \\cdot x^p` — the :math:`f_A` family (eq. 5, 8)."""
@@ -73,6 +85,17 @@ class PowerLawModel:
             raise CalibrationError(f"workload measure must be > 0, got {x}")
         return self.a * x**self.p
 
+    def time_many(self, xs: Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = _as_batch(xs)
+        if arr.size and float(arr.min()) <= 0:
+            bad = float(arr[arr <= 0][0])
+            raise CalibrationError(f"workload measure must be > 0, got {bad}")
+        # Scalar ``x**p`` per element: NumPy's vectorised pow is not
+        # bit-identical to libm, and time_many must match time() exactly.
+        p = self.p
+        powed = np.fromiter((x**p for x in arr.tolist()), dtype=np.float64, count=arr.size)
+        return self.a * powed
+
     def __str__(self) -> str:
         return f"{self.a:g} * x^{self.p:g}"
 
@@ -88,6 +111,13 @@ class LinearModel:
         if x < 0:
             raise CalibrationError(f"workload measure must be >= 0, got {x}")
         return self.a * x + self.b
+
+    def time_many(self, xs: Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = _as_batch(xs)
+        if arr.size and float(arr.min()) < 0:
+            bad = float(arr[arr < 0][0])
+            raise CalibrationError(f"workload measure must be >= 0, got {bad}")
+        return self.a * arr + self.b
 
     def __str__(self) -> str:
         return f"{self.a:g} * x + {self.b:g}"
@@ -113,6 +143,17 @@ class PiecewiseModel:
     def time(self, x: float) -> float:
         model = self.below if x < self.breakpoint else self.above
         return model.time(x)
+
+    def time_many(self, xs: Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = _as_batch(xs)
+        out = np.empty_like(arr)
+        below = arr < self.breakpoint
+        if below.any():
+            out[below] = self.below.time_many(arr[below])
+        above = ~below
+        if above.any():
+            out[above] = self.above.time_many(arr[above])
+        return out
 
     def continuity_gap(self) -> float:
         """|f_A - f_B| at the breakpoint — a calibration sanity metric."""
@@ -151,6 +192,10 @@ class CPUPerfModel:
     def time(self, sc_size_mb: float) -> float:
         """Seconds to process a sub-cube of ``sc_size_mb`` MB (eq. 7/10)."""
         return self.model.time(sc_size_mb) + self.dispatch_overhead
+
+    def time_many(self, sc_sizes_mb: Sequence[float] | np.ndarray) -> np.ndarray:
+        """One pass over a batch of SC sizes; bit-identical to :meth:`time`."""
+        return self.model.time_many(sc_sizes_mb) + self.dispatch_overhead
 
     def with_overhead(self, dispatch_overhead: float) -> "CPUPerfModel":
         return CPUPerfModel(self.model, self.threads, dispatch_overhead)
@@ -208,6 +253,12 @@ class DictPerfModel:
         if dictionary_length < 0:
             raise CalibrationError("dictionary length must be >= 0")
         return self.cost_per_entry * dictionary_length
+
+    def time_many(self, dictionary_lengths: Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = _as_batch(dictionary_lengths)
+        if arr.size and float(arr.min()) < 0:
+            raise CalibrationError("dictionary length must be >= 0")
+        return self.cost_per_entry * arr
 
     def translation_time(self, dictionary_lengths: list[int] | tuple[int, ...]) -> float:
         """Eq. 18: the upper bound over all text parameters of a query.

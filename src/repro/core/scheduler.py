@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.core.partitions import PartitionQueue, QueueKind, Submission
-from repro.errors import SchedulingError
+from repro.errors import AdmissionRejected, SchedulingError
 from repro.query.model import Query
 
 __all__ = [
@@ -79,6 +79,24 @@ class QueryEstimates:
         for n_sm, t in self.t_gpu.items():
             if n_sm < 1 or t < 0:
                 raise SchedulingError(f"bad GPU estimate {n_sm} SM -> {t}")
+
+    @classmethod
+    def trusted(
+        cls, t_cpu: float | None, t_gpu: Mapping[int, float], t_trans: float
+    ) -> "QueryEstimates":
+        """Validation-free construction for pre-checked values.
+
+        The batch estimation path verifies non-negativity once per
+        batch with a vectorised pass, so re-running ``__post_init__``
+        per query would only repeat work; callers that cannot make that
+        guarantee must use the normal constructor.
+        """
+        self = object.__new__(cls)
+        set_ = object.__setattr__
+        set_(self, "t_cpu", t_cpu)
+        set_(self, "t_gpu", t_gpu)
+        set_(self, "t_trans", t_trans)
+        return self
 
     @property
     def needs_translation(self) -> bool:
@@ -203,16 +221,33 @@ class BaseScheduler:
         return self.cpu_queue.ready_time(now) + est.t_cpu
 
     def response_time_gpu(
-        self, queue: PartitionQueue, est: QueryEstimates, now: float
+        self,
+        queue: PartitionQueue,
+        est: QueryEstimates,
+        now: float,
+        translated_at: float | None = None,
     ) -> float:
-        """Step 3's GPU line, including the translation pipeline."""
+        """Step 3's GPU line, including the translation pipeline.
+
+        ``translated_at`` is the (backlog-inclusive) time translation
+        finishes; callers evaluating several GPU candidates for the same
+        query pass it in so the translation term is computed once per
+        query rather than once per candidate.
+        """
         assert queue.n_sm is not None
         t_gpu = est.gpu_time(queue.n_sm)
         if est.needs_translation:
-            translated_at = self.trans_queue.ready_time(now) + est.t_trans
+            if translated_at is None:
+                translated_at = self.trans_queue.ready_time(now) + est.t_trans
             start = max(queue.ready_time(now), translated_at)
             return start + t_gpu
         return queue.ready_time(now) + t_gpu
+
+    def translation_ready_at(self, est: QueryEstimates, now: float) -> float | None:
+        """When this query's translation would finish, or ``None`` if untranslated."""
+        if not est.needs_translation:
+            return None
+        return self.trans_queue.ready_time(now) + est.t_trans
 
     def response_times(
         self, est: QueryEstimates, now: float
@@ -229,8 +264,10 @@ class BaseScheduler:
         if t_r_cpu is not None:
             out.append((self.cpu_queue, t_r_cpu))
         if est.t_gpu:
+            # One translation-backlog lookup per query, not per candidate.
+            translated_at = self.translation_ready_at(est, now)
             for q in self.gpu_queues:
-                out.append((q, self.response_time_gpu(q, est, now)))
+                out.append((q, self.response_time_gpu(q, est, now, translated_at)))
         return out
 
     # -- submission ------------------------------------------------------------
@@ -319,6 +356,121 @@ class BaseScheduler:
             self.metrics_observer.on_decision(decision, response, now)
         return decision
 
+    # -- the batch entry point ---------------------------------------------
+
+    def schedule_batch(
+        self, queries: Sequence[Query], now: float
+    ) -> list[ScheduleDecision | AdmissionRejected]:
+        """Run steps 1-6 for a batch of queries submitted at one instant.
+
+        Results are byte-identical to calling :meth:`schedule` once per
+        query in order — same targets, same :class:`Submission` books,
+        same estimated response times, same observer event stream — but
+        the work is amortised: step 2 runs as one vectorised pass when
+        the estimator exposes ``estimate_batch`` (see
+        :meth:`repro.sim.system.SystemEstimator.estimate_batch`), and
+        step 3 reuses cached queue backlogs, refreshing only the queues
+        each submission actually touched.  Steps 4-6 remain a sequential
+        fold because every decision mutates the :math:`T_Q` books the
+        next decision reads.
+
+        Admission rejections are per-query outcomes, not batch failures:
+        a query the admission controller turns away contributes its
+        :class:`~repro.errors.AdmissionRejected` instance to the result
+        list and the batch continues — exactly what a sequential
+        submit-loop catching the exception per query observes.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        deadline = now + self.time_constraint  # step 1
+        estimate_batch = getattr(self.estimator, "estimate_batch", None)
+        if estimate_batch is not None:  # step 2 as one vectorised pass
+            ests = list(estimate_batch(queries))
+            if len(ests) != len(queries):
+                raise SchedulingError(
+                    f"estimate_batch returned {len(ests)} estimates for "
+                    f"{len(queries)} queries"
+                )
+        else:
+            ests = [self.estimator.estimate(q) for q in queries]
+        observer = self.observer
+        metrics = self.metrics_observer
+        for hook in (observer, metrics):
+            on_batch = getattr(hook, "on_batch", None)
+            if on_batch is not None:
+                on_batch(len(queries), now)
+
+        cpu_queue = self.cpu_queue
+        gpu_queues = self.gpu_queues
+        trans_queue = self.trans_queue
+        choose = self.choose
+        submit = self._submit
+        gpu_index = {id(q): i for i, q in enumerate(gpu_queues)}
+        gpu_pairs = [(i, q, q.n_sm) for i, q in enumerate(gpu_queues)]
+        rt_cpu = cpu_queue.ready_time(now)
+        rt_gpu = [q.ready_time(now) for q in gpu_queues]
+        rt_trans = trans_queue.ready_time(now)
+
+        results: list[ScheduleDecision | AdmissionRejected] = []
+        for query, est in zip(queries, ests):
+            if observer is not None:
+                observer.on_estimated(query, est, deadline, now)
+            if metrics is not None:
+                metrics.on_estimated(query, est, deadline, now)
+            # Step 3 against the cached backlogs.  The arithmetic below
+            # mirrors response_times()/response_time_gpu() operation for
+            # operation so the floats come out bit-identical.
+            response: list[tuple[PartitionQueue, float]] = []
+            t_cpu = est.t_cpu
+            if t_cpu is not None:
+                response.append((cpu_queue, rt_cpu + t_cpu))
+            tg = est.t_gpu
+            if tg:
+                t_trans = est.t_trans
+                if t_trans > 0.0:
+                    translated_at = rt_trans + t_trans
+                    for i, q, n_sm in gpu_pairs:
+                        t_gpu = tg.get(n_sm)
+                        if t_gpu is None:
+                            est.gpu_time(n_sm)  # raises the canonical error
+                        start = rt_gpu[i]
+                        if translated_at > start:
+                            start = translated_at
+                        response.append((q, start + t_gpu))
+                else:
+                    for i, q, n_sm in gpu_pairs:
+                        t_gpu = tg.get(n_sm)
+                        if t_gpu is None:
+                            est.gpu_time(n_sm)
+                        response.append((q, rt_gpu[i] + t_gpu))
+            if not response:
+                raise SchedulingError(
+                    f"no partition can process query {query.query_id} "
+                    "(no cube and no GPU queue)"
+                )
+            try:
+                target, t_r = choose(query, est, response, deadline, now)
+            except AdmissionRejected as rejection:
+                results.append(rejection)
+                continue
+            decision = submit(query, target, est, now, deadline, t_r)
+            # Refresh only the backlogs this submission moved.
+            if decision.translation is not None:
+                rt_trans = trans_queue.ready_time(now)
+            if target is cpu_queue:
+                rt_cpu = cpu_queue.ready_time(now)
+            else:
+                idx = gpu_index.get(id(target))
+                if idx is not None:
+                    rt_gpu[idx] = gpu_queues[idx].ready_time(now)
+            if observer is not None:
+                observer.on_decision(decision, response, now)
+            if metrics is not None:
+                metrics.on_decision(decision, response, now)
+            results.append(decision)
+        return results
+
 
 class HybridScheduler(BaseScheduler):
     """The paper's deadline-aware co-scheduler (Figure 10, steps 4-6)."""
@@ -331,33 +483,53 @@ class HybridScheduler(BaseScheduler):
         deadline: float,
         now: float,
     ) -> tuple[PartitionQueue, float]:
-        by_queue = dict(response)
-        # Step 4: P_BD = partitions delivering by the deadline (inclusive
-        # boundary, consistent with QueryRecord.met_deadline's <=).
-        p_bd = [(q, t_r) for q, t_r in response if t_r <= deadline]
+        # One pass over the candidates collects everything steps 4-5
+        # need: whether the CPU partition makes the deadline (and its
+        # T_R), the first — i.e. slowest, gpu_queues order — GPU
+        # partition that does, and the first deadline-making partition
+        # overall.  Step 4's boundary is inclusive, consistent with
+        # QueryRecord.met_deadline's ``<=``.
+        cpu_name = self.cpu_queue.name
+        first_bd: tuple[PartitionQueue, float] | None = None
+        gpu_bd: tuple[PartitionQueue, float] | None = None
+        cpu_bd_t: float | None = None
+        for item in response:
+            t_r = item[1]
+            if t_r <= deadline:
+                if first_bd is None:
+                    first_bd = item
+                queue = item[0]
+                if queue.kind is QueueKind.GPU:
+                    if gpu_bd is None:
+                        gpu_bd = item
+                elif queue.name == cpu_name:
+                    cpu_bd_t = t_r
 
-        if p_bd:  # step 5
-            bd_queues = {q.name for q, _ in p_bd}
-            cpu_in_bd = self.cpu_queue.name in bd_queues
-            gpu_in_bd = [
-                (q, t_r) for q, t_r in p_bd if q.kind is QueueKind.GPU
-            ]
-            # NOTE the short-circuit order: ``not gpu_in_bd`` must be
+        if first_bd is not None:  # step 5
+            # NOTE the short-circuit order: ``gpu_bd is None`` must be
             # tested first — a CPU-feasible query with no GPU estimates
             # (empty t_gpu map) has no fastest_gpu_time to compare with.
-            if cpu_in_bd and est.t_cpu is not None and (
-                not gpu_in_bd or est.t_cpu < est.fastest_gpu_time
+            t_cpu = est.t_cpu
+            if cpu_bd_t is not None and t_cpu is not None and (
+                gpu_bd is None or t_cpu < est.fastest_gpu_time
             ):
-                return self.cpu_queue, by_queue[self.cpu_queue]
-            if gpu_in_bd:
+                return self.cpu_queue, cpu_bd_t
+            if gpu_bd is not None:
                 # slowest GPU partition that still makes the deadline:
-                # gpu_queues is ordered slowest-first, and p_bd preserves
-                # that order.
-                return gpu_in_bd[0]
+                # gpu_queues is ordered slowest-first, and the scan
+                # preserves that order.
+                return gpu_bd
             # P_BD non-empty but CPU infeasible for this query and no GPU
-            # makes it: impossible (p_bd would be empty) — defensive only.
-            return p_bd[0]  # pragma: no cover
+            # makes it: impossible (first_bd would be None) — defensive.
+            return first_bd  # pragma: no cover
 
-        # Step 6: nobody makes the deadline; minimise |T_D - T_R|.
-        target, t_r = min(response, key=lambda item: abs(deadline - item[1]))
-        return target, t_r
+        # Step 6: nobody makes the deadline; minimise |T_D - T_R| (first
+        # minimum wins, matching min() over the candidate order).
+        best = response[0]
+        best_gap = abs(deadline - best[1])
+        for item in response[1:]:
+            gap = abs(deadline - item[1])
+            if gap < best_gap:
+                best = item
+                best_gap = gap
+        return best

@@ -128,7 +128,17 @@ class HistogramSnapshot:
             raise MetricsError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return math.nan
-        rank = max(1, math.ceil(q * self.count))
+        # The rank of the q-quantile is ceil(q * count), but the float
+        # product can land a hair above the exact integer (0.07 * 100 ==
+        # 7.000000000000001), which used to push the rank — and hence the
+        # reported ``le`` bound — one bucket too high.  Snap to the
+        # nearest integer first when the product is within float noise.
+        product = q * self.count
+        nearest = round(product)
+        if nearest >= 1 and math.isclose(product, nearest, rel_tol=1e-12):
+            rank = nearest
+        else:
+            rank = max(1, math.ceil(product))
         running = 0
         for bound, c in zip(self.bounds, self.counts):
             running += c

@@ -74,12 +74,13 @@ __all__ = ["ServeEngine", "SubmitOutcome", "Ticket"]
 class Ticket:
     """Completion handle for one accepted query (closed-loop clients)."""
 
-    __slots__ = ("_event", "record", "error")
+    __slots__ = ("_event", "record", "error", "_abandoned")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self.record: QueryRecord | None = None
         self.error: BaseException | None = None
+        self._abandoned = False
 
     def _complete(
         self, record: QueryRecord | None, error: BaseException | None
@@ -88,13 +89,24 @@ class Ticket:
         self.error = error
         self._event.set()
 
+    def _abandon(self) -> None:
+        """Wake waiters without a result: the engine stopped first."""
+        self._abandoned = True
+        self._event.set()
+
     def wait(self, timeout: float | None = None) -> bool:
-        """Block until the query finished; True when it did."""
-        return self._event.wait(timeout=timeout)
+        """Block until the query finished; True when it did.
+
+        Returns False on timeout *and* when the engine stopped before
+        the query completed — a stopped engine abandons its outstanding
+        tickets, so a waiter can never hang on work that will never run.
+        """
+        return self._event.wait(timeout=timeout) and not self._abandoned
 
     @property
     def done(self) -> bool:
-        return self._event.is_set()
+        """True once a result is available (not set for abandonment)."""
+        return self._event.is_set() and not self._abandoned
 
 
 @dataclass(frozen=True)
@@ -235,6 +247,10 @@ class ServeEngine:
         self.errors: list[tuple[int, BaseException]] = []
         self.rejected = 0
         self._in_flight = 0
+        #: live tickets of in-flight queries, for drain diagnostics and
+        #: stop-time abandonment (keyed by identity: query_ids stay
+        #: readable even if a client resubmits the same query object)
+        self._tickets: dict[Ticket, int] = {}
         self._accepting = True
         self._started = False
 
@@ -381,20 +397,176 @@ class ServeEngine:
                 self._emit("rejected", now, query.query_id, reason=str(exc))
                 self._sample(now)
                 return SubmitOutcome(accepted=False)
-            ticket = Ticket()
-            self._in_flight += 1
-            if self._metrics is not None:
-                self._metrics.on_admitted(self._in_flight)
-            if decision.translation is not None:
-                self.pools[self.trans_queue.name].submit(
-                    self._translation_task(decision, query_class, ticket)
-                )
-            else:
-                self.pools[decision.target.name].submit(
-                    self._processing_task(decision, query_class, ticket, query)
-                )
+            ticket = self._admit(decision, query, query_class)
             self._sample(now)
             return SubmitOutcome(accepted=True, decision=decision, ticket=ticket)
+
+    def _admit(
+        self, decision: ScheduleDecision, query: Query, query_class: str
+    ) -> Ticket:
+        """Book one scheduled query in (caller holds the engine lock)."""
+        ticket = Ticket()
+        self._in_flight += 1
+        self._tickets[ticket] = query.query_id
+        if self._metrics is not None:
+            self._metrics.on_admitted(self._in_flight)
+        if decision.translation is not None:
+            self.pools[self.trans_queue.name].submit(
+                self._translation_task(decision, query_class, ticket)
+            )
+        else:
+            self.pools[decision.target.name].submit(
+                self._processing_task(decision, query_class, ticket, query)
+            )
+        return ticket
+
+    def submit_batch(
+        self,
+        queries,
+        query_class="default",
+        *,
+        block: bool = True,
+        timeout: float | None = 30.0,
+    ) -> list[SubmitOutcome]:
+        """Schedule a batch of queries with one lock hold per admitted chunk.
+
+        Outcomes are positionally aligned with ``queries`` and identical
+        to calling :meth:`submit` per query in order — same decisions
+        (the batch runs through :meth:`~repro.core.scheduler.
+        BaseScheduler.schedule_batch`, which is byte-identical to the
+        sequential scheduler), same rollup short-circuits, same
+        admission rejections — but the engine lock is acquired once per
+        chunk instead of once per query, and step 2 of Figure 10 runs as
+        one vectorised pass per chunk.  ``query_class`` is one class for
+        the whole batch or a same-length sequence of per-query classes.
+
+        A chunk is as many remaining queries as ``max_in_flight``
+        currently leaves room for.  When the engine is full, a blocking
+        call waits for space before starting the next chunk;
+        ``block=False`` raises :class:`~repro.errors.BackpressureError`
+        at the first full chunk boundary — queries of earlier chunks
+        are already admitted and their tickets remain live, and the
+        outcomes collected so far ride on the exception as its
+        ``outcomes`` attribute (load generators count them as accepted
+        and shed only the remainder).
+        """
+        queries = list(queries)
+        if isinstance(query_class, str):
+            classes = [query_class] * len(queries)
+        else:
+            classes = [str(c) for c in query_class]
+            if len(classes) != len(queries):
+                raise ServeError(
+                    f"query_class sequence has {len(classes)} entries "
+                    f"for {len(queries)} queries"
+                )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        outcomes: list[SubmitOutcome] = []
+        idx = 0
+        while idx < len(queries):
+            with self._state.cond:
+                while (
+                    self.max_in_flight is not None
+                    and self._in_flight >= self.max_in_flight
+                    and self._accepting
+                ):
+                    if not block:
+                        error = BackpressureError(
+                            f"{self._in_flight} queries in flight "
+                            f"(max_in_flight={self.max_in_flight}); "
+                            f"{idx} of {len(queries)} batch queries admitted"
+                        )
+                        error.outcomes = list(outcomes)
+                        raise error
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        error = BackpressureError(
+                            f"still {self._in_flight} queries in flight after "
+                            f"{timeout}s (max_in_flight={self.max_in_flight}); "
+                            f"{idx} of {len(queries)} batch queries admitted"
+                        )
+                        error.outcomes = list(outcomes)
+                        raise error
+                    self._state.cond.wait(timeout=remaining)
+                if not self._accepting:
+                    raise ServeError("engine is draining; submission refused")
+                space = len(queries) - idx
+                if self.max_in_flight is not None:
+                    space = min(space, self.max_in_flight - self._in_flight)
+                chunk = list(
+                    zip(queries[idx : idx + space], classes[idx : idx + space])
+                )
+                now = self._state.now()
+
+                pending: list[tuple[Query, str]] = []
+                slots: list[int] = []
+                for query, qclass in chunk:
+                    self._emit(
+                        "arrival",
+                        now,
+                        query.query_id,
+                        query_class=qclass,
+                        needs_translation=query.needs_translation,
+                    )
+                    if self.rollup is not None:
+                        hit = self.rollup.serve(
+                            query,
+                            qclass,
+                            now,
+                            deadline=now + self.config.time_constraint,
+                        )
+                        if hit is not None:
+                            self.cache_hits.append(hit)
+                            self._emit(
+                                "cache-hit",
+                                now,
+                                query.query_id,
+                                target=hit.target,
+                                answer=hit.answer,
+                            )
+                            if self._slo is not None:
+                                self._slo.observe(True, now)
+                            ticket = Ticket()
+                            ticket._complete(hit, None)
+                            outcomes.append(
+                                SubmitOutcome(
+                                    accepted=True, ticket=ticket, cache_hit=True
+                                )
+                            )
+                            continue
+                    if self._metrics is not None:
+                        self._metrics.on_submitted()
+                    pending.append((query, qclass))
+                    slots.append(len(outcomes))
+                    outcomes.append(SubmitOutcome(accepted=False))  # placeholder
+
+                if pending:
+                    decisions = self.scheduler.schedule_batch(
+                        [query for query, _ in pending], now
+                    )
+                    for (slot, (query, qclass)), decision in zip(
+                        zip(slots, pending), decisions
+                    ):
+                        if isinstance(decision, AdmissionRejected):
+                            self.rejected += 1
+                            if self._metrics is not None:
+                                self._metrics.on_rejected()
+                            self._emit(
+                                "rejected",
+                                now,
+                                query.query_id,
+                                reason=str(decision),
+                            )
+                            continue  # the placeholder already says rejected
+                        ticket = self._admit(decision, query, qclass)
+                        outcomes[slot] = SubmitOutcome(
+                            accepted=True, decision=decision, ticket=ticket
+                        )
+                self._sample(now)
+            idx += space
+        return outcomes
 
     # -- task construction ---------------------------------------------------
 
@@ -535,6 +707,7 @@ class ServeEngine:
         error: BaseException | None,
     ) -> None:
         self._in_flight -= 1
+        self._tickets.pop(ticket, None)
         ticket._complete(record, error)
         self._state.cond.notify_all()
 
@@ -570,9 +743,11 @@ class ServeEngine:
                     None if deadline is None else deadline - time.monotonic()
                 )
                 if remaining is not None and remaining <= 0:
+                    stranded = sorted(self._tickets.values())
                     raise ServeError(
                         f"drain timed out with {self._in_flight} queries in "
-                        f"flight after {timeout}s"
+                        f"flight after {timeout}s; stranded query ids: "
+                        f"{stranded}"
                     )
                 self._state.cond.wait(timeout=remaining)
             # final forced snapshot: the drained registry state is what
@@ -588,10 +763,22 @@ class ServeEngine:
             ) from first
 
     def stop(self, finish_queued: bool = True) -> None:
-        """Join every pool's workers (no drain semantics; see drain())."""
+        """Join every pool's workers (no drain semantics; see drain()).
+
+        Tickets of queries still in flight when the workers are gone are
+        *abandoned*: their ``wait`` returns False instead of hanging on
+        work that no longer has anyone to run it.
+        """
         for pool in self.pools.values():
             pool.stop(finish_queued=finish_queued)
         self._started = False
+        with self._state.cond:
+            abandoned = list(self._tickets)
+            self._tickets.clear()
+            for ticket in abandoned:
+                ticket._abandon()
+            if abandoned:
+                self._state.cond.notify_all()
 
     # -- reporting ------------------------------------------------------------
 

@@ -74,17 +74,51 @@ class OpenLoopGenerator:
         and counted instead of blocking — the open-loop contract (the
         arrival process never waits for the system).  When False,
         submissions block and arrivals drift late under overload.
+    batch_size:
+        When set, arrivals buffer until ``batch_size`` of them are due
+        and the buffer goes through :meth:`~repro.serve.engine.
+        ServeEngine.submit_batch` in one call (a trailing partial batch
+        flushes at the end of the stream).  Pacing still follows each
+        entry's timestamp — batching changes when *admission* happens,
+        not when arrivals do.  In shed mode a backpressured flush keeps
+        whatever the engine already admitted and sheds only the rest of
+        that batch.
     """
 
-    def __init__(self, engine: ServeEngine, *, shed: bool = True):
+    def __init__(
+        self,
+        engine: ServeEngine,
+        *,
+        shed: bool = True,
+        batch_size: int | None = None,
+    ):
+        if batch_size is not None and batch_size < 1:
+            raise ServeError(f"batch_size must be >= 1, got {batch_size}")
         self._engine = engine
         self._shed = shed
+        self._batch_size = batch_size
 
     def run(self, stream: QueryStream) -> LoadReport:
         """Submit every stream entry at (or after) its timestamp."""
         engine = self._engine
         start = engine.elapsed
         offered = accepted = rejected = shed = 0
+        buffer: list = []
+
+        def flush() -> tuple[int, int, int]:
+            queries = [t.query for t in buffer]
+            classes = [t.query_class for t in buffer]
+            n = len(buffer)
+            buffer.clear()
+            try:
+                outcomes = engine.submit_batch(
+                    queries, classes, block=not self._shed
+                )
+            except BackpressureError as exc:
+                outcomes = getattr(exc, "outcomes", [])
+            ok = sum(1 for o in outcomes if o.accepted)
+            return ok, len(outcomes) - ok, n - len(outcomes)
+
         for timed in stream:
             # pace via the injected clock: under FakeClock this advances
             # time instead of blocking, keeping paced tests instant
@@ -92,6 +126,14 @@ class OpenLoopGenerator:
             if lag > 0:
                 engine.clock.sleep(lag)
             offered += 1
+            if self._batch_size is not None:
+                buffer.append(timed)
+                if len(buffer) >= self._batch_size:
+                    a, r, s = flush()
+                    accepted += a
+                    rejected += r
+                    shed += s
+                continue
             try:
                 outcome = engine.submit(
                     timed.query, timed.query_class, block=not self._shed
@@ -103,6 +145,11 @@ class OpenLoopGenerator:
                 accepted += 1
             else:
                 rejected += 1
+        if buffer:
+            a, r, s = flush()
+            accepted += a
+            rejected += r
+            shed += s
         return LoadReport(
             offered=offered,
             accepted=accepted,

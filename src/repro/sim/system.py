@@ -38,17 +38,23 @@ from repro.core.scheduler import (
     QueryEstimates,
     ScheduleDecision,
 )
-from repro.errors import CubeNotAvailableError, SimulationError, TranslationError
+from repro.errors import (
+    AdmissionRejected,
+    CubeNotAvailableError,
+    SimulationError,
+    TranslationError,
+)
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.partitioning import PartitionScheme
 from repro.olap.pyramid import CubePyramid, PyramidGroup
-from repro.query.model import Query, decompose
+from repro.query.model import Query, decompose, dimension_column
 from repro.query.workload import QueryStream
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import QueryRecord, SystemReport
 from repro.sim.obs import TraceCollector
 from repro.sim.resources import Job, Server
 from repro.text.translator import TranslationService
+from repro.units import bytes_to_mb
 
 __all__ = ["SystemConfig", "HybridSystem", "SystemEstimator"]
 
@@ -139,12 +145,73 @@ class SystemConfig:
 
 
 class SystemEstimator:
-    """Step-2 estimates from the configured performance models."""
+    """Step-2 estimates from the configured performance models.
+
+    :meth:`estimate` is the per-query path; :meth:`estimate_batch`
+    produces the same :class:`QueryEstimates` — bit-identical floats —
+    for a whole batch, amortising the Python-level feature extraction
+    and evaluating each model family as one NumPy pass.
+    """
 
     def __init__(self, config: SystemConfig):
         self._config = config
         self._hierarchies = config.device.descriptor.schema.hierarchies
         self._total_columns = config.device.descriptor.total_columns
+        # Static lookup tables for the batch fast path: fact-table column
+        # per (dimension, resolution), pyramid level tables, dictionary
+        # lengths.  All derived from immutable config, built lazily.
+        self._colnames: dict[str, tuple[str, ...]] = {
+            dim: tuple(dimension_column(dim, lvl.name) for lvl in h.levels)
+            for dim, h in self._hierarchies.items()
+        }
+        self._pyramid_tables_cache: dict[int, tuple] = {}
+        self._dl_cache: dict[str, int] = {}
+        self._static = self._build_static()
+
+    def _build_static(self):
+        """One-time tables for the single-pyramid batch fast path.
+
+        Returns ``(info, bases, n_levels)`` — or ``None`` when the
+        configured pyramid is a :class:`PyramidGroup` (level tables
+        depend on the query) or has non-monotone per-dimension
+        resolutions (O(conditions) level selection would be wrong).
+
+        ``info[dim] = (cols, first_ok, per_level)``: the fact-table
+        column per resolution, the smallest answering level index per
+        resolution (``None`` when the dimension is absent from the
+        pyramid), and per level ``(resolution, cardinality,
+        cardinalities_per_res)``.  ``bases[lvl]`` is the level's *full*
+        cube size in bytes (cell size times every dimension's
+        cardinality); a condition on a dimension replaces that
+        dimension's full cardinality with its width via exact integer
+        division, so the product equals the scalar path's.
+        """
+        pyramid = self._config.pyramid
+        if isinstance(pyramid, PyramidGroup) or not isinstance(pyramid, CubePyramid):
+            return None
+        tables, first_ok = self._pyramid_tables(pyramid)
+        if first_ok is None:
+            return None
+        n_levels = len(tables)
+        bases = []
+        for _res_of, cell_nbytes, dim_table in tables:
+            base = cell_nbytes
+            for _name, _r, card_r, _cards in dim_table:
+                base *= card_r
+            bases.append(base)
+        rows_by_dim: dict[str, list[tuple[int, int, tuple[int, ...]]]] = {}
+        for _res_of, _cell, dim_table in tables:
+            for name, r, card_r, cards in dim_table:
+                rows_by_dim.setdefault(name, []).append((r, card_r, cards))
+        info: dict[str, tuple] = {}
+        for dim, cols in self._colnames.items():
+            fo = first_ok.get(dim)
+            rows = rows_by_dim.get(dim)
+            if fo is None or rows is None:
+                info[dim] = (cols, None, None)
+            else:
+                info[dim] = (cols, fo, tuple(rows))
+        return info, tuple(bases), n_levels
 
     def dictionary_length(self, column: str) -> int:
         cfg = self._config
@@ -183,6 +250,306 @@ class SystemEstimator:
             d_l = self.dictionary_length(pred.column)
             t_trans += len(pred.condition.text_values) * cfg.dict_model.time(d_l)
         return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
+
+    # -- batch estimation (the vectorised step-2 pass) ---------------------
+
+    def _dl(self, column: str) -> int:
+        d_l = self._dl_cache.get(column)
+        if d_l is None:
+            d_l = self.dictionary_length(column)
+            self._dl_cache[column] = d_l
+        return d_l
+
+    def _pyramid_tables(self, pyramid: CubePyramid):
+        """Lookup tables for the lean sub-cube size replica.
+
+        Returns ``(tables, first_ok)``: ``tables`` has one entry per
+        pyramid level (smallest-first, the selection order) of
+        ``(res_of, cell_nbytes, dim_table)`` with ``dim_table`` rows
+        ``(dim_name, level_res, cardinality_at_res,
+        cardinalities_per_res)`` in the pyramid's dimension order.
+
+        ``first_ok[dim][r]`` is the index of the smallest level whose
+        resolution for ``dim`` is ``>= r`` — valid for level selection
+        because per-dimension resolutions are non-decreasing across the
+        size-sorted levels (checked here); when a pyramid violates that
+        monotonicity ``first_ok`` is ``None`` and callers scan levels
+        the way ``select_level`` does.
+        """
+        hit = self._pyramid_tables_cache.get(id(pyramid))
+        if hit is not None:
+            return hit[1], hit[2]
+        tables = []
+        for level in pyramid.levels:
+            res_of = {d.name: r for d, r in zip(pyramid.dimensions, level.resolutions)}
+            dim_table = [
+                (d.name, r, d.cardinality(r), tuple(l.cardinality for l in d.levels))
+                for d, r in zip(pyramid.dimensions, level.resolutions)
+            ]
+            tables.append((res_of, level.cell_nbytes, dim_table))
+        n_levels = len(tables)
+        first_ok: dict[str, tuple[int, ...]] | None = {}
+        for j, d in enumerate(pyramid.dimensions):
+            res_by_level = [lvl.resolutions[j] for lvl in pyramid.levels]
+            if any(a > b for a, b in zip(res_by_level, res_by_level[1:])):
+                first_ok = None
+                break
+            per_res = []
+            for r in range(len(d.levels)):
+                idx = next((i for i, lr in enumerate(res_by_level) if lr >= r), n_levels)
+                per_res.append(idx)
+            first_ok[d.name] = tuple(per_res)
+        # pin the pyramid so the id() key can never be recycled
+        self._pyramid_tables_cache[id(pyramid)] = (pyramid, tables, first_ok)
+        return tables, first_ok
+
+    def _features(self, query: Query):
+        """Integer features of one query for the batch fast path.
+
+        Returns ``(sc_mb, column_fraction, text_terms)`` where
+        ``text_terms`` is ``[(num_literals, dictionary_length), ...]`` in
+        condition order, or ``None`` when the query's shape is outside
+        the fast path (grouped queries, unknown dimensions, invalid
+        resolutions or ranges) — those fall back to :meth:`estimate`,
+        which computes, or raises, exactly what the per-query path would.
+
+        Every arithmetic step mirrors ``CubePyramid.subcube_size_mb`` /
+        ``decompose`` operation for operation; the maths is integer
+        until the final ``bytes_to_mb`` and division, so the floats
+        handed to the models are identical to the scalar path's.
+        """
+        if query.group_by or self._total_columns <= 0:
+            return None
+        static = self._static
+        if static is None:
+            return self._features_generic(query)
+        info, bases, n_levels = static
+        conditions = query.conditions
+        terms: list[tuple[int, int]] = []
+        lvl = 0
+        ents: list[tuple] = []
+        for cond in conditions:
+            entry = info.get(cond.dimension)
+            if entry is None:
+                return None  # unknown dimension: scalar path raises
+            cols, fo, rows = entry
+            res = cond.resolution  # Condition validates res >= 0
+            if res >= len(cols):
+                return None  # invalid resolution: scalar path raises
+            text_values = cond.text_values
+            if text_values:
+                terms.append((len(text_values), self._dl(cols[res])))
+            if lvl < n_levels:
+                if fo is None or res >= len(fo):
+                    lvl = n_levels  # dimension absent from the pyramid
+                else:
+                    idx = fo[res]
+                    if idx > lvl:
+                        lvl = idx
+                    ents.append((cond, rows))
+        # conditions have unique dimensions, so each contributes one
+        # distinct predicate column — exactly decompose()'s set size
+        ncols = len(conditions) + (len(query.measures) if query.agg != "count" else 0)
+        frac = ncols / self._total_columns
+        sc_mb: float | None = None
+        if lvl < n_levels:
+            n = bases[lvl]
+            for cond, rows in ents:
+                r, card_r, cards = rows[lvl]
+                if cond.lo is not None:  # numeric range
+                    if r == cond.resolution:
+                        width = cond.hi - cond.lo
+                    else:
+                        card_from = cards[cond.resolution]
+                        if not 0 <= cond.lo <= cond.hi <= card_from:
+                            return None  # scalar path raises ResolutionError
+                        factor = card_r // card_from
+                        width = cond.hi * factor - cond.lo * factor
+                elif cond.codes:
+                    width = len(set(cond.codes)) * (card_r // cards[cond.resolution])
+                else:  # text literals resolved natively by the CPU
+                    width = len(set(cond.text_values)) * (card_r // cards[cond.resolution])
+                # swap this dimension's full cardinality for the width;
+                # integer-exact, so the product matches subcube_size_mb
+                n = n // card_r * width
+            sc_mb = bytes_to_mb(n)
+        return sc_mb, frac, terms
+
+    def _features_generic(self, query: Query):
+        """Per-query-pyramid variant of :meth:`_features` (PyramidGroup
+        configs and pyramids with non-monotone level resolutions)."""
+        conditions = query.conditions
+        colnames = self._colnames
+        pred_cols = set()
+        add_col = pred_cols.add
+        terms: list[tuple[int, int]] = []
+        for cond in conditions:
+            cols = colnames.get(cond.dimension)
+            res = cond.resolution  # Condition validates res >= 0
+            if cols is None or res >= len(cols):
+                return None
+            col = cols[res]
+            add_col(col)
+            text_values = cond.text_values
+            if text_values:
+                terms.append((len(text_values), self._dl(col)))
+        ncols = len(pred_cols) + (len(query.measures) if query.agg != "count" else 0)
+        frac = ncols / self._total_columns
+
+        pyramid = self._config.pyramid
+        if isinstance(pyramid, PyramidGroup):
+            try:
+                pyramid = pyramid.pyramid_for(query)
+            except CubeNotAvailableError:
+                pyramid = None
+        elif not isinstance(pyramid, CubePyramid):
+            return None
+        sc_mb: float | None = None
+        if pyramid is not None:
+            tables, first_ok = self._pyramid_tables(pyramid)
+            n_levels = len(tables)
+            selected = None
+            if first_ok is not None:
+                # O(conditions) selection: the answering level is the max
+                # over conditions of each dimension's first-OK index.
+                lvl = 0
+                for cond in conditions:
+                    fo = first_ok.get(cond.dimension)
+                    if fo is None or cond.resolution >= len(fo):
+                        lvl = n_levels
+                        break
+                    idx = fo[cond.resolution]
+                    if idx > lvl:
+                        lvl = idx
+                if lvl < n_levels:
+                    selected = tables[lvl]
+            else:
+                for entry in tables:
+                    res_of = entry[0]
+                    answerable = True
+                    for cond in conditions:
+                        r = res_of.get(cond.dimension)
+                        if r is None or r < cond.resolution:
+                            answerable = False
+                            break
+                    if answerable:
+                        selected = entry
+                        break
+            if selected is not None:
+                cond_by_dim = {c.dimension: c for c in conditions}
+                _res_of, cell_nbytes, dim_table = selected
+                n = cell_nbytes
+                for name, r, card_r, cards in dim_table:
+                    cond = cond_by_dim.get(name)
+                    if cond is None:
+                        width = card_r
+                    elif cond.lo is not None:  # numeric range
+                        if r == cond.resolution:
+                            width = cond.hi - cond.lo
+                        else:
+                            card_from = cards[cond.resolution]
+                            if not 0 <= cond.lo <= cond.hi <= card_from:
+                                return None  # scalar path raises ResolutionError
+                            factor = card_r // card_from
+                            width = cond.hi * factor - cond.lo * factor
+                    elif cond.codes:
+                        factor = card_r // cards[cond.resolution]
+                        width = len(set(cond.codes)) * factor
+                    else:  # text literals resolved natively by the CPU
+                        factor = card_r // cards[cond.resolution]
+                        width = len(set(cond.text_values)) * factor
+                    n *= width
+                sc_mb = bytes_to_mb(n)
+        return sc_mb, frac, terms
+
+    def estimate_batch(self, queries) -> list[QueryEstimates]:
+        """Step-2 estimates for a whole batch, bit-identical to looping
+        :meth:`estimate`.
+
+        Feature extraction (sub-cube sizes, column fractions, dictionary
+        lengths) runs as a lean integer pass per query against
+        precomputed lookup tables; each model family — :math:`P_{CPU}`,
+        :math:`P_{GPU}` per SM class, :math:`P_{DICT}` — is then
+        evaluated as one vectorised ``time_many`` /
+        ``estimate_time_many`` call over the whole batch.  Queries whose
+        shape the fast path does not cover are estimated individually,
+        so the result is always defined (or raises) exactly as the
+        scalar path would.
+        """
+        queries = list(queries)
+        cfg = self._config
+        results: list[QueryEstimates | None] = [None] * len(queries)
+
+        fast_idx: list[int] = []
+        fracs: list[float] = []
+        sc_idx: list[int] = []
+        sc_vals: list[float] = []
+        all_counts: list[int] = []
+        all_dls: list[int] = []
+        term_spans: list[tuple[int, int, int]] = []  # (query index, start, stop)
+        for i, query in enumerate(queries):
+            feats = self._features(query)
+            if feats is None:
+                results[i] = self.estimate(query)
+                continue
+            sc_mb, frac, terms = feats
+            fast_idx.append(i)
+            fracs.append(frac)
+            if sc_mb is not None:
+                sc_idx.append(i)
+                sc_vals.append(sc_mb)
+            if terms:
+                start = len(all_counts)
+                for count, d_l in terms:
+                    all_counts.append(count)
+                    all_dls.append(d_l)
+                term_spans.append((i, start, len(all_counts)))
+        if not fast_idx:
+            return results  # type: ignore[return-value]
+
+        nonnegative = True
+        t_cpu_by_idx: dict[int, float] = {}
+        if sc_vals:
+            cpu_times = cfg.cpu_model.time_many(np.asarray(sc_vals, dtype=np.float64))
+            nonnegative &= float(cpu_times.min()) >= 0
+            for i, t in zip(sc_idx, cpu_times.tolist()):
+                t_cpu_by_idx[i] = t
+
+        sm_counts = cfg.scheme.distinct_sm_counts
+        frac_arr = np.asarray(fracs, dtype=np.float64)
+        gpu_cols = {}
+        for n_sm in sm_counts:
+            col = cfg.device.estimate_time_many(frac_arr, n_sm)
+            if col.size:
+                nonnegative &= float(col.min()) >= 0
+            gpu_cols[n_sm] = col.tolist()
+
+        t_trans_by_idx: dict[int, float] = {}
+        if all_counts:
+            per_term = np.asarray(all_counts, dtype=np.float64) * cfg.dict_model.time_many(
+                np.asarray(all_dls, dtype=np.float64)
+            )
+            costs = per_term.tolist()
+            for i, start, stop in term_spans:
+                # accumulate in condition order with the scalar loop's
+                # `+=` so rounding matches estimate() exactly
+                t_trans = 0.0
+                for c in costs[start:stop]:
+                    t_trans += c
+                t_trans_by_idx[i] = t_trans
+                nonnegative &= t_trans >= 0
+
+        # Non-negativity was checked vectorised above, so the per-query
+        # __post_init__ re-check can be skipped; a pathological model
+        # (negative output) drops to the validating constructor, which
+        # raises exactly where the scalar loop would.
+        build = QueryEstimates.trusted if nonnegative else QueryEstimates
+        cpu_get = t_cpu_by_idx.get
+        trans_get = t_trans_by_idx.get
+        sm_list = list(sm_counts)  # a scheme always has >= 1 partition
+        for i, row in zip(fast_idx, zip(*(gpu_cols[n_sm] for n_sm in sm_list))):
+            results[i] = build(cpu_get(i), dict(zip(sm_list, row)), trans_get(i, 0.0))
+        return results  # type: ignore[return-value]
 
 
 class HybridSystem:
@@ -248,6 +615,7 @@ class HybridSystem:
         metrics=None,
         snapshots=None,
         rollup=None,
+        batch_size: int | None = None,
     ) -> SystemReport:
         """Simulate one query stream; returns the aggregated report.
 
@@ -271,7 +639,23 @@ class HybridSystem:
         and never reach the scheduler; misses proceed through Figure 10
         untouched.  When ``metrics`` is also given, the router gets a
         :class:`~repro.metrics.instrument.RollupMetrics` wired in.
+
+        ``batch_size`` switches admission to the vectorised
+        :meth:`~repro.core.scheduler.BaseScheduler.schedule_batch`
+        path: arrivals buffer (after their arrival events and rollup
+        lookups fire at arrival time) until ``batch_size`` of them need
+        a decision, and the whole buffer is decided in one pass at the
+        batch-completing arrival's instant — a trailing partial batch
+        flushes with the final arrival.  Decisions are byte-identical
+        to the sequential scheduler's given the same queue states, but
+        buffering changes *when* queries are booked, so reports differ
+        from ``batch_size=None`` exactly as a coarser admission cadence
+        should.  ``batch_size=1`` flushes every arrival immediately.
         """
+        if batch_size is not None and batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         cfg = self.config
         engine = SimulationEngine()
         rng = np.random.default_rng(cfg.seed)
@@ -378,100 +762,166 @@ class HybridSystem:
 
         rejected = [0]
 
-        def on_arrival(query: Query, query_class: str) -> Callable[[], None]:
-            def _arrive() -> None:
-                from repro.errors import AdmissionRejected
+        def pre_admit(query: Query, query_class: str) -> bool:
+            """Arrival-time front half of Figure 10's dispatcher.
 
-                if (
-                    self._materialised
-                    and query.needs_translation
-                    and cfg.translation_service is None
-                ):
-                    # fail at arrival with a clear message rather than
-                    # deep inside _resolve_text at completion time
-                    raise TranslationError(
-                        f"query {query.query_id} carries text parameters but "
-                        "this materialised run has no translation_service "
-                        "configured; text-free workloads run fine without one"
-                    )
+            Emits the arrival, consults the rollup tier, and books the
+            submitted count.  Returns False when the query is finished
+            here (cache hit) and never reaches the scheduler.
+            """
+            if (
+                self._materialised
+                and query.needs_translation
+                and cfg.translation_service is None
+            ):
+                # fail at arrival with a clear message rather than
+                # deep inside _resolve_text at completion time
+                raise TranslationError(
+                    f"query {query.query_id} carries text parameters but "
+                    "this materialised run has no translation_service "
+                    "configured; text-free workloads run fine without one"
+                )
+            if collector is not None:
+                collector.emit(
+                    "arrival",
+                    engine.now,
+                    query.query_id,
+                    query_class=query_class,
+                    needs_translation=query.needs_translation,
+                )
+            if rollup is not None:
+                hit = rollup.serve(
+                    query,
+                    query_class,
+                    engine.now,
+                    deadline=engine.now + cfg.time_constraint,
+                )
+                if hit is not None:
+                    # zero-cost hit: answered at the arrival instant,
+                    # never offered to the scheduler (no submitted/
+                    # admitted counts, no submission books)
+                    cache_hits.append(hit)
+                    if collector is not None:
+                        collector.emit(
+                            "cache-hit",
+                            engine.now,
+                            query.query_id,
+                            target=hit.target,
+                            answer=hit.answer,
+                        )
+                    if snapshots is not None:
+                        snapshots.tick(engine.now)
+                    return False
+            if run_metrics is not None:
+                run_metrics.on_submitted()
+            if snapshots is not None:
+                snapshots.tick(engine.now)
+            return True
+
+        def admit(
+            query: Query,
+            query_class: str,
+            decision: "ScheduleDecision | AdmissionRejected",
+        ) -> None:
+            """Decision-time back half: book one scheduling outcome.
+
+            ``decision`` is a :class:`ScheduleDecision` or the
+            :class:`~repro.errors.AdmissionRejected` the scheduler
+            produced for this query (batch passes return rejections as
+            values rather than raising).
+            """
+            if isinstance(decision, AdmissionRejected):
+                rejected[0] += 1
+                if run_metrics is not None:
+                    run_metrics.on_rejected()
                 if collector is not None:
                     collector.emit(
-                        "arrival",
+                        "rejected",
                         engine.now,
                         query.query_id,
-                        query_class=query_class,
-                        needs_translation=query.needs_translation,
+                        reason=str(decision),
                     )
-                if rollup is not None:
-                    hit = rollup.serve(
-                        query,
-                        query_class,
-                        engine.now,
-                        deadline=engine.now + cfg.time_constraint,
+                return
+            if run_metrics is not None:
+                in_flight[0] += 1
+                run_metrics.on_admitted(in_flight[0])
+            if decision.translation is not None:
+                est_trans = decision.translation.estimated_time
+                realised_trans = est_trans * self._noise(rng)
+
+                def _translated(finish: float, job: Job) -> None:
+                    feedback.on_completion(
+                        trans_q,
+                        realised_trans,
+                        est_trans,
+                        query_id=query.query_id,
                     )
-                    if hit is not None:
-                        # zero-cost hit: answered at the arrival instant,
-                        # never offered to the scheduler (no submitted/
-                        # admitted counts, no submission books)
-                        cache_hits.append(hit)
-                        if collector is not None:
-                            collector.emit(
-                                "cache-hit",
-                                engine.now,
-                                query.query_id,
-                                target=hit.target,
-                                answer=hit.answer,
-                            )
-                        if snapshots is not None:
-                            snapshots.tick(engine.now)
-                        return
-                if run_metrics is not None:
-                    run_metrics.on_submitted()
-                if snapshots is not None:
-                    snapshots.tick(engine.now)
+                    if run_metrics is not None:
+                        run_metrics.on_stage("translation", realised_trans)
+                    submit_processing(decision, query_class)
+
+                servers[trans_q.name].submit(
+                    Job(
+                        query_id=query.query_id,
+                        service_time=realised_trans,
+                        on_complete=_translated,
+                    )
+                )
+            else:
+                submit_processing(decision, query_class)
+
+        def on_arrival(query: Query, query_class: str) -> Callable[[], None]:
+            def _arrive() -> None:
+                if not pre_admit(query, query_class):
+                    return
                 try:
                     decision = scheduler.schedule(query, engine.now)
                 except AdmissionRejected as exc:
-                    rejected[0] += 1
-                    if run_metrics is not None:
-                        run_metrics.on_rejected()
-                    if collector is not None:
-                        collector.emit(
-                            "rejected", engine.now, query.query_id, reason=str(exc)
-                        )
+                    admit(query, query_class, exc)
                     return
-                if run_metrics is not None:
-                    in_flight[0] += 1
-                    run_metrics.on_admitted(in_flight[0])
-                if decision.translation is not None:
-                    est_trans = decision.translation.estimated_time
-                    realised_trans = est_trans * self._noise(rng)
-
-                    def _translated(finish: float, job: Job) -> None:
-                        feedback.on_completion(
-                            trans_q,
-                            realised_trans,
-                            est_trans,
-                            query_id=query.query_id,
-                        )
-                        if run_metrics is not None:
-                            run_metrics.on_stage("translation", realised_trans)
-                        submit_processing(decision, query_class)
-
-                    servers[trans_q.name].submit(
-                        Job(
-                            query_id=query.query_id,
-                            service_time=realised_trans,
-                            on_complete=_translated,
-                        )
-                    )
-                else:
-                    submit_processing(decision, query_class)
+                admit(query, query_class, decision)
 
             return _arrive
 
+        # batched admission: arrivals buffer until batch_size of them
+        # passed pre-admission, then one schedule_batch pass decides the
+        # whole buffer at the batch-completing arrival's instant
+        buffer: list[tuple[Query, str]] = []
+
+        def flush() -> None:
+            if not buffer:
+                return
+            batch = list(buffer)
+            buffer.clear()
+            decisions = scheduler.schedule_batch(
+                [query for query, _ in batch], engine.now
+            )
+            for (query, query_class), decision in zip(batch, decisions):
+                admit(query, query_class, decision)
+
+        def on_arrival_batched(
+            query: Query, query_class: str
+        ) -> Callable[[], None]:
+            def _arrive() -> None:
+                if not pre_admit(query, query_class):
+                    return
+                buffer.append((query, query_class))
+                if len(buffer) >= batch_size:
+                    flush()
+
+            return _arrive
+
+        make_arrival = on_arrival if batch_size is None else on_arrival_batched
+        last_time: float | None = None
         for timed in stream:
-            engine.schedule_at(timed.time, on_arrival(timed.query, timed.query_class))
+            engine.schedule_at(
+                timed.time, make_arrival(timed.query, timed.query_class)
+            )
+            last_time = timed.time
+        if batch_size is not None and last_time is not None:
+            # trailing partial batch: the heap's FIFO tie-break fires
+            # this after the final arrival at the same instant
+            engine.schedule_at(last_time, flush)
 
         engine.run(max_events=max_events)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import TranslationError, UnknownTokenError
 from repro.olap.hierarchy import DimensionHierarchy
@@ -92,6 +92,7 @@ class TranslationService:
         self._hierarchies = dict(hierarchies)
         self._cost_model: DictCostFn = cost_model or _paper_p_dict
         self._scanner: AhoCorasick | None = None
+        self._batch_tables: tuple[AhoCorasick | None, dict[str, dict[str, int]]] | None = None
         #: optional metrics hook, duck-typed so the text layer keeps no
         #: import on :mod:`repro.metrics` (see :class:`repro.metrics.
         #: instrument.TranslatorMetrics`): ``on_translated(lookups,
@@ -203,6 +204,129 @@ class TranslationService:
             estimated_time=estimated,
             lookups=tuple(lookups),
         )
+
+    # -- batch translation (amortised dictionary search) -------------------
+
+    def _batch_automaton(self) -> tuple[AhoCorasick | None, dict[str, dict[str, int]]]:
+        """Lazily build the batch-translation tables.
+
+        One Aho–Corasick automaton over the union of all column
+        vocabularies (the II-E machinery: one scan finds every known
+        term), plus a token-to-code map per column for the authoritative
+        per-column resolution.  The automaton is ``None`` when a
+        vocabulary token contains the ``"\\x00"`` literal separator —
+        the joined-text scan would be ambiguous, so matching falls back
+        to the code maps alone.
+        """
+        if self._batch_tables is None:
+            code_maps = {
+                column: {tok: code for code, tok in enumerate(d.vocabulary)}
+                for column, d in self._dictionaries.items()
+            }
+            union: dict[str, None] = {}
+            clean = True
+            for d in self._dictionaries.values():
+                for tok in d.vocabulary:
+                    if "\x00" in tok:
+                        clean = False
+                    union[tok] = None
+            automaton = AhoCorasick(list(union)) if union and clean else None
+            self._batch_tables = (automaton, code_maps)
+        return self._batch_tables
+
+    def translate_batch(self, queries: Sequence[Query]) -> list[TranslationResult]:
+        """Translate a batch of queries with one shared dictionary scan.
+
+        Results — translated queries, lookup tuples, eq.-18 estimates,
+        metrics events and the :class:`UnknownTokenError` raised at the
+        first untranslatable literal — are identical to calling
+        :meth:`translate` per query in order.  The work is amortised:
+        every literal of every query is joined into one ``"\\x00"``-
+        separated text and matched by a single Aho–Corasick pass over
+        the union vocabulary (a literal is a known term iff its slot is
+        covered by one leftmost-longest match — patterns cannot cross
+        the separator), after which codes come from cached per-column
+        token maps instead of per-literal backend searches.  Dictionary
+        backends are therefore not consulted, so their ``probes``
+        counters reflect the amortised cost, not the scalar path's.
+        """
+        queries = list(queries)
+        automaton, code_maps = self._batch_automaton()
+
+        literals: list[str] = []
+        for query in queries:
+            for cond in query.conditions:
+                literals.extend(cond.text_values)
+        in_union: list[bool] | None = None
+        if automaton is not None and literals:
+            joined = "\x00".join(literals)
+            spans = {(m.start, m.end) for m in automaton.longest_matches(joined)}
+            in_union = []
+            pos = 0
+            for lit in literals:
+                end = pos + len(lit)
+                in_union.append((pos, end) in spans)
+                pos = end + 1  # skip the separator
+
+        results: list[TranslationResult] = []
+        next_literal = 0
+        for query in queries:
+            metrics = self.metrics
+            start_t = time.perf_counter() if metrics is not None else 0.0
+            try:
+                decomposition = decompose(query, self._hierarchies)
+                estimated = self.estimate_time_decomposed(decomposition)
+                if not decomposition.needs_translation:
+                    result = TranslationResult(
+                        query=query,
+                        parameters_translated=0,
+                        estimated_time=0.0,
+                        lookups=(),
+                    )
+                else:
+                    column_of = {
+                        id(p.condition): p.column for p in decomposition.predicates
+                    }
+                    lookups: list[tuple[str, str, int]] = []
+                    new_conditions = []
+                    for cond in query.conditions:
+                        if not cond.is_text:
+                            new_conditions.append(cond)
+                            continue
+                        column = column_of[id(cond)]
+                        codes = []
+                        col_map = code_maps.get(column)
+                        if col_map is None:
+                            self.dictionary_for(column)  # raises TranslationError
+                        for token in cond.text_values:
+                            li = next_literal
+                            next_literal += 1
+                            code = (
+                                col_map.get(token)
+                                if in_union is None or in_union[li]
+                                else None
+                            )
+                            if code is None:
+                                raise UnknownTokenError(column, token)
+                            codes.append(code)
+                            lookups.append((column, token, code))
+                        new_conditions.append(cond.translated(codes))
+                    result = TranslationResult(
+                        query=query.with_conditions(new_conditions),
+                        parameters_translated=len(lookups),
+                        estimated_time=estimated,
+                        lookups=tuple(lookups),
+                    )
+            except UnknownTokenError:
+                if metrics is not None:
+                    metrics.on_miss(time.perf_counter() - start_t)
+                raise
+            if metrics is not None:
+                metrics.on_translated(
+                    result.parameters_translated, time.perf_counter() - start_t
+                )
+            results.append(result)
+        return results
 
     # -- free-text scanning (Aho-Corasick front-end) -----------------------
 

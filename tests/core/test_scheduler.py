@@ -375,3 +375,52 @@ class TestDeadlineBoundary:
         )
         decision = sched.schedule(query(), now=0.0)
         assert not decision.meets_deadline
+
+
+class TestTranslationBacklogLookups:
+    """Regression: one translation-backlog read per scheduling pass.
+
+    ``response_times`` historically asked the translation queue for its
+    ready time once per GPU candidate (1 + n_gpu_queues reads for a
+    translated query, counting the cost-estimation read); the hoisted
+    ``translation_ready_at`` makes it exactly one read per call.  More
+    than a waste, per-candidate reads were a correctness hazard: any
+    future ready-time dependence on the *asking* candidate would have
+    let step 3's candidates see different translation backlogs.
+    """
+
+    class CountingQueue(PartitionQueue):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.ready_time_calls = 0
+
+        def ready_time(self, now):
+            self.ready_time_calls += 1
+            return super().ready_time(now)
+
+    def _scheduler(self, estimator):
+        cpu_q = PartitionQueue("Q_CPU", QueueKind.CPU)
+        trans_q = self.CountingQueue("Q_TRANS", QueueKind.TRANSLATION)
+        gpu_qs = [
+            PartitionQueue(f"Q_G{i + 1}", QueueKind.GPU, n_sm=n)
+            for i, n in enumerate([1, 1, 2, 2, 4, 4])
+        ]
+        return HybridScheduler(
+            cpu_q, gpu_qs, trans_q, estimator, time_constraint=0.5
+        )
+
+    def test_translated_query_reads_backlog_once_per_pass(self):
+        sched = self._scheduler(FixedEstimator(t_cpu=None, t_trans=0.01))
+        trans_q = sched.trans_queue
+        sched.response_times(sched.estimator.estimate(query()), now=0.0)
+        assert trans_q.ready_time_calls == 1
+        trans_q.ready_time_calls = 0
+        # a full schedule() additionally books the translation stage
+        # (one submit-time read inside trans_queue.submit)
+        sched.schedule(query(), now=0.0)
+        assert trans_q.ready_time_calls == 2
+
+    def test_untranslated_query_never_reads_the_backlog(self):
+        sched = self._scheduler(FixedEstimator(t_cpu=0.001))
+        sched.schedule(query(), now=0.0)
+        assert sched.trans_queue.ready_time_calls == 0

@@ -103,6 +103,49 @@ class TestQuantiles:
         assert hist.snapshot().mean == pytest.approx(3.0)
 
 
+class TestQuantileRankBoundary:
+    """Regression: float noise in ``q * count`` must not shift the rank.
+
+    ``0.07 * 100`` evaluates to ``7.000000000000001`` in binary
+    floating point, so a plain ``ceil(q * count)`` reported rank 8 —
+    one bucket too high whenever the exact product lands on a bucket
+    edge.  The rank now snaps to the nearest integer when the product
+    is within float noise of it, restoring Prometheus ``le``
+    semantics: the smallest bound whose cumulative count reaches
+    ``ceil(exact q x count)``.
+    """
+
+    @pytest.mark.parametrize(
+        "q, count",
+        [(0.07, 100), (0.14, 50), (0.28, 100), (0.55, 100), (0.56, 50)],
+    )
+    def test_exact_products_snap_to_the_edge_bucket(self, q, count):
+        # one observation per bucket: bucket index == rank - 1, so the
+        # expected bound is exactly the snapped rank's bucket
+        bounds = tuple(float(i) for i in range(1, count + 1))
+        hist = LatencyHistogram(bounds=bounds)
+        for i in range(1, count + 1):
+            hist.observe(float(i))
+        snap = hist.snapshot()
+        exact_rank = round(q * count)  # all fixture products are exact
+        assert math.ceil(q * count) == exact_rank + 1  # the float trap
+        assert snap.quantile_bound(q) == float(exact_rank)
+
+    def test_products_below_the_edge_still_ceil_up(self):
+        # 0.071 * 100 = 7.1: genuinely between ranks, ceil applies
+        bounds = tuple(float(i) for i in range(1, 101))
+        hist = LatencyHistogram(bounds=bounds)
+        for i in range(1, 101):
+            hist.observe(float(i))
+        assert hist.snapshot().quantile_bound(0.071) == 8.0
+
+    def test_tiny_quantile_clamps_to_rank_one(self):
+        hist = LatencyHistogram(bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        assert hist.snapshot().quantile_bound(1e-9) == 1.0
+
+
 class TestSnapshotAlgebra:
     def _snap(self, *values):
         hist = LatencyHistogram(bounds=(1.0, 2.0))

@@ -212,3 +212,53 @@ class TestTranslationWiring:
         )
         report = HybridSystem(cfg).run(wl.generate(50))
         assert report.completed == 50
+
+
+class TestBatchedAdmission:
+    """``run(batch_size=)`` buffers arrivals, decides in one pass each."""
+
+    def test_batch_size_one_matches_sequential(self, mat_config, workload):
+        stream = workload.generate(150, ArrivalProcess("uniform", rate=200.0))
+        seq = HybridSystem(mat_config).run(stream)
+        bat = HybridSystem(mat_config).run(stream, batch_size=1)
+        assert [
+            (r.query_id, r.target, r.submit_time, r.finish_time, r.answer)
+            for r in seq.records
+        ] == [
+            (r.query_id, r.target, r.submit_time, r.finish_time, r.answer)
+            for r in bat.records
+        ]
+
+    def test_batched_run_validates(self, mat_config, workload):
+        from repro.sim.obs import TraceCollector
+        from repro.sim.validate import assert_trace_valid, assert_valid
+
+        collector = TraceCollector()
+        stream = workload.generate(145, ArrivalProcess("uniform", rate=300.0))
+        report = HybridSystem(mat_config).run(
+            stream, collector=collector, batch_size=16
+        )
+        assert report.completed == 145
+        assert_valid(report)
+        assert_trace_valid(report, collector)
+        # 9 full batches of 16 plus the trailing flush of 1
+        batch_events = [e for e in collector.events if e.kind == "batch"]
+        assert [e.data["n"] for e in batch_events] == [16] * 9 + [1]
+        assert all(e.query_id is None for e in batch_events)
+
+    def test_closed_loop_single_trailing_flush(self, mat_config, workload):
+        # closed arrivals all land at t=0: one buffer, one flush
+        from repro.sim.obs import TraceCollector
+
+        collector = TraceCollector()
+        report = HybridSystem(mat_config).run(
+            workload.generate(20), collector=collector, batch_size=64
+        )
+        assert report.completed == 20
+        batch_events = [e for e in collector.events if e.kind == "batch"]
+        assert [e.data["n"] for e in batch_events] == [20]
+
+    def test_invalid_batch_size(self, mat_config, workload):
+        stream = workload.generate(5)
+        with pytest.raises(SimulationError, match="batch_size"):
+            HybridSystem(mat_config).run(stream, batch_size=0)

@@ -153,3 +153,145 @@ class TestScanText:
 
     def test_no_terms(self, translator):
         assert translator.scan_text("0123456789 @@@") == []
+
+
+class RecordingMetrics:
+    def __init__(self):
+        self.translated = []
+        self.misses = 0
+
+    def on_translated(self, parameters, seconds):
+        self.translated.append(parameters)
+
+    def on_miss(self, seconds):
+        self.misses += 1
+
+
+class TestTranslateBatch:
+    """``translate_batch`` == a ``translate`` loop, with one shared scan."""
+
+    @pytest.fixture()
+    def batch_queries(self, dataset, small_schema):
+        queries = []
+        for col in small_schema.text_columns[:2]:
+            vocab = dataset.vocabularies[col.name]
+            queries.append(
+                Query(
+                    conditions=(
+                        Condition(
+                            col.dimension,
+                            col.resolution,
+                            text_values=(vocab[1], vocab[0]),
+                        ),
+                    ),
+                    measures=("quantity",),
+                )
+            )
+        numeric_dim = small_schema.dimensions[0].name
+        queries.append(
+            Query(
+                conditions=(Condition(numeric_dim, 1, lo=0, hi=3),),
+                measures=("quantity",),
+            )
+        )
+        return queries
+
+    def test_results_equal_scalar_loop(self, translator, batch_queries):
+        batch = translator.translate_batch(batch_queries)
+        for query, via_batch in zip(batch_queries, batch):
+            scalar = translator.translate(query)
+            assert via_batch == scalar
+
+    def test_unknown_token_matches_scalar_error(
+        self, translator, dataset, text_column
+    ):
+        vocab = dataset.vocabularies[text_column.name]
+        good = Query(
+            conditions=(
+                Condition(
+                    text_column.dimension,
+                    text_column.resolution,
+                    text_values=(vocab[2],),
+                ),
+            ),
+            measures=("quantity",),
+        )
+        bad = Query(
+            conditions=(
+                Condition(
+                    text_column.dimension,
+                    text_column.resolution,
+                    text_values=("Atlantis!",),
+                ),
+            ),
+            measures=("quantity",),
+        )
+        with pytest.raises(UnknownTokenError) as batch_err:
+            translator.translate_batch([good, bad])
+        with pytest.raises(UnknownTokenError) as scalar_err:
+            translator.translate(bad)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_cross_column_tokens_stay_unknown(self, dataset, small_schema):
+        # a token known to column B but not column A is in the union
+        # automaton's vocabulary, yet must still be rejected for A: the
+        # per-column code maps are authoritative, the scan only filters
+        col_a, col_b = small_schema.text_columns[:2]
+        token_b = dataset.vocabularies[col_b.name][0]
+        assert token_b not in dataset.vocabularies[col_a.name]
+        service = TranslationService(
+            {
+                col_a.name: ColumnDictionary(
+                    col_a.name, dataset.vocabularies[col_a.name]
+                ),
+                col_b.name: ColumnDictionary(
+                    col_b.name, dataset.vocabularies[col_b.name]
+                ),
+            },
+            small_schema.hierarchies,
+        )
+        query = Query(
+            conditions=(
+                Condition(
+                    col_a.dimension, col_a.resolution, text_values=(token_b,)
+                ),
+            ),
+            measures=("quantity",),
+        )
+        with pytest.raises(UnknownTokenError, match=col_a.name):
+            service.translate_batch([query])
+
+    def test_separator_in_vocabulary_falls_back(self, small_schema, text_column):
+        # a vocabulary token containing the join separator disables the
+        # shared scan; the code maps alone still translate correctly
+        vocab = ("plain", "with\x00separator")
+        service = TranslationService(
+            {text_column.name: ColumnDictionary(text_column.name, vocab)},
+            small_schema.hierarchies,
+        )
+        query = Query(
+            conditions=(
+                Condition(
+                    text_column.dimension,
+                    text_column.resolution,
+                    text_values=("with\x00separator", "plain"),
+                ),
+            ),
+            measures=("quantity",),
+        )
+        (result,) = service.translate_batch([query])
+        assert result == service.translate(query)
+        assert set(result.query.conditions[0].codes) == {0, 1}
+
+    def test_metrics_events_match_scalar(
+        self, dictionaries, small_schema, batch_queries
+    ):
+        batch_svc = TranslationService(dictionaries, small_schema.hierarchies)
+        scalar_svc = TranslationService(dictionaries, small_schema.hierarchies)
+        batch_svc.metrics = RecordingMetrics()
+        scalar_svc.metrics = RecordingMetrics()
+        batch_svc.translate_batch(batch_queries)
+        for query in batch_queries:
+            scalar_svc.translate(query)
+        assert batch_svc.metrics.translated == scalar_svc.metrics.translated
+        assert batch_svc.metrics.misses == scalar_svc.metrics.misses == 0
