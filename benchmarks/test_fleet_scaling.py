@@ -1,0 +1,105 @@
+"""BENCH-FLEET — aggregate throughput of a sharded fleet vs one engine.
+
+The baseline leg replays BENCH-SERVE exactly (one ``ServeEngine``, the
+Table-3 workload at 60 q/s).  The fleet leg boots four worker-process
+shards behind the consistent-hash router and offers the same workload
+at 4x the rate, dispatched through :meth:`repro.fleet.Fleet.submit`
+from a thread pool (each call is a synchronous frame round-trip, so the
+pool provides the concurrency the open loop needs).  The paper has no
+multi-process experiment — this pins the scaling claim of the fleet
+plane: one engine at 60 q/s is far from saturating a host, so four
+shards must clear >= 3x the single-engine completion rate, and the
+merged books must reconcile.
+"""
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from test_serve_throughput import DURATION, RATE, ROWS, SEED, build_world, serve_once
+
+from repro.errors import FleetError
+from repro.fleet import Fleet, ShardSpec
+from repro.query.workload import ArrivalProcess
+from repro.sim import assert_fleet_valid
+
+SHARDS = 4
+SPEEDUP_FLOOR = 3.0
+
+
+def fleet_once():
+    _, workload = build_world()
+    rate = RATE * SHARDS
+    n_queries = math.ceil(DURATION * rate)
+    stream = workload.generate(n_queries, ArrivalProcess("poisson", rate=rate))
+
+    spec = ShardSpec(shard_id=0, rows=ROWS, seed=SEED)
+    answers = []
+    failed = 0
+    with Fleet(num_shards=SHARDS, spec=spec) as fleet:
+        start = time.monotonic()
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            futures = []
+            for timed in stream:
+                lag = (start + timed.time) - time.monotonic()
+                if lag > 0:
+                    time.sleep(lag)
+                futures.append(
+                    pool.submit(fleet.submit, timed.query, timed.query_class)
+                )
+            for future in futures:
+                try:
+                    answers.append(future.result())
+                except FleetError:
+                    failed += 1
+        elapsed = time.monotonic() - start
+        report = fleet.fleet_report(drain=True)
+
+    completed = sum(1 for a in answers if a.accepted)
+    shed = sum(1 for a in answers if a.shed)
+    return {
+        "offered": n_queries,
+        "completed": completed,
+        "shed": shed,
+        "failed": failed,
+        "elapsed": elapsed,
+        "qps": completed / elapsed,
+        "report": report,
+    }
+
+
+@pytest.mark.experiment("BENCH-FLEET", "Sharded fleet aggregate throughput")
+def test_fleet_scales_past_one_engine(benchmark, report):
+    load, sys_report = serve_once()
+    base_qps = sys_report.queries_per_second
+
+    fleet = benchmark.pedantic(fleet_once, rounds=1, iterations=1)
+    speedup = fleet["qps"] / base_qps
+
+    report.row("single engine", "-", f"{base_qps:.1f} q/s")
+    report.row(f"{SHARDS}-shard fleet", "-", f"{fleet['qps']:.1f} q/s")
+    report.row("speedup", f">= {SPEEDUP_FLOOR:.0f}x", f"{speedup:.2f}x")
+    report.row("fleet offered", "-", f"{fleet['offered']}")
+    report.row("fleet completed", "-", f"{fleet['completed']}")
+    report.row("fleet shed+failed", "-", f"{fleet['shed'] + fleet['failed']}")
+    benchmark.extra_info["measured_qps"] = fleet["qps"]
+    benchmark.extra_info["speedup"] = speedup
+
+    # the merged cross-process books reconcile before any claims are made
+    fleet_report = fleet["report"]
+    assert_fleet_valid(fleet_report)
+    assert fleet_report.crashed == ()
+    assert len(fleet_report.shards) == SHARDS
+
+    # baseline leg is healthy (same pins as BENCH-SERVE)
+    assert load.accepted == sys_report.completed
+    assert sys_report.completed > 0.8 * load.offered
+
+    # scaling claim: four shards clear >= 3x one engine, with every
+    # shard carrying a share of the routed load
+    assert fleet["completed"] > 0.8 * fleet["offered"]
+    assert speedup >= SPEEDUP_FLOOR
+    for shard_id, routed in fleet_report.routed.items():
+        assert routed > 0, f"shard {shard_id} never routed a query"

@@ -361,6 +361,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics=registry,
         slo=slo,
         snapshots=snapshots,
+        exporter=exporter,  # engine-owned: the port is released at stop()
         max_in_flight=args.max_in_flight,
         cpu_threads=args.cpu_threads,
     )
@@ -434,6 +435,89 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"(burn {slo.burn_rate:.2f}, crossings: {crossings})"
         )
     return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Shard the serving plane across worker processes (``repro.fleet``).
+
+    Spawns ``--shards`` worker processes (each a full serving engine over
+    its own replica of the materialised world), puts the HTTP front door
+    in front of them, and serves until ``--duration`` elapses or a
+    SIGINT/SIGTERM arrives — either way the fleet drains gracefully,
+    merges the per-shard books, and audits them with
+    :func:`repro.sim.validate.validate_fleet` before exiting 0.
+    """
+    import signal
+    import threading
+    import time
+
+    from repro.fleet import Fleet, FleetServer, ShardSpec
+    from repro.sim import assert_fleet_valid
+
+    spec = ShardSpec(
+        shard_id=0,
+        rows=args.rows,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        time_constraint=args.time_constraint,
+        cpu_threads=args.cpu_threads,
+        translation_workers=args.translation_workers,
+        max_in_flight=args.max_in_flight,
+    )
+    stop = threading.Event()
+    previous_handlers = {
+        signum: signal.signal(signum, lambda *_: stop.set())
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+
+    print(
+        f"spawning {args.shards} shard(s) "
+        f"({args.rows} rows each, {args.scheduler} scheduler)..."
+    )
+    fleet = Fleet(args.shards, spec=spec)
+    fleet.start()
+    server = FleetServer(fleet, port=args.port)
+    server.start()
+    print(
+        f"fleet front door: {server.url} "
+        "(POST /query, GET /metrics /report /health)"
+    )
+    print(f"shards live: {list(fleet.alive)}")
+    try:
+        deadline = (
+            None if args.duration is None else time.monotonic() + args.duration
+        )
+        while not stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            stop.wait(timeout=0.25)
+            crashed = fleet.check()
+            if crashed and not fleet.alive:
+                print("error: every shard has crashed", file=sys.stderr)
+                break
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        server.close()
+        report = fleet.fleet_report(drain=True)
+
+    print()
+    print(report.summary())
+    for shard in report.shards:
+        print(
+            f"  shard {shard.shard_id}: {len(shard.records)} completed, "
+            f"{len(shard.cache_hits)} cache hits, {shard.rejected} rejected "
+            f"| local audit: {shard.validation}"
+        )
+    if report.crashed:
+        print(
+            f"warning: shard(s) {list(report.crashed)} crashed; "
+            "fleet report is partial",
+            file=sys.stderr,
+        )
+    assert_fleet_valid(report)
+    print("fleet audit: ok (fleet checked)")
+    return 1 if report.crashed else 0
 
 
 # -- parser ------------------------------------------------------------
@@ -546,6 +630,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="monitor the windowed deadline hit rate against "
                         "TARGET (e.g. 0.9) and report burn + crossings")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="shard the serving plane across worker processes (repro.fleet)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "flag summary:\n"
+            "  --shards N                worker processes to spawn (default 2)\n"
+            "  --port N                  front-door HTTP port (0 = any free port)\n"
+            "  --duration SECONDS        serve window; omit to run until SIGTERM\n"
+            "  --rate/--rows/--seed/--scheduler/--time-constraint/\n"
+            "  --cpu-threads/--translation-workers/--max-in-flight\n"
+            "                            per-shard world knobs, as in `repro serve`\n"
+            "\n"
+            "SIGINT/SIGTERM drain the fleet gracefully: every shard finishes\n"
+            "its in-flight queries, ships its records + metrics snapshot, and\n"
+            "the merged books are audited by repro.sim.validate.validate_fleet\n"
+            "before the process exits 0."
+        ),
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker processes to spawn")
+    p.add_argument("--port", type=int, default=0,
+                   help="front-door HTTP port (0 = any free port)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve window in seconds; omit to run until SIGTERM")
+    p.add_argument(
+        "--scheduler",
+        choices=("hybrid", "gpu-only", "fastest-first", "admission"),
+        default="hybrid",
+    )
+    p.add_argument("--rows", type=int, default=10_000,
+                   help="fact-table rows in each shard's replica")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--time-constraint", type=float, default=0.5,
+                   help="per-query deadline T_C in seconds")
+    p.add_argument("--cpu-threads", type=int, default=2,
+                   help="ParallelAggregator threads per shard")
+    p.add_argument("--translation-workers", type=int, default=1)
+    p.add_argument("--max-in-flight", type=int, default=256,
+                   help="per-shard admission bound; excess is shed")
+    p.set_defaults(func=cmd_fleet)
 
     return parser
 

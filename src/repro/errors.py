@@ -28,6 +28,7 @@ __all__ = [
     "InvariantViolation",
     "ServeError",
     "BackpressureError",
+    "FleetError",
     "MetricsError",
     "WorkloadError",
     "ParseError",
@@ -158,6 +159,15 @@ class BackpressureError(ServeError):
     in-flight bound is reached, and by blocking submission when the
     bound is still reached after the caller's timeout.  Load generators
     either treat this as shed load or retry.
+    """
+
+
+class FleetError(ServeError):
+    """The multi-process serving fleet reached an invalid state.
+
+    Raised by :mod:`repro.fleet` for wire-protocol violations, worker
+    processes that fail to come up (or die mid-run), and requests routed
+    when no live shard remains.
     """
 
 

@@ -1,0 +1,53 @@
+"""Multi-process serving: shard workers behind one HTTP front door.
+
+The single-process :class:`~repro.serve.engine.ServeEngine` serialises
+all bookkeeping under one engine-wide lock — the scaling ceiling this
+package removes.  A :class:`Fleet` spawns N worker *processes* (each a
+full engine: Figure-10 scheduler, worker pools, rollup router, metrics
+registry), talks to them over a length-prefixed JSON socket protocol
+(:mod:`repro.fleet.protocol`), and routes queries by consistent-hash
+affinity (:mod:`repro.fleet.ring`) so repeated query shapes land on the
+shard whose rollup cache already knows them.  :class:`FleetServer` is
+the stdlib-HTTP front door (the :class:`~repro.metrics.exporter.
+MetricsExporter` pattern); per-shard metrics snapshots merge count-
+exactly via :func:`repro.metrics.registry.merge_snapshots`, and
+:func:`repro.sim.validate.validate_fleet` audits the merged books.
+"""
+
+from repro.fleet.fleet import (
+    Fleet,
+    FleetAnswer,
+    FleetReport,
+    ShardClient,
+    ShardReport,
+)
+from repro.fleet.frontdoor import FleetServer
+from repro.fleet.protocol import (
+    query_from_json,
+    query_to_json,
+    record_from_json,
+    record_to_json,
+    recv_frame,
+    send_frame,
+)
+from repro.fleet.ring import HashRing, affinity_key
+from repro.fleet.worker import ShardSpec, run_worker
+
+__all__ = [
+    "Fleet",
+    "FleetAnswer",
+    "FleetReport",
+    "FleetServer",
+    "HashRing",
+    "ShardClient",
+    "ShardReport",
+    "ShardSpec",
+    "affinity_key",
+    "query_from_json",
+    "query_to_json",
+    "record_from_json",
+    "record_to_json",
+    "recv_frame",
+    "run_worker",
+    "send_frame",
+]

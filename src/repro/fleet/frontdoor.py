@@ -1,0 +1,224 @@
+"""The fleet's HTTP front door.
+
+Same construction as :class:`~repro.metrics.exporter.MetricsExporter`
+— a stdlib ``ThreadingHTTPServer`` on a daemon thread, one handler
+subclass bound per server via ``type()`` — but serving the query path,
+not just observability:
+
+- ``POST /query``  body ``{"q": "<query text>", "class": "small"}`` —
+  parse the textual query language, route by affinity, answer with the
+  shard's :class:`~repro.sim.metrics.QueryRecord` as JSON;
+- ``GET /metrics`` — the *merged* fleet snapshot (every shard's
+  registry plus the front door's ``repro_fleet_*`` families) in
+  Prometheus text exposition format;
+- ``GET /report`` — live routing books and per-shard health as JSON;
+- ``GET /health`` — 200 when every shard is live, 503 with the crashed
+  ids when the fleet is partial.
+
+The handler threads only ever touch the :class:`~repro.fleet.fleet.
+Fleet` client pool and its books lock — never a shard's engine lock,
+which lives in another process entirely.  That process boundary is the
+point: a stuck scrape or a slow client cannot stall shard admission.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.errors import FleetError, ReproError
+from repro.fleet.fleet import Fleet
+from repro.fleet.protocol import record_to_json
+from repro.metrics.exporter import CONTENT_TYPE, render_prometheus
+
+__all__ = ["FleetServer"]
+
+
+class _FrontDoorHandler(BaseHTTPRequestHandler):
+    # bound via a type() subclass per server instance
+    fleet: Fleet
+    hierarchies: Mapping[str, Any]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            try:
+                snapshot = self.fleet.merged_metrics()
+            except (FleetError, ReproError) as exc:
+                self._send_json(503, {"ok": False, "error": str(exc)})
+                return
+            self._send_text(200, render_prometheus(snapshot), CONTENT_TYPE)
+        elif path == "/report":
+            crashed = self.fleet.check()
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "alive": list(self.fleet.alive),
+                    "crashed": list(crashed),
+                    "routed": {
+                        str(k): v for k, v in self.fleet._routed.items()
+                    },
+                    "failed": {
+                        str(k): v for k, v in self.fleet._failed.items()
+                    },
+                    "elapsed": self.fleet.elapsed(),
+                },
+            )
+        elif path in ("/", "/health"):
+            crashed = self.fleet.check()
+            alive = self.fleet.alive
+            healthy = bool(alive) and not crashed
+            self._send_json(
+                200 if healthy else 503,
+                {
+                    "ok": healthy,
+                    "alive": list(alive),
+                    "crashed": list(crashed),
+                },
+            )
+        else:
+            self.send_error(404, "serving /query, /metrics, /report, /health")
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path != "/query":
+            self.send_error(404, "POST is only served at /query")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length).decode("utf-8"))
+            if not isinstance(request, dict) or "q" not in request:
+                raise ValueError('body must be a JSON object with a "q" field')
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"ok": False, "error": f"bad request: {exc}"})
+            return
+        from repro.query.parser import parse_query
+
+        try:
+            query = parse_query(str(request["q"]), self.hierarchies)
+        except ReproError as exc:
+            self._send_json(400, {"ok": False, "error": f"bad query: {exc}"})
+            return
+        try:
+            answer = self.fleet.submit(
+                query,
+                query_class=str(request.get("class", "default")),
+                timeout=(
+                    None
+                    if request.get("timeout") is None
+                    else float(request["timeout"])
+                ),
+            )
+        except FleetError as exc:
+            self._send_json(503, {"ok": False, "error": str(exc)})
+            return
+        payload: dict[str, Any] = {
+            "ok": True,
+            "shard": answer.shard_id,
+            "accepted": answer.accepted,
+            "shed": answer.shed,
+            "cache_hit": answer.cache_hit,
+        }
+        if answer.record is not None:
+            payload["record"] = record_to_json(answer.record)
+        self._send_json(200, payload)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # requests are routine; keep stderr quiet
+
+
+class FleetServer:
+    """Serve the fleet's HTTP API from a daemon thread.
+
+    ``port=0`` asks the OS for a free port; read :attr:`port` (or
+    :attr:`url`) after :meth:`start`.  :meth:`close` is idempotent, so
+    shutdown paths can call it unconditionally.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        hierarchies: Mapping[str, Any] | None = None,
+    ):
+        if hierarchies is None:
+            # the parser only needs dimension shapes, which are a pure
+            # function of the schema scale — no dataset build required
+            from repro.relational import tpcds_like_schema
+
+            hierarchies = tpcds_like_schema(scale=fleet.spec.scale).hierarchies
+        self._fleet = fleet
+        self._hierarchies = hierarchies
+        self._requested_port = port
+        self.host = host
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.port: int | None = None
+
+    def start(self) -> "FleetServer":
+        if self._server is not None:
+            raise FleetError("fleet server already started")
+        handler = type(
+            "BoundFrontDoorHandler",
+            (_FrontDoorHandler,),
+            {"fleet": self._fleet, "hierarchies": self._hierarchies},
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"fleet-frontdoor-:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise FleetError("fleet server not started")
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Release the listening socket; safe to call repeatedly."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

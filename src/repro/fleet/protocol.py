@@ -1,0 +1,178 @@
+"""The fleet wire protocol: length-prefixed JSON frames over sockets.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Length-prefixing (rather than newline delimiting)
+keeps the framing independent of payload content and lets the receiver
+pre-validate the size before allocating — a frame claiming more than
+:data:`MAX_FRAME_BYTES` is a protocol violation, not an allocation.
+
+Requests are JSON objects with a ``"kind"`` discriminator (``ping``,
+``query``, ``report``, ``metrics``, ``maintain``, ``shutdown``);
+responses carry ``"ok": true`` plus kind-specific fields, or
+``"ok": false`` with an ``"error"`` string.  Queries and records cross
+the wire through :func:`query_to_json` / :func:`record_to_json`, which
+round-trip every field — including ``query_id``, so the front door's
+ids stay globally unique and per-shard books reconcile fleet-wide.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+from repro.errors import FleetError
+from repro.query.model import Condition, Query
+from repro.sim.metrics import QueryRecord
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "query_to_json",
+    "query_from_json",
+    "record_to_json",
+    "record_from_json",
+]
+
+#: Upper bound on one frame's payload.  Reports carry every query record
+#: of a run, so the bound is generous; anything larger is a corrupt or
+#: hostile length prefix.
+MAX_FRAME_BYTES = 64 * 2**20
+
+_LEN = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Serialise one message and write it as a single frame."""
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FleetError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol bound"
+        )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on a clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise FleetError(
+                f"connection closed mid-frame ({got} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; None when the peer closed between frames."""
+    header = _recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FleetError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte protocol bound"
+        )
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise FleetError("connection closed after frame header")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FleetError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FleetError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- query / record serialisation -------------------------------------------
+
+
+def query_to_json(query: Query) -> dict[str, Any]:
+    """A query as plain JSON, preserving ``query_id`` and all fields."""
+    return {
+        "query_id": query.query_id,
+        "agg": query.agg,
+        "measures": list(query.measures),
+        "group_by": [[dim, res] for dim, res in query.group_by],
+        "conditions": [
+            {
+                "dimension": cond.dimension,
+                "resolution": cond.resolution,
+                "lo": cond.lo,
+                "hi": cond.hi,
+                "text_values": list(cond.text_values),
+                "codes": list(cond.codes),
+            }
+            for cond in query.conditions
+        ],
+    }
+
+
+def query_from_json(data: Mapping[str, Any]) -> Query:
+    """Rebuild a query from :func:`query_to_json` output.
+
+    Construction re-runs the model's own validation (exactly one
+    condition form, known aggregate, no duplicate group-by dimensions),
+    so a malformed wire query fails loudly at the boundary.
+    """
+    conditions = tuple(
+        Condition(
+            dimension=c["dimension"],
+            resolution=int(c["resolution"]),
+            lo=None if c.get("lo") is None else int(c["lo"]),
+            hi=None if c.get("hi") is None else int(c["hi"]),
+            text_values=tuple(str(t) for t in c.get("text_values", ())),
+            codes=tuple(int(x) for x in c.get("codes", ())),
+        )
+        for c in data["conditions"]
+    )
+    return Query(
+        conditions=conditions,
+        measures=tuple(str(m) for m in data["measures"]),
+        agg=str(data["agg"]),
+        group_by=tuple((str(d), int(r)) for d, r in data["group_by"]),
+        query_id=int(data["query_id"]),
+    )
+
+
+def record_to_json(record: QueryRecord) -> dict[str, Any]:
+    return {
+        "query_id": record.query_id,
+        "query_class": record.query_class,
+        "target": record.target,
+        "submit_time": record.submit_time,
+        "finish_time": record.finish_time,
+        "deadline": record.deadline,
+        "estimated_time": record.estimated_time,
+        "measured_time": record.measured_time,
+        "translated": record.translated,
+        "answer": record.answer,
+    }
+
+
+def record_from_json(data: Mapping[str, Any]) -> QueryRecord:
+    return QueryRecord(
+        query_id=int(data["query_id"]),
+        query_class=str(data["query_class"]),
+        target=str(data["target"]),
+        submit_time=float(data["submit_time"]),
+        finish_time=float(data["finish_time"]),
+        deadline=float(data["deadline"]),
+        estimated_time=float(data["estimated_time"]),
+        measured_time=float(data["measured_time"]),
+        translated=bool(data["translated"]),
+        answer=None if data.get("answer") is None else float(data["answer"]),
+    )

@@ -1,0 +1,101 @@
+"""Consistent-hash routing with query-shape affinity.
+
+The front door routes by the query's *shape* (conditions + aggregate +
+grouping, not its id), so repeated shapes always land on the same shard
+and that shard's :class:`~repro.olap.rollup.AdmissionPolicy` sees the
+full repetition count — partition affinity is what makes the per-shard
+rollup caches effective instead of N-way diluted.
+
+Hashing uses MD5 (stability, not security): Python's builtin ``hash``
+is salted per process, and the ring must route identically in the front
+door, in tests, and across restarts.  Virtual nodes smooth the load:
+each shard owns :data:`DEFAULT_VNODES` points on the ring, so removing
+a crashed shard redistributes only its keys instead of rotating the
+whole ring (the classic consistent-hashing property).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.errors import FleetError
+from repro.query.model import Query
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "affinity_key"]
+
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+def affinity_key(query: Query) -> str:
+    """A canonical string for the query's shape (id-independent).
+
+    Two queries with the same conditions, aggregate, measures, and
+    grouping produce the same key regardless of ``query_id`` or the
+    order conditions were written in.
+    """
+    conds = sorted(
+        (
+            c.dimension,
+            c.resolution,
+            -1 if c.lo is None else c.lo,
+            -1 if c.hi is None else c.hi,
+            c.text_values,
+            c.codes,
+        )
+        for c in query.conditions
+    )
+    return repr((conds, query.agg, tuple(sorted(query.measures)),
+                 tuple(sorted(query.group_by))))
+
+
+class HashRing:
+    """Immutable consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: Iterable[int], vnodes: int = DEFAULT_VNODES):
+        self.shards = tuple(sorted(set(shards)))
+        if not self.shards:
+            raise FleetError("a hash ring needs at least one shard")
+        if vnodes < 1:
+            raise FleetError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        points = [
+            (_point(f"shard-{shard}:vnode-{v}"), shard)
+            for shard in self.shards
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def route(self, key: str, alive: Sequence[int] | None = None) -> int:
+        """The shard owning ``key``; with ``alive``, its first live successor.
+
+        Walking successors (instead of re-hashing over the survivors)
+        is what keeps keys owned by healthy shards stable when one
+        shard crashes — only the crashed shard's keys move.
+        """
+        allowed = self.shards if alive is None else tuple(alive)
+        if not allowed:
+            raise FleetError("no live shard to route to")
+        allowed_set = set(allowed)
+        if not allowed_set <= set(self.shards):
+            raise FleetError(
+                f"alive set {sorted(allowed_set)} is not a subset of the "
+                f"ring's shards {list(self.shards)}"
+            )
+        start = bisect_right(self._hashes, _point(key))
+        n = len(self._points)
+        for i in range(n):
+            shard = self._points[(start + i) % n][1]
+            if shard in allowed_set:
+                return shard
+        raise FleetError("unreachable: non-empty alive set never matched")
+
+    def route_query(self, query: Query, alive: Sequence[int] | None = None) -> int:
+        return self.route(affinity_key(query), alive=alive)

@@ -33,6 +33,7 @@ from repro.metrics.registry import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    merge_snapshots,
 )
 from repro.metrics.slo import SloEvent, SloMonitor
 from repro.metrics.snapshots import SnapshotWriter
@@ -59,5 +60,6 @@ __all__ = [
     "SnapshotWriter",
     "TranslatorMetrics",
     "log_buckets",
+    "merge_snapshots",
     "render_prometheus",
 ]

@@ -156,6 +156,17 @@ class MetricsExporter:
         self._server = None
         self._thread = None
 
+    def close(self) -> None:
+        """Release the listening socket; safe to call repeatedly.
+
+        The serve engine calls this from ``stop()``/``drain()`` when it
+        owns the exporter, so the port is released the moment the engine
+        goes down — a daemonised server thread otherwise keeps the
+        socket bound for the life of the process and the next
+        ``repro serve`` run in the same process fails to bind it.
+        """
+        self.stop()
+
     def __enter__(self) -> "MetricsExporter":
         return self.start()
 

@@ -85,6 +85,29 @@ class HistogramSnapshot:
     total: float
     count: int
 
+    def __post_init__(self) -> None:
+        # merge()/minus() zip bounds against counts; a malformed snapshot
+        # (counts too short, unordered bounds — e.g. a corrupt JSONL line
+        # fed through from_json) would silently truncate the zip and
+        # produce garbage books.  Reject it at construction instead.
+        if not self.bounds:
+            raise MetricsError("histogram snapshot needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in self.bounds):
+            raise MetricsError("bucket bounds must be finite (+Inf is implicit)")
+        if any(a >= b for a, b in zip(self.bounds, self.bounds[1:])):
+            raise MetricsError("bucket bounds must be strictly increasing")
+        if len(self.counts) != len(self.bounds) + 1:
+            raise MetricsError(
+                f"histogram snapshot needs len(bounds) + 1 counts: "
+                f"{len(self.bounds)} bounds but {len(self.counts)} counts"
+            )
+        if any(c < 0 for c in self.counts):
+            raise MetricsError("bucket counts must be non-negative")
+        if sum(self.counts) != self.count:
+            raise MetricsError(
+                f"bucket counts sum to {sum(self.counts)} but count says {self.count}"
+            )
+
     def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         if self.bounds != other.bounds:
             raise MetricsError("cannot merge histograms with different bucket bounds")

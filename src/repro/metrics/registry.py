@@ -38,6 +38,7 @@ __all__ = [
     "FamilySnapshot",
     "MetricsSnapshot",
     "MetricsRegistry",
+    "merge_snapshots",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -212,6 +213,48 @@ class FamilySnapshot:
             ],
         }
 
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "FamilySnapshot":
+        """Rebuild a family from :meth:`to_json` output (wire/JSONL form).
+
+        Histogram samples are recognised structurally (a dict value) and
+        revalidated by :class:`~repro.metrics.histogram.
+        HistogramSnapshot`'s constructor, so a corrupt line raises
+        :class:`~repro.errors.MetricsError` instead of deserialising into
+        a snapshot that zips wrongly later.
+        """
+        label_names = tuple(str(n) for n in data["label_names"])
+        kind = str(data["kind"])
+        samples: dict[tuple[str, ...], float | HistogramSnapshot] = {}
+        for entry in data["samples"]:
+            labels = entry["labels"]
+            if set(labels) != set(label_names):
+                raise MetricsError(
+                    f"{data['name']}: sample labels {tuple(sorted(labels))} "
+                    f"do not match label names {label_names}"
+                )
+            key = tuple(str(labels[n]) for n in label_names)
+            value = entry["value"]
+            if isinstance(value, Mapping):
+                if kind != "histogram":
+                    raise MetricsError(
+                        f"{data['name']}: histogram sample in a {kind} family"
+                    )
+                samples[key] = HistogramSnapshot.from_json(value)
+            else:
+                if kind == "histogram":
+                    raise MetricsError(
+                        f"{data['name']}: scalar sample in a histogram family"
+                    )
+                samples[key] = float(value)
+        return cls(
+            name=str(data["name"]),
+            kind=kind,
+            help=str(data.get("help", "")),
+            label_names=label_names,
+            samples=samples,
+        )
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
@@ -246,6 +289,81 @@ class MetricsSnapshot:
 
     def to_json_line(self) -> str:
         return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            time=float(data["time"]),
+            families=tuple(
+                FamilySnapshot.from_json(fam) for fam in data["families"]
+            ),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "MetricsSnapshot":
+        return cls.from_json(json.loads(line))
+
+
+def merge_snapshots(snapshots: Sequence[MetricsSnapshot]) -> MetricsSnapshot:
+    """Fold per-worker snapshots into one fleet-wide view, count-exactly.
+
+    Families are matched by name across the inputs (a family missing
+    from some snapshots contributes nothing for them — the identity of
+    the fold).  Scalar samples add per label key: exact for counters,
+    and the natural reading for the additive gauges the engines export
+    (in-flight, queue depth); ratio-style gauges (hit rates, burn rates)
+    remain per-shard concepts and should be recomputed from the merged
+    counters rather than read off the merged snapshot.  Histograms merge
+    bucket-by-bucket via :meth:`HistogramSnapshot.merge`, which raises
+    :class:`~repro.errors.MetricsError` on mismatched bucket grids —
+    misconfigured shards cannot silently blend.  The merged time is the
+    newest input time.
+    """
+    if not snapshots:
+        raise MetricsError("merge_snapshots needs at least one snapshot")
+    by_name: dict[str, list[FamilySnapshot]] = {}
+    for snap in snapshots:
+        for fam in snap.families:
+            by_name.setdefault(fam.name, []).append(fam)
+    families: list[FamilySnapshot] = []
+    for name in sorted(by_name):
+        fams = by_name[name]
+        first = fams[0]
+        merged: dict[tuple[str, ...], float | HistogramSnapshot] = {}
+        for fam in fams:
+            if fam.kind != first.kind or fam.label_names != first.label_names:
+                raise MetricsError(
+                    f"cannot merge family {name!r}: "
+                    f"{first.kind}{first.label_names} vs "
+                    f"{fam.kind}{fam.label_names}"
+                )
+            for key, value in fam.samples.items():
+                current = merged.get(key)
+                if current is None:
+                    merged[key] = value
+                elif isinstance(current, HistogramSnapshot) != isinstance(
+                    value, HistogramSnapshot
+                ):
+                    raise MetricsError(
+                        f"cannot merge family {name!r}: sample {key} is a "
+                        "histogram in one snapshot and a scalar in another"
+                    )
+                elif isinstance(current, HistogramSnapshot):
+                    merged[key] = current.merge(value)
+                else:
+                    merged[key] = current + value
+        families.append(
+            FamilySnapshot(
+                name=first.name,
+                kind=first.kind,
+                help=first.help,
+                label_names=first.label_names,
+                samples=merged,
+            )
+        )
+    return MetricsSnapshot(
+        time=max(s.time for s in snapshots), families=tuple(families)
+    )
 
 
 class MetricsRegistry:

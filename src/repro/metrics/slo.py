@@ -79,6 +79,7 @@ class SloMonitor:
         self._observations: deque[tuple[float, bool]] = deque()
         self._hits = 0
         self._breached = False
+        self._ever_observed = False
         self._hit_gauge = self._burn_gauge = self._event_counter = None
         if registry is not None:
             registry.gauge(
@@ -106,18 +107,55 @@ class SloMonitor:
             self._observations.append((now, bool(met)))
             if met:
                 self._hits += 1
+            self._ever_observed = True
+            hit_rate, burn, event = self._advance_locked(now)
+        return self._publish(hit_rate, burn, event)
+
+    def tick(self, now: float, in_flight: int = 0) -> Optional[SloEvent]:
+        """Advance the window without an observation (a heartbeat).
+
+        The window used to slide only on :meth:`observe`, so a wedged
+        system — queries in flight but none completing — kept exporting
+        its last healthy burn rate forever.  A periodic ``tick`` expires
+        old observations and refreshes the gauges; when the window
+        empties *while work is still in flight* the hit rate drops to
+        0.0 (silence under load is the worst miss), which latches a
+        breach.  An idle empty window stays healthy: before the first
+        observation or with ``in_flight == 0`` there is nothing to miss.
+        """
+        with self._lock:
             self._prune(now)
-            hit_rate = self._hit_rate_locked()
-            burn = self._burn_locked(hit_rate)
-            event = None
-            if not self._breached and hit_rate < self.target:
-                self._breached = True
-                event = SloEvent("breach", now, hit_rate, burn, len(self._observations))
-            elif self._breached and hit_rate >= self.target:
-                self._breached = False
-                event = SloEvent("recover", now, hit_rate, burn, len(self._observations))
-            if event is not None:
-                self.events.append(event)
+            starved = not self._observations and self._ever_observed and in_flight > 0
+            if starved:
+                hit_rate = 0.0
+                burn = self._burn_locked(hit_rate)
+                event = None
+                if not self._breached:
+                    self._breached = True
+                    event = SloEvent("breach", now, hit_rate, burn, 0)
+                    self.events.append(event)
+            else:
+                hit_rate, burn, event = self._advance_locked(now)
+        return self._publish(hit_rate, burn, event)
+
+    def _advance_locked(self, now: float) -> tuple[float, float, Optional[SloEvent]]:
+        self._prune(now)
+        hit_rate = self._hit_rate_locked()
+        burn = self._burn_locked(hit_rate)
+        event = None
+        if not self._breached and hit_rate < self.target:
+            self._breached = True
+            event = SloEvent("breach", now, hit_rate, burn, len(self._observations))
+        elif self._breached and hit_rate >= self.target:
+            self._breached = False
+            event = SloEvent("recover", now, hit_rate, burn, len(self._observations))
+        if event is not None:
+            self.events.append(event)
+        return hit_rate, burn, event
+
+    def _publish(
+        self, hit_rate: float, burn: float, event: Optional[SloEvent]
+    ) -> Optional[SloEvent]:
         if self._hit_gauge is not None:
             self._hit_gauge.set(hit_rate)
             self._burn_gauge.set(burn)

@@ -386,6 +386,34 @@ class RollupCatalog:
                 )
             self._row_count = new_row_count
 
+    def read_view(self, cuboid: MaterialisedCuboid) -> MaterialisedCuboid:
+        """A stable copy of a cuboid's current state, for lock-free reads.
+
+        :meth:`ingest` folds batches into installed cubes *in place*
+        (component by component, under the catalog lock), so a reader
+        holding only the entry reference can see a half-refreshed cube —
+        sum already advanced, count not yet — and an ``avg`` answered
+        from that state is garbage.  Answer paths therefore take one
+        short lock hold here to copy the component arrays (re-fetching
+        the installed entry, in case a rebuild replaced it) and then
+        aggregate from the copy with no lock at all.
+        """
+        with self._lock:
+            current = self._cuboids.get(cuboid.spec.key, cuboid)
+            cube = current.cube
+            frozen = OLAPCube(
+                list(cube.dimensions),
+                list(cube.resolutions),
+                {name: np.array(cube.component(name)) for name in cube.components},
+                measure=cube.measure,
+            )
+            return MaterialisedCuboid(
+                spec=current.spec,
+                cube=frozen,
+                built_rows=current.built_rows,
+                pruned_cells=current.pruned_cells,
+            )
+
     # -- coverage ----------------------------------------------------------
 
     def _needed_resolutions(self, query: Query) -> dict[str, int] | None:
@@ -502,7 +530,11 @@ class RollupExecutor:
                 f"no installed cuboid covers query {query.query_id} "
                 f"(conditions on {[c.dimension for c in query.conditions]})"
             )
-        return answer_with_cube(cuboid.cube, query)
+        # aggregate from a stable copy taken under the catalog lock:
+        # a concurrent ingest() mutates the installed cube's components
+        # in place, and reading them mid-fold tears sum against count
+        stable = self.catalog.read_view(cuboid)
+        return answer_with_cube(stable.cube, query)
 
 
 @dataclass

@@ -57,6 +57,7 @@ from repro.metrics.instrument import (
     TranslatorMetrics,
 )
 from repro.olap.rollup import RollupRouter
+from repro.metrics.exporter import MetricsExporter
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.slo import SloMonitor
 from repro.metrics.snapshots import SnapshotWriter
@@ -171,6 +172,14 @@ class ServeEngine:
         ticked at every lifecycle transition the engine already observes
         and force-written once at the end of :meth:`drain`, so snapshot
         cadence is a pure function of event times under ``FakeClock``.
+    exporter:
+        Optional :class:`~repro.metrics.exporter.MetricsExporter` the
+        engine *owns*: :meth:`stop` (and therefore :meth:`drain` and the
+        context-manager exit) calls its ``close()``, releasing the
+        scrape port with the engine instead of leaking the bound socket
+        into the rest of the process.  The engine does not start it —
+        callers start the exporter whenever they want scrapes to begin
+        (typically before the world build, as ``repro serve`` does).
     max_in_flight:
         Bound on accepted-but-unfinished queries (None = unbounded).
         The front door of the backpressure chain.
@@ -197,6 +206,7 @@ class ServeEngine:
         metrics: MetricsRegistry | None = None,
         slo: SloMonitor | None = None,
         snapshots: SnapshotWriter | None = None,
+        exporter: MetricsExporter | None = None,
         max_in_flight: int | None = 1024,
         cpu_threads: int = 4,
         rollup: RollupRouter | None = None,
@@ -270,6 +280,7 @@ class ServeEngine:
         self._metrics: RuntimeMetrics | None = None
         self._slo = slo
         self._snapshots = snapshots
+        self._exporter = exporter
         if metrics is not None and rollup is not None:
             rollup.metrics = RollupMetrics(metrics)
         if metrics is not None:
@@ -722,6 +733,11 @@ class ServeEngine:
             self._collector.sample(when)
         if self._snapshots is not None:
             self._snapshots.tick(when)
+        if self._slo is not None:
+            # heartbeat: slides the SLO window even when nothing is
+            # completing, so a wedged run cannot export a stale healthy
+            # burn rate (an empty window under load reads as all-missed)
+            self._slo.tick(when, in_flight=self._in_flight)
 
     # -- drain / stop ------------------------------------------------------------
 
@@ -772,6 +788,11 @@ class ServeEngine:
         for pool in self.pools.values():
             pool.stop(finish_queued=finish_queued)
         self._started = False
+        if self._exporter is not None:
+            # engine-owned exporter: release the scrape port with the
+            # engine (close() is idempotent, so an outer finally that
+            # also stops the exporter stays correct)
+            self._exporter.close()
         with self._state.cond:
             abandoned = list(self._tickets)
             self._tickets.clear()

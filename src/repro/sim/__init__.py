@@ -22,8 +22,9 @@ while every scheduling decision is taken by the real
 - :mod:`repro.sim.validate` — invariant checker auditing each run's
   realised schedule against the scheduler's :math:`T_Q` books, plus
   the trace cross-check (:func:`validate_trace`), the live-metrics
-  reconciliation (:func:`validate_metrics`) and the rollup-cache audit
-  (:func:`validate_rollup`).
+  reconciliation (:func:`validate_metrics`), the rollup-cache audit
+  (:func:`validate_rollup`) and the multi-process fleet reconciliation
+  (:func:`validate_fleet`).
 """
 
 from repro.sim.engine import SimulationEngine
@@ -34,12 +35,15 @@ from repro.sim.system import HybridSystem, SystemConfig
 from repro.sim.validate import (
     ValidationResult,
     Violation,
+    assert_fleet_valid,
     assert_metrics_valid,
     assert_rollup_valid,
     assert_trace_valid,
     assert_valid,
+    seed_fleet_violation,
     seed_metrics_violation,
     seed_violation,
+    validate_fleet,
     validate_metrics,
     validate_report,
     validate_rollup,
@@ -59,12 +63,15 @@ __all__ = [
     "TraceEvent",
     "ValidationResult",
     "Violation",
+    "assert_fleet_valid",
     "assert_metrics_valid",
     "assert_rollup_valid",
     "assert_trace_valid",
     "assert_valid",
+    "seed_fleet_violation",
     "seed_metrics_violation",
     "seed_violation",
+    "validate_fleet",
     "validate_metrics",
     "validate_report",
     "validate_rollup",

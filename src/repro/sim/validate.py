@@ -61,9 +61,21 @@ scheduler-offered count.  The books-disjointness core of the family
 also runs inside :func:`validate_report` whenever a report carries
 cache hits, so the conftest audit covers every simulated run.
 
-:func:`seed_violation` (and :func:`seed_metrics_violation` for
-snapshots) deliberately corrupts a report so tests can prove the
-checkers fail loudly, not vacuously.
+An eighth family, ``fleet``, audits a multi-process serving fleet's
+merged books (:func:`validate_fleet`): the front door's per-shard
+routing counts must equal what each shard's engine actually received,
+the merged registry snapshot must be the *exact* sum of the per-shard
+snapshots (fleet submitted = Σ shard submitted, per-target completions
+reconcile label-for-label, merged latency histograms count-exact
+against the shard records), and every live shard's own local audit must
+have passed.  The checks are duck-typed against
+:class:`repro.fleet.fleet.FleetReport`'s shape so this module never
+imports :mod:`repro.fleet` (sim stays process-topology-agnostic).
+
+:func:`seed_violation` (and :func:`seed_metrics_violation` /
+:func:`seed_fleet_violation` for snapshots and fleet reports)
+deliberately corrupts a report so tests can prove the checkers fail
+loudly, not vacuously.
 """
 
 from __future__ import annotations
@@ -86,14 +98,18 @@ __all__ = [
     "validate_trace",
     "validate_metrics",
     "validate_rollup",
+    "validate_fleet",
     "assert_valid",
     "assert_trace_valid",
     "assert_metrics_valid",
     "assert_rollup_valid",
+    "assert_fleet_valid",
     "seed_violation",
     "seed_metrics_violation",
+    "seed_fleet_violation",
     "SEEDABLE_VIOLATIONS",
     "SEEDABLE_METRICS_VIOLATIONS",
+    "SEEDABLE_FLEET_VIOLATIONS",
 ]
 
 #: timeline entry: (query_id, start, finish)
@@ -963,6 +979,186 @@ def assert_rollup_valid(report: SystemReport, **kwargs) -> SystemReport:
     if not result.ok:
         raise InvariantViolation(result.summary())
     return report
+
+
+def validate_fleet(fleet) -> ValidationResult:
+    """Audit a multi-process fleet's merged books: the ``fleet`` family.
+
+    ``fleet`` is duck-typed against :class:`repro.fleet.fleet.
+    FleetReport` (this module deliberately does not import
+    :mod:`repro.fleet`): it must expose ``shards`` (per-shard views with
+    ``shard_id``, ``records``, ``cache_hits``, ``rejected``,
+    ``snapshot``, ``validation``), ``routed`` / ``failed`` mappings of
+    shard id to the front door's books, ``crashed`` shard ids, and the
+    ``merged`` :class:`~repro.metrics.registry.MetricsSnapshot`.
+
+    Five reconciliations:
+
+    * a shard cannot be both live and crashed;
+    * **routing books**: for every live shard with no failed requests,
+      the front door's routed count equals what the shard's engine
+      received — its ``repro_queries_submitted_total`` (scheduler-
+      offered, which includes rejections) plus its cache hits;
+    * **fleet submitted = Σ shard submitted**: the merged counter is
+      the exact sum of the per-shard counters;
+    * **per-target completions reconcile**: the merged
+      ``repro_queries_completed_total`` equals the sum of shard record
+      counts per target, both directions;
+    * **merged histograms count-exact**: the merged per-target latency
+      histogram carries exactly one observation per shard record;
+    * every live shard's local audit (``validate_report`` +
+      ``validate_metrics`` run inside the worker process) reported ok.
+    """
+    violations: list[Violation] = []
+
+    def bad(queue: str, message: str) -> None:
+        violations.append(Violation("fleet", queue, message))
+
+    live = {shard.shard_id for shard in fleet.shards}
+    for sid in fleet.crashed:
+        if sid in live:
+            bad(f"shard-{sid}", "shard is reported both live and crashed")
+
+    total_submitted = 0.0
+    per_target_records: dict[str, int] = {}
+    per_target_shard_counters: dict[str, float] = {}
+    for shard in fleet.shards:
+        sid = shard.shard_id
+        snapshot = shard.snapshot
+        fam = snapshot.family("repro_queries_submitted_total")
+        submitted = 0.0 if fam is None else fam.value()
+        total_submitted += submitted
+        received = submitted + len(shard.cache_hits)
+        routed = fleet.routed.get(sid, 0)
+        failed = fleet.failed.get(sid, 0)
+        if failed == 0 and routed != received:
+            bad(
+                f"shard-{sid}",
+                f"front door routed {routed} queries here but the shard "
+                f"received {received:g} ({submitted:g} scheduler-offered "
+                f"+ {len(shard.cache_hits)} cache hits)",
+            )
+        for record in shard.records:
+            per_target_records[record.target] = (
+                per_target_records.get(record.target, 0) + 1
+            )
+        completed_fam = snapshot.family("repro_queries_completed_total")
+        if completed_fam is not None:
+            for (target,), count in completed_fam.items():
+                per_target_shard_counters[target] = (
+                    per_target_shard_counters.get(target, 0.0) + count
+                )
+        if not str(shard.validation).startswith("ok"):
+            bad(f"shard-{sid}", f"local audit failed: {shard.validation}")
+
+    merged = fleet.merged
+    merged_submitted_fam = merged.family("repro_queries_submitted_total")
+    merged_submitted = (
+        0.0 if merged_submitted_fam is None else merged_submitted_fam.value()
+    )
+    if merged_submitted != total_submitted:
+        bad(
+            "repro_queries_submitted_total",
+            f"merged counter reads {merged_submitted:g} but the shard "
+            f"snapshots sum to {total_submitted:g}",
+        )
+
+    merged_completed = merged.family("repro_queries_completed_total")
+    merged_counts: dict[str, float] = {}
+    if merged_completed is not None:
+        merged_counts = {
+            target: count for (target,), count in merged_completed.items()
+        }
+    for target in sorted(set(merged_counts) | set(per_target_records)):
+        merged_n = merged_counts.get(target, 0.0)
+        records_n = per_target_records.get(target, 0)
+        shard_n = per_target_shard_counters.get(target, 0.0)
+        if merged_n != records_n or merged_n != shard_n:
+            bad(
+                "repro_queries_completed_total",
+                f"completions on {target} do not reconcile: merged counter "
+                f"{merged_n:g}, shard counters {shard_n:g}, shard records "
+                f"{records_n}",
+            )
+
+    latency_fam = merged.family("repro_query_latency_seconds")
+    if latency_fam is not None:
+        seen = {key[0] for key, _ in latency_fam.items()}
+        for target in sorted(seen | set(per_target_records)):
+            hist = latency_fam.histogram(target=target)
+            n = hist.count if hist is not None else 0
+            if n != per_target_records.get(target, 0):
+                bad(
+                    "repro_query_latency_seconds",
+                    f"merged histogram has {n} observations on {target} but "
+                    f"the shards recorded "
+                    f"{per_target_records.get(target, 0)} completions",
+                )
+
+    return ValidationResult(tuple(violations), checked=("fleet",))
+
+
+def assert_fleet_valid(fleet):
+    """Raise :class:`~repro.errors.InvariantViolation` on bad fleet books."""
+    result = validate_fleet(fleet)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return fleet
+
+
+#: corruption modes understood by :func:`seed_fleet_violation`
+SEEDABLE_FLEET_VIOLATIONS = ("routed", "merged-submitted", "lost-record")
+
+
+def seed_fleet_violation(fleet, kind: str):
+    """Return a copy of a fleet report with one reconciliation broken.
+
+    The fleet analogue of :func:`seed_violation`; works on any frozen-
+    dataclass fleet report with the :func:`validate_fleet` shape.
+    ``kind`` is one of :data:`SEEDABLE_FLEET_VIOLATIONS`.
+    """
+    if not fleet.shards:
+        raise InvariantViolation("cannot seed a fleet violation: no live shards")
+    first = fleet.shards[0]
+
+    if kind == "routed":
+        routed = dict(fleet.routed)
+        routed[first.shard_id] = routed.get(first.shard_id, 0) + 1
+        return replace(fleet, routed=routed)
+
+    if kind == "merged-submitted":
+        merged = fleet.merged
+        fam = merged.family("repro_queries_submitted_total")
+        if fam is None:
+            raise InvariantViolation(
+                "cannot seed a merged-submitted violation: family missing"
+            )
+        bumped = replace(fam, samples={**fam.samples, (): fam.value() + 1.0})
+        return replace(
+            fleet,
+            merged=replace(
+                merged,
+                families=tuple(
+                    bumped if f.name == fam.name else f
+                    for f in merged.families
+                ),
+            ),
+        )
+
+    if kind == "lost-record":
+        if not first.records:
+            raise InvariantViolation(
+                "cannot seed a lost-record violation: shard has no records"
+            )
+        shards = (replace(first, records=first.records[:-1]),) + tuple(
+            fleet.shards[1:]
+        )
+        return replace(fleet, shards=shards)
+
+    raise InvariantViolation(
+        f"unknown violation kind {kind!r}; expected one of "
+        f"{SEEDABLE_FLEET_VIOLATIONS}"
+    )
 
 
 #: corruption modes understood by :func:`seed_metrics_violation`

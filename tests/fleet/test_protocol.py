@@ -1,0 +1,172 @@
+"""Wire-protocol unit tests: framing, bounds, and round-trips."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    query_from_json,
+    query_to_json,
+    record_from_json,
+    record_to_json,
+    recv_frame,
+    send_frame,
+)
+from repro.query.model import Condition, Query
+from repro.sim.metrics import QueryRecord
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_frame(a, {"kind": "ping", "n": 7})
+        assert recv_frame(b) == {"kind": "ping", "n": 7}
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"i": i})
+        assert [recv_frame(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_between_frames_is_none(self, pair):
+        a, b = pair
+        send_frame(a, {"x": 1})
+        a.close()
+        assert recv_frame(b) == {"x": 1}
+        assert recv_frame(b) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        # header promises 100 bytes; deliver 3 and hang up
+        a.sendall(struct.pack(">I", 100) + b"abc")
+        a.close()
+        with pytest.raises(FleetError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_eof_after_header_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 10))
+        a.close()
+        with pytest.raises(FleetError, match="after frame header"):
+            recv_frame(b)
+
+    def test_oversize_announcement_rejected_without_alloc(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FleetError, match="protocol bound"):
+            recv_frame(b)
+
+    def test_oversize_send_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(FleetError, match="protocol bound"):
+            send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_undecodable_payload_raises(self, pair):
+        a, b = pair
+        payload = b"\xff\xfe not json"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FleetError, match="undecodable"):
+            recv_frame(b)
+
+    def test_non_object_payload_raises(self, pair):
+        a, b = pair
+        payload = b"[1, 2, 3]"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FleetError, match="JSON object"):
+            recv_frame(b)
+
+    def test_large_frame_crosses_recv_chunks(self, pair):
+        a, b = pair
+        message = {"blob": "y" * 300_000}
+        got = {}
+        # socketpair buffers are finite: send from a thread while reading
+        t = threading.Thread(target=lambda: got.update(recv_frame(b)))
+        t.start()
+        send_frame(a, message)
+        t.join(timeout=10)
+        assert got == message
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            Condition("date", 1, lo=2, hi=9),
+            Condition("store", 2, text_values=("Rome", "Oslo")),
+            Condition("item", 0, codes=(3, 1, 4)),
+        ],
+    )
+    def test_each_condition_form(self, condition):
+        query = Query(
+            conditions=(condition,),
+            measures=("sales_price",),
+            agg="sum",
+        )
+        back = query_from_json(query_to_json(query))
+        assert back == query
+        assert back.query_id == query.query_id
+
+    def test_grouped_query_with_id(self):
+        query = Query(
+            conditions=(Condition("date", 1, lo=0, hi=4),),
+            measures=("sales_price",),
+            agg="avg",
+            group_by=(("store", 1), ("date", 0)),
+            query_id=4242,
+        )
+        back = query_from_json(query_to_json(query))
+        assert back == query
+        assert back.query_id == 4242
+
+    def test_malformed_wire_query_fails_model_validation(self):
+        data = query_to_json(
+            Query(conditions=(Condition("date", 1, lo=0, hi=2),), measures=("v",))
+        )
+        # two condition forms at once must be rejected at the boundary
+        data["conditions"][0]["codes"] = [1, 2]
+        with pytest.raises(Exception):
+            query_from_json(data)
+
+
+class TestRecordRoundTrip:
+    def test_all_fields_preserved(self):
+        record = QueryRecord(
+            query_id=17,
+            query_class="mid",
+            target="Q_G2",
+            submit_time=1.25,
+            finish_time=1.75,
+            deadline=1.9,
+            estimated_time=0.4,
+            measured_time=0.45,
+            translated=True,
+            answer=123.5,
+        )
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_none_answer_preserved(self):
+        record = QueryRecord(
+            query_id=1,
+            query_class="small",
+            target="Q_CPU",
+            submit_time=0.0,
+            finish_time=0.1,
+            deadline=0.5,
+            estimated_time=0.05,
+            measured_time=0.06,
+            translated=False,
+            answer=None,
+        )
+        assert record_from_json(record_to_json(record)).answer is None

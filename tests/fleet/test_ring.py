@@ -1,0 +1,91 @@
+"""Consistent-hash ring: determinism, balance, failover, affinity keys."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.ring import HashRing, affinity_key
+from repro.query.model import Condition, Query
+
+
+def keys(n):
+    return [f"key-{i}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_empty_or_degenerate_rings_rejected(self):
+        with pytest.raises(FleetError):
+            HashRing([])
+        with pytest.raises(FleetError):
+            HashRing([0, 1], vnodes=0)
+
+    def test_routing_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.route(k) for k in keys(200)] == [b.route(k) for k in keys(200)]
+
+    def test_every_key_lands_on_a_ring_shard(self):
+        ring = HashRing([3, 1, 5])
+        assert {ring.route(k) for k in keys(300)} <= {1, 3, 5}
+
+    def test_vnodes_spread_load_across_shards(self):
+        ring = HashRing(range(4))
+        counts = Counter(ring.route(k) for k in keys(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        # 64 vnodes/shard keeps the spread workable: no shard starves
+        assert min(counts.values()) > 2000 * 0.10
+
+    def test_failover_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(range(4))
+        before = {k: ring.route(k) for k in keys(500)}
+        alive = (0, 1, 3)
+        for key, owner in before.items():
+            after = ring.route(key, alive=alive)
+            if owner != 2:
+                assert after == owner, "healthy shard's key moved on failover"
+            else:
+                assert after in alive
+
+    def test_alive_must_be_subset_of_ring(self):
+        ring = HashRing(range(2))
+        with pytest.raises(FleetError, match="subset"):
+            ring.route("k", alive=(0, 7))
+        with pytest.raises(FleetError, match="live shard"):
+            ring.route("k", alive=())
+
+
+class TestAffinityKey:
+    def q(self, conditions, **kw):
+        kw.setdefault("measures", ("sales_price",))
+        return Query(conditions=conditions, **kw)
+
+    def test_id_independent(self):
+        c = (Condition("date", 1, lo=0, hi=4),)
+        assert affinity_key(self.q(c, query_id=1)) == affinity_key(
+            self.q(c, query_id=99)
+        )
+
+    def test_condition_order_independent(self):
+        a = (Condition("date", 1, lo=0, hi=4), Condition("store", 2, lo=1, hi=3))
+        b = tuple(reversed(a))
+        assert affinity_key(self.q(a)) == affinity_key(self.q(b))
+
+    def test_shape_changes_change_the_key(self):
+        base = self.q((Condition("date", 1, lo=0, hi=4),))
+        assert affinity_key(base) != affinity_key(
+            self.q((Condition("date", 1, lo=0, hi=5),))
+        )
+        assert affinity_key(base) != affinity_key(
+            self.q((Condition("date", 1, lo=0, hi=4),), agg="avg")
+        )
+        assert affinity_key(base) != affinity_key(
+            self.q((Condition("date", 1, lo=0, hi=4),), group_by=(("store", 1),))
+        )
+
+    def test_text_and_code_conditions_keyed(self):
+        t = self.q((Condition("store", 2, text_values=("Rome",)),))
+        c = self.q((Condition("store", 2, codes=(7,)),))
+        assert affinity_key(t) != affinity_key(c)
+        ring = HashRing(range(4))
+        assert ring.route_query(t) == ring.route_query(t)

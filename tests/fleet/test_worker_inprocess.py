@@ -1,0 +1,102 @@
+"""The shard request handler driven in-process (no sockets, no spawn).
+
+``_ShardServer.handle`` is a pure request->response function once the
+engine exists, so everything except the actual process/spawn machinery
+is testable at function-call speed against a tiny real world.
+"""
+
+import pytest
+
+from repro.fleet.protocol import query_from_json, query_to_json, record_from_json
+from repro.fleet.worker import ShardSpec, _ShardServer, build_shard_engine
+from repro.query.model import Condition, Query
+
+
+def tiny_spec(**overrides):
+    defaults = dict(shard_id=7, rows=600, cpu_threads=1, translation_workers=1)
+    defaults.update(overrides)
+    return ShardSpec(**defaults)
+
+
+def small_query(hi=3, agg="sum"):
+    return Query(
+        conditions=(Condition("date", 1, lo=0, hi=hi),),
+        measures=("sales_price",),
+        agg=agg,
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = _ShardServer(tiny_spec())
+    srv.engine.start()
+    yield srv
+    if not srv._drained:
+        srv.engine.stop(finish_queued=False)
+
+
+@pytest.mark.wallclock
+class TestShardHandlers:
+    def test_build_is_deterministic_in_the_spec(self):
+        spec = tiny_spec()
+        engine_a, _, _ = build_shard_engine(spec)
+        engine_b, _, _ = build_shard_engine(spec)
+        query = small_query()
+        with engine_a, engine_b:
+            a = engine_a.submit(query, "small")
+            b = engine_b.submit(query_from_json(query_to_json(query)), "small")
+            assert a.ticket.wait(timeout=30) and b.ticket.wait(timeout=30)
+        assert a.ticket.record.answer == b.ticket.record.answer
+
+    def test_ping_reports_identity_and_state(self, server):
+        response = server.handle({"kind": "ping"})
+        assert response["ok"] and response["shard_id"] == 7
+        assert response["drained"] is False
+
+    def test_unknown_kind_is_an_error_response(self, server):
+        response = server.handle({"kind": "frobnicate"})
+        assert not response["ok"]
+        assert "frobnicate" in response["error"]
+
+    def test_handler_exception_becomes_error_response(self, server):
+        response = server.handle({"kind": "query"})  # no "query" field
+        assert not response["ok"]
+        assert "KeyError" in response["error"]
+
+    def test_query_round_trips_a_record(self, server):
+        response = server.handle(
+            {
+                "kind": "query",
+                "query": query_to_json(small_query()),
+                "class": "small",
+            }
+        )
+        assert response["ok"] and response["accepted"]
+        record = record_from_json(response["record"])
+        assert record.query_class == "small"
+        assert record.answer is not None
+
+    def test_metrics_snapshot_serialises(self, server):
+        response = server.handle({"kind": "metrics"})
+        names = {f["name"] for f in response["snapshot"]["families"]}
+        assert "repro_queries_submitted_total" in names
+
+    def test_shutdown_drains_audits_and_reports(self):
+        srv = _ShardServer(tiny_spec(shard_id=3))
+        srv.engine.start()
+        for hi in (2, 3, 4):
+            assert srv.handle(
+                {
+                    "kind": "query",
+                    "query": query_to_json(small_query(hi=hi)),
+                    "class": "small",
+                }
+            )["accepted"]
+        response = srv.handle({"kind": "shutdown", "drain": True})
+        assert response["ok"]
+        assert response["drain_error"] is None
+        assert len(response["records"]) == 3
+        assert response["validation"].startswith("ok")
+        # idempotent: a second shutdown does not re-drain or change books
+        again = srv.handle({"kind": "shutdown", "drain": True})
+        assert len(again["records"]) == 3

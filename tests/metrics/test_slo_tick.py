@@ -1,0 +1,82 @@
+"""Regression: the SLO burn gauge went stale when completions stopped.
+
+``SloMonitor`` used to slide its window only inside ``observe()``, so a
+wedged system — queries in flight, none completing — kept exporting the
+last healthy hit rate forever.  ``tick(now)`` now advances the window
+on the engine's sampling heartbeat; these tests pin the starvation
+breach, the idle no-breach, and the recovery path with a fake clock.
+"""
+
+import math
+
+import pytest
+
+from repro.metrics import MetricsRegistry, SloMonitor
+
+
+class TestSloTick:
+    def test_window_empties_under_load_latches_breach(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(target=0.9, window=60.0, registry=registry)
+        for t in range(5):
+            monitor.observe(met=True, now=float(t))
+        assert monitor.hit_rate == 1.0 and not monitor.breached
+
+        # heartbeats while observations are still in-window: healthy
+        assert monitor.tick(30.0, in_flight=4) is None
+        assert not monitor.breached
+
+        # the window slides past every observation while work is still
+        # in flight: silence under load is the worst possible miss
+        event = monitor.tick(70.0, in_flight=4)
+        assert event is not None and event.kind == "breach"
+        assert event.window_count == 0
+        assert event.hit_rate == 0.0
+        assert event.burn_rate == pytest.approx(10.0)  # (1 - 0) / (1 - 0.9)
+        assert monitor.breached
+        assert registry.get("repro_slo_burn_rate").value() == pytest.approx(10.0)
+        assert registry.get("repro_slo_hit_rate").value() == 0.0
+
+        # the breach is latched, not re-emitted every heartbeat
+        assert monitor.tick(75.0, in_flight=4) is None
+        assert len(monitor.events) == 1
+
+    def test_idle_empty_window_stays_healthy(self):
+        monitor = SloMonitor(target=0.9, window=60.0)
+        monitor.observe(met=True, now=0.0)
+        # in_flight == 0: the drain finished, nothing can be missing
+        assert monitor.tick(100.0, in_flight=0) is None
+        assert not monitor.breached
+        assert monitor.hit_rate == 1.0
+
+    def test_no_breach_before_first_observation(self):
+        # engine start-up: work is admitted but nothing has had time to
+        # finish — that is not starvation, the monitor has seen nothing
+        monitor = SloMonitor(target=0.9, window=60.0)
+        assert monitor.tick(5.0, in_flight=10) is None
+        assert not monitor.breached
+
+    def test_resumed_completions_recover(self):
+        monitor = SloMonitor(target=0.9, window=60.0)
+        monitor.observe(met=True, now=0.0)
+        breach = monitor.tick(100.0, in_flight=2)
+        assert breach is not None and breach.kind == "breach"
+        recover = monitor.observe(met=True, now=101.0)
+        assert recover is not None and recover.kind == "recover"
+        assert [e.kind for e in monitor.events] == ["breach", "recover"]
+        assert not monitor.breached
+
+    def test_tick_prunes_partial_window(self):
+        monitor = SloMonitor(target=0.9, window=60.0)
+        for t, met in ((0.0, False), (50.0, True)):
+            monitor.observe(met=met, now=t)
+        # at t=70 the miss at t=0 ages out; only the hit remains
+        monitor.tick(70.0, in_flight=1)
+        assert monitor.hit_rate == 1.0
+        assert monitor.window_count == 1
+
+    def test_infinite_burn_with_perfect_target(self):
+        monitor = SloMonitor(target=1.0, window=60.0)
+        monitor.observe(met=True, now=0.0)
+        event = monitor.tick(100.0, in_flight=1)
+        assert event is not None and math.isinf(event.burn_rate)

@@ -1,0 +1,168 @@
+"""Snapshot serialisation + cross-registry merge, and the histogram
+structural-validation regression.
+
+The fleet plane ships :class:`MetricsSnapshot`s between processes as
+JSON and folds them with :func:`merge_snapshots`; these tests pin the
+round-trip exactness and the bugfix where a malformed histogram
+snapshot (bounds/counts grid mismatch) used to be silently zipped by
+``merge``/``minus`` instead of raising.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsRegistry, merge_snapshots
+from repro.metrics.histogram import HistogramSnapshot
+from repro.metrics.registry import MetricsSnapshot
+
+
+def loaded_registry(scale=1):
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "requests", labels=("code",))
+    counter.inc(2.0 * scale, code="200")
+    counter.inc(1.0 * scale, code="500")
+    registry.gauge("depth", "queue depth").set(3.0 * scale)
+    histogram = registry.histogram("latency_seconds", "latency")
+    for i in range(3 * scale):
+        histogram.observe(0.01 * (i + 1))
+    return registry
+
+
+class TestSnapshotJsonRoundTrip:
+    def test_snapshot_survives_json(self):
+        snapshot = loaded_registry().collect(5.0)
+        back = MetricsSnapshot.from_json_line(snapshot.to_json_line())
+        assert back == snapshot
+
+    def test_histogram_samples_survive_json(self):
+        snapshot = loaded_registry().collect(1.0)
+        back = MetricsSnapshot.from_json_line(snapshot.to_json_line())
+        hist = back.histogram("latency_seconds")
+        assert hist.count == 3
+        assert hist == snapshot.histogram("latency_seconds")
+
+    def test_corrupt_histogram_grid_rejected_at_load(self):
+        # regression: a JSONL line whose counts grid does not match its
+        # bounds used to deserialise fine and only corrupt later merges
+        snapshot = loaded_registry().collect(1.0)
+        data = snapshot.to_json()
+        for family in data["families"]:
+            if family["name"] == "latency_seconds":
+                family["samples"][0]["value"]["counts"] = [1, 2, 3]
+        with pytest.raises(MetricsError, match="len\\(bounds\\) \\+ 1"):
+            MetricsSnapshot.from_json(data)
+
+    def test_scalar_in_histogram_family_rejected(self):
+        snapshot = loaded_registry().collect(1.0)
+        data = snapshot.to_json()
+        for family in data["families"]:
+            if family["name"] == "latency_seconds":
+                family["samples"][0]["value"] = 4.0
+        with pytest.raises(MetricsError):
+            MetricsSnapshot.from_json(data)
+
+
+class TestMergeSnapshots:
+    def test_merge_adds_scalars_and_histograms(self):
+        a = loaded_registry(scale=1).collect(1.0)
+        b = loaded_registry(scale=2).collect(4.0)
+        merged = merge_snapshots([a, b])
+        assert merged.time == 4.0
+        fam = merged.family("requests_total")
+        assert fam.samples[("200",)] == 6.0
+        assert fam.samples[("500",)] == 3.0
+        assert merged.family("depth").samples[()] == 9.0
+        assert merged.histogram("latency_seconds").count == 9
+
+    def test_merge_is_union_over_families_and_keys(self):
+        a = MetricsRegistry()
+        a.counter("only_in_a", "").inc(1.0)
+        b = MetricsRegistry()
+        b.counter("only_in_b", "").inc(2.0)
+        merged = merge_snapshots([a.collect(0.0), b.collect(0.0)])
+        assert merged.family("only_in_a").samples[()] == 1.0
+        assert merged.family("only_in_b").samples[()] == 2.0
+
+    def test_merge_of_one_is_identity(self):
+        snapshot = loaded_registry().collect(2.0)
+        assert merge_snapshots([snapshot]) == snapshot
+
+    def test_merge_of_none_rejected(self):
+        with pytest.raises(MetricsError):
+            merge_snapshots([])
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x", "").inc()
+        b = MetricsRegistry()
+        b.gauge("x", "").set(1.0)
+        with pytest.raises(MetricsError):
+            merge_snapshots([a.collect(0.0), b.collect(0.0)])
+
+    def test_label_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x", "", labels=("k",)).inc(k="1")
+        b = MetricsRegistry()
+        b.counter("x", "").inc()
+        with pytest.raises(MetricsError):
+            merge_snapshots([a.collect(0.0), b.collect(0.0)])
+
+
+class TestHistogramStructuralValidation:
+    """Regression: merge()/minus() zipped mismatched grids silently."""
+
+    def good(self):
+        return HistogramSnapshot(
+            bounds=(0.1, 1.0), counts=(1, 2, 3), count=6, total=4.2
+        )
+
+    def test_valid_snapshot_constructs(self):
+        assert self.good().count == 6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bounds=(), counts=(1,), count=1, total=0.1),
+            dict(bounds=(0.1, 0.1), counts=(1, 1, 1), count=3, total=0.3),
+            dict(bounds=(1.0, 0.1), counts=(1, 1, 1), count=3, total=0.3),
+            dict(bounds=(0.1, float("inf")), counts=(1, 1, 1), count=3, total=0.3),
+            dict(bounds=(0.1, 1.0), counts=(1, 2), count=3, total=0.3),
+            dict(bounds=(0.1, 1.0), counts=(1, 2, 3, 4), count=10, total=0.3),
+            dict(bounds=(0.1, 1.0), counts=(1, -1, 1), count=1, total=0.3),
+            dict(bounds=(0.1, 1.0), counts=(1, 2, 3), count=7, total=0.3),
+        ],
+    )
+    def test_malformed_snapshots_rejected_at_construction(self, kwargs):
+        with pytest.raises(MetricsError):
+            HistogramSnapshot(**kwargs)
+
+    def test_merge_refuses_mismatched_bounds(self):
+        other = HistogramSnapshot(
+            bounds=(0.2, 2.0), counts=(1, 2, 3), count=6, total=4.2
+        )
+        with pytest.raises(MetricsError):
+            self.good().merge(other)
+
+    def test_minus_refuses_mismatched_bounds(self):
+        other = HistogramSnapshot(
+            bounds=(0.2, 2.0), counts=(0, 1, 2), count=3, total=2.0
+        )
+        with pytest.raises(MetricsError):
+            self.good().minus(other)
+
+    def test_merge_and_minus_stay_exact_on_matching_grids(self):
+        a = self.good()
+        b = HistogramSnapshot(
+            bounds=(0.1, 1.0), counts=(0, 1, 1), count=2, total=1.5
+        )
+        merged = a.merge(b)
+        assert merged.counts == (1, 3, 4) and merged.count == 8
+        assert merged.minus(b) == a
+
+    def test_tampered_replace_rejected(self):
+        # dataclasses.replace re-runs __post_init__: corruption after
+        # construction is caught too
+        with pytest.raises(MetricsError):
+            replace(self.good(), counts=(9, 9, 9))

@@ -7,6 +7,7 @@ the executor (answer parity with the pyramid), the admission policy
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -418,3 +419,58 @@ class TestRouter:
         assert snap.family("repro_rollup_misses_total").total() == 1
         hist = snap.histogram("repro_rollup_hit_latency_seconds")
         assert hist.count == 1
+
+
+class TestReadStability:
+    """Regression: answers were read from live arrays mid-ingest-fold.
+
+    ``ingest`` mutates installed component arrays in place under the
+    catalog lock; the executor used to aggregate straight from those
+    arrays with no lock, so an ``avg`` could see sum already folded but
+    count not yet.  ``read_view`` now snapshots the components under the
+    lock before aggregating.
+    """
+
+    def test_read_view_is_a_stable_copy(self, full_catalog):
+        query = q("date", 2, 0, 2, agg="avg")
+        cuboid = full_catalog.covers(query)
+        baseline = np.array(cuboid.cube.component("sum"))
+        view = full_catalog.read_view(cuboid)
+        assert view.cube is not cuboid.cube
+        view.cube.component("sum")[...] = -1.0
+        assert np.array_equal(cuboid.cube.component("sum"), baseline)
+
+    def test_answer_blocks_on_half_applied_fold(self, full_catalog):
+        query = q("date", 2, 0, 2, agg="avg")
+        executor = RollupExecutor(full_catalog)
+        clean = executor.answer(query)
+
+        sums = full_catalog.covers(query).cube.component("sum")
+        torn = threading.Barrier(2)
+        answers = []
+
+        def writer():
+            with full_catalog._lock:
+                # half-applied fold: sum advanced, count untouched
+                sums[...] *= 2.0
+                torn.wait()
+                # hold the torn state long enough for the reader to be
+                # blocked on the lock, then complete the fold
+                time.sleep(0.03)
+                sums[...] /= 2.0
+
+        def reader():
+            torn.wait()
+            answers.append(executor.answer(query))
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        # pre-fix the reader aggregated the doubled sums (answer == 2x);
+        # with the locked snapshot it only ever sees consistent state
+        assert answers == [pytest.approx(clean)]

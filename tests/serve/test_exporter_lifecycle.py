@@ -1,0 +1,81 @@
+"""Regression: the metrics exporter leaked its socket past engine stop.
+
+``repro serve --metrics-port N`` started a daemonised scrape server
+that nothing closed when the engine stopped through the ``drain()`` /
+``stop()`` path, so the port stayed bound for the life of the process
+and a second engine in the same process could not claim it.  The engine
+now owns an optional exporter and closes it from ``stop()``.
+"""
+
+import socket
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsExporter, MetricsRegistry
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def port_is_listening(port: int) -> bool:
+    with socket.socket() as probe:
+        return probe.connect_ex(("127.0.0.1", port)) == 0
+
+
+class TestExporterClose:
+    def test_close_is_idempotent(self):
+        exporter = MetricsExporter(MetricsRegistry(), port=0).start()
+        port = exporter.port
+        assert port_is_listening(port)
+        exporter.close()
+        assert not port_is_listening(port)
+        exporter.close()  # second close: no error
+
+    def test_close_before_start_is_a_noop(self):
+        MetricsExporter(MetricsRegistry(), port=0).close()
+
+    def test_double_start_still_rejected(self):
+        exporter = MetricsExporter(MetricsRegistry(), port=0).start()
+        try:
+            with pytest.raises(MetricsError):
+                exporter.start()
+        finally:
+            exporter.close()
+
+
+class TestEngineOwnedExporter:
+    def test_engine_stop_releases_the_port_for_rebind(self, make_engine):
+        port = free_port()
+        registry = MetricsRegistry()
+        exporter = MetricsExporter(registry, port=port).start()
+        engine = make_engine(metrics=registry, exporter=exporter)
+        engine.start()
+        assert port_is_listening(port)
+
+        engine.stop()
+        # regression: the fixed port must be rebindable immediately —
+        # before the fix this raised EADDRINUSE because the daemonised
+        # server thread still held the listener
+        second = MetricsExporter(MetricsRegistry(), port=port).start()
+        try:
+            assert second.port == port
+        finally:
+            second.close()
+
+    def test_engine_drain_also_closes_the_exporter(self, make_engine):
+        registry = MetricsRegistry()
+        exporter = MetricsExporter(registry, port=0).start()
+        port = exporter.port
+        engine = make_engine(metrics=registry, exporter=exporter)
+        engine.start()
+        engine.drain()
+        assert not port_is_listening(port)
+
+    def test_engine_without_exporter_unchanged(self, make_engine):
+        engine = make_engine()
+        engine.start()
+        engine.stop()  # nothing to close; no error

@@ -219,3 +219,17 @@ class TestServeMetricsCLI:
         url = out.split("Prometheus text at ", 1)[1].splitlines()[0]
         with pytest.raises(urllib.error.URLError):
             urllib.request.urlopen(url, timeout=2.0)
+
+
+@pytest.mark.wallclock
+class TestFleetCommand:
+    def test_fleet_serves_drains_and_audits(self, capsys):
+        rc = main(
+            ["fleet", "--shards", "2", "--rows", "600", "--duration", "1",
+             "--cpu-threads", "1", "--port", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet front door: http://127.0.0.1:" in out
+        assert "shards live: [0, 1]" in out
+        assert "fleet audit: ok" in out
