@@ -1,0 +1,405 @@
+"""The adapt plane: recalibrator + capacity controller behind one facade.
+
+:class:`AdaptivePlane` is the single object a host attaches, exactly
+like a trace collector or metrics registry: ``ServeEngine(...,
+adapt=plane)`` or ``HybridSystem.run(..., adapt=plane)``.  It claims
+the third (``adapt_observer``) scheduler/feedback observer slots, runs
+its own windowed :class:`~repro.metrics.slo.SloMonitor`, and wires the
+two adaptive mechanisms together:
+
+* the :class:`~repro.adapt.recalibrate.OnlineRecalibrator` listens to
+  estimate/decision/feedback events and hot-swaps refit model bundles
+  into the estimator;
+* the :class:`~repro.adapt.controller.AdaptiveCapacityController`
+  listens to SLO breach/recover events and drives the host's capacity
+  actuators.
+
+Lock ordering
+-------------
+On the serving engine every plane entry point already runs under the
+engine-wide ``EngineState.cond`` lock: scheduler hooks fire inside
+``submit``, feedback hooks inside pool ``on_done`` callbacks, and
+``on_outcome``/``tick`` at the engine's completion/sampling sites.
+Actuator calls (``adapt_resplit``, ``adapt_resize_translation``,
+lateness mutation) take the same re-entrant lock, so an action applied
+from inside an SLO event callback nests cleanly and nothing in this
+package needs a lock of its own.  The simulated plane is
+single-threaded, where the same code is trivially safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.adapt.controller import (
+    AdaptiveCapacityController,
+    ControllerLimits,
+    ReconfigRecord,
+)
+from repro.adapt.recalibrate import ModelEpoch, OnlineRecalibrator, RecalGuards
+from repro.errors import SchedulingError
+from repro.gpu.partitioning import PartitionScheme, paper_partition_scheme, uniform_scheme
+from repro.metrics.slo import SloEvent, SloMonitor
+
+__all__ = ["AdaptivePlane", "AdaptReport", "default_scheme_ladder"]
+
+
+def default_scheme_ladder() -> tuple[PartitionScheme, ...]:
+    """The built-in re-split ladder: the paper's 2x1/2x2/2x4 mixed
+    scheme, then a uniform seven-partition 2-SM split (more service
+    stations for the same 14 SMs — higher throughput under a flood of
+    small queries, at the cost of the large 4-SM express lanes)."""
+    return (paper_partition_scheme(), uniform_scheme(7, 2))
+
+
+@dataclass(frozen=True)
+class AdaptReport:
+    """Frozen audit surface of one adaptive run.
+
+    Everything :func:`repro.sim.validate.validate_adapt` needs to
+    reconcile the run: the guard/limit envelopes the plane ran under,
+    the full epoch and reconfiguration histories, and the per-epoch
+    decision accounting proving estimates were never served across a
+    torn model swap.
+    """
+
+    target: float
+    guards: RecalGuards
+    limits: ControllerLimits
+    epochs: tuple[ModelEpoch, ...]
+    reconfigs: tuple[ReconfigRecord, ...]
+    decisions_by_epoch: Mapping[int, int]
+    total_decisions: int
+    samples_ingested: int
+    poisoned: int
+
+
+class _SimHost:
+    """Actuator surface for the simulated plane: admission only.
+
+    The event-driven simulator replays a fixed queue topology and a
+    fixed worker layout, so re-splits and pool resizes have nothing to
+    actuate; the admission lateness factor is a plain scheduler
+    attribute and works identically in both planes.
+    """
+
+    def __init__(self, scheduler):
+        self._scheduler = scheduler
+
+    def lateness(self):
+        return getattr(self._scheduler, "lateness_factor", None)
+
+    def set_lateness(self, value: float) -> None:
+        self._scheduler.lateness_factor = value
+
+    def translation_workers(self):
+        return None
+
+    def set_translation_workers(self, workers: int) -> None:
+        raise SchedulingError("simulated plane cannot resize translation")
+
+    def can_resplit(self) -> bool:
+        return False
+
+    def resplit(self, scheme) -> None:
+        raise SchedulingError("simulated plane cannot re-split the GPU")
+
+
+class _ServeHost:
+    """Actuator surface for the live engine: all three knobs."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def lateness(self):
+        return getattr(self._engine.scheduler, "lateness_factor", None)
+
+    def set_lateness(self, value: float) -> None:
+        self._engine.scheduler.lateness_factor = value
+
+    def translation_workers(self):
+        return self._engine.trans_queue.capacity
+
+    def set_translation_workers(self, workers: int) -> None:
+        self._engine.adapt_resize_translation(workers)
+
+    def can_resplit(self) -> bool:
+        return True
+
+    def resplit(self, scheme) -> None:
+        self._engine.adapt_resplit(scheme)
+
+
+class AdaptivePlane:
+    """Online recalibration + adaptive capacity control for one run.
+
+    Parameters
+    ----------
+    target:
+        Deadline-hit-rate SLO the plane defends (the paper's
+        :math:`P_{BD}`-style service-level objective).
+    window:
+        SLO observation window in event-time seconds.
+    guards:
+        Recalibration safety envelope (:class:`RecalGuards`).
+    limits:
+        Controller envelope (:class:`ControllerLimits`).
+    schemes:
+        Partition-scheme re-split ladder; defaults to
+        :func:`default_scheme_ladder` on serve hosts.  The first rung
+        must match the host's configured scheme.
+    recalibrate / control:
+        Independently disable either half (a disabled plane attached to
+        a run must leave behaviour byte-identical to no plane at all —
+        pinned by the property suite).
+    min_window_count:
+        Breach events are ignored while the SLO window holds fewer than
+        this many completions, so a single missed deadline during cold
+        start (hit rate 0/1) cannot trigger a capacity action.  Recovery
+        events always pass — unwinding is safe at any sample size.
+
+    A plane instance is single-use: it binds to one host via
+    ``attach_serve``/``attach_sim`` and accumulates that run's history.
+    """
+
+    def __init__(
+        self,
+        *,
+        target: float = 0.9,
+        window: float = 60.0,
+        guards: RecalGuards | None = None,
+        limits: ControllerLimits | None = None,
+        schemes: tuple[PartitionScheme, ...] | None = None,
+        recalibrate: bool = True,
+        control: bool = True,
+        min_window_count: int = 1,
+    ):
+        if min_window_count < 1:
+            raise SchedulingError(
+                f"min_window_count must be >= 1, got {min_window_count}"
+            )
+        self.min_window_count = min_window_count
+        self.target = target
+        self.guards = guards if guards is not None else RecalGuards()
+        self.limits = limits if limits is not None else ControllerLimits()
+        self._schemes = schemes
+        self._recal_enabled = recalibrate
+        self._ctrl_enabled = control
+        # registry=None: the engine may run its own SLO monitor on the
+        # shared registry; the plane's window is a private instrument
+        self.monitor = SloMonitor(
+            target=target, window=window, registry=None, on_event=self._on_slo_event
+        )
+        self.recalibrator: OnlineRecalibrator | None = None
+        self.controller: AdaptiveCapacityController | None = None
+        self._collector = None
+        self._metrics = None
+        self._attached = False
+        self._time = 0.0
+
+    # -- attachment --------------------------------------------------------
+
+    def _check_unattached(self) -> None:
+        if self._attached:
+            raise SchedulingError("AdaptivePlane is single-use; already attached")
+        self._attached = True
+
+    def attach_serve(self, engine) -> None:
+        """Wire into a :class:`~repro.serve.engine.ServeEngine` (called
+        by the engine constructor when ``adapt=`` is passed)."""
+        self._check_unattached()
+        self._collector = engine._collector
+        if engine.metrics is not None:
+            from repro.metrics.instrument import AdaptMetrics
+
+            self._metrics = AdaptMetrics(engine.metrics)
+        schemes = self._schemes
+        if schemes is None:
+            schemes = default_scheme_ladder()
+            if engine.config.scheme != schemes[0]:
+                # unknown starting scheme: no safe ladder to climb
+                schemes = (engine.config.scheme,)
+        self._wire(
+            scheduler=engine.scheduler,
+            feedback=engine.feedback,
+            estimator=engine.estimator,
+            host=_ServeHost(engine),
+            schemes=schemes,
+        )
+
+    def attach_sim(
+        self, *, scheduler, feedback, estimator, collector=None, metrics=None
+    ) -> None:
+        """Wire into a :meth:`~repro.sim.system.HybridSystem.run` pass
+        (called by the system when ``adapt=`` is passed)."""
+        self._check_unattached()
+        self._collector = collector
+        if metrics is not None:
+            from repro.metrics.instrument import AdaptMetrics
+
+            self._metrics = AdaptMetrics(metrics)
+        self._wire(
+            scheduler=scheduler,
+            feedback=feedback,
+            estimator=estimator,
+            host=_SimHost(scheduler),
+            schemes=self._schemes if self._schemes is not None else (),
+        )
+
+    def _wire(self, *, scheduler, feedback, estimator, host, schemes) -> None:
+        if self._recal_enabled:
+            self.recalibrator = OnlineRecalibrator(
+                estimator, self.guards, now=self._time
+            )
+            self.recalibrator.on_epoch = self._on_epoch
+            self.recalibrator.on_refit = self._on_refit
+            scheduler.adapt_observer = self
+            feedback.adapt_observer = self.on_feedback
+            # re-announce epoch 0 now that trace/metrics sinks exist
+            self._on_epoch(self.recalibrator.epochs[0])
+        elif self._metrics is not None:
+            self._metrics.on_epoch(0)
+        if self._ctrl_enabled:
+            self.controller = AdaptiveCapacityController(
+                self.limits, target=self.target, schemes=schemes
+            )
+            self.controller.on_reconfig = self._on_reconfig
+            self.controller.bind(host)
+
+    # -- scheduler observer protocol (third slot) --------------------------
+
+    def on_estimated(self, query, est, deadline, now) -> None:
+        self._time = max(self._time, now)
+        if self.recalibrator is not None:
+            self.recalibrator.note_estimate(query)
+
+    def on_decision(self, decision, response, now) -> None:
+        self._time = max(self._time, now)
+        if self.recalibrator is not None:
+            self.recalibrator.note_decision(decision)
+
+    def on_batch(self, n: int, now: float) -> None:
+        self._time = max(self._time, now)
+
+    # -- feedback observer (third slot) ------------------------------------
+
+    def on_feedback(
+        self, queue_name, query_id, measured, estimated, applied, stats
+    ) -> None:
+        if self.recalibrator is not None:
+            self.recalibrator.ingest(
+                queue_name, query_id, measured, estimated, self._time
+            )
+
+    # -- SLO observation (host completion/sampling sites) ------------------
+
+    def on_outcome(self, met: bool, now: float) -> None:
+        """One finished query's deadline outcome (host calls this for
+        every completion, including cache hits and failures)."""
+        self._time = max(self._time, now)
+        self.monitor.observe(met, now)
+        self._pump(now)
+
+    def tick(self, now: float, in_flight: int = 0) -> None:
+        """Heartbeat so starvation (no completions at all) still
+        registers as a breach; fired from the engine sampling loop."""
+        self._time = max(self._time, now)
+        self.monitor.tick(now, in_flight)
+        self._pump(now)
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _pump(self, now: float) -> None:
+        """Re-drive the controller while an SLO state *persists*.
+
+        The monitor emits events only on crossings, but one action is
+        rarely enough: a breach that outlives the cooldown deserves the
+        next escalation step, and a comfortable recovery deserves the
+        next unwind.  Synthetic events are cooldown-gated inside the
+        controller, so pumping on every completion cannot thrash."""
+        ctrl = self.controller
+        if ctrl is None:
+            return
+        monitor = self.monitor
+        if monitor.breached:
+            if monitor.window_count < self.min_window_count:
+                return  # cold-start noise, not a real breach signal
+            ctrl.on_slo_event(
+                SloEvent(
+                    "breach",
+                    now,
+                    monitor.hit_rate,
+                    monitor.burn_rate,
+                    monitor.window_count,
+                )
+            )
+        elif ctrl.applied_depth > 0:
+            hit_rate = monitor.hit_rate
+            if hit_rate >= self.target + self.limits.hysteresis:
+                ctrl.on_slo_event(
+                    SloEvent(
+                        "recover",
+                        now,
+                        hit_rate,
+                        monitor.burn_rate,
+                        monitor.window_count,
+                    )
+                )
+
+    def _on_slo_event(self, event) -> None:
+        if self.controller is None:
+            return
+        if event.kind == "breach" and event.window_count < self.min_window_count:
+            return
+        self.controller.on_slo_event(event)
+
+    def _on_epoch(self, epoch: ModelEpoch) -> None:
+        if self._metrics is not None:
+            self._metrics.on_epoch(epoch.version)
+        if self._collector is not None:
+            self._collector.emit(
+                "model_epoch",
+                epoch.time,
+                version=epoch.version,
+                trigger=epoch.trigger,
+                families=list(epoch.families),
+                clamped=list(epoch.clamped),
+            )
+
+    def _on_refit(self, family: str, outcome: str) -> None:
+        if self._metrics is not None:
+            self._metrics.on_refit_outcome(family, outcome)
+
+    def _on_reconfig(self, record: ReconfigRecord) -> None:
+        if self._metrics is not None:
+            self._metrics.on_reconfig(record.action)
+        if self._collector is not None:
+            self._collector.emit(
+                "reconfig",
+                record.time,
+                seq=record.seq,
+                action=record.action,
+                trigger=record.trigger,
+                detail=record.detail,
+            )
+
+    # -- audit surface -----------------------------------------------------
+
+    def report(self) -> AdaptReport:
+        recal = self.recalibrator
+        ctrl = self.controller
+        return AdaptReport(
+            target=self.target,
+            guards=self.guards,
+            limits=self.limits,
+            epochs=tuple(recal.epochs) if recal is not None else (),
+            reconfigs=tuple(ctrl.reconfigs) if ctrl is not None else (),
+            decisions_by_epoch=MappingProxyType(
+                dict(recal.decisions_by_epoch) if recal is not None else {}
+            ),
+            total_decisions=recal.total_decisions if recal is not None else 0,
+            samples_ingested=recal.samples_ingested if recal is not None else 0,
+            poisoned=recal.poisoned if recal is not None else 0,
+        )

@@ -288,6 +288,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         args.metrics_port is not None
         or args.metrics_snapshots is not None
         or args.slo is not None
+        or args.adapt
     )
     registry = exporter = slo = snapshots = None
     if metrics_enabled:
@@ -354,6 +355,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n_queries, ArrivalProcess("poisson", rate=args.rate)
     )
 
+    adapt_plane = None
+    if args.adapt:
+        from repro.adapt import AdaptivePlane
+
+        adapt_plane = AdaptivePlane(
+            target=args.slo if args.slo is not None else 0.9,
+            window=max(args.duration / 4.0, 1.0),
+        )
+
     collector = TraceCollector(sample_series=args.trace is not None)
     engine = ServeEngine(
         config,
@@ -364,6 +374,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         exporter=exporter,  # engine-owned: the port is released at stop()
         max_in_flight=args.max_in_flight,
         cpu_threads=args.cpu_threads,
+        adapt=adapt_plane,
     )
     print(
         f"serving {n_queries} queries over ~{args.duration:.0f}s at "
@@ -380,6 +391,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # audit the live run with the simulation invariant checker
         assert_valid(report, require_drained=True)
         assert_trace_valid(report, collector)
+        if adapt_plane is not None:
+            from repro.sim.validate import assert_adapt_valid
+
+            assert_adapt_valid(adapt_plane.report())
         if registry is not None:
             from repro.sim.validate import assert_metrics_valid
 
@@ -434,6 +449,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"SLO: hit rate {slo.hit_rate:.3f} vs target {slo.target:.2f} "
             f"(burn {slo.burn_rate:.2f}, crossings: {crossings})"
         )
+    if adapt_plane is not None:
+        adapt_report = adapt_plane.report()
+        refits = sum(1 for e in adapt_report.epochs if e.trigger == "refit")
+        print(
+            f"adapt: repro_adapt_model_epoch "
+            f"{adapt_report.epochs[-1].version} ({refits} refits, "
+            f"{adapt_report.samples_ingested} samples, "
+            f"{adapt_report.poisoned} poisoned), "
+            f"{len(adapt_report.reconfigs)} reconfigurations"
+        )
+        for epoch in adapt_report.epochs:
+            if epoch.trigger == "refit":
+                print(
+                    f"  epoch@{epoch.time:.2f}s v{epoch.version} refit "
+                    f"{'+'.join(epoch.families)} "
+                    f"(clamped: {len(epoch.clamped)})"
+                )
+        for rec in adapt_report.reconfigs:
+            print(
+                f"  reconfiguration@{rec.time:.2f}s {rec.action} "
+                f"{rec.value_before} -> {rec.value_after} ({rec.trigger})"
+            )
     return 0
 
 
@@ -591,10 +628,15 @@ def build_parser() -> argparse.ArgumentParser:
             "  --metrics-port N          live Prometheus text endpoint (0 = any port)\n"
             "  --metrics-snapshots PATH  periodic JSONL registry snapshots\n"
             "  --slo TARGET              windowed deadline-SLO burn monitor\n"
+            "  --adapt                   attach the adapt plane: online model\n"
+            "                            recalibration + SLO-driven capacity control\n"
             "\n"
-            "The last three attach the live metrics plane (tutorial section 8);\n"
+            "The metrics flags attach the live metrics plane (tutorial section 8);\n"
             "the final snapshot is reconciled against the run report by\n"
-            "repro.sim.validate.validate_metrics."
+            "repro.sim.validate.validate_metrics.  --adapt defends the --slo\n"
+            "target (default 0.9) and prints every installed model epoch and\n"
+            "capacity reconfiguration; the history is audited by\n"
+            "repro.sim.validate.validate_adapt."
         ),
     )
     p.add_argument("--duration", type=float, default=5.0,
@@ -629,6 +671,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", type=float, default=None, metavar="TARGET",
                    help="monitor the windowed deadline hit rate against "
                         "TARGET (e.g. 0.9) and report burn + crossings")
+    p.add_argument("--adapt", action="store_true",
+                   help="attach the adapt plane (repro.adapt): online model "
+                        "recalibration plus an SLO-driven capacity controller "
+                        "defending the --slo target (default 0.9)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -101,19 +101,77 @@ def fit_linear(
             raise CalibrationError("degenerate x for through-origin fit")
         a = float(np.dot(xa, ya) / denom)
         model = LinearModel(a=a, b=0.0)
-    else:
-        if np.ptp(xa) == 0.0:
-            raise CalibrationError("x values are all identical; cannot fit a line")
-        a, b = np.polyfit(xa, ya, 1)
-        model = LinearModel(a=float(a), b=float(b))
+        pred = np.array([model.time(v) for v in xa])
+        # regression through the origin: centre-less R^2 (residuals vs
+        # raw sum of squares), the standard convention for zero-intercept
+        # models — the centred form is 0 whenever x has a single distinct
+        # value even for a perfect proportional fit
+        ss_tot = float(np.dot(ya, ya))
+        if ss_tot == 0.0:
+            r2 = 1.0 if float(np.sum((ya - pred) ** 2)) == 0.0 else 0.0
+        else:
+            r2 = 1.0 - float(np.sum((ya - pred) ** 2)) / ss_tot
+        return FitResult(model=model, r2=r2, n_points=len(xa))
+    if np.ptp(xa) == 0.0:
+        raise CalibrationError("x values are all identical; cannot fit a line")
+    a, b = np.polyfit(xa, ya, 1)
+    model = LinearModel(a=float(a), b=float(b))
     pred = np.array([model.time(v) for v in xa])
     return FitResult(model=model, r2=r_squared(ya, pred), n_points=len(xa))
+
+
+def _candidate_breakpoints(xa: np.ndarray) -> list[float]:
+    """Midpoints between consecutive distinct sizes, in ascending order."""
+    distinct = np.unique(xa)
+    return [
+        float((lo + hi) / 2.0) for lo, hi in zip(distinct[:-1], distinct[1:])
+    ]
+
+
+def _select_breakpoint(xa: np.ndarray, ya: np.ndarray) -> float:
+    """Choose the feasible candidate breakpoint with the best joint fit.
+
+    A candidate is *feasible* when it leaves >= 3 samples below and
+    >= 2 at/above (the per-segment fitter minima).  When every candidate
+    leaves all samples on one side — fewer than two distinct sizes, or
+    duplicates so concentrated that no split reaches both minima — this
+    raises :class:`~repro.errors.CalibrationError` instead of collapsing
+    to a degenerate one-segment model.
+    """
+    best: tuple[float, float] | None = None  # (sse, breakpoint)
+    for candidate in _candidate_breakpoints(xa):
+        below = xa < candidate
+        above = ~below
+        if below.sum() < 3 or above.sum() < 2:
+            continue
+        try:
+            fa = fit_power_law(xa[below], ya[below])
+            fb = fit_linear(xa[above], ya[above])
+        except CalibrationError:
+            continue
+        pred = np.concatenate(
+            [
+                np.array([fa.model.time(v) for v in xa[below]]),
+                np.array([fb.model.time(v) for v in xa[above]]),
+            ]
+        )
+        actual = np.concatenate([ya[below], ya[above]])
+        sse = float(np.sum((actual - pred) ** 2))
+        if best is None or sse < best[0]:
+            best = (sse, candidate)
+    if best is None:
+        raise CalibrationError(
+            "breakpoint auto-selection failed: all samples fall on one "
+            "side of every candidate breakpoint (need >= 3 distinct "
+            "sizes below and >= 2 at/above some split)"
+        )
+    return best[1]
 
 
 def fit_piecewise_cpu(
     sizes_mb: Sequence[float],
     times: Sequence[float],
-    breakpoint_mb: float = PAPER_RANGE_BREAK_MB,
+    breakpoint_mb: float | None = PAPER_RANGE_BREAK_MB,
     threads: int = 1,
     min_r2: float = 0.0,
 ) -> CPUPerfModel:
@@ -123,8 +181,17 @@ def fit_piecewise_cpu(
     exactly the construction behind Figures 4 and 5.  ``min_r2`` lets a
     caller reject sloppy fits (the paper's published fits have visually
     tight residuals).
+
+    ``breakpoint_mb=None`` auto-selects the breakpoint: every midpoint
+    between consecutive distinct sizes is tried and the feasible split
+    with the smallest joint squared error wins.  When no candidate is
+    feasible — all samples fall on one side of every candidate — a
+    :class:`~repro.errors.CalibrationError` is raised rather than
+    returning a degenerate one-segment fit.
     """
     xa, ya = _validate(sizes_mb, times, min_points=5)
+    if breakpoint_mb is None:
+        breakpoint_mb = _select_breakpoint(xa, ya)
     below = xa < breakpoint_mb
     above = ~below
     if below.sum() < 3 or above.sum() < 2:

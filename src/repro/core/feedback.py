@@ -74,6 +74,11 @@ class FeedbackController:
         #: :meth:`repro.metrics.instrument.RuntimeMetrics.on_feedback`);
         #: separate from ``observer`` so traces and metrics coexist.
         self.metrics_observer = None
+        #: optional adaptation hook with the same signature (see
+        #: :class:`repro.adapt.plane.AdaptivePlane`); a third slot so the
+        #: online recalibrator can consume measured-vs-estimated pairs
+        #: alongside traces and metrics.
+        self.adapt_observer = None
 
     def on_completion(
         self,
@@ -112,6 +117,10 @@ class FeedbackController:
             )
         if self.metrics_observer is not None:
             self.metrics_observer(
+                queue.name, query_id, measured_time, estimated_time, applied, stats
+            )
+        if self.adapt_observer is not None:
+            self.adapt_observer(
                 queue.name, query_id, measured_time, estimated_time, applied, stats
             )
         return applied

@@ -211,6 +211,32 @@ class BaseScheduler:
         #: :class:`repro.metrics.instrument.RuntimeMetrics`); a separate
         #: slot so tracing and metering can be attached simultaneously.
         self.metrics_observer = None
+        #: optional adaptation hook speaking the same protocol (see
+        #: :class:`repro.adapt.plane.AdaptivePlane`); a third slot so
+        #: the adapt plane can listen alongside tracing and metering.
+        self.adapt_observer = None
+
+    def replace_gpu_queues(self, gpu_queues: Sequence[PartitionQueue]) -> None:
+        """Swap the GPU partition set for a re-split scheme.
+
+        Used by the adaptive capacity controller when it reconfigures
+        the GPU partitioning under load.  The replacement set must obey
+        the same invariants as the constructor's: GPU kind only,
+        slowest-first SM order, non-empty.  Old queues keep their books
+        (in-flight work completes against them); only *new* decisions
+        see the replacement set.
+        """
+        if not gpu_queues:
+            raise SchedulingError("need at least one GPU queue")
+        for q in gpu_queues:
+            if q.kind is not QueueKind.GPU:
+                raise SchedulingError(f"GPU queue {q.name!r} has kind {q.kind}")
+        sms = [q.n_sm or 0 for q in gpu_queues]
+        if sms != sorted(sms):
+            raise SchedulingError(
+                f"GPU queues must be ordered slowest-first, got SM counts {sms}"
+            )
+        self.gpu_queues = tuple(gpu_queues)
 
     # -- response-time estimation (step 3) ---------------------------------
 
@@ -342,6 +368,8 @@ class BaseScheduler:
             self.observer.on_estimated(query, est, deadline, now)
         if self.metrics_observer is not None:
             self.metrics_observer.on_estimated(query, est, deadline, now)
+        if self.adapt_observer is not None:
+            self.adapt_observer.on_estimated(query, est, deadline, now)
         response = self.response_times(est, now)  # step 3
         if not response:
             raise SchedulingError(
@@ -354,6 +382,8 @@ class BaseScheduler:
             self.observer.on_decision(decision, response, now)
         if self.metrics_observer is not None:
             self.metrics_observer.on_decision(decision, response, now)
+        if self.adapt_observer is not None:
+            self.adapt_observer.on_decision(decision, response, now)
         return decision
 
     # -- the batch entry point ---------------------------------------------
@@ -396,7 +426,8 @@ class BaseScheduler:
             ests = [self.estimator.estimate(q) for q in queries]
         observer = self.observer
         metrics = self.metrics_observer
-        for hook in (observer, metrics):
+        adapt = self.adapt_observer
+        for hook in (observer, metrics, adapt):
             on_batch = getattr(hook, "on_batch", None)
             if on_batch is not None:
                 on_batch(len(queries), now)
@@ -418,6 +449,8 @@ class BaseScheduler:
                 observer.on_estimated(query, est, deadline, now)
             if metrics is not None:
                 metrics.on_estimated(query, est, deadline, now)
+            if adapt is not None:
+                adapt.on_estimated(query, est, deadline, now)
             # Step 3 against the cached backlogs.  The arithmetic below
             # mirrors response_times()/response_time_gpu() operation for
             # operation so the floats come out bit-identical.
@@ -468,6 +501,8 @@ class BaseScheduler:
                 observer.on_decision(decision, response, now)
             if metrics is not None:
                 metrics.on_decision(decision, response, now)
+            if adapt is not None:
+                adapt.on_decision(decision, response, now)
             results.append(decision)
         return results
 

@@ -45,6 +45,9 @@ rollup_hits_total                     counter    —                   answered 
 rollup_misses_total                   counter    —                   fell through to the scheduler
 rollup_materializations_total         counter    —                   cuboids installed in the catalog
 rollup_hit_latency_seconds            histogram  —                   wall time to answer a cache hit
+adapt_model_epoch                     gauge      —                   live estimator model version
+adapt_refits_total                    counter    family, outcome     recalibration attempts by result
+adapt_reconfigurations_total          counter    action              capacity controller actions
 ====================================  =========  ==================  =============================
 """
 
@@ -69,6 +72,7 @@ __all__ = [
     "PoolInstruments",
     "TranslatorMetrics",
     "RollupMetrics",
+    "AdaptMetrics",
 ]
 
 
@@ -288,6 +292,43 @@ class RollupMetrics:
 
     def on_materialized(self) -> None:
         self.materializations.inc()
+
+
+class AdaptMetrics:
+    """Adapt-plane instruments: model epochs, refits, reconfigurations.
+
+    Fills the :class:`~repro.adapt.plane.AdaptivePlane` metrics slot
+    (duck-typed there so :mod:`repro.adapt` keeps no import on this
+    package).  The epoch gauge is published at construction — scrapes
+    of an adaptive run always carry ``repro_adapt_model_epoch``, even
+    before the first refit.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.model_epoch = registry.gauge(
+            "repro_adapt_model_epoch",
+            "Version of the model bundle currently answering estimates.",
+        )
+        self.refits = registry.counter(
+            "repro_adapt_refits_total",
+            "Online recalibration attempts, by model family and outcome.",
+            labels=("family", "outcome"),
+        )
+        self.reconfigurations = registry.counter(
+            "repro_adapt_reconfigurations_total",
+            "Capacity-controller reconfigurations, by action.",
+            labels=("action",),
+        )
+        self.model_epoch.set(0)
+
+    def on_epoch(self, version: int) -> None:
+        self.model_epoch.set(version)
+
+    def on_refit_outcome(self, family: str, outcome: str) -> None:
+        self.refits.inc(family=family, outcome=outcome)
+
+    def on_reconfig(self, action: str) -> None:
+        self.reconfigurations.inc(action=action)
 
 
 class TranslatorMetrics:

@@ -210,6 +210,7 @@ class ServeEngine:
         max_in_flight: int | None = 1024,
         cpu_threads: int = 4,
         rollup: RollupRouter | None = None,
+        adapt=None,
     ):
         if max_in_flight is not None and max_in_flight < 1:
             raise ServeError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -281,17 +282,28 @@ class ServeEngine:
         self._slo = slo
         self._snapshots = snapshots
         self._exporter = exporter
+        self._pool_families: PoolMetrics | None = None
+        #: generation counter for live GPU re-splits: each re-split's
+        #: queues get a one-letter suffix so names never collide with a
+        #: previous generation's books
+        self._generation = 0
         if metrics is not None and rollup is not None:
             rollup.metrics = RollupMetrics(metrics)
         if metrics is not None:
             self._metrics = RuntimeMetrics(metrics)
             self.scheduler.metrics_observer = self._metrics
             self.feedback.metrics_observer = self._metrics.on_feedback
-            pool_families = PoolMetrics(metrics)
+            self._pool_families = PoolMetrics(metrics)
             for name, pool in self.pools.items():
-                pool.metrics = pool_families.for_pool(name)
+                pool.metrics = self._pool_families.for_pool(name)
             if config.translation_service is not None:
                 config.translation_service.metrics = TranslatorMetrics(metrics)
+        self._adapt = adapt
+        if adapt is not None:
+            # same None-guarded observer pattern as trace/metrics: the
+            # plane claims the third scheduler/feedback observer slots
+            # and gets actuator access for capacity reconfiguration
+            adapt.attach_serve(self)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -391,6 +403,8 @@ class ServeEngine:
                     )
                     if self._slo is not None:
                         self._slo.observe(True, now)
+                    if self._adapt is not None:
+                        self._adapt.on_outcome(True, now)
                     self._sample(now)
                     ticket = Ticket()
                     ticket._complete(hit, None)
@@ -539,6 +553,8 @@ class ServeEngine:
                             )
                             if self._slo is not None:
                                 self._slo.observe(True, now)
+                            if self._adapt is not None:
+                                self._adapt.on_outcome(True, now)
                             ticket = Ticket()
                             ticket._complete(hit, None)
                             outcomes.append(
@@ -621,6 +637,8 @@ class ServeEngine:
                     self._metrics.on_failed("translation", self._in_flight)
                 if self._slo is not None:
                     self._slo.observe(False, task.finished)
+                if self._adapt is not None:
+                    self._adapt.on_outcome(False, task.finished)
             else:
                 # realised pipeline handoff: the processing task arrives
                 # at its partition at translation finish, exactly the
@@ -702,6 +720,10 @@ class ServeEngine:
                 self._slo.observe(
                     task.error is None and record.met_deadline, task.finished
                 )
+            if self._adapt is not None:
+                self._adapt.on_outcome(
+                    task.error is None and record.met_deadline, task.finished
+                )
             self._sample(task.finished)
 
         return ServeTask(
@@ -722,6 +744,53 @@ class ServeEngine:
         ticket._complete(record, error)
         self._state.cond.notify_all()
 
+    # -- adaptive capacity actuators ----------------------------------------
+
+    def adapt_resplit(self, scheme) -> tuple[str, ...]:
+        """Replace the live GPU partition set with ``scheme``.
+
+        A new generation of queues and pools is created (names carry a
+        generation suffix — ``Q_G1b`` — so the previous generation's
+        books stay intact and auditable), started if the engine is
+        running, and handed to the scheduler; in-flight work on the old
+        partitions completes against the old queues.  Returns the new
+        queue names.  Caller is the adaptive capacity controller, which
+        fires under the engine lock; the re-entrant lock makes this safe
+        from both inside and outside it.
+        """
+        with self._state.cond:
+            scheme.validate_for(self.config.device)
+            self._generation += 1
+            suffix = chr(ord("a") + self._generation)
+            new_queues = [
+                PartitionQueue(
+                    f"Q_{p.name}{suffix}", QueueKind.GPU, n_sm=p.n_sm
+                )
+                for p in scheme
+            ]
+            for q in new_queues:
+                pool = WorkerPool(q.name, self._state, capacity=q.capacity)
+                if self._pool_families is not None:
+                    pool.metrics = self._pool_families.for_pool(q.name)
+                self.queues[q.name] = q
+                self.pools[q.name] = pool
+                if self._started:
+                    pool.start()
+            self.gpu_queues = new_queues
+            self.scheduler.replace_gpu_queues(new_queues)
+            return tuple(q.name for q in new_queues)
+
+    def adapt_resize_translation(self, workers: int) -> None:
+        """Resize the translation partition's worker pool live.
+
+        The pool's thread count and the translation queue's fluid
+        :math:`T_Q` drain rate move together, so backlog estimates stay
+        consistent with the capacity that actually serves them.
+        """
+        with self._state.cond:
+            self.pools[self.trans_queue.name].resize(workers)
+            self.trans_queue.capacity = workers
+
     # -- observability helpers ----------------------------------------------
 
     def _emit(self, kind: str, when, query_id: int, **data) -> None:
@@ -738,6 +807,8 @@ class ServeEngine:
             # completing, so a wedged run cannot export a stale healthy
             # burn rate (an empty window under load reads as all-missed)
             self._slo.tick(when, in_flight=self._in_flight)
+        if self._adapt is not None:
+            self._adapt.tick(when, self._in_flight)
 
     # -- drain / stop ------------------------------------------------------------
 
@@ -832,7 +903,7 @@ class ServeEngine:
                     name: q.submissions for name, q in self.queues.items()
                 },
                 capacities={
-                    name: pool.capacity for name, pool in self.pools.items()
+                    name: pool.peak_capacity for name, pool in self.pools.items()
                 },
                 outstanding={
                     name: q.outstanding for name, q in self.queues.items()

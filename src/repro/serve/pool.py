@@ -155,6 +155,9 @@ class WorkerPool:
         self._threads: list[threading.Thread] = []
         self._stopping = False
         self._started = False
+        self._peak_capacity = capacity
+        self._retire = 0  # workers asked to exit by a live shrink
+        self._spawn_seq = 0  # monotone thread-name suffix across resizes
 
     # -- observable state (Server-compatible surface) ----------------------
 
@@ -187,11 +190,26 @@ class WorkerPool:
         """(query_id, start, finish) per served task, completion order."""
         return self._stats.history
 
+    @property
+    def peak_capacity(self) -> int:
+        """Highest worker count the pool ever had.
+
+        Reports use this as the pool's capacity so the
+        capacity-discipline audit stays sound across live shrinks: work
+        that overlapped while the pool was larger is still within the
+        capacity that actually existed at the time.
+        """
+        return self._peak_capacity
+
     def utilisation(self, horizon: float) -> float:
-        """Mean fraction of workers busy over ``horizon`` (cf. Server)."""
+        """Mean fraction of workers busy over ``horizon`` (cf. Server).
+
+        Uses :attr:`peak_capacity` so a pool that shrank mid-run can
+        never report more than 100 % utilisation.
+        """
         if horizon <= 0:
             return 0.0
-        return self._stats.busy_time / (horizon * self.capacity)
+        return self._stats.busy_time / (horizon * self._peak_capacity)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -202,12 +220,50 @@ class WorkerPool:
                 return
             self._started = True
             self._stopping = False
-        for i in range(self.capacity):
-            t = threading.Thread(
-                target=self._worker, name=f"serve-{self.name}-{i}", daemon=True
+        for _ in range(self.capacity):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        t = threading.Thread(
+            target=self._worker,
+            name=f"serve-{self.name}-{self._spawn_seq}",
+            daemon=True,
+        )
+        self._spawn_seq += 1
+        self._threads.append(t)
+        t.start()
+
+    def resize(self, capacity: int) -> None:
+        """Change the worker count of a live pool.
+
+        Growing spawns extra workers immediately (when the pool is
+        started; otherwise :meth:`start` will spawn the new count).
+        Shrinking marks the surplus workers for retirement: each exits
+        at the top of its loop — a worker mid-task finishes that task
+        first, so no work is dropped.  :attr:`peak_capacity` keeps the
+        high-water mark for the capacity-discipline audit.
+        """
+        if capacity < 1:
+            raise ServeError(
+                f"pool {self.name!r} capacity must be >= 1, got {capacity}"
             )
-            self._threads.append(t)
-            t.start()
+        with self._state.cond:
+            if self._stopping:
+                raise ServeError(f"pool {self.name!r} is stopping")
+            diff = capacity - (self.capacity - self._retire)
+            self.capacity = capacity
+            if capacity > self._peak_capacity:
+                self._peak_capacity = capacity
+            if diff > 0:
+                cancelled = min(self._retire, diff)
+                self._retire -= cancelled
+                diff -= cancelled
+                if self._started:
+                    for _ in range(diff):
+                        self._spawn_worker()
+            elif diff < 0:
+                self._retire += -diff
+                self._state.cond.notify_all()
 
     def stop(self, finish_queued: bool = True) -> None:
         """Stop workers; by default they first drain queued tasks."""
@@ -275,8 +331,13 @@ class WorkerPool:
     def _worker(self) -> None:
         while True:
             with self._state.cond:
-                while not self._tasks and not self._stopping:
+                while not self._tasks and not self._stopping and not self._retire:
                     self._state.cond.wait()
+                if self._retire:
+                    # live shrink: this worker retires (mid-task workers
+                    # only reach here after finishing their task)
+                    self._retire -= 1
+                    return
                 if not self._tasks and self._stopping:
                     return
                 # dequeue + start-stamp atomically: start order == FIFO

@@ -77,6 +77,10 @@ EVENT_KINDS = (
     "service_finish",
     "feedback",
     "rejected",
+    # adapt-plane events: no query_id — they describe the system, not a
+    # query (a model hot-swap / a capacity reconfiguration)
+    "model_epoch",
+    "reconfig",
 )
 
 

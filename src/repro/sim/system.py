@@ -56,9 +56,29 @@ from repro.sim.resources import Job, Server
 from repro.text.translator import TranslationService
 from repro.units import bytes_to_mb
 
-__all__ = ["SystemConfig", "HybridSystem", "SystemEstimator"]
+__all__ = ["SystemConfig", "HybridSystem", "SystemEstimator", "ModelBundle"]
 
 SchedulerFactory = Callable[..., BaseScheduler]
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """The hot-swappable model families a :class:`SystemEstimator` reads.
+
+    One frozen value object holds all three families so the online
+    recalibrator (:mod:`repro.adapt`) can replace them with a *single*
+    attribute assignment — decisions concurrent with a swap see either
+    the whole old bundle or the whole new one, never a mix.
+
+    ``gpu`` is a :class:`~repro.gpu.timing.LinearColumnTiming` (or any
+    ``GPUTimingModel``); ``None`` delegates GPU estimates to the
+    configured device's own timing model, which is the frozen-model
+    behaviour and keeps unadapted runs bit-identical.
+    """
+
+    cpu: CPUPerfModel
+    dict_model: DictPerfModel
+    gpu: object | None = None
 
 
 @dataclass(frozen=True)
@@ -167,6 +187,30 @@ class SystemEstimator:
         self._pyramid_tables_cache: dict[int, tuple] = {}
         self._dl_cache: dict[str, int] = {}
         self._static = self._build_static()
+        # The live model bundle.  Every estimate reads this slot once;
+        # install() replaces it wholesale, so a reader mid-swap sees one
+        # coherent epoch.  Until install() is ever called the bundle
+        # simply mirrors the frozen config (gpu=None delegates to the
+        # device), keeping unadapted runs bit-identical to history.
+        self._models = ModelBundle(
+            cpu=config.cpu_model, dict_model=config.dict_model, gpu=None
+        )
+
+    # -- live models (online recalibration) ---------------------------------
+
+    def models(self) -> ModelBundle:
+        """The bundle currently answering estimates."""
+        return self._models
+
+    def install(self, bundle: ModelBundle) -> None:
+        """Hot-swap the live models in one atomic attribute write.
+
+        Callers serialise installs against decisions externally (the
+        serving engine's lock; the simulator's single thread) — this
+        method itself is a single reference assignment, so even an
+        unserialised reader can never observe a torn bundle.
+        """
+        self._models = bundle
 
     def _build_static(self):
         """One-time tables for the single-pyramid batch fast path.
@@ -226,19 +270,27 @@ class SystemEstimator:
 
     def estimate(self, query: Query) -> QueryEstimates:
         cfg = self._config
+        models = self._models  # one read: estimates use one coherent epoch
         # CPU (Section III-B/C): sub-cube size through the pyramid.
         try:
             sc_mb = cfg.pyramid.subcube_size_mb(query)
-            t_cpu: float | None = cfg.cpu_model.time(sc_mb)
+            t_cpu: float | None = models.cpu.time(sc_mb)
         except CubeNotAvailableError:
             t_cpu = None
 
         # GPU (Section III-E): column fraction per SM class.
         decomposition = decompose(query, self._hierarchies)
-        t_gpu = {
-            n_sm: cfg.device.estimate_time(decomposition, n_sm)
-            for n_sm in cfg.scheme.distinct_sm_counts
-        }
+        if models.gpu is None:
+            t_gpu = {
+                n_sm: cfg.device.estimate_time(decomposition, n_sm)
+                for n_sm in cfg.scheme.distinct_sm_counts
+            }
+        else:
+            frac = decomposition.column_fraction(self._total_columns)
+            t_gpu = {
+                n_sm: models.gpu.query_time(frac, n_sm)
+                for n_sm in cfg.scheme.distinct_sm_counts
+            }
 
         # Translation (Section III-F): eq. 18 upper bound.  This is the
         # full single-job service time: parallel translation workers do
@@ -248,8 +300,20 @@ class SystemEstimator:
         t_trans = 0.0
         for pred in decomposition.text_predicates:
             d_l = self.dictionary_length(pred.column)
-            t_trans += len(pred.condition.text_values) * cfg.dict_model.time(d_l)
+            t_trans += len(pred.condition.text_values) * models.dict_model.time(d_l)
         return QueryEstimates(t_cpu=t_cpu, t_gpu=t_gpu, t_trans=t_trans)
+
+    def features(self, query: Query):
+        """Integer features of one query for the adapt plane.
+
+        Returns ``(sc_mb, column_fraction, text_terms)`` — the same
+        tuple the batch fast path extracts — or ``None`` when the
+        query's shape is outside the fast path.  The online
+        recalibrator pairs these with realised latencies to build
+        refit windows without re-deriving pyramid or decomposition
+        state.
+        """
+        return self._features(query)
 
     # -- batch estimation (the vectorised step-2 pass) ---------------------
 
@@ -478,6 +542,7 @@ class SystemEstimator:
         """
         queries = list(queries)
         cfg = self._config
+        models = self._models  # one read: the batch uses one coherent epoch
         results: list[QueryEstimates | None] = [None] * len(queries)
 
         fast_idx: list[int] = []
@@ -510,7 +575,7 @@ class SystemEstimator:
         nonnegative = True
         t_cpu_by_idx: dict[int, float] = {}
         if sc_vals:
-            cpu_times = cfg.cpu_model.time_many(np.asarray(sc_vals, dtype=np.float64))
+            cpu_times = models.cpu.time_many(np.asarray(sc_vals, dtype=np.float64))
             nonnegative &= float(cpu_times.min()) >= 0
             for i, t in zip(sc_idx, cpu_times.tolist()):
                 t_cpu_by_idx[i] = t
@@ -519,14 +584,17 @@ class SystemEstimator:
         frac_arr = np.asarray(fracs, dtype=np.float64)
         gpu_cols = {}
         for n_sm in sm_counts:
-            col = cfg.device.estimate_time_many(frac_arr, n_sm)
+            if models.gpu is None:
+                col = cfg.device.estimate_time_many(frac_arr, n_sm)
+            else:
+                col = models.gpu.query_time_many(frac_arr, n_sm)
             if col.size:
                 nonnegative &= float(col.min()) >= 0
             gpu_cols[n_sm] = col.tolist()
 
         t_trans_by_idx: dict[int, float] = {}
         if all_counts:
-            per_term = np.asarray(all_counts, dtype=np.float64) * cfg.dict_model.time_many(
+            per_term = np.asarray(all_counts, dtype=np.float64) * models.dict_model.time_many(
                 np.asarray(all_dls, dtype=np.float64)
             )
             costs = per_term.tolist()
@@ -616,6 +684,7 @@ class HybridSystem:
         snapshots=None,
         rollup=None,
         batch_size: int | None = None,
+        adapt=None,
     ) -> SystemReport:
         """Simulate one query stream; returns the aggregated report.
 
@@ -639,6 +708,16 @@ class HybridSystem:
         and never reach the scheduler; misses proceed through Figure 10
         untouched.  When ``metrics`` is also given, the router gets a
         :class:`~repro.metrics.instrument.RollupMetrics` wired in.
+
+        ``adapt`` attaches an :class:`~repro.adapt.plane.AdaptivePlane`
+        through the same None-guarded observer slots: the online
+        recalibrator consumes this run's estimate/decision/feedback
+        stream and may hot-swap refitted models into the estimator;
+        the capacity controller acts on SLO breach/recover events
+        (admission tightening only in simulation — partition re-splits
+        and worker resizes are serve-plane actuators).  ``adapt=None``
+        leaves every hook site a single ``is not None`` check and the
+        run byte-identical to an unadapted one.
 
         ``batch_size`` switches admission to the vectorised
         :meth:`~repro.core.scheduler.BaseScheduler.schedule_batch`
@@ -699,6 +778,14 @@ class HybridSystem:
             run_metrics = RuntimeMetrics(metrics)
             scheduler.metrics_observer = run_metrics
             feedback.metrics_observer = run_metrics.on_feedback
+        if adapt is not None:
+            adapt.attach_sim(
+                scheduler=scheduler,
+                feedback=feedback,
+                estimator=self.estimator,
+                collector=collector,
+                metrics=metrics,
+            )
         if metrics is not None and rollup is not None:
             from repro.metrics.instrument import RollupMetrics
 
@@ -743,6 +830,8 @@ class HybridSystem:
                     in_flight[0] -= 1
                     run_metrics.on_stage("service", realised)
                     run_metrics.on_completed(record, in_flight[0])
+                if adapt is not None:
+                    adapt.on_outcome(record.met_deadline, finish)
                 if snapshots is not None:
                     snapshots.tick(finish)
 

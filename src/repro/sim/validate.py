@@ -72,10 +72,21 @@ have passed.  The checks are duck-typed against
 :class:`repro.fleet.fleet.FleetReport`'s shape so this module never
 imports :mod:`repro.fleet` (sim stays process-topology-agnostic).
 
+A ninth family, ``adapt``, audits an adaptive run's model-swap and
+reconfiguration history (:func:`validate_adapt`): epoch versions chain
+consecutively from the init install, every refit epoch satisfies the
+``RecalGuards`` envelope it ran under (min-samples, min-R², per-
+coefficient max-step), the per-epoch decision books sum exactly to the
+decisions served (no estimate crossed a torn model swap), and every
+controller action respects its ``ControllerLimits`` (cooldown spacing,
+action/trigger pairing, hard knob ranges, ``max_reconfigs``).  Duck-
+typed against :class:`repro.adapt.plane.AdaptReport` so this module
+never imports :mod:`repro.adapt`.
+
 :func:`seed_violation` (and :func:`seed_metrics_violation` /
-:func:`seed_fleet_violation` for snapshots and fleet reports)
-deliberately corrupts a report so tests can prove the checkers fail
-loudly, not vacuously.
+:func:`seed_fleet_violation` / :func:`seed_adapt_violation` for
+snapshots, fleet reports and adapt reports) deliberately corrupts a
+report so tests can prove the checkers fail loudly, not vacuously.
 """
 
 from __future__ import annotations
@@ -99,17 +110,21 @@ __all__ = [
     "validate_metrics",
     "validate_rollup",
     "validate_fleet",
+    "validate_adapt",
     "assert_valid",
     "assert_trace_valid",
     "assert_metrics_valid",
     "assert_rollup_valid",
     "assert_fleet_valid",
+    "assert_adapt_valid",
     "seed_violation",
     "seed_metrics_violation",
     "seed_fleet_violation",
+    "seed_adapt_violation",
     "SEEDABLE_VIOLATIONS",
     "SEEDABLE_METRICS_VIOLATIONS",
     "SEEDABLE_FLEET_VIOLATIONS",
+    "SEEDABLE_ADAPT_VIOLATIONS",
 ]
 
 #: timeline entry: (query_id, start, finish)
@@ -1316,4 +1331,256 @@ def seed_violation(report: SystemReport, kind: str) -> SystemReport:
 
     raise InvariantViolation(
         f"unknown violation kind {kind!r}; expected one of {SEEDABLE_VIOLATIONS}"
+    )
+
+
+#: escalation actions (trigger "breach") and their unwind counterparts
+#: (trigger "recover"), mirroring repro.adapt.controller
+_ADAPT_ESCALATIONS = ("tighten_admission", "grow_translation", "resplit_up")
+_ADAPT_REVERSES = ("relax_admission", "shrink_translation", "resplit_down")
+
+
+def validate_adapt(report, *, tol: float = 1e-9) -> ValidationResult:
+    """Audit one adaptive run's model-swap and reconfiguration history:
+    the ``adapt`` family.
+
+    ``report`` is duck-typed against :class:`repro.adapt.plane.
+    AdaptReport` (this module deliberately does not import
+    :mod:`repro.adapt`): it must expose the ``guards`` / ``limits``
+    envelopes the plane ran under, the ``epochs`` and ``reconfigs``
+    histories, and the ``decisions_by_epoch`` / ``total_decisions`` /
+    ``samples_ingested`` / ``poisoned`` books.
+
+    Reconciliations:
+
+    * **epoch chain** — versions are consecutive from 0, the first
+      epoch is the ``init`` install, times never go backwards;
+    * **guard compliance** — every ``refit`` epoch names at least one
+      family, and each named family carries at least
+      ``guards.min_samples`` samples at ``r2 >= guards.min_r2``;
+    * **max-step clamp** — between consecutive epochs, every
+      coefficient present in both moved by at most
+      ``guards.max_step * max(|old|, eps)``; a key may *appear* (first
+      GPU install) but never silently disappear;
+    * **decision accounting** — ``decisions_by_epoch`` maps only known
+      epoch versions and sums exactly to ``total_decisions``, proving
+      no estimate was served across a torn model swap;
+    * **controller envelope** — reconfiguration seqs are consecutive,
+      times non-decreasing with consecutive actions at least
+      ``limits.cooldown`` apart, the count never exceeds
+      ``limits.max_reconfigs``, every action/trigger pair is a known
+      escalation (``breach``) or unwind (``recover``), and every
+      admission / translation actuation lands inside the hard range.
+    """
+    violations: list[Violation] = []
+
+    def bad(queue: str, message: str) -> None:
+        violations.append(Violation("adapt", queue, message))
+
+    guards = report.guards
+    limits = report.limits
+    epochs = tuple(report.epochs)
+
+    for i, epoch in enumerate(epochs):
+        tag = f"epoch-{epoch.version}"
+        if epoch.version != i:
+            bad(tag, f"expected version {i} at position {i}, got {epoch.version}")
+        if i == 0 and epoch.trigger != "init":
+            bad(tag, f"first epoch must be the init install, got {epoch.trigger!r}")
+        if i > 0:
+            prev = epochs[i - 1]
+            if epoch.time < prev.time:
+                bad(
+                    tag,
+                    f"epoch time went backwards: {prev.time:g} -> {epoch.time:g}",
+                )
+            if epoch.trigger == "refit":
+                if not epoch.families:
+                    bad(tag, "refit epoch names no refit family")
+                for family in epoch.families:
+                    n = epoch.samples.get(family)
+                    if n is None or n < guards.min_samples:
+                        bad(
+                            tag,
+                            f"family {family!r} refit on {n} samples, "
+                            f"below the min_samples={guards.min_samples} guard",
+                        )
+                    r2 = epoch.r2.get(family)
+                    if r2 is None or r2 < guards.min_r2 - tol:
+                        bad(
+                            tag,
+                            f"family {family!r} refit at r2={r2}, below "
+                            f"the min_r2={guards.min_r2} guard",
+                        )
+            for key, old in prev.coefficients.items():
+                if key not in epoch.coefficients:
+                    bad(tag, f"coefficient {key!r} disappeared from the bundle")
+                    continue
+                new = epoch.coefficients[key]
+                allowed = guards.max_step * max(abs(old), 1e-12)
+                if abs(new - old) > allowed * (1.0 + 1e-9) + tol:
+                    bad(
+                        tag,
+                        f"coefficient {key!r} stepped {old:g} -> {new:g}, "
+                        f"outside the max_step={guards.max_step} clamp "
+                        f"(allowed {allowed:g})",
+                    )
+        for key in epoch.clamped:
+            if key not in epoch.coefficients:
+                bad(tag, f"clamped key {key!r} is not a bundle coefficient")
+
+    versions = {epoch.version for epoch in epochs}
+    books = dict(report.decisions_by_epoch)
+    for version, count in sorted(books.items()):
+        if version not in versions:
+            bad(
+                "decisions",
+                f"decision books name unknown epoch version {version}",
+            )
+        if count < 0:
+            bad("decisions", f"negative decision count {count} in epoch {version}")
+    total = sum(books.values())
+    if total != report.total_decisions:
+        bad(
+            "decisions",
+            f"per-epoch decision books sum to {total} but the run served "
+            f"{report.total_decisions} decisions",
+        )
+    if report.samples_ingested < 0 or report.poisoned < 0:
+        bad("feedback", "negative ingestion books")
+
+    reconfigs = tuple(report.reconfigs)
+    if len(reconfigs) > limits.max_reconfigs:
+        bad(
+            "controller",
+            f"{len(reconfigs)} reconfigurations exceed the "
+            f"max_reconfigs={limits.max_reconfigs} cap",
+        )
+    for i, rec in enumerate(reconfigs):
+        tag = f"reconfig-{rec.seq}"
+        if rec.seq != i:
+            bad(tag, f"expected seq {i} at position {i}, got {rec.seq}")
+        if rec.action in _ADAPT_ESCALATIONS:
+            if rec.trigger != "breach":
+                bad(tag, f"escalation {rec.action!r} fired on {rec.trigger!r}")
+        elif rec.action in _ADAPT_REVERSES:
+            if rec.trigger != "recover":
+                bad(tag, f"unwind {rec.action!r} fired on {rec.trigger!r}")
+        else:
+            bad(tag, f"unknown action {rec.action!r}")
+        if i > 0:
+            gap = rec.time - reconfigs[i - 1].time
+            if gap < -tol:
+                bad(tag, f"reconfiguration time went backwards by {-gap:g}s")
+            elif gap < limits.cooldown - tol:
+                bad(
+                    tag,
+                    f"actions {gap:g}s apart, inside the "
+                    f"cooldown={limits.cooldown:g}s window",
+                )
+        if rec.action in ("tighten_admission", "relax_admission"):
+            lo, hi = limits.min_lateness_factor, limits.max_lateness_factor
+            if not lo - tol <= rec.value_after <= hi + tol:
+                bad(
+                    tag,
+                    f"lateness factor set to {rec.value_after:g}, outside "
+                    f"[{lo:g}, {hi:g}]",
+                )
+        elif rec.action in ("grow_translation", "shrink_translation"):
+            lo, hi = limits.min_translation_workers, limits.max_translation_workers
+            if not lo <= rec.value_after <= hi:
+                bad(
+                    tag,
+                    f"translation pool set to {rec.value_after:g}, outside "
+                    f"[{lo}, {hi}]",
+                )
+
+    return ValidationResult(tuple(violations), checked=("adapt",))
+
+
+def assert_adapt_valid(report):
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad adapt run."""
+    result = validate_adapt(report)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return report
+
+
+#: corruption modes understood by :func:`seed_adapt_violation`
+SEEDABLE_ADAPT_VIOLATIONS = (
+    "epoch-gap",
+    "max-step",
+    "decision-books",
+    "cooldown",
+    "lateness-bounds",
+)
+
+
+def seed_adapt_violation(report, kind: str):
+    """Return a copy of an adapt report with one reconciliation broken.
+
+    The adapt-plane analogue of :func:`seed_violation`; works on any
+    frozen-dataclass report with the :func:`validate_adapt` shape.
+    ``kind`` is one of :data:`SEEDABLE_ADAPT_VIOLATIONS`.
+    """
+    if kind == "epoch-gap":
+        if not report.epochs:
+            raise InvariantViolation("cannot seed an epoch gap: no epochs")
+        last = report.epochs[-1]
+        return replace(
+            report,
+            epochs=report.epochs[:-1]
+            + (replace(last, version=last.version + 1),),
+        )
+
+    if kind == "max-step":
+        if len(report.epochs) < 2:
+            raise InvariantViolation(
+                "cannot seed a max-step violation: need at least two epochs"
+            )
+        last = report.epochs[-1]
+        key = next(iter(sorted(report.epochs[-2].coefficients)))
+        old = report.epochs[-2].coefficients[key]
+        blown = old * (1.0 + 10.0 * report.guards.max_step) + 1.0
+        coeffs = dict(last.coefficients)
+        coeffs[key] = blown
+        return replace(
+            report,
+            epochs=report.epochs[:-1] + (replace(last, coefficients=coeffs),),
+        )
+
+    if kind == "decision-books":
+        return replace(report, total_decisions=report.total_decisions + 1)
+
+    if kind == "cooldown":
+        if len(report.reconfigs) < 2:
+            raise InvariantViolation(
+                "cannot seed a cooldown violation: need at least two actions"
+            )
+        second = replace(report.reconfigs[1], time=report.reconfigs[0].time)
+        return replace(
+            report,
+            reconfigs=(report.reconfigs[0], second) + report.reconfigs[2:],
+        )
+
+    if kind == "lateness-bounds":
+        for i, rec in enumerate(report.reconfigs):
+            if rec.action in ("tighten_admission", "relax_admission"):
+                blown = replace(
+                    rec,
+                    value_after=report.limits.max_lateness_factor * 10.0,
+                )
+                return replace(
+                    report,
+                    reconfigs=report.reconfigs[:i]
+                    + (blown,)
+                    + report.reconfigs[i + 1 :],
+                )
+        raise InvariantViolation(
+            "cannot seed a lateness violation: no admission action in the run"
+        )
+
+    raise InvariantViolation(
+        f"unknown violation kind {kind!r}; expected one of "
+        f"{SEEDABLE_ADAPT_VIOLATIONS}"
     )

@@ -148,19 +148,25 @@ def audit_simulated_runs(monkeypatch):
     contradicts the scheduler's :math:`T_Q` books (dependency order,
     FIFO/capacity discipline, job conservation, deterministic drift)
     fails the test with :class:`repro.errors.InvariantViolation` — the
-    run is audited even if the test only inspects throughput.
+    run is audited even if the test only inspects throughput.  Runs
+    with an adapt plane attached additionally get their model-swap and
+    reconfiguration history reconciled by ``validate_adapt``.
     """
     from repro.sim.system import HybridSystem
-    from repro.sim.validate import assert_valid
+    from repro.sim.validate import assert_adapt_valid, assert_valid
 
     original = HybridSystem.run
 
     def audited(self, stream, max_events=None, collector=None, **kwargs):
-        return assert_valid(
+        report = assert_valid(
             original(
                 self, stream, max_events=max_events, collector=collector, **kwargs
             )
         )
+        plane = kwargs.get("adapt")
+        if plane is not None:
+            assert_adapt_valid(plane.report())
+        return report
 
     monkeypatch.setattr(HybridSystem, "run", audited)
 

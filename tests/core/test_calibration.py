@@ -113,6 +113,59 @@ class TestPiecewiseCPUFit:
             fit_piecewise_cpu([1, 2, 4, 8, 16], [1, 2, 3, 4, 5])
 
 
+class TestBreakpointAutoSelection:
+    """Boundary behaviour of ``breakpoint_mb=None`` auto-selection."""
+
+    def test_auto_selects_near_true_breakpoint(self):
+        sizes = np.array([1, 4, 16, 64, 256, 512, 1024, 4096, 16384], dtype=float)
+        times = np.where(
+            sizes < 512.0, 1e-4 * sizes**0.9341, 5e-5 * sizes + 0.0096
+        )
+        model = fit_piecewise_cpu(sizes, times, breakpoint_mb=None)
+        # selected breakpoint must split the sweep where the regimes do:
+        # between the last power-law sample and the first linear one
+        assert 256.0 < model.model.breakpoint <= 512.0
+
+    def test_single_distinct_size_raises(self):
+        """All samples at one x: no candidate breakpoints exist at all."""
+        with pytest.raises(CalibrationError, match="auto-selection failed"):
+            fit_piecewise_cpu(
+                [8.0] * 6, [1.0, 1.1, 0.9, 1.0, 1.05, 0.95], breakpoint_mb=None
+            )
+
+    def test_two_distinct_sizes_raises(self):
+        """One candidate midpoint, but every split leaves fewer than 3
+        below or fewer than 2 at/above — samples all on one side."""
+        sizes = [1.0, 1.0, 1.0, 1.0, 2.0]
+        times = [1.0, 1.0, 1.0, 1.0, 2.0]
+        with pytest.raises(CalibrationError, match="auto-selection failed"):
+            fit_piecewise_cpu(sizes, times, breakpoint_mb=None)
+
+    def test_concentrated_duplicates_raise(self):
+        """Enough samples and >= 2 distinct sizes, but duplicates so
+        concentrated no candidate reaches both per-segment minima."""
+        sizes = [1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+        times = [1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+        with pytest.raises(CalibrationError, match="auto-selection failed"):
+            fit_piecewise_cpu(sizes, times, breakpoint_mb=None)
+
+    def test_minimum_feasible_split_succeeds(self):
+        """Exactly 3 below + 2 at/above the only feasible midpoint —
+        the smallest sweep auto-selection can accept."""
+        sizes = np.array([1.0, 2.0, 4.0, 100.0, 200.0])
+        times = np.concatenate(
+            [1e-3 * sizes[:3] ** 0.9, 5e-4 * sizes[3:] + 0.01]
+        )
+        model = fit_piecewise_cpu(sizes, times, breakpoint_mb=None)
+        assert 4.0 < model.model.breakpoint <= 100.0
+
+    def test_infeasible_error_names_the_minima(self):
+        """The error message must tell the caller what a feasible split
+        needs, not just that selection failed."""
+        with pytest.raises(CalibrationError, match=">= 3 .* >= 2"):
+            fit_piecewise_cpu([5.0] * 7, [1.0] * 7, breakpoint_mb=None)
+
+
 class TestGPUFit:
     def test_recovers_eq14(self):
         fracs = np.linspace(0.1, 1.0, 10)

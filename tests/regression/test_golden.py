@@ -120,3 +120,58 @@ def test_golden_run_is_deterministic():
     a = snapshot(run_pinned_experiment("hybrid"))
     b = snapshot(run_pinned_experiment("hybrid"))
     assert a == b
+
+
+# -- adaptive spike run -------------------------------------------------------
+#
+# The adapt plane's whole history — every controller action and every
+# installed model epoch of the frozen-seed spike scenario — is pinned,
+# not just the headline rates.  Any change to the recalibrator's fit
+# windows, the controller's escalation ladder, the guard clamps, or the
+# scenario harness's event interleaving moves this fixture.
+
+
+def snapshot_adaptive():
+    from repro.adapt.scenarios import spike_scenario
+
+    kit = spike_scenario(adaptive=True)
+    result = kit.run()
+    report = kit.plane.report()
+    return {
+        "submitted": result.submitted,
+        "accepted": result.accepted,
+        "rejected": len(result.rejected),
+        "shed": len(result.shed),
+        "premium_hit_rate": result.hit_rate("premium"),
+        "standard_hit_rate": result.hit_rate("standard"),
+        "batch_hit_rate": result.hit_rate("batch"),
+        "total_decisions": report.total_decisions,
+        "samples_ingested": report.samples_ingested,
+        "poisoned": report.poisoned,
+        "reconfigs": [
+            [r.time, r.action, r.trigger, r.value_after] for r in report.reconfigs
+        ],
+        "epochs": [
+            [e.version, e.time, e.trigger, sorted(e.families)]
+            for e in report.epochs
+        ],
+        "decisions_by_epoch": {
+            str(k): v for k, v in sorted(report.decisions_by_epoch.items())
+        },
+    }
+
+
+def test_adaptive_spike_matches_golden_master(request):
+    path = GOLDEN_DIR / "adaptive.json"
+    got = snapshot_adaptive()
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with:\n"
+            "  PYTHONPATH=src python -m pytest tests/regression -q "
+            "--regen-golden"
+        )
+    assert_matches(got, json.loads(path.read_text()), "adaptive")
