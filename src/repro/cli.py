@@ -174,6 +174,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         snapshots = SnapshotWriter(
             registry, path=args.metrics_snapshots, interval=1.0
         )
+    tracer = None
+    if args.spans is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer(args.span_sample, seed=args.seed, process="sim")
 
     if args.experiment == "table1":
         config = cpu_only_config(threads=args.threads, include_32gb=False)
@@ -190,13 +195,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             include_32gb=True, text_prob=TABLE3_TEXT_PROB, seed=args.seed
         )
 
+    submitted: list[int] = []
     if args.experiment == "table3":
         result = max_sustainable_rate(
             config, workload, n_queries=args.queries, hit_target=0.9
         )
         report = result.report
         print(f"max sustainable rate: {result.rate:.1f} q/s offered")
-        if collector is not None or registry is not None:
+        if collector is not None or registry is not None or tracer is not None:
             if collector is not None:
                 # probe-history telemetry: how the bisection reached its answer
                 print(result.explain())
@@ -206,15 +212,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             stream = workload.generate(
                 args.queries, ArrivalProcess("uniform", rate=result.rate)
             )
+            submitted = [tq.query.query_id for tq in stream]
             report = HybridSystem(config).run(
-                stream, collector=collector, metrics=registry, snapshots=snapshots
+                stream,
+                collector=collector,
+                metrics=registry,
+                snapshots=snapshots,
+                obs=tracer,
             )
     else:
+        stream = workload.generate(args.queries)
+        submitted = [tq.query.query_id for tq in stream]
         report = HybridSystem(config).run(
-            workload.generate(args.queries),
+            stream,
             collector=collector,
             metrics=registry,
             snapshots=snapshots,
+            obs=tracer,
         )
     print(report.summary())
     if collector is not None:
@@ -239,6 +253,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{args.metrics_snapshots}"
         )
         print(render_metrics_dashboard(snapshots.snapshots, width=64))
+    if tracer is not None:
+        from repro.obs import write_trace
+        from repro.report import render_spans
+        from repro.sim.validate import assert_spans_valid
+
+        spans = assert_spans_valid(
+            tracer.spans(),
+            report=report,
+            collector=collector,
+            seed=args.seed,
+            sample_rate=args.span_sample,
+            submitted=submitted,
+        )
+        n_events = write_trace(args.spans, spans)
+        print(
+            f"\nspans: {len(spans)} spans over {tracer.sampled_count} "
+            f"sampled trace(s) ({n_events} Perfetto events) -> {args.spans}"
+        )
+        if spans:
+            print(render_spans(spans))
     return 0
 
 
@@ -364,6 +398,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             window=max(args.duration / 4.0, 1.0),
         )
 
+    tracer = None
+    if args.spans is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer(args.span_sample, seed=args.seed, process="serve")
+
     collector = TraceCollector(sample_series=args.trace is not None)
     engine = ServeEngine(
         config,
@@ -375,6 +415,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         cpu_threads=args.cpu_threads,
         adapt=adapt_plane,
+        spans=tracer,
     )
     print(
         f"serving {n_queries} queries over ~{args.duration:.0f}s at "
@@ -431,6 +472,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"\ntrace: {n_lines} JSONL records -> {args.trace}")
         print(f"trace events: {counts}")
+    if tracer is not None:
+        from repro.obs import write_trace
+        from repro.report import render_spans
+        from repro.sim.validate import assert_spans_valid
+
+        # no sampling-exactness context here: an open-loop generator may
+        # shed arrivals before the engine ever sees them, so the traced
+        # set is a subset of the stream's head-sampled ids by design
+        spans = assert_spans_valid(
+            tracer.spans(), report=report, collector=collector
+        )
+        n_events = write_trace(args.spans, spans)
+        print(
+            f"\nspans: {len(spans)} spans over {tracer.sampled_count} "
+            f"sampled trace(s) ({n_events} Perfetto events) -> {args.spans}"
+        )
+        if spans:
+            print(render_spans(spans))
     if registry is not None:
         from repro.report import render_metrics_dashboard
 
@@ -491,6 +550,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import Fleet, FleetServer, ShardSpec
     from repro.sim import assert_fleet_valid
 
+    tracer = None
+    if args.spans is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer(
+            args.span_sample, seed=args.seed, process="frontdoor"
+        )
     spec = ShardSpec(
         shard_id=0,
         rows=args.rows,
@@ -500,6 +566,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         cpu_threads=args.cpu_threads,
         translation_workers=args.translation_workers,
         max_in_flight=args.max_in_flight,
+        span_sample=args.span_sample if args.spans is not None else 0.0,
     )
     stop = threading.Event()
     previous_handlers = {
@@ -511,7 +578,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         f"spawning {args.shards} shard(s) "
         f"({args.rows} rows each, {args.scheduler} scheduler)..."
     )
-    fleet = Fleet(args.shards, spec=spec)
+    fleet = Fleet(args.shards, spec=spec, spans=tracer)
     fleet.start()
     server = FleetServer(fleet, port=args.port)
     server.start()
@@ -554,6 +621,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
     assert_fleet_valid(report)
     print("fleet audit: ok (fleet checked)")
+    if tracer is not None:
+        from repro.obs import write_trace
+        from repro.report import render_spans
+        from repro.sim.validate import assert_spans_valid
+
+        spans = assert_spans_valid(report.spans)
+        n_events = write_trace(args.spans, spans)
+        processes = len({s.process for s in spans})
+        print(
+            f"spans: {len(spans)} stitched spans across {processes} "
+            f"process(es) ({n_events} Perfetto events) -> {args.spans}"
+        )
+        if spans:
+            print(render_spans(spans))
     return 1 if report.crashed else 0
 
 
@@ -606,6 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the live metrics plane, write periodic JSONL "
                         "registry snapshots to PATH, reconcile them against "
                         "the report, and print the metrics dashboard")
+    p.add_argument("--spans", type=Path, default=None, metavar="PATH",
+                   help="attach the span tracer (repro.obs), validate the "
+                        "span tree against the run books, and write a "
+                        "Perfetto/Chrome trace-event JSON file to PATH")
+    p.add_argument("--span-sample", type=float, default=1.0, metavar="R",
+                   help="deterministic head-sampling rate for --spans "
+                        "(0.0-1.0, default 1.0)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -628,12 +716,18 @@ def build_parser() -> argparse.ArgumentParser:
             "  --metrics-port N          live Prometheus text endpoint (0 = any port)\n"
             "  --metrics-snapshots PATH  periodic JSONL registry snapshots\n"
             "  --slo TARGET              windowed deadline-SLO burn monitor\n"
+            "  --spans PATH              Perfetto span trace (repro.obs); every\n"
+            "                            stage of each sampled query as one tree\n"
+            "  --span-sample R           deterministic head-sampling rate for\n"
+            "                            --spans (default 1.0)\n"
             "  --adapt                   attach the adapt plane: online model\n"
             "                            recalibration + SLO-driven capacity control\n"
             "\n"
             "The metrics flags attach the live metrics plane (tutorial section 8);\n"
             "the final snapshot is reconciled against the run report by\n"
-            "repro.sim.validate.validate_metrics.  --adapt defends the --slo\n"
+            "repro.sim.validate.validate_metrics.  --spans records one span tree\n"
+            "per head-sampled query (tutorial section 15), audited by\n"
+            "repro.sim.validate.validate_spans.  --adapt defends the --slo\n"
             "target (default 0.9) and prints every installed model epoch and\n"
             "capacity reconfiguration; the history is audited by\n"
             "repro.sim.validate.validate_adapt."
@@ -671,6 +765,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", type=float, default=None, metavar="TARGET",
                    help="monitor the windowed deadline hit rate against "
                         "TARGET (e.g. 0.9) and report burn + crossings")
+    p.add_argument("--spans", type=Path, default=None, metavar="PATH",
+                   help="attach the span tracer (repro.obs) and write a "
+                        "Perfetto/Chrome trace-event JSON file to PATH")
+    p.add_argument("--span-sample", type=float, default=1.0, metavar="R",
+                   help="deterministic head-sampling rate for --spans "
+                        "(0.0-1.0, default 1.0)")
     p.add_argument("--adapt", action="store_true",
                    help="attach the adapt plane (repro.adapt): online model "
                         "recalibration plus an SLO-driven capacity controller "
@@ -689,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
             "  --rate/--rows/--seed/--scheduler/--time-constraint/\n"
             "  --cpu-threads/--translation-workers/--max-in-flight\n"
             "                            per-shard world knobs, as in `repro serve`\n"
+            "  --spans PATH              fleet-wide Perfetto span trace: the\n"
+            "                            front door stamps a traceparent on\n"
+            "                            every sampled query frame and the\n"
+            "                            drained shards' spans are stitched\n"
+            "                            into one tree per query\n"
+            "  --span-sample R           deterministic head-sampling rate for\n"
+            "                            --spans (default 1.0)\n"
             "\n"
             "SIGINT/SIGTERM drain the fleet gracefully: every shard finishes\n"
             "its in-flight queries, ships its records + metrics snapshot, and\n"
@@ -717,6 +824,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--translation-workers", type=int, default=1)
     p.add_argument("--max-in-flight", type=int, default=256,
                    help="per-shard admission bound; excess is shed")
+    p.add_argument("--spans", type=Path, default=None, metavar="PATH",
+                   help="stitch a fleet-wide span trace and write it as "
+                        "Perfetto/Chrome trace-event JSON to PATH")
+    p.add_argument("--span-sample", type=float, default=1.0, metavar="R",
+                   help="deterministic head-sampling rate for --spans "
+                        "(0.0-1.0, default 1.0)")
     p.set_defaults(func=cmd_fleet)
 
     return parser

@@ -215,6 +215,11 @@ class BaseScheduler:
         #: :class:`repro.adapt.plane.AdaptivePlane`); a third slot so
         #: the adapt plane can listen alongside tracing and metering.
         self.adapt_observer = None
+        #: optional span-tracing hook speaking the same protocol (see
+        #: :class:`repro.obs.hooks.SchedulerSpans`); a fourth slot so
+        #: the span plane records estimate/decision stages per sampled
+        #: query without displacing the other three listeners.
+        self.span_observer = None
 
     def replace_gpu_queues(self, gpu_queues: Sequence[PartitionQueue]) -> None:
         """Swap the GPU partition set for a re-split scheme.
@@ -370,6 +375,8 @@ class BaseScheduler:
             self.metrics_observer.on_estimated(query, est, deadline, now)
         if self.adapt_observer is not None:
             self.adapt_observer.on_estimated(query, est, deadline, now)
+        if self.span_observer is not None:
+            self.span_observer.on_estimated(query, est, deadline, now)
         response = self.response_times(est, now)  # step 3
         if not response:
             raise SchedulingError(
@@ -384,6 +391,8 @@ class BaseScheduler:
             self.metrics_observer.on_decision(decision, response, now)
         if self.adapt_observer is not None:
             self.adapt_observer.on_decision(decision, response, now)
+        if self.span_observer is not None:
+            self.span_observer.on_decision(decision, response, now)
         return decision
 
     # -- the batch entry point ---------------------------------------------
@@ -427,7 +436,8 @@ class BaseScheduler:
         observer = self.observer
         metrics = self.metrics_observer
         adapt = self.adapt_observer
-        for hook in (observer, metrics, adapt):
+        spans = self.span_observer
+        for hook in (observer, metrics, adapt, spans):
             on_batch = getattr(hook, "on_batch", None)
             if on_batch is not None:
                 on_batch(len(queries), now)
@@ -451,6 +461,8 @@ class BaseScheduler:
                 metrics.on_estimated(query, est, deadline, now)
             if adapt is not None:
                 adapt.on_estimated(query, est, deadline, now)
+            if spans is not None:
+                spans.on_estimated(query, est, deadline, now)
             # Step 3 against the cached backlogs.  The arithmetic below
             # mirrors response_times()/response_time_gpu() operation for
             # operation so the floats come out bit-identical.
@@ -503,6 +515,8 @@ class BaseScheduler:
                 metrics.on_decision(decision, response, now)
             if adapt is not None:
                 adapt.on_decision(decision, response, now)
+            if spans is not None:
+                spans.on_decision(decision, response, now)
             results.append(decision)
         return results
 

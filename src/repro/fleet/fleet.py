@@ -43,6 +43,7 @@ from repro.fleet.protocol import (
 from repro.fleet.ring import DEFAULT_VNODES, HashRing, affinity_key
 from repro.fleet.worker import ShardSpec, run_worker
 from repro.metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
+from repro.obs.span import Span, SpanTracer, stitch
 from repro.query.model import Query
 from repro.sim.metrics import QueryRecord
 
@@ -185,6 +186,11 @@ class FleetReport:
     failed: Mapping[int, int]
     merged: MetricsSnapshot
     drained: bool = True
+    #: the stitched fleet-wide span set (front door + every drained
+    #: shard, grouped by trace_id; crashed shards' partial trees carry
+    #: roots re-stamped ``status="partial"``).  Empty when no tracer
+    #: was attached.
+    spans: tuple[Span, ...] = ()
 
     @property
     def completed(self) -> int:
@@ -235,6 +241,15 @@ class Fleet:
         The front door's own :class:`MetricsRegistry` (created when
         omitted).  Carries the ``repro_fleet_*`` families and is merged
         into every fleet-wide snapshot.
+    spans:
+        Optional front-door :class:`~repro.obs.span.SpanTracer`.  Each
+        head-sampled submission gets a ``frontdoor.request`` root (the
+        HTTP front door opens it; direct :meth:`submit` callers get one
+        opened here), ``fleet.route`` and ``wire.roundtrip`` stage
+        spans, and a ``traceparent`` context field on the shard-bound
+        frame so the shard's subtree parents under this root.  Shards
+        must be spawned with a matching ``spec.span_sample`` (same seed)
+        for their engines to trace the adopted context.
     """
 
     def __init__(
@@ -246,12 +261,14 @@ class Fleet:
         vnodes: int = DEFAULT_VNODES,
         start_timeout: float = 180.0,
         request_timeout: float = 30.0,
+        spans: SpanTracer | None = None,
     ):
         if num_shards < 1:
             raise FleetError(f"a fleet needs at least one shard, got {num_shards}")
         self.num_shards = num_shards
         self.spec = spec if spec is not None else ShardSpec(shard_id=0)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = spans
         self.ring = HashRing(range(num_shards), vnodes=vnodes)
         self.start_timeout = start_timeout
         self.request_timeout = request_timeout
@@ -413,49 +430,102 @@ class Fleet:
         shard and :meth:`check` runs, so the next submit routes around
         it if the process died).
         """
-        shard_id = self.ring.route(affinity_key(query), alive=self.alive)
+        key = affinity_key(query)
+        shard_id = self.ring.route(key, alive=self.alive)
         client = self._shards[shard_id].client
         assert client is not None
         with self._lock:
             self._routed[shard_id] += 1
         self._m_routed.inc(shard=str(shard_id))
-        started = time.monotonic()
-        try:
-            response = client.request(
-                {
-                    "kind": "query",
-                    "query": query_to_json(query),
-                    "class": query_class,
-                    "timeout": self.request_timeout
-                    if timeout is None
-                    else timeout,
-                },
-                timeout=timeout,
+        tracer = self.spans
+        owns_root = False
+        traceparent = None
+        if tracer is not None:
+            # the HTTP front door opens the root before calling submit;
+            # direct callers (tests, benchmarks) get one opened here
+            if tracer.context(query.query_id) is None:
+                owns_root = (
+                    tracer.open(
+                        query.query_id,
+                        "frontdoor.request",
+                        query_class=query_class,
+                    )
+                    is not None
+                )
+            t_route = tracer.now()
+            tracer.record(
+                query.query_id,
+                "fleet.route",
+                t_route,
+                t_route,
+                track="router",
+                shard=shard_id,
+                key=key,
             )
+            traceparent = tracer.traceparent(query.query_id)
+        message = {
+            "kind": "query",
+            "query": query_to_json(query),
+            "class": query_class,
+            "timeout": self.request_timeout if timeout is None else timeout,
+        }
+        if traceparent is not None:
+            message["traceparent"] = traceparent
+        started = time.monotonic()
+        wire_start = tracer.now() if tracer is not None else 0.0
+        try:
+            response = client.request(message, timeout=timeout)
         except FleetError:
             with self._lock:
                 self._failed[shard_id] += 1
             self._m_failed.inc(shard=str(shard_id))
+            if tracer is not None:
+                tracer.record(
+                    query.query_id,
+                    "wire.roundtrip",
+                    wire_start,
+                    tracer.now(),
+                    track=f"wire-{shard_id}",
+                    status="error",
+                    shard=shard_id,
+                )
+                if owns_root:
+                    tracer.close(query.query_id, status="error")
             self.check()
             raise
         self._m_latency.observe(time.monotonic() - started)
+        if tracer is not None:
+            tracer.record(
+                query.query_id,
+                "wire.roundtrip",
+                wire_start,
+                tracer.now(),
+                track=f"wire-{shard_id}",
+                shard=shard_id,
+            )
         label = str(shard_id)
         if not response.get("ok", False):
             with self._lock:
                 self._failed[shard_id] += 1
             self._m_failed.inc(shard=label)
+            if tracer is not None and owns_root:
+                tracer.close(query.query_id, status="error")
             raise FleetError(
                 f"shard {shard_id} failed the query: "
                 f"{response.get('error', 'unknown error')}"
             )
         if not response.get("accepted", False):
             self._m_rejected.inc(shard=label)
+            if tracer is not None and owns_root:
+                tracer.close(query.query_id, status="rejected")
             return FleetAnswer(
                 shard_id=shard_id,
                 accepted=False,
                 shed=bool(response.get("shed", False)),
             )
         self._m_completed.inc(shard=label)
+        if tracer is not None and owns_root:
+            tracer.close(query.query_id, status="ok")
         return FleetAnswer(
             shard_id=shard_id,
             accepted=True,
@@ -489,6 +559,31 @@ class Fleet:
             snapshots.append(MetricsSnapshot.from_json(response["snapshot"]))
         return merge_snapshots(snapshots)
 
+    def gather_spans(self, drain: bool = False) -> tuple[Span, ...]:
+        """Mid-run span collection over the ``spans`` protocol op.
+
+        Pulls every live shard's span buffer (``drain=True`` pops the
+        remote buffers; the default snapshots them) plus the front
+        door's own, stitched by trace_id with crashed shards flagged.
+        The terminal path — :meth:`fleet_report` — instead ships each
+        shard's final buffer on the shutdown response, so post-drain
+        trees are always complete.
+        """
+        self.check()
+        gathered: list[Span] = []
+        for sid in self.alive:
+            client = self._shards[sid].client
+            assert client is not None
+            response = client.request(
+                {"kind": "spans", "drain": drain}, timeout=30.0
+            )
+            gathered.extend(Span.from_dict(s) for s in response.get("spans", ()))
+        if self.spans is not None:
+            gathered.extend(
+                self.spans.drain() if drain else self.spans.spans()
+            )
+        return stitch(gathered, self.crashed)
+
     def fleet_report(self, drain: bool = True) -> FleetReport:
         """Terminal: drain every live shard, join, and merge the books.
 
@@ -499,6 +594,7 @@ class Fleet:
         """
         self.check()
         shard_reports: list[ShardReport] = []
+        gathered_spans: list[Span] = []
         for sid in self.alive:
             shard = self._shards[sid]
             assert shard.client is not None
@@ -513,6 +609,9 @@ class Fleet:
                         self._crashed.append(sid)
                 continue
             shard_reports.append(ShardReport.from_json(response))
+            gathered_spans.extend(
+                Span.from_dict(s) for s in response.get("spans", ())
+            )
             shard.reported = True
         self._join_all()
         self._stopped = True
@@ -526,6 +625,12 @@ class Fleet:
             failed = dict(self._failed)
         self._m_shards.set(0.0, state="live")
         self._m_shards.set(float(len(crashed)), state="crashed")
+        if self.spans is not None:
+            # the front door's own buffer joins the gathered shard
+            # buffers; stitch() flags (never drops) traces whose shard
+            # subtree died with a crashed process
+            self.spans.close_all(status="abandoned")
+            gathered_spans.extend(self.spans.drain())
         return FleetReport(
             shards=tuple(shard_reports),
             crashed=crashed,
@@ -533,6 +638,7 @@ class Fleet:
             failed=failed,
             merged=merged,
             drained=drain,
+            spans=stitch(gathered_spans, crashed),
         )
 
     def drain(self) -> FleetReport:

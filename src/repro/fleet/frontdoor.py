@@ -122,6 +122,18 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_json(400, {"ok": False, "error": f"bad query: {exc}"})
             return
+        # The handler owns the frontdoor.request root span so it covers
+        # the full HTTP round-trip, including reply serialisation; submit
+        # sees the root already open and only adds its stage spans.
+        tracer = self.fleet.spans
+        root_open = tracer is not None and (
+            tracer.open(
+                query.query_id,
+                "frontdoor.request",
+                query_class=str(request.get("class", "default")),
+            )
+            is not None
+        )
         try:
             answer = self.fleet.submit(
                 query,
@@ -133,6 +145,8 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
                 ),
             )
         except FleetError as exc:
+            if root_open:
+                tracer.close(query.query_id, status="error", error=str(exc))
             self._send_json(503, {"ok": False, "error": str(exc)})
             return
         payload: dict[str, Any] = {
@@ -145,6 +159,9 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
         if answer.record is not None:
             payload["record"] = record_to_json(answer.record)
         self._send_json(200, payload)
+        if root_open:
+            status = "ok" if answer.accepted else "rejected"
+            tracer.close(query.query_id, status=status, shed=answer.shed)
 
     def log_message(self, format, *args):  # noqa: A002 - http.server API
         pass  # requests are routine; keep stderr quiet

@@ -7,12 +7,25 @@ pre-validate the size before allocating — a frame claiming more than
 :data:`MAX_FRAME_BYTES` is a protocol violation, not an allocation.
 
 Requests are JSON objects with a ``"kind"`` discriminator (``ping``,
-``query``, ``report``, ``metrics``, ``maintain``, ``shutdown``);
-responses carry ``"ok": true`` plus kind-specific fields, or
-``"ok": false`` with an ``"error"`` string.  Queries and records cross
-the wire through :func:`query_to_json` / :func:`record_to_json`, which
-round-trip every field — including ``query_id``, so the front door's
-ids stay globally unique and per-shard books reconcile fleet-wide.
+``query``, ``report``, ``metrics``, ``maintain``, ``spans``,
+``shutdown``); responses carry ``"ok": true`` plus kind-specific
+fields, or ``"ok": false`` with an ``"error"`` string.  Queries and
+records cross the wire through :func:`query_to_json` /
+:func:`record_to_json`, which round-trip every field — including
+``query_id``, so the front door's ids stay globally unique and
+per-shard books reconcile fleet-wide.
+
+**Span context propagation.**  A ``query`` frame may carry an optional
+``"traceparent"`` field in the W3C style (``00-<trace_id>-<span_id>-01``
+— see :func:`repro.obs.span.format_traceparent`): the front door stamps
+it on every frame of a head-sampled query, and its *presence* is the
+shard-side sampling signal — the shard's tracer adopts the context and
+parents its ``serve.query`` subtree under the front door's span, so the
+stitched fleet view shows one causally-linked tree per sampled query.
+Frames without the field trace nothing on the shard.  The ``spans`` op
+(and the ``shutdown`` response's ``"spans"`` field) drain a shard's
+span buffer back to the parent as :meth:`repro.obs.span.Span.to_dict`
+objects.
 """
 
 from __future__ import annotations

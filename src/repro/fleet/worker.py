@@ -58,6 +58,10 @@ class ShardSpec:
     max_in_flight: int = 256
     slo_target: float = 0.9
     rollup_budget_bytes: int = 8 * 2**20
+    #: span head-sampling rate; > 0 attaches a SpanTracer to the shard
+    #: engine (same seed as the front door, so both sides of the wire
+    #: make identical per-query sampling decisions)
+    span_sample: float = 0.0
 
 
 def build_shard_engine(spec: ShardSpec):
@@ -110,6 +114,15 @@ def build_shard_engine(spec: ShardSpec):
         RollupCatalog(dataset.table, "sales_price"),
         policy=AdmissionPolicy(byte_budget=spec.rollup_budget_bytes),
     )
+    tracer = None
+    if spec.span_sample > 0.0:
+        from repro.obs.span import SpanTracer
+
+        tracer = SpanTracer(
+            spec.span_sample,
+            seed=spec.seed,
+            process=f"shard-{spec.shard_id}",
+        )
     engine = ServeEngine(
         config,
         metrics=registry,
@@ -117,6 +130,7 @@ def build_shard_engine(spec: ShardSpec):
         rollup=rollup,
         max_in_flight=spec.max_in_flight,
         cpu_threads=spec.cpu_threads,
+        spans=tracer,
     )
     return engine, registry, rollup
 
@@ -162,6 +176,12 @@ class _ShardServer:
         query = query_from_json(request["query"])
         query_class = str(request.get("class", "default"))
         timeout = float(request.get("timeout", 30.0))
+        traceparent = request.get("traceparent")
+        if traceparent and self.engine.spans is not None:
+            # the frame's context field IS the sampling signal: adopt it
+            # so this shard's serve.query subtree parents under the
+            # front door's span and shares its trace_id
+            self.engine.spans.adopt(query.query_id, str(traceparent))
         try:
             outcome = self.engine.submit(
                 query, query_class, block=True, timeout=timeout
@@ -200,6 +220,23 @@ class _ShardServer:
         n = self.rollup.maintain(limit=None if limit is None else int(limit))
         return {"ok": True, "materialized": n, "cuboids": len(self.rollup.catalog)}
 
+    def _on_spans(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Ship the shard's span buffer to the caller.
+
+        ``drain`` (default true) pops the buffer so repeated gathers
+        never double-count; ``drain: false`` snapshots it instead.
+        """
+        tracer = self.engine.spans
+        if tracer is None:
+            return {"ok": True, "shard_id": self.spec.shard_id, "spans": []}
+        spans = tracer.drain() if request.get("drain", True) else tracer.spans()
+        return {
+            "ok": True,
+            "shard_id": self.spec.shard_id,
+            "spans": [s.to_dict() for s in spans],
+            "dropped": tracer.dropped,
+        }
+
     def _on_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
         with self._lifecycle:
             drain = bool(request.get("drain", True))
@@ -216,8 +253,20 @@ class _ShardServer:
                     drain_error = str(exc)
                 self._drained = True
             books = self._shard_books(validate=drain)
+            span_payload: list[dict[str, Any]] = []
+            tracer = self.engine.spans
+            if tracer is not None:
+                # engine.stop() already closed stragglers as abandoned;
+                # this is the safety net for the non-drain path
+                tracer.close_all(status="abandoned")
+                span_payload = [s.to_dict() for s in tracer.drain()]
             self._stop.set()
-            return {"ok": True, "drain_error": drain_error, **books}
+            return {
+                "ok": True,
+                "drain_error": drain_error,
+                "spans": span_payload,
+                **books,
+            }
 
     def _shard_books(self, validate: bool) -> dict[str, Any]:
         """The shard's final (or mid-run) books, locally audited."""

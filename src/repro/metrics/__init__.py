@@ -20,6 +20,7 @@ from repro.metrics.histogram import (
     log_buckets,
 )
 from repro.metrics.instrument import (
+    ObsMetrics,
     PoolInstruments,
     PoolMetrics,
     RollupMetrics,
@@ -51,6 +52,7 @@ __all__ = [
     "MetricsExporter",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "ObsMetrics",
     "PoolInstruments",
     "PoolMetrics",
     "RollupMetrics",

@@ -48,6 +48,9 @@ rollup_hit_latency_seconds            histogram  —                   wall time
 adapt_model_epoch                     gauge      —                   live estimator model version
 adapt_refits_total                    counter    family, outcome     recalibration attempts by result
 adapt_reconfigurations_total          counter    action              capacity controller actions
+spans_recorded_total                  counter    —                   spans buffered by the tracer
+spans_dropped_total                   counter    —                   spans lost to the buffer bound
+span_traces_sampled_total             counter    outcome             head-sampling decisions by outcome
 ====================================  =========  ==================  =============================
 """
 
@@ -73,6 +76,7 @@ __all__ = [
     "TranslatorMetrics",
     "RollupMetrics",
     "AdaptMetrics",
+    "ObsMetrics",
 ]
 
 
@@ -356,3 +360,37 @@ class TranslatorMetrics:
     def on_miss(self, seconds: float) -> None:
         self.lookups.inc(result="miss")
         self.latency.observe(seconds)
+
+
+class ObsMetrics:
+    """Span-plane health instruments.
+
+    Fills the :class:`~repro.obs.span.SpanTracer` ``metrics`` slot
+    (duck-typed there so :mod:`repro.obs` stays stdlib-pure).  The
+    tracer always invokes these *outside* its buffer lock, keeping that
+    lock strictly leaf-level.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.recorded = registry.counter(
+            "repro_spans_recorded_total",
+            "Spans appended to the tracer's bounded buffer.",
+        )
+        self.dropped = registry.counter(
+            "repro_spans_dropped_total",
+            "Spans discarded because the buffer bound was reached.",
+        )
+        self.sampled = registry.counter(
+            "repro_span_traces_sampled_total",
+            "Head-sampling decisions, by outcome.",
+            labels=("outcome",),
+        )
+
+    def on_span(self) -> None:
+        self.recorded.inc()
+
+    def on_dropped(self) -> None:
+        self.dropped.inc()
+
+    def on_sampled(self, sampled: bool) -> None:
+        self.sampled.inc(outcome="sampled" if sampled else "unsampled")

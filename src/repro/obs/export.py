@@ -1,0 +1,174 @@
+"""Perfetto / Chrome trace-event export for span buffers.
+
+Spans serialize to the Chrome trace-event JSON format (the
+``{"traceEvents": [...]}`` envelope with complete ``"X"`` events),
+which ``ui.perfetto.dev`` and ``chrome://tracing`` both open directly.
+The mapping:
+
+* **process** (clock domain: frontdoor, shard-0, ..., or ``main``) →
+  trace-event ``pid``, named via an ``"M"`` ``process_name`` metadata
+  event.  Cross-process clock bases need not be aligned: Perfetto
+  renders each pid's events on its own timeline, and causality comes
+  from the shared ``trace_id``/span ids in ``args``, not from
+  timestamp comparison.
+* **track** (partition pool, shard lane, scheduler, wire) →
+  ``tid`` within the process, named via ``thread_name`` — one lane per
+  partition/pool/shard exactly as the dashboards slice them.
+* span ``start``/``duration`` (seconds) → ``ts``/``dur`` in
+  microseconds, rebased so each process's earliest span sits at 0.
+
+:func:`check_trace_file` is the schema gate CI runs against exported
+files: envelope shape, required keys, types, and per-process metadata
+coverage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from .fileio import atomic_write_text
+from .span import Span
+
+__all__ = [
+    "check_trace_document",
+    "check_trace_file",
+    "to_chrome_trace",
+    "write_trace",
+]
+
+_MICRO = 1_000_000.0
+
+
+def _pid_tid_maps(
+    spans: list[Span],
+) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    for span in spans:
+        if span.process not in pids:
+            pids[span.process] = len(pids) + 1
+        key = (span.process, span.track)
+        if key not in tids:
+            tids[key] = sum(1 for k in tids if k[0] == span.process) + 1
+    return pids, tids
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Render spans as a Chrome trace-event document (JSON-ready dict)."""
+    ordered = sorted(spans, key=lambda s: (s.process, s.track, s.start, s.span_id))
+    pids, tids = _pid_tid_maps(ordered)
+    # rebase per process: monotonic bases differ across processes and
+    # microsecond timestamps should start near zero for the viewer
+    base = {
+        process: min(s.start for s in ordered if s.process == process)
+        for process in pids
+    }
+    events: list[dict[str, Any]] = []
+    for process, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    for (process, track), tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pids[process],
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in ordered:
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.query_id is not None:
+            args["query_id"] = span.query_id
+        args.update(span.attributes)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": pids[span.process],
+                "tid": tids[(span.process, span.track)],
+                "ts": (span.start - base[span.process]) * _MICRO,
+                "dur": max(0.0, span.duration) * _MICRO,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str, spans: Iterable[Span]) -> int:
+    """Export spans to ``path`` as Perfetto-openable JSON (atomic write).
+
+    Returns the number of ``"X"`` span events written.
+    """
+    document = to_chrome_trace(spans)
+    atomic_write_text(path, json.dumps(document, indent=1, sort_keys=True))
+    return sum(1 for e in document["traceEvents"] if e["ph"] == "X")
+
+
+def check_trace_document(document: Mapping[str, Any]) -> list[str]:
+    """Validate a trace-event document; returns problems (empty = valid)."""
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level traceEvents missing or not a list"]
+    named_pids: set[int] = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event[{i}] has unsupported ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event[{i}] missing {key!r}")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event.get("pid"))
+            continue
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)):
+                problems.append(f"event[{i}] {key!r} is not numeric")
+            elif value < 0:
+                problems.append(f"event[{i}] {key!r} is negative")
+        args = event.get("args")
+        if not isinstance(args, Mapping) or "trace_id" not in args:
+            problems.append(f"event[{i}] args missing trace_id")
+    span_pids = {
+        e.get("pid")
+        for e in events
+        if isinstance(e, Mapping) and e.get("ph") == "X"
+    }
+    for pid in sorted(span_pids - named_pids, key=str):
+        problems.append(f"pid {pid} has spans but no process_name metadata")
+    return problems
+
+
+def check_trace_file(path: str) -> list[str]:
+    """Schema-check an exported trace file (CI's Perfetto gate)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    if not isinstance(document, Mapping):
+        return ["top-level document is not an object"]
+    return check_trace_document(document)

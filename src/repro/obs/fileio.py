@@ -1,0 +1,67 @@
+"""Crash-safe file output for trace artifacts.
+
+Observability files are read by other tools (Perfetto, jq, the CI
+greps); a run killed mid-write must never leave a torn half-file that
+those readers then trust.  :func:`atomic_write_lines` gets the classic
+guarantee from the POSIX toolbox: write everything to a temporary file
+*in the target directory* (so the final rename is same-filesystem and
+atomic), flush + fsync, then :func:`os.replace` into place.  Readers
+observe either the complete previous file or the complete new one —
+never a prefix.
+
+Stdlib-only; both :mod:`repro.obs.export` and
+``repro.sim.obs.TraceCollector.write_jsonl`` write through here.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Iterable, TextIO
+
+__all__ = ["atomic_write_lines", "atomic_write_text"]
+
+
+def atomic_write_lines(
+    path: str | os.PathLike[str],
+    lines: Iterable[str],
+    *,
+    writer: Callable[[TextIO, str], None] | None = None,
+) -> int:
+    """Write ``lines`` (newline appended to each) to ``path`` atomically.
+
+    Returns the number of lines written.  ``writer`` exists for tests:
+    it receives ``(handle, line)`` per line and may raise to simulate a
+    crash mid-write — the guarantee under test is that ``path`` is then
+    left untouched (and the temp file cleaned up).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    count = 0
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for line in lines:
+                if writer is not None:
+                    writer(handle, line)
+                else:
+                    handle.write(line)
+                    handle.write("\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return count
+
+
+def atomic_write_text(path: str | os.PathLike[str], text: str) -> None:
+    """Atomic whole-file variant (single pre-rendered payload)."""
+    atomic_write_lines(path, [text.rstrip("\n")] if text else [])

@@ -1,0 +1,163 @@
+"""Adapters between engine observability slots and a :class:`SpanTracer`.
+
+Each class here speaks one of the existing None-guarded duck-typed
+hook protocols (scheduler observer, pool instrument, rollup metrics,
+translator metrics) and turns its callbacks into stage spans under the
+query's open root.  They hold no state beyond the tracer reference, so
+attaching them changes nothing about scheduling — the same discipline
+as :mod:`repro.metrics.instrument`.
+
+``repro.obs`` stays import-pure (stdlib only), so anything that needs
+domain knowledge — the Figure-10 branch classifier lives in
+:mod:`repro.sim.obs` — is *injected* by the engine that wires the
+adapter, never imported from here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .span import SpanTracer
+
+__all__ = ["PoolSpans", "RollupSpans", "SchedulerSpans", "TranslatorSpans"]
+
+
+class SchedulerSpans:
+    """``BaseScheduler.span_observer`` adapter.
+
+    Records ``scheduler.estimate`` and ``scheduler.decision`` as point
+    spans (zero duration at the scheduling instant — the scheduler's
+    own compute time is part of the admission stage, not a queue) and
+    annotates the root with the Figure-10 branch and the step-3
+    candidate count.  ``classify`` is the injected branch classifier
+    (``repro.sim.obs.classify_branch``); without it the branch
+    attribute is simply omitted.
+    """
+
+    def __init__(
+        self,
+        tracer: SpanTracer,
+        classify: Callable[..., str] | None = None,
+    ):
+        self.tracer = tracer
+        self.classify = classify
+
+    def on_estimated(self, query: Any, est: Any, deadline: float, now: float) -> None:
+        attrs: dict[str, Any] = {
+            "deadline": deadline,
+            "gpu_classes": len(est.t_gpu),
+            "needs_translation": bool(est.t_trans > 0.0),
+        }
+        if est.t_cpu is not None:
+            attrs["t_cpu"] = est.t_cpu
+        self.tracer.record(
+            query.query_id,
+            "scheduler.estimate",
+            now,
+            now,
+            track="scheduler",
+            **attrs,
+        )
+
+    def on_decision(self, decision: Any, response: Any, now: float) -> None:
+        query_id = decision.query.query_id
+        attrs: dict[str, Any] = {
+            "target": decision.target.name,
+            "candidates": len(response),
+            "estimated_response": decision.estimated_response,
+            "meets_deadline": decision.meets_deadline,
+        }
+        if self.classify is not None:
+            attrs["branch"] = self.classify(
+                response, decision.deadline, decision.target
+            )
+        self.tracer.record(
+            query_id, "scheduler.decision", now, now, track="scheduler", **attrs
+        )
+        # the root carries the decision too, so a stitched fleet view
+        # can attribute the trace without descending into point spans
+        root_attrs = {"target": attrs["target"], "candidates": attrs["candidates"]}
+        if "branch" in attrs:
+            root_attrs["branch"] = attrs["branch"]
+        self.tracer.annotate(query_id, **root_attrs)
+
+
+class PoolSpans:
+    """``WorkerPool.spans`` adapter: one ``on_task(task)`` per finished
+    task, recorded from inside the pool's finish block (the only place
+    ``arrived``/``started``/``finished`` are all stamped).
+
+    Emits ``queue.wait`` ``[arrived, started]`` and ``pool.service``
+    ``[started, finished]`` on the pool's own track.  Maintenance tasks
+    (negative query ids — the rollup materialiser) have no root and
+    no-op inside the tracer.
+    """
+
+    def __init__(self, tracer: SpanTracer, pool_name: str):
+        self.tracer = tracer
+        self.pool_name = str(pool_name)
+
+    def on_task(self, task: Any) -> None:
+        query_id = task.query_id
+        if task.started is None or task.finished is None:
+            return
+        self.tracer.record(
+            query_id,
+            "queue.wait",
+            task.arrived,
+            task.started,
+            track=self.pool_name,
+        )
+        self.tracer.record(
+            query_id,
+            "pool.service",
+            task.started,
+            task.finished,
+            track=self.pool_name,
+            status="error" if task.error is not None else "ok",
+            pool=self.pool_name,
+        )
+
+
+class RollupSpans:
+    """Rollup-tier adapter: a cache hit is a complete trace by itself.
+
+    The engine calls :meth:`on_hit` *before* opening a scheduling root
+    (hits never reach steps 1-6), so this adapter opens the root,
+    records the ``rollup.hit`` lookup span, and closes the root — the
+    whole single-span tree that a hit's timeline amounts to.
+    """
+
+    def __init__(self, tracer: SpanTracer, root_name: str = "serve.query"):
+        self.tracer = tracer
+        self.root_name = str(root_name)
+
+    def on_hit(self, query_id: int, now: float, elapsed: float, source: str) -> None:
+        if self.tracer.open(query_id, self.root_name, start=now) is None:
+            return
+        self.tracer.record(
+            query_id,
+            "rollup.hit",
+            now,
+            now + elapsed,
+            track="rollup",
+            source=source,
+        )
+        self.tracer.close(
+            query_id, end=now + elapsed, status="ok", branch="cache-hit"
+        )
+
+
+class TranslatorSpans:
+    """``TranslationService.spans`` adapter: annotates the root with the
+    realised translation cost (the wait+service interval itself is the
+    Q_TRANS pool's ``queue.wait``/``pool.service`` pair — the
+    translator runs inside that pool in the serve plane)."""
+
+    def __init__(self, tracer: SpanTracer):
+        self.tracer = tracer
+
+    def on_translated(self, query_id: int, lookups: int, seconds: float) -> None:
+        self.tracer.annotate(
+            query_id, translation_lookups=lookups, translation_seconds=seconds
+        )

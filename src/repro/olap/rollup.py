@@ -679,6 +679,10 @@ class RollupRouter:
         self.executor = RollupExecutor(catalog)
         self.policy = policy
         self.metrics = metrics
+        #: optional :class:`repro.obs.hooks.RollupSpans`: a hit bypasses
+        #: Figure 10 entirely, so the span plane needs its own callback
+        #: here (with query identity) to book the single-span trace
+        self.spans = None
         self.hits = 0
         self.misses = 0
         self.materialized = 0
@@ -717,6 +721,10 @@ class RollupRouter:
         self.hits += 1
         if self.metrics is not None:
             self.metrics.on_hit(elapsed)
+        if self.spans is not None:
+            self.spans.on_hit(
+                query.query_id, now, elapsed, ",".join(sorted(cuboid.dims))
+            )
         return QueryRecord(
             query_id=query.query_id,
             query_class=query_class,

@@ -28,6 +28,7 @@ __all__ = [
     "sparkline",
     "render_dashboard",
     "render_metrics_dashboard",
+    "render_spans",
 ]
 
 _MARKERS = "o+x*#@%&"
@@ -361,4 +362,135 @@ def render_metrics_dashboard(
         f"{'':>{label_width}} (rates per snapshot interval; p95 from "
         "windowed histogram deltas)"
     )
+    return "\n".join(lines)
+
+
+# -- span view (repro.obs traces) ----------------------------------------
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def render_spans(spans, width: int = 48) -> str:
+    """Per-stage self-time table + slowest-trace waterfall for a span set.
+
+    Input is any iterable of :class:`repro.obs.span.Span`-shaped
+    objects (a tracer's :meth:`~repro.obs.span.SpanTracer.spans`, or
+    the stitched set on :attr:`repro.fleet.fleet.FleetReport.spans`).
+    Two blocks:
+
+    * **stage table** — for every ``(process, stage)`` pair, the count
+      and the p50/p95 of *self-time*: a span's duration minus its
+      same-process children's durations, so a root's row shows
+      orchestration overhead rather than double-counting the work its
+      children already account for (cross-process children run on
+      unaligned clocks and are never subtracted);
+    * **waterfall** — the slowest trace (by root duration), one bar per
+      span positioned against the root's window, children indented
+      under their parents.  Spans from another process are anchored at
+      the ``wire.roundtrip`` span that carried them, so a fleet trace
+      reads as one timeline despite the clock-domain break.
+    """
+    spans = tuple(spans)
+    if not spans:
+        raise ReproError(
+            "render_spans needs at least one span; run with a SpanTracer "
+            "attached and a non-zero sample rate"
+        )
+
+    # -- self-time table -------------------------------------------------
+    child_time: dict[tuple[str, str], float] = {}
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        key = (span.trace_id, span.parent_id)
+        child_time[key] = child_time.get(key, 0.0) + span.duration
+    stage_self: dict[tuple[str, str], list[float]] = {}
+    for span in spans:
+        # same-process children only: a shard subtree's durations live
+        # in another clock domain and belong to the shard's own rows
+        owned = sum(
+            c.duration
+            for c in spans
+            if c.parent_id == span.span_id
+            and c.trace_id == span.trace_id
+            and c.process == span.process
+        )
+        self_time = max(0.0, span.duration - owned)
+        stage_self.setdefault((span.process, span.name), []).append(self_time)
+
+    traces = {s.trace_id for s in spans}
+    lines = [
+        f"span self-time by stage ({len(spans)} spans, "
+        f"{len(traces)} trace{'s' if len(traces) != 1 else ''})"
+    ]
+    proc_w = max(max(len(p) for p, _ in stage_self), len("process"))
+    stage_w = max(max(len(n) for _, n in stage_self), len("stage"))
+    lines.append(
+        f"{'process':<{proc_w}}  {'stage':<{stage_w}}  "
+        f"{'count':>5}  {'p50 (s)':>10}  {'p95 (s)':>10}"
+    )
+    for (process, name), values in sorted(stage_self.items()):
+        lines.append(
+            f"{process:<{proc_w}}  {name:<{stage_w}}  {len(values):>5}  "
+            f"{_percentile(values, 0.50):>10.6f}  "
+            f"{_percentile(values, 0.95):>10.6f}"
+        )
+
+    # -- slowest-trace waterfall -----------------------------------------
+    roots = [s for s in spans if s.parent_id is None]
+    if not roots:
+        return "\n".join(lines)
+    root = max(roots, key=lambda s: s.duration)
+    members = [s for s in spans if s.trace_id == root.trace_id]
+    index = {s.span_id: s for s in members}
+
+    def depth(span) -> int:
+        d, cur = 0, span
+        while cur.parent_id is not None and cur.parent_id in index:
+            cur = index[cur.parent_id]
+            d += 1
+            if d > len(members):  # defensive: a cycle would hang us
+                break
+        return d
+
+    # rebase each foreign process onto the root's clock at the wire
+    # span that carried it there (falling back to the root's start)
+    offsets = {root.process: 0.0}
+    for process in {s.process for s in members} - {root.process}:
+        first = min(
+            (s.start for s in members if s.process == process), default=0.0
+        )
+        anchor = root.start
+        for s in members:
+            if s.name == "wire.roundtrip" and s.process == root.process:
+                anchor = s.start
+                break
+        offsets[process] = anchor - first
+    span_total = root.duration or 1.0
+
+    qid = "" if root.query_id is None else f"query {root.query_id}, "
+    lines += [
+        "",
+        f"slowest trace {root.trace_id} ({qid}{root.duration:.6f} s, "
+        f"status {root.status})",
+    ]
+    name_w = max(len(s.name) + depth(s) for s in members)
+    ordered = sorted(members, key=lambda s: (s.start + offsets[s.process], depth(s)))
+    for span in ordered:
+        rebased = span.start + offsets[span.process] - root.start
+        left = int(max(0.0, min(1.0, rebased / span_total)) * width)
+        right = int(
+            max(0.0, min(1.0, (rebased + span.duration) / span_total)) * width
+        )
+        bar = " " * left + "=" * max(1, right - left)
+        label = " " * depth(span) + span.name
+        lines.append(
+            f"{span.process:<{proc_w}}  {label:<{name_w}} "
+            f"|{bar:<{width}}| {span.duration:.6f} s"
+        )
     return "\n".join(lines)

@@ -51,11 +51,19 @@ from repro.core.partitions import PartitionQueue, QueueKind
 from repro.core.scheduler import BaseScheduler, ScheduleDecision
 from repro.errors import AdmissionRejected, BackpressureError, ServeError
 from repro.metrics.instrument import (
+    ObsMetrics,
     PoolMetrics,
     RollupMetrics,
     RuntimeMetrics,
     TranslatorMetrics,
 )
+from repro.obs.hooks import (
+    PoolSpans,
+    RollupSpans,
+    SchedulerSpans,
+    TranslatorSpans,
+)
+from repro.obs.span import SpanTracer
 from repro.olap.rollup import RollupRouter
 from repro.metrics.exporter import MetricsExporter
 from repro.metrics.registry import MetricsRegistry
@@ -66,7 +74,7 @@ from repro.serve.clock import Clock, RealClock
 from repro.serve.executors import MaterialisedExecutor, QueryExecutor
 from repro.serve.pool import EngineState, ServeTask, WorkerPool
 from repro.sim.metrics import QueryRecord, SystemReport
-from repro.sim.obs import TraceCollector
+from repro.sim.obs import TraceCollector, classify_branch
 from repro.sim.system import SystemConfig, SystemEstimator
 
 __all__ = ["ServeEngine", "SubmitOutcome", "Ticket"]
@@ -193,6 +201,15 @@ class ServeEngine:
         proceeds through Figure 10 untouched.  If ``metrics`` is also
         given, the engine wires :class:`~repro.metrics.instrument.
         RollupMetrics` into the router.
+    spans:
+        Optional :class:`~repro.obs.span.SpanTracer` (the distributed
+        span plane).  The engine re-binds the tracer's clock to the
+        injected engine clock, opens one ``serve.query`` root span per
+        head-sampled submission, and wires the
+        :mod:`repro.obs.hooks` adapters into the scheduler's fourth
+        observer slot, every pool, the rollup router, and the
+        translation service.  If ``metrics`` is also given, the tracer
+        gets :class:`~repro.metrics.instrument.ObsMetrics`.
     """
 
     def __init__(
@@ -211,6 +228,7 @@ class ServeEngine:
         cpu_threads: int = 4,
         rollup: RollupRouter | None = None,
         adapt=None,
+        spans: SpanTracer | None = None,
     ):
         if max_in_flight is not None and max_in_flight < 1:
             raise ServeError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -304,6 +322,22 @@ class ServeEngine:
             # plane claims the third scheduler/feedback observer slots
             # and gets actuator access for capacity reconfiguration
             adapt.attach_serve(self)
+        self.spans = spans
+        if spans is not None:
+            # clock-domain rule: serve-plane spans read the injected
+            # clock's engine-relative now() — never time.monotonic()
+            # directly — so span timelines share the report/trace
+            # timebase and are deterministic under FakeClock
+            spans.bind_clock(self._state.now)
+            if metrics is not None:
+                spans.metrics = ObsMetrics(metrics)
+            self.scheduler.span_observer = SchedulerSpans(spans, classify_branch)
+            for name, pool in self.pools.items():
+                pool.spans = PoolSpans(spans, name)
+            if rollup is not None:
+                rollup.spans = RollupSpans(spans)
+            if config.translation_service is not None:
+                config.translation_service.spans = TranslatorSpans(spans)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -413,6 +447,13 @@ class ServeEngine:
                     )
             if self._metrics is not None:
                 self._metrics.on_submitted()
+            if self.spans is not None:
+                self.spans.open(
+                    query.query_id,
+                    "serve.query",
+                    start=now,
+                    query_class=query_class,
+                )
             try:
                 decision = self.scheduler.schedule(query, now)
             except AdmissionRejected as exc:
@@ -420,6 +461,8 @@ class ServeEngine:
                 if self._metrics is not None:
                     self._metrics.on_rejected()
                 self._emit("rejected", now, query.query_id, reason=str(exc))
+                if self.spans is not None:
+                    self.spans.close(query.query_id, end=now, status="rejected")
                 self._sample(now)
                 return SubmitOutcome(accepted=False)
             ticket = self._admit(decision, query, query_class)
@@ -565,6 +608,13 @@ class ServeEngine:
                             continue
                     if self._metrics is not None:
                         self._metrics.on_submitted()
+                    if self.spans is not None:
+                        self.spans.open(
+                            query.query_id,
+                            "serve.query",
+                            start=now,
+                            query_class=qclass,
+                        )
                     pending.append((query, qclass))
                     slots.append(len(outcomes))
                     outcomes.append(SubmitOutcome(accepted=False))  # placeholder
@@ -586,6 +636,10 @@ class ServeEngine:
                                 query.query_id,
                                 reason=str(decision),
                             )
+                            if self.spans is not None:
+                                self.spans.close(
+                                    query.query_id, end=now, status="rejected"
+                                )
                             continue  # the placeholder already says rejected
                         ticket = self._admit(decision, query, qclass)
                         outcomes[slot] = SubmitOutcome(
@@ -633,6 +687,13 @@ class ServeEngine:
             if task.error is not None:
                 self.errors.append((query.query_id, task.error))
                 self._finish(ticket, None, task.error)
+                if self.spans is not None:
+                    self.spans.close(
+                        query.query_id,
+                        end=task.finished,
+                        status="error",
+                        stage="translation",
+                    )
                 if self._metrics is not None:
                     self._metrics.on_failed("translation", self._in_flight)
                 if self._slo is not None:
@@ -708,6 +769,13 @@ class ServeEngine:
             if task.error is not None:
                 self.errors.append((query.query_id, task.error))
             self._finish(ticket, record, task.error)
+            if self.spans is not None:
+                self.spans.close(
+                    query.query_id,
+                    end=task.finished,
+                    status="error" if task.error is not None else "ok",
+                    met_deadline=task.error is None and record.met_deadline,
+                )
             if self._metrics is not None:
                 self._metrics.on_stage("service", task.service_time)
                 if task.error is not None:
@@ -772,6 +840,8 @@ class ServeEngine:
                 pool = WorkerPool(q.name, self._state, capacity=q.capacity)
                 if self._pool_families is not None:
                     pool.metrics = self._pool_families.for_pool(q.name)
+                if self.spans is not None:
+                    pool.spans = PoolSpans(self.spans, q.name)
                 self.queues[q.name] = q
                 self.pools[q.name] = pool
                 if self._started:
@@ -871,6 +941,10 @@ class ServeEngine:
                 ticket._abandon()
             if abandoned:
                 self._state.cond.notify_all()
+            if self.spans is not None:
+                # abandoned tickets' root spans would otherwise stay
+                # open forever; close them flagged, never dropped
+                self.spans.close_all(status="abandoned")
 
     # -- reporting ------------------------------------------------------------
 

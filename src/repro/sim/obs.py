@@ -436,14 +436,19 @@ class TraceCollector:
         partition in time order; every line carries a ``record`` field
         (``"event"`` or ``"sample"``) so consumers can split the two
         streams with one filter.
+
+        The write is crash-safe: everything lands in a tempfile in the
+        target directory first and is renamed into place atomically
+        (:func:`repro.obs.fileio.atomic_write_lines`), so an interrupted
+        run can never leave a torn half-written trace behind.
         """
-        lines = 0
-        with open(path, "w", encoding="utf-8") as fh:
+        from repro.obs.fileio import atomic_write_lines
+
+        def render():
             for event in self.events:
-                fh.write(json.dumps(event.to_json()) + "\n")
-                lines += 1
+                yield json.dumps(event.to_json())
             for name in self.series:
                 for sample in self.series[name]:
-                    fh.write(json.dumps(sample.to_json()) + "\n")
-                    lines += 1
-        return lines
+                    yield json.dumps(sample.to_json())
+
+        return atomic_write_lines(path, render())

@@ -685,6 +685,7 @@ class HybridSystem:
         rollup=None,
         batch_size: int | None = None,
         adapt=None,
+        obs=None,
     ) -> SystemReport:
         """Simulate one query stream; returns the aggregated report.
 
@@ -718,6 +719,16 @@ class HybridSystem:
         and worker resizes are serve-plane actuators).  ``adapt=None``
         leaves every hook site a single ``is not None`` check and the
         run byte-identical to an unadapted one.
+
+        ``obs`` attaches a :class:`~repro.obs.span.SpanTracer` (the
+        distributed span plane): one ``sim.query`` root span per
+        head-sampled admitted query, with ``scheduler.estimate`` /
+        ``scheduler.decision`` point spans via the scheduler's fourth
+        observer slot and ``queue.wait`` / ``pool.service`` stage spans
+        booked from the realised simulated timeline.  The tracer's
+        clock is re-bound to simulated time, so span timelines are
+        deterministic and live in the report's timebase.  Read-only
+        like every other observer.
 
         ``batch_size`` switches admission to the vectorised
         :meth:`~repro.core.scheduler.BaseScheduler.schedule_batch`
@@ -790,13 +801,36 @@ class HybridSystem:
             from repro.metrics.instrument import RollupMetrics
 
             rollup.metrics = RollupMetrics(metrics)
+        if obs is not None:
+            from repro.obs.hooks import (
+                RollupSpans,
+                SchedulerSpans,
+                TranslatorSpans,
+            )
+            from repro.sim.obs import classify_branch
+
+            # simulated-clock domain: span timestamps are engine.now
+            # readings, the same timebase as the report books
+            obs.bind_clock(lambda: engine.now)
+            if metrics is not None:
+                from repro.metrics.instrument import ObsMetrics
+
+                obs.metrics = ObsMetrics(metrics)
+            scheduler.span_observer = SchedulerSpans(obs, classify_branch)
+            if rollup is not None:
+                rollup.spans = RollupSpans(obs, root_name="sim.query")
+            if cfg.translation_service is not None:
+                cfg.translation_service.spans = TranslatorSpans(obs)
         in_flight = [0]
 
         records: list[QueryRecord] = []
         cache_hits: list[QueryRecord] = []
 
         def complete_processing(
-            decision: ScheduleDecision, query_class: str, realised: float
+            decision: ScheduleDecision,
+            query_class: str,
+            realised: float,
+            arrived: float,
         ) -> Callable[[float, Job], None]:
             def _on_complete(finish: float, job: Job) -> None:
                 queue = queues[decision.target.name]
@@ -826,6 +860,33 @@ class HybridSystem:
                     answer=answer,
                 )
                 records.append(record)
+                if obs is not None:
+                    # realised stage intervals from the simulated
+                    # timeline: service occupied [finish-realised,
+                    # finish], the wait is everything since the job
+                    # reached its partition
+                    started = finish - realised
+                    obs.record(
+                        decision.query.query_id,
+                        "queue.wait",
+                        arrived,
+                        started,
+                        track=decision.target.name,
+                    )
+                    obs.record(
+                        decision.query.query_id,
+                        "pool.service",
+                        started,
+                        finish,
+                        track=decision.target.name,
+                        pool=decision.target.name,
+                    )
+                    obs.close(
+                        decision.query.query_id,
+                        end=finish,
+                        status="ok",
+                        met_deadline=record.met_deadline,
+                    )
                 if run_metrics is not None:
                     in_flight[0] -= 1
                     run_metrics.on_stage("service", realised)
@@ -841,11 +902,14 @@ class HybridSystem:
             decision: ScheduleDecision, query_class: str
         ) -> None:
             realised = decision.processing.estimated_time * self._noise(rng)
+            arrived = engine.now
             servers[decision.target.name].submit(
                 Job(
                     query_id=decision.query.query_id,
                     service_time=realised,
-                    on_complete=complete_processing(decision, query_class, realised),
+                    on_complete=complete_processing(
+                        decision, query_class, realised, arrived
+                    ),
                 )
             )
 
@@ -903,6 +967,13 @@ class HybridSystem:
                     return False
             if run_metrics is not None:
                 run_metrics.on_submitted()
+            if obs is not None:
+                obs.open(
+                    query.query_id,
+                    "sim.query",
+                    start=engine.now,
+                    query_class=query_class,
+                )
             if snapshots is not None:
                 snapshots.tick(engine.now)
             return True
@@ -930,6 +1001,8 @@ class HybridSystem:
                         query.query_id,
                         reason=str(decision),
                     )
+                if obs is not None:
+                    obs.close(query.query_id, end=engine.now, status="rejected")
                 return
             if run_metrics is not None:
                 in_flight[0] += 1
@@ -937,6 +1010,7 @@ class HybridSystem:
             if decision.translation is not None:
                 est_trans = decision.translation.estimated_time
                 realised_trans = est_trans * self._noise(rng)
+                trans_arrived = engine.now
 
                 def _translated(finish: float, job: Job) -> None:
                     feedback.on_completion(
@@ -945,6 +1019,23 @@ class HybridSystem:
                         est_trans,
                         query_id=query.query_id,
                     )
+                    if obs is not None:
+                        started = finish - realised_trans
+                        obs.record(
+                            query.query_id,
+                            "queue.wait",
+                            trans_arrived,
+                            started,
+                            track=trans_q.name,
+                        )
+                        obs.record(
+                            query.query_id,
+                            "pool.service",
+                            started,
+                            finish,
+                            track=trans_q.name,
+                            pool=trans_q.name,
+                        )
                     if run_metrics is not None:
                         run_metrics.on_stage("translation", realised_trans)
                     submit_processing(decision, query_class)
@@ -1013,6 +1104,11 @@ class HybridSystem:
             engine.schedule_at(last_time, flush)
 
         engine.run(max_events=max_events)
+
+        if obs is not None:
+            # a truncated run (max_events) strands in-flight queries;
+            # their roots close flagged rather than dangling open
+            obs.close_all(end=engine.now, status="abandoned")
 
         if snapshots is not None:
             snapshots.write(engine.now)

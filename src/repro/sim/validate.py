@@ -83,14 +83,34 @@ action/trigger pairing, hard knob ranges, ``max_reconfigs``).  Duck-
 typed against :class:`repro.adapt.plane.AdaptReport` so this module
 never imports :mod:`repro.adapt`.
 
+A tenth family, ``spans``, audits a distributed span trace
+(:func:`validate_spans`): every trace has exactly one root, span ids
+are unique per trace, no span ends before it starts, every non-root
+span's parent exists in the same trace, and a same-process child lies
+inside its parent's bounds (cross-process parents are exempt — the two
+sides run on unaligned monotonic clocks).  With the run's sampling
+context (``seed`` / ``sample_rate`` / ``submitted`` ids), the set of
+traced ids must equal the head-sampling formula's output *exactly* —
+the checker re-derives ``blake2b`` trace ids and sampling decisions
+independently of :mod:`repro.obs`, which this module deliberately does
+not import.  With a :class:`~repro.sim.metrics.SystemReport`, roots
+reconcile with the completion records and every ``pool.service`` span
+matches a server-timeline entry; with a :class:`~repro.sim.obs.
+TraceCollector`, roots bracket the query's lifecycle events.  Traces
+whose root completed over the wire must carry shard-side spans unless
+the root was re-stamped ``partial`` (a crashed shard's severed tree is
+flagged, never silently truncated).
+
 :func:`seed_violation` (and :func:`seed_metrics_violation` /
-:func:`seed_fleet_violation` / :func:`seed_adapt_violation` for
-snapshots, fleet reports and adapt reports) deliberately corrupts a
-report so tests can prove the checkers fail loudly, not vacuously.
+:func:`seed_fleet_violation` / :func:`seed_adapt_violation` /
+:func:`seed_spans_violation` for snapshots, fleet reports, adapt
+reports and span sets) deliberately corrupts a report so tests can
+prove the checkers fail loudly, not vacuously.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
@@ -111,20 +131,24 @@ __all__ = [
     "validate_rollup",
     "validate_fleet",
     "validate_adapt",
+    "validate_spans",
     "assert_valid",
     "assert_trace_valid",
     "assert_metrics_valid",
     "assert_rollup_valid",
     "assert_fleet_valid",
     "assert_adapt_valid",
+    "assert_spans_valid",
     "seed_violation",
     "seed_metrics_violation",
     "seed_fleet_violation",
     "seed_adapt_violation",
+    "seed_spans_violation",
     "SEEDABLE_VIOLATIONS",
     "SEEDABLE_METRICS_VIOLATIONS",
     "SEEDABLE_FLEET_VIOLATIONS",
     "SEEDABLE_ADAPT_VIOLATIONS",
+    "SEEDABLE_SPANS_VIOLATIONS",
 ]
 
 #: timeline entry: (query_id, start, finish)
@@ -1583,4 +1607,358 @@ def seed_adapt_violation(report, kind: str):
     raise InvariantViolation(
         f"unknown violation kind {kind!r}; expected one of "
         f"{SEEDABLE_ADAPT_VIOLATIONS}"
+    )
+
+
+# -- the ``spans`` family -----------------------------------------------------
+#
+# Deliberately duck-typed against repro.obs.span.Span (trace_id,
+# span_id, parent_id, name, start, end, process, track, status,
+# query_id, attributes) and re-deriving the sampling hashes inline:
+# the auditor must not share code with the plane it audits.
+
+
+def _expected_trace_id(seed: int, query_id: int) -> str:
+    return hashlib.blake2b(
+        f"{seed}:{query_id}".encode(), digest_size=8
+    ).hexdigest()
+
+
+def _expected_sampled(seed: int, sample_rate: float, query_id: int) -> bool:
+    if sample_rate >= 1.0:
+        return True
+    if sample_rate <= 0.0:
+        return False
+    digest = hashlib.blake2b(
+        f"{seed}:span-sample:{query_id}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32 < sample_rate
+
+
+def validate_spans(
+    spans,
+    *,
+    report: SystemReport | None = None,
+    collector: "TraceCollector | None" = None,
+    seed: int | None = None,
+    sample_rate: float | None = None,
+    submitted=None,
+    tolerance: float = 1e-9,
+) -> ValidationResult:
+    """Audit a span set's tree structure, sampling, and books: the
+    ``spans`` family.
+
+    ``spans`` is any iterable of duck-typed span objects (the shape of
+    :class:`repro.obs.span.Span`; this module deliberately does not
+    import :mod:`repro.obs`).  Structural invariants always run:
+
+    * **order** — no span ends before it starts;
+    * **unique** — span ids never collide within a trace;
+    * **root** — every trace has exactly one root (``parent_id`` None);
+    * **parent** — every non-root span's parent exists in the same
+      trace (cross-process parents count: the stitched fleet set is
+      validated as one tree);
+    * **bounds** — a child in the *same process* as its parent lies
+      inside the parent's ``[start, end]`` window (cross-process pairs
+      are exempt — monotonic clocks are not aligned across processes);
+    * **complete** — a trace whose ``ok`` root crossed the wire (it
+      carries an ``ok`` ``wire.roundtrip`` span) must contain spans
+      from at least two processes; a severed tree is only acceptable
+      when :func:`repro.obs.span.stitch` re-stamped the root
+      ``partial``.
+
+    Optional context adds exact accounting:
+
+    * ``seed`` + ``sample_rate`` + ``submitted`` (the query ids offered
+      to the tracer): the traced trace-id set must equal the
+      head-sampling formula's output exactly, both directions;
+    * ``report``: an ``ok`` root with a completion record opens no
+      later than the record's submission and closes at its finish;
+      every ``pool.service`` span matches a server-timeline entry
+      start-for-start and finish-for-finish;
+    * ``collector``: an ``ok`` recorded root brackets its query's
+      lifecycle events — ``arrival`` no earlier than the root opens,
+      ``service_finish`` at the root's close.
+    """
+    spans = tuple(spans)
+    violations: list[Violation] = []
+
+    def bad(queue: str, message: str) -> None:
+        violations.append(Violation("spans", queue, message))
+
+    by_trace: dict[str, list] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    roots_by_trace: dict[str, object] = {}
+    for trace_id, members in sorted(by_trace.items()):
+        tag = f"trace-{trace_id}"
+        ids = [s.span_id for s in members]
+        for sid in sorted({i for i in ids if ids.count(i) > 1}):
+            bad(tag, f"span id {sid} appears {ids.count(sid)} times")
+        roots = [s for s in members if s.parent_id is None]
+        if len(roots) != 1:
+            names = sorted(s.name for s in roots)
+            bad(tag, f"{len(roots)} root spans ({names}), expected exactly 1")
+        else:
+            roots_by_trace[trace_id] = roots[0]
+        index = {s.span_id: s for s in members}
+        for span in members:
+            if span.end < span.start - tolerance:
+                bad(
+                    tag,
+                    f"span {span.name!r} ends at {span.end} before its "
+                    f"start {span.start}",
+                )
+            if span.parent_id is None:
+                continue
+            parent = index.get(span.parent_id)
+            if parent is None:
+                bad(
+                    tag,
+                    f"span {span.name!r} names parent {span.parent_id} "
+                    "which is not in the trace — an orphan",
+                )
+            elif parent.process == span.process and (
+                span.start < parent.start - tolerance
+                or span.end > parent.end + tolerance
+            ):
+                bad(
+                    tag,
+                    f"span {span.name!r} [{span.start}, {span.end}] "
+                    f"escapes its parent {parent.name!r} "
+                    f"[{parent.start}, {parent.end}]",
+                )
+
+        root = roots_by_trace.get(trace_id)
+        if root is not None and root.status == "ok":
+            wired = any(
+                s.name == "wire.roundtrip" and s.status == "ok"
+                for s in members
+            )
+            if wired and len({s.process for s in members}) < 2:
+                bad(
+                    tag,
+                    "root completed over the wire but the trace has no "
+                    "shard-side spans — a severed tree must be stamped "
+                    "partial, not silently truncated",
+                )
+
+    if seed is not None and sample_rate is not None and submitted is not None:
+        expected = {
+            _expected_trace_id(seed, qid)
+            for qid in submitted
+            if _expected_sampled(seed, sample_rate, qid)
+        }
+        actual = set(by_trace)
+        for trace_id in sorted(actual - expected):
+            bad(
+                "sampling",
+                f"trace {trace_id} was recorded but no submitted query "
+                f"head-samples to it at rate {sample_rate}",
+            )
+        for trace_id in sorted(expected - actual):
+            bad(
+                "sampling",
+                f"head-sampling selects trace {trace_id} but the run "
+                "recorded no spans for it",
+            )
+
+    if report is not None:
+        records = {r.query_id: r for r in report.records}
+        for trace_id, root in sorted(roots_by_trace.items()):
+            record = records.get(root.query_id)
+            if record is None or root.status != "ok":
+                continue
+            tag = f"trace-{trace_id}"
+            if root.start > record.submit_time + tolerance:
+                bad(
+                    tag,
+                    f"root opens at {root.start}, after query "
+                    f"{root.query_id}'s submission at {record.submit_time}",
+                )
+            if abs(root.end - record.finish_time) > tolerance:
+                bad(
+                    tag,
+                    f"root closes at {root.end} but query {root.query_id} "
+                    f"finished at {record.finish_time}",
+                )
+        timeline_index = {
+            name: _index(tl) for name, tl in report.timelines.items()
+        }
+        for span in spans:
+            if span.name != "pool.service":
+                continue
+            pool = span.attributes.get("pool", span.track)
+            entry = timeline_index.get(pool, {}).get(span.query_id)
+            if entry is None:
+                bad(
+                    f"trace-{span.trace_id}",
+                    f"pool.service span for query {span.query_id} on "
+                    f"{pool!r} has no server-timeline entry",
+                )
+            elif (
+                abs(span.start - entry[0]) > tolerance
+                or abs(span.end - entry[1]) > tolerance
+            ):
+                bad(
+                    f"trace-{span.trace_id}",
+                    f"pool.service span for query {span.query_id} "
+                    f"[{span.start}, {span.end}] disagrees with the "
+                    f"{pool!r} timeline entry [{entry[0]}, {entry[1]}]",
+                )
+
+    if collector is not None:
+        events_by_query: dict[int, list] = {}
+        for event in collector.events:
+            if event.query_id is not None:
+                events_by_query.setdefault(event.query_id, []).append(event)
+        recorded = (
+            {r.query_id for r in report.records} if report is not None else None
+        )
+        for trace_id, root in sorted(roots_by_trace.items()):
+            if root.status != "ok" or root.query_id is None:
+                continue
+            if recorded is not None and root.query_id not in recorded:
+                continue  # cache hits and shard-side roots have no lifecycle
+            events = events_by_query.get(root.query_id, [])
+            arrivals = [e.time for e in events if e.kind == "arrival"]
+            finishes = [e.time for e in events if e.kind == "service_finish"]
+            tag = f"trace-{trace_id}"
+            if not arrivals:
+                bad(
+                    tag,
+                    f"sampled query {root.query_id} left no arrival event "
+                    "in the lifecycle trace",
+                )
+            elif arrivals[0] > root.start + tolerance:
+                bad(
+                    tag,
+                    f"query {root.query_id} arrives at {arrivals[0]}, after "
+                    f"its root span opened at {root.start}",
+                )
+            if finishes and abs(finishes[-1] - root.end) > tolerance:
+                bad(
+                    tag,
+                    f"query {root.query_id} service_finish at "
+                    f"{finishes[-1]} != root close {root.end}",
+                )
+
+    return ValidationResult(tuple(violations), checked=("spans",))
+
+
+def assert_spans_valid(spans, **kwargs):
+    """Raise :class:`~repro.errors.InvariantViolation` on a bad span set.
+
+    Returns the (tuple-ised) span set unchanged so call sites can
+    chain: ``spans = assert_spans_valid(tracer.drain(), report=report)``.
+    """
+    spans = tuple(spans)
+    result = validate_spans(spans, **kwargs)
+    if not result.ok:
+        raise InvariantViolation(result.summary())
+    return spans
+
+
+#: corruption modes understood by :func:`seed_spans_violation`
+SEEDABLE_SPANS_VIOLATIONS = (
+    "orphan",
+    "inverted",
+    "duplicate",
+    "escape",
+    "unsampled",
+    "books",
+    "severed",
+)
+
+
+def seed_spans_violation(spans, kind: str):
+    """Return a copy of a span set with one invariant deliberately broken.
+
+    The span-plane analogue of :func:`seed_violation`; works on any
+    frozen-dataclass span with the :func:`validate_spans` shape.
+    ``kind`` is one of :data:`SEEDABLE_SPANS_VIOLATIONS`.  ``unsampled``
+    needs the sampling context passed to the validator; ``books`` needs
+    a report; ``severed`` needs a stitched multi-process trace.
+    """
+    spans = tuple(spans)
+    if not spans:
+        raise InvariantViolation("cannot seed a spans violation: empty set")
+    index = {(s.trace_id, s.span_id): s for s in spans}
+
+    def swap(old, new):
+        return tuple(new if s is old else s for s in spans)
+
+    if kind == "inverted":
+        victim = spans[0]
+        return swap(victim, replace(victim, end=victim.start - 1.0))
+
+    if kind == "unsampled":
+        # re-stamp one whole trace onto an id no query hashes to
+        target = spans[0].trace_id
+        return tuple(
+            replace(s, trace_id="feedfacefeedface")
+            if s.trace_id == target
+            else s
+            for s in spans
+        )
+
+    children = [s for s in spans if s.parent_id is not None]
+    if kind == "orphan":
+        if not children:
+            raise InvariantViolation(
+                "cannot seed an orphan: no span has a parent"
+            )
+        victim = children[0]
+        return swap(victim, replace(victim, parent_id="f" * 16))
+
+    if kind == "duplicate":
+        if not children:
+            raise InvariantViolation(
+                "cannot seed a duplicate: need two spans in one trace"
+            )
+        victim = children[0]
+        root = index.get((victim.trace_id, victim.parent_id))
+        if root is None:
+            raise InvariantViolation(
+                "cannot seed a duplicate: orphaned child"
+            )
+        return swap(victim, replace(victim, span_id=root.span_id))
+
+    if kind == "escape":
+        for victim in children:
+            parent = index.get((victim.trace_id, victim.parent_id))
+            if parent is not None and parent.process == victim.process:
+                return swap(victim, replace(victim, end=parent.end + 1.0))
+        raise InvariantViolation(
+            "cannot seed an escape: no same-process parent/child pair"
+        )
+
+    if kind == "books":
+        for victim in spans:
+            if victim.parent_id is None and victim.status == "ok":
+                return swap(victim, replace(victim, end=victim.end + 1.0))
+        raise InvariantViolation("cannot seed a books violation: no ok root")
+
+    if kind == "severed":
+        for root in spans:
+            if root.parent_id is not None or root.status != "ok":
+                continue
+            members = [s for s in spans if s.trace_id == root.trace_id]
+            if not any(s.name == "wire.roundtrip" for s in members):
+                continue
+            if len({s.process for s in members}) < 2:
+                continue
+            return tuple(
+                s
+                for s in spans
+                if s.trace_id != root.trace_id or s.process == root.process
+            )
+        raise InvariantViolation(
+            "cannot seed a severed tree: no ok multi-process wire trace"
+        )
+
+    raise InvariantViolation(
+        f"unknown violation kind {kind!r}; expected one of "
+        f"{SEEDABLE_SPANS_VIOLATIONS}"
     )

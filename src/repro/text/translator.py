@@ -100,6 +100,11 @@ class TranslationService:
         #: unknown-token rejection.  None-guarded: translation is
         #: timing-free when nothing is attached.
         self.metrics = None
+        #: optional span hook (see :class:`repro.obs.hooks.
+        #: TranslatorSpans`): ``on_translated(query_id, lookups,
+        #: seconds)`` per successful call — a separate slot because the
+        #: metrics protocol carries no query identity.
+        self.spans = None
 
     # -- introspection -------------------------------------------------------
 
@@ -161,17 +166,22 @@ class TranslationService:
         paper's system would reject it at preprocessing time rather than
         waste a GPU partition on it.
         """
-        if self.metrics is None:
+        if self.metrics is None and self.spans is None:
             return self._translate(query)
         start = time.perf_counter()
         try:
             result = self._translate(query)
         except UnknownTokenError:
-            self.metrics.on_miss(time.perf_counter() - start)
+            if self.metrics is not None:
+                self.metrics.on_miss(time.perf_counter() - start)
             raise
-        self.metrics.on_translated(
-            result.parameters_translated, time.perf_counter() - start
-        )
+        elapsed = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.on_translated(result.parameters_translated, elapsed)
+        if self.spans is not None:
+            self.spans.on_translated(
+                query.query_id, result.parameters_translated, elapsed
+            )
         return result
 
     def _translate(self, query: Query) -> TranslationResult:
@@ -272,7 +282,12 @@ class TranslationService:
         next_literal = 0
         for query in queries:
             metrics = self.metrics
-            start_t = time.perf_counter() if metrics is not None else 0.0
+            span_hook = self.spans
+            start_t = (
+                time.perf_counter()
+                if metrics is not None or span_hook is not None
+                else 0.0
+            )
             try:
                 decomposition = decompose(query, self._hierarchies)
                 estimated = self.estimate_time_decomposed(decomposition)
@@ -321,9 +336,12 @@ class TranslationService:
                 if metrics is not None:
                     metrics.on_miss(time.perf_counter() - start_t)
                 raise
+            elapsed_t = time.perf_counter() - start_t
             if metrics is not None:
-                metrics.on_translated(
-                    result.parameters_translated, time.perf_counter() - start_t
+                metrics.on_translated(result.parameters_translated, elapsed_t)
+            if span_hook is not None:
+                span_hook.on_translated(
+                    query.query_id, result.parameters_translated, elapsed_t
                 )
             results.append(result)
         return results

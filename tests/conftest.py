@@ -150,10 +150,16 @@ def audit_simulated_runs(monkeypatch):
     fails the test with :class:`repro.errors.InvariantViolation` — the
     run is audited even if the test only inspects throughput.  Runs
     with an adapt plane attached additionally get their model-swap and
-    reconfiguration history reconciled by ``validate_adapt``.
+    reconfiguration history reconciled by ``validate_adapt``, and runs
+    with a span tracer (``obs=``) get their span trees audited by
+    ``validate_spans`` against the report and lifecycle trace.
     """
     from repro.sim.system import HybridSystem
-    from repro.sim.validate import assert_adapt_valid, assert_valid
+    from repro.sim.validate import (
+        assert_adapt_valid,
+        assert_spans_valid,
+        assert_valid,
+    )
 
     original = HybridSystem.run
 
@@ -166,6 +172,11 @@ def audit_simulated_runs(monkeypatch):
         plane = kwargs.get("adapt")
         if plane is not None:
             assert_adapt_valid(plane.report())
+        obs = kwargs.get("obs")
+        if obs is not None:
+            assert_spans_valid(
+                obs.spans(), report=report, collector=collector
+            )
         return report
 
     monkeypatch.setattr(HybridSystem, "run", audited)

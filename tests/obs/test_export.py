@@ -1,0 +1,265 @@
+"""Perfetto export shape, the schema gate, and crash-safe writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    SpanTracer,
+    check_trace_document,
+    check_trace_file,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs.fileio import atomic_write_lines
+
+
+class ManualClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def sample_spans():
+    """Two processes, two tracks, one stitched trace."""
+    front = SpanTracer(1.0, seed=7, clock=ManualClock(), process="frontdoor")
+    front.open(1, "frontdoor.request", query_class="small")
+    front.record(1, "wire.roundtrip", 0.5, 1.5, track="wire-0", shard=0)
+    shard_clock = ManualClock()
+    shard_clock.t = 100.0  # distinct monotonic base on purpose
+    shard = SpanTracer(1.0, seed=7, clock=shard_clock, process="shard-0")
+    shard.adopt(1, front.traceparent(1))
+    shard.open(1, "serve.query")
+    shard.record(1, "pool.service", 100.2, 100.4, track="Q_CPU", pool="Q_CPU")
+    shard_clock.t = 100.5
+    shard.close(1)
+    front.close(1)
+    return front.drain() + shard.drain()
+
+
+class TestToChromeTrace:
+    def test_envelope_and_event_shapes(self):
+        document = to_chrome_trace(sample_spans())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4
+        names = {e["name"] for e in complete}
+        assert names == {
+            "frontdoor.request",
+            "wire.roundtrip",
+            "serve.query",
+            "pool.service",
+        }
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {"frontdoor", "shard-0"}
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"wire-0", "Q_CPU"} <= thread_names
+        assert all("trace_id" in e["args"] for e in complete)
+        # one trace: every X event shares the trace id
+        assert len({e["args"]["trace_id"] for e in complete}) == 1
+
+    def test_timestamps_are_rebased_microseconds(self):
+        document = to_chrome_trace(sample_spans())
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # each process's earliest span sits at ts 0, despite the shard's
+        # clock running from a base of 100 seconds
+        by_pid = {}
+        for e in complete:
+            by_pid.setdefault(e["pid"], []).append(e)
+        for events in by_pid.values():
+            assert min(e["ts"] for e in events) == 0.0
+            assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        wire = next(e for e in complete if e["name"] == "wire.roundtrip")
+        assert wire["dur"] == pytest.approx(1_000_000.0)  # 1 s in µs
+
+    def test_parent_and_query_ids_travel_in_args(self):
+        document = to_chrome_trace(sample_spans())
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        root = next(e for e in complete if e["name"] == "frontdoor.request")
+        child = next(e for e in complete if e["name"] == "serve.query")
+        assert "parent_id" not in root["args"]
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert child["args"]["query_id"] == 1
+
+
+class TestSchemaGate:
+    def test_clean_document_passes(self):
+        assert check_trace_document(to_chrome_trace(sample_spans())) == []
+
+    @pytest.mark.parametrize(
+        "document, fragment",
+        [
+            ({"traceEvents": None}, "not a list"),
+            ({"traceEvents": ["nope"]}, "not an object"),
+            (
+                {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 1}]},
+                "unsupported ph",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": 0,
+                            "dur": 0,
+                            "args": {"trace_id": "aa"},
+                        }
+                    ]
+                },
+                "missing 'name'",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "name": "x",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": -1,
+                            "dur": 0,
+                            "args": {"trace_id": "aa"},
+                        }
+                    ]
+                },
+                "negative",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "name": "x",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": "soon",
+                            "dur": 0,
+                            "args": {"trace_id": "aa"},
+                        }
+                    ]
+                },
+                "not numeric",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "name": "x",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": 0,
+                            "dur": 0,
+                            "args": {},
+                        }
+                    ]
+                },
+                "missing trace_id",
+            ),
+        ],
+    )
+    def test_each_problem_class_is_caught(self, document, fragment):
+        problems = check_trace_document(document)
+        assert any(fragment in p for p in problems), problems
+
+    def test_span_pid_without_process_name_is_flagged(self):
+        document = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "x",
+                    "pid": 7,
+                    "tid": 1,
+                    "ts": 0,
+                    "dur": 0,
+                    "args": {"trace_id": "aa"},
+                }
+            ]
+        }
+        problems = check_trace_document(document)
+        assert any("process_name" in p for p in problems)
+
+    def test_check_trace_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_trace(str(path), sample_spans())
+        assert n == 4
+        assert check_trace_file(str(path)) == []
+        # and it really is the Chrome envelope on disk
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+
+    def test_check_trace_file_reports_unreadable(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert any("unreadable" in p for p in check_trace_file(str(missing)))
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"traceEvents": [')
+        assert any("unreadable" in p for p in check_trace_file(str(torn)))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text("[1, 2, 3]")
+        assert any("not an object" in p for p in check_trace_file(str(wrong)))
+
+
+class TestCrashSafety:
+    """Satellite: a run killed mid-write must never tear the target file."""
+
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text("previous contents\n")
+        assert atomic_write_lines(path, ["a", "b"]) == 2
+        assert path.read_text() == "a\nb\n"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_kill_mid_write_leaves_previous_file_intact(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text("previous contents\n")
+        calls = {"n": 0}
+
+        def dying_writer(handle, line):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt("simulated kill -9 moment")
+            handle.write(line + "\n")
+
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_lines(path, ["a", "b", "c"], writer=dying_writer)
+        # the reader's contract: complete old file, never a prefix
+        assert path.read_text() == "previous contents\n"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_trace_collector_export_goes_through_the_atomic_path(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.sim.obs import TraceCollector
+
+        collector = TraceCollector()
+        collector.emit("arrival", 0.0, 1)
+        collector.emit("service_finish", 1.0, 1, server="Q_CPU")
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale\n")
+
+        real_replace = os.replace
+        seen = {"replaced": False}
+
+        def spying_replace(src, dst):
+            seen["replaced"] = True
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        assert collector.write_jsonl(path) == 2
+        assert seen["replaced"], "write_jsonl must rename, not write in place"
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == [
+            "arrival",
+            "service_finish",
+        ]

@@ -1,0 +1,78 @@
+"""Serve-plane spans live in the injected clock's domain, not the wall's.
+
+The regression this file pins: a serve engine given a
+:class:`~repro.serve.FakeClock` must stamp *every* span — roots opened
+in ``submit`` and stage spans recorded from worker threads — from that
+clock, never from ``time.monotonic()`` directly.  Two identical runs
+therefore produce byte-identical span buffers, and every timestamp is
+bounded by the fake clock's final reading (a ``time.monotonic`` leak
+would stamp hours of machine uptime instead).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import SpanTracer
+from repro.paper import paper_system_config
+from repro.query.model import Query
+from repro.serve import FakeClock, NullExecutor, ServeEngine
+from repro.sim.validate import assert_spans_valid
+
+from tests.serve.conftest import CPU_FAST, GPU_TEXT, FixedEstimator
+
+SEED = 31
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return paper_system_config(include_32gb=False)
+
+
+def traced_run(serve_config):
+    """One scripted run: fixed query ids, fixed estimates, fake clock."""
+    clock = FakeClock()
+    tracer = SpanTracer(1.0, seed=SEED, process="serve")
+    engine = ServeEngine(
+        serve_config,
+        clock=clock,
+        executor=NullExecutor(),
+        estimator=FixedEstimator(CPU_FAST, GPU_TEXT),
+        spans=tracer,
+    ).start()
+    try:
+        for qid in (1, 2, 3, 4):
+            engine.submit(Query(conditions=(), measures=("v",), query_id=qid))
+            clock.advance(0.25)
+        engine.drain()
+    finally:
+        engine.stop(finish_queued=False)
+    report = engine.report()
+    spans = assert_spans_valid(
+        tracer.spans(),
+        report=report,
+        seed=SEED,
+        sample_rate=1.0,
+        submitted=[1, 2, 3, 4],
+    )
+    return spans, clock.now()
+
+
+def fingerprint(spans):
+    return sorted(json.dumps(s.to_dict(), sort_keys=True) for s in spans)
+
+
+class TestClockDomains:
+    def test_identical_runs_stamp_identical_spans(self, serve_config):
+        first, _ = traced_run(serve_config)
+        second, _ = traced_run(serve_config)
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_timestamps_are_in_the_fake_domain(self, serve_config):
+        spans, final = traced_run(serve_config)
+        assert spans
+        assert final < 10.0
+        for span in spans:
+            # a time.monotonic() leak would stamp machine uptime here
+            assert 0.0 <= span.start <= final + 1e-9
+            assert 0.0 <= span.end <= final + 1e-9
